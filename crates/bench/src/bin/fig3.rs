@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig3 (see holmes-bench docs).
+fn main() {
+    println!("{}", holmes_bench::experiments::fig3().body);
+}

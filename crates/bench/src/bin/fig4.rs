@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig4 (see holmes-bench docs).
+fn main() {
+    println!("{}", holmes_bench::experiments::fig4().body);
+}

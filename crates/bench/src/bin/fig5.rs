@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig5 (see holmes-bench docs).
+fn main() {
+    println!("{}", holmes_bench::experiments::fig5().body);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig6 (see holmes-bench docs).
+fn main() {
+    println!("{}", holmes_bench::experiments::fig6().body);
+}

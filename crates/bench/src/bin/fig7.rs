@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig7 (see holmes-bench docs).
+fn main() {
+    println!("{}", holmes_bench::experiments::fig7().body);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table1 (see holmes-bench docs).
+fn main() {
+    println!("{}", holmes_bench::experiments::table1().body);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table4 (see holmes-bench docs).
+fn main() {
+    println!("{}", holmes_bench::experiments::table4().body);
+}

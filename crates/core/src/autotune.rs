@@ -1,0 +1,253 @@
+//! Parallelism auto-tuning: search `(t, p, α)` for a job on a fleet.
+//!
+//! The paper fixes Table 2's degrees by hand; a production framework needs
+//! to *find* them. The tuner enumerates feasible degree combinations,
+//! prunes with memory checks and the closed-form
+//! [`crate::estimate::estimate_iteration`], then simulates the `top_k`
+//! survivors for an accurate ranking — the classic estimate-then-measure
+//! search loop.
+
+use holmes_engine::{simulate_iteration, DpSyncStrategy, TrainingMetrics};
+use holmes_model::{MemoryEstimate, TrainJob};
+use holmes_topology::Topology;
+
+use crate::config::HolmesConfig;
+use crate::estimate::estimate_iteration;
+use crate::planner::{plan_for, PlanRequest};
+
+/// Search space bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct AutotuneRequest {
+    /// The workload.
+    pub job: TrainJob,
+    /// Largest tensor-parallel degree to try (bounded by GPUs per node).
+    pub max_tensor: u32,
+    /// Largest pipeline depth to try.
+    pub max_pipeline: u32,
+    /// Candidates to simulate after estimation pruning.
+    pub top_k: usize,
+}
+
+impl AutotuneRequest {
+    /// Sensible defaults: `t ≤ 8`, `p ≤ 8`, simulate the best 5 estimates.
+    pub fn new(job: TrainJob) -> Self {
+        AutotuneRequest {
+            job,
+            max_tensor: 8,
+            max_pipeline: 8,
+            top_k: 5,
+        }
+    }
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Tensor parallel degree.
+    pub tensor: u32,
+    /// Pipeline parallel degree.
+    pub pipeline: u32,
+    /// Data parallel degree (derived).
+    pub data: u32,
+    /// Closed-form estimated iteration seconds.
+    pub estimated_seconds: f64,
+    /// Simulated metrics (only for the `top_k` finalists).
+    pub simulated: Option<TrainingMetrics>,
+    /// Whether the largest stage fits in device memory.
+    pub fits_memory: bool,
+}
+
+impl Candidate {
+    /// Ranking key: simulated time when available, else the estimate;
+    /// memory-infeasible candidates sort last.
+    fn score(&self) -> f64 {
+        let base = self
+            .simulated
+            .map(|m| m.iteration_seconds)
+            .unwrap_or(self.estimated_seconds);
+        if self.fits_memory {
+            base
+        } else {
+            base + 1e9
+        }
+    }
+}
+
+/// Search for the fastest feasible plan of a job on a topology under a
+/// Holmes configuration. Returns all evaluated candidates, best first.
+pub fn autotune(topo: &Topology, req: &AutotuneRequest, cfg: &HolmesConfig) -> Vec<Candidate> {
+    let n = topo.device_count();
+    let g = topo.gpus_per_node();
+    let mut candidates = Vec::new();
+
+    for t in 1..=req.max_tensor.min(g) {
+        if !t.is_power_of_two() {
+            continue; // Megatron requires power-of-two head splits.
+        }
+        for p in 1..=req.max_pipeline.min(req.job.config.num_layers) {
+            if !n.is_multiple_of(t * p) {
+                continue;
+            }
+            let d = n / (t * p);
+            if req.job.microbatches_per_replica(d).is_none() {
+                continue;
+            }
+            let plan_req = PlanRequest {
+                tensor_parallel: t,
+                pipeline_parallel: p,
+                job: req.job,
+            };
+            let Ok((plan, engine_cfg)) =
+                plan_for(topo, &plan_req, cfg, DpSyncStrategy::DistributedOptimizer)
+            else {
+                continue;
+            };
+            let Some(est) = estimate_iteration(topo, &plan, &req.job, &engine_cfg) else {
+                continue;
+            };
+            // Memory feasibility on the heaviest stage.
+            let cfg_model = req.job.config;
+            let max_layers = *plan.stage_layers.iter().max().expect("p >= 1");
+            let stage_params = u64::from(max_layers)
+                * holmes_model::layer_params(&cfg_model)
+                + holmes_model::embedding_params(&cfg_model);
+            let device0 = plan.stage_devices(0)[0];
+            let capacity = topo
+                .device(device0)
+                .expect("device exists")
+                .gpu
+                .memory_bytes();
+            let mem = MemoryEstimate::for_rank(
+                &cfg_model,
+                stage_params,
+                t,
+                req.job.micro_batch,
+                p,
+                max_layers,
+                engine_cfg.dp_sync.optimizer_shards(d),
+            );
+            candidates.push(Candidate {
+                tensor: t,
+                pipeline: p,
+                data: d,
+                estimated_seconds: est.seconds,
+                simulated: None,
+                fits_memory: mem.fits_in(capacity),
+            });
+        }
+    }
+
+    // Simulate the top_k feasible estimates.
+    candidates.sort_by(|a, b| a.score().partial_cmp(&b.score()).expect("finite scores"));
+    let k = req.top_k.min(candidates.len());
+    for candidate in candidates.iter_mut().take(k) {
+        let plan_req = PlanRequest {
+            tensor_parallel: candidate.tensor,
+            pipeline_parallel: candidate.pipeline,
+            job: req.job,
+        };
+        if let Ok((plan, engine_cfg)) =
+            plan_for(topo, &plan_req, cfg, DpSyncStrategy::DistributedOptimizer)
+        {
+            if let Ok((_, metrics)) = simulate_iteration(topo, &plan, &req.job, &engine_cfg) {
+                candidate.simulated = Some(metrics);
+            }
+        }
+    }
+    // Final ranking: simulated finalists first (measured beats estimated —
+    // an optimistic estimate must not leapfrog a measured candidate), each
+    // tier ordered by its score.
+    candidates.sort_by(|a, b| {
+        (a.simulated.is_none(), a.score())
+            .partial_cmp(&(b.simulated.is_none(), b.score()))
+            .expect("finite scores")
+    });
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holmes_model::ParameterGroup;
+    use holmes_topology::presets;
+
+    #[test]
+    fn autotuner_winner_is_near_the_exhaustive_optimum() {
+        // The paper runs PG3 with t=1, p=2 on 8 nodes. Several plans tie
+        // within ~1% there (the engine confirms (2,2) ≈ (1,2)), so assert
+        // near-optimality against an exhaustive simulated sweep rather
+        // than an exact configuration.
+        use crate::planner::plan_for;
+        use holmes_engine::simulate_iteration;
+        let topo = presets::hybrid_split(4, 4);
+        let job = ParameterGroup::table2(3).job();
+        let req = AutotuneRequest::new(job);
+        let ranked = autotune(&topo, &req, &HolmesConfig::full());
+        assert!(!ranked.is_empty());
+        let best = &ranked[0];
+        let winner = best.simulated.expect("winner must be simulated");
+
+        // Exhaustive ground truth over the same search space.
+        let mut best_exhaustive = f64::INFINITY;
+        for c in &ranked {
+            let plan_req = PlanRequest {
+                tensor_parallel: c.tensor,
+                pipeline_parallel: c.pipeline,
+                job,
+            };
+            let (plan, engine_cfg) = plan_for(
+                &topo,
+                &plan_req,
+                &HolmesConfig::full(),
+                DpSyncStrategy::DistributedOptimizer,
+            )
+            .unwrap();
+            let (_, m) = simulate_iteration(&topo, &plan, &job, &engine_cfg).unwrap();
+            best_exhaustive = best_exhaustive.min(m.iteration_seconds);
+        }
+        assert!(
+            winner.iteration_seconds <= best_exhaustive * 1.02,
+            "winner {} vs exhaustive best {}",
+            winner.iteration_seconds,
+            best_exhaustive
+        );
+        // And the paper's own configuration must be in the search space.
+        assert!(ranked.iter().any(|c| (c.tensor, c.pipeline) == (1, 2)));
+    }
+
+    #[test]
+    fn candidates_are_sorted_best_first() {
+        let topo = presets::homogeneous(holmes_topology::NicType::InfiniBand, 4);
+        let req = AutotuneRequest::new(ParameterGroup::table2(1).job());
+        let ranked = autotune(&topo, &req, &HolmesConfig::full());
+        for w in ranked.windows(2) {
+            assert!(w[0].score() <= w[1].score());
+        }
+    }
+
+    #[test]
+    fn infeasible_degrees_are_skipped() {
+        // 24 GPUs: t=8, p=5 never appears (not a divisor).
+        let topo = presets::homogeneous(holmes_topology::NicType::RoCE, 3);
+        let req = AutotuneRequest::new(ParameterGroup::table2(1).job());
+        let ranked = autotune(&topo, &req, &HolmesConfig::full());
+        assert!(ranked
+            .iter()
+            .all(|c| (c.tensor * c.pipeline * c.data) == topo.device_count()));
+        assert!(ranked.iter().all(|c| c.tensor.is_power_of_two()));
+    }
+
+    #[test]
+    fn memory_infeasible_candidates_rank_last() {
+        // PG7 (39.1 B) on 4 nodes: t=1 plans cannot fit; the winner must
+        // use large t.
+        let topo = presets::homogeneous(holmes_topology::NicType::InfiniBand, 4);
+        let req = AutotuneRequest::new(ParameterGroup::table2(7).job());
+        let ranked = autotune(&topo, &req, &HolmesConfig::full());
+        let best = &ranked[0];
+        assert!(best.fits_memory, "winner must fit: {best:?}");
+        assert!(best.tensor >= 4, "39B needs tensor parallelism: {best:?}");
+        // And at least one t=1 candidate was evaluated and marked OOM.
+        assert!(ranked.iter().any(|c| c.tensor == 1 && !c.fits_memory));
+    }
+}

@@ -1,0 +1,298 @@
+//! `holmes_sim` — command-line front end to the Holmes simulator.
+//!
+//! ```text
+//! USAGE:
+//!   holmes_sim [--env ENV] [--nodes N] [--pg K] [--framework F]
+//!              [--iterations I] [--alpha A] [--trace FILE]
+//!
+//!   --env        infiniband | roce | ethernet | hybrid | ib+eth | roce+eth
+//!                (default: hybrid)
+//!   --topo       explicit topology spec, e.g. "ib:2x4+roce:2x4"
+//!                (overrides --env/--nodes)
+//!   --nodes      total node count, split evenly for two-cluster envs
+//!                (default: 4)
+//!   --pg         Table 2 parameter group 1..=8 (default: 1)
+//!   --framework  holmes | megatron-lm | megatron-deepspeed | megatron-llama
+//!                (default: holmes)
+//!   --iterations simulate a multi-iteration run of this length
+//!   --alpha      Self-Adapting Partition α (default: 1.05)
+//!   --trace      write a Chrome-trace JSON of one iteration to FILE
+//!   --json       print the result as a JSON object instead of text
+//! ```
+
+use std::process::ExitCode;
+
+use holmes::topology::{presets, NicType, Topology};
+use holmes::{
+    run_framework, run_holmes_with, simulate_training_run, FrameworkKind, HolmesConfig,
+    Scenario, TrainingRunConfig,
+};
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+struct Args {
+    env: String,
+    topo: Option<String>,
+    nodes: u32,
+    pg: u8,
+    framework: FrameworkKind,
+    iterations: Option<u32>,
+    alpha: f64,
+    trace: Option<String>,
+    json: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            env: "hybrid".to_owned(),
+            topo: None,
+            nodes: 4,
+            pg: 1,
+            framework: FrameworkKind::Holmes,
+            iterations: None,
+            alpha: 1.05,
+            trace: None,
+            json: false,
+        }
+    }
+}
+
+/// Parse arguments; pure so it is unit-testable.
+fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--env" => args.env = value("--env")?,
+            "--topo" => args.topo = Some(value("--topo")?),
+            "--nodes" => {
+                args.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--pg" => {
+                args.pg = value("--pg")?.parse().map_err(|e| format!("--pg: {e}"))?;
+                if !(1..=8).contains(&args.pg) {
+                    return Err("--pg must be 1..=8".to_owned());
+                }
+            }
+            "--framework" => {
+                args.framework = match value("--framework")?.as_str() {
+                    "holmes" => FrameworkKind::Holmes,
+                    "megatron-lm" => FrameworkKind::MegatronLm,
+                    "megatron-deepspeed" => FrameworkKind::MegatronDeepSpeed,
+                    "megatron-llama" => FrameworkKind::MegatronLlama,
+                    other => return Err(format!("unknown framework '{other}'")),
+                }
+            }
+            "--iterations" => {
+                args.iterations = Some(
+                    value("--iterations")?
+                        .parse()
+                        .map_err(|e| format!("--iterations: {e}"))?,
+                )
+            }
+            "--alpha" => {
+                args.alpha = value("--alpha")?
+                    .parse()
+                    .map_err(|e| format!("--alpha: {e}"))?
+            }
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--json" => args.json = true,
+            "--help" | "-h" => return Err("help".to_owned()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+/// Build the topology for an environment name.
+fn build_topology(env: &str, nodes: u32) -> Result<Topology, String> {
+    if nodes == 0 {
+        return Err("--nodes must be positive".to_owned());
+    }
+    let half = (nodes / 2).max(1);
+    Ok(match env {
+        "infiniband" | "ib" => presets::homogeneous(NicType::InfiniBand, nodes),
+        "roce" => presets::homogeneous(NicType::RoCE, nodes),
+        "ethernet" | "eth" => presets::homogeneous(NicType::Ethernet, nodes),
+        "hybrid" => presets::hybrid_two_cluster(half),
+        "ib+eth" => presets::same_nic_two_clusters(NicType::InfiniBand, half),
+        "roce+eth" => presets::same_nic_two_clusters(NicType::RoCE, half),
+        other => return Err(format!("unknown environment '{other}'")),
+    })
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let topo = match &args.topo {
+        Some(spec) => holmes::topology::parse_topology_spec(spec)?,
+        None => build_topology(&args.env, args.nodes)?,
+    };
+    if !args.json {
+        println!(
+            "env={} nodes={} gpus={} pg={} framework={}",
+            args.env,
+            topo.node_count(),
+            topo.device_count(),
+            args.pg,
+            args.framework
+        );
+    }
+
+    let result = if args.framework == FrameworkKind::Holmes {
+        let cfg = HolmesConfig {
+            alpha: args.alpha,
+            ..HolmesConfig::full()
+        };
+        run_holmes_with(&cfg, &topo, args.pg)
+    } else {
+        run_framework(args.framework, &topo, args.pg)
+    }
+    .map_err(|e| e.to_string())?;
+
+    if args.json {
+        let layers: Vec<String> = result.stage_layers.iter().map(u32::to_string).collect();
+        println!(
+            "{{\"framework\":\"{}\",\"gpus\":{},\"pg\":{},\"iteration_seconds\":{:.6},\
+             \"tflops_per_gpu\":{:.3},\"samples_per_sec\":{:.3},\"stage_layers\":[{}],\
+             \"rdma_dp_groups\":{},\"total_dp_groups\":{}}}",
+            args.framework,
+            topo.device_count(),
+            args.pg,
+            result.metrics.iteration_seconds,
+            result.metrics.tflops_per_gpu,
+            result.metrics.throughput_samples_per_sec,
+            layers.join(","),
+            result.nic.rdma_groups,
+            result.nic.groups.len()
+        );
+    } else {
+        println!(
+            "iteration: {:.2} s | {:.1} TFLOPS/GPU | {:.2} samples/s | stage layers {:?}",
+            result.metrics.iteration_seconds,
+            result.metrics.tflops_per_gpu,
+            result.metrics.throughput_samples_per_sec,
+            result.stage_layers
+        );
+        println!(
+            "NIC selection: {}/{} data-parallel groups on RDMA",
+            result.nic.rdma_groups,
+            result.nic.groups.len()
+        );
+    }
+
+    if let Some(path) = &args.trace {
+        std::fs::write(path, result.report.timeline.to_chrome_trace())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("chrome trace written to {path}");
+    }
+
+    if let Some(iterations) = args.iterations {
+        let cfg = HolmesConfig {
+            alpha: args.alpha,
+            ..HolmesConfig::full()
+        };
+        let report = simulate_training_run(
+            &Scenario::new(topo, args.pg),
+            &cfg,
+            &TrainingRunConfig {
+                iterations,
+                ..TrainingRunConfig::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "{iterations}-iteration run: mean {:.2} s, p95 {:.2} s, {:.0} tokens/s",
+            report.mean_seconds, report.p95_seconds, report.tokens_per_sec
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(argv) {
+        Ok(args) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) if msg == "help" => {
+            eprintln!("see module docs: holmes_sim --env hybrid --nodes 4 --pg 1");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args, Args::default());
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let args = parse(&[
+            "--env", "roce", "--nodes", "8", "--pg", "3", "--framework", "megatron-llama",
+            "--iterations", "20", "--alpha", "1.1", "--trace", "/tmp/t.json",
+        ])
+        .unwrap();
+        assert_eq!(args.env, "roce");
+        assert_eq!(args.nodes, 8);
+        assert_eq!(args.pg, 3);
+        assert_eq!(args.framework, FrameworkKind::MegatronLlama);
+        assert_eq!(args.iterations, Some(20));
+        assert!((args.alpha - 1.1).abs() < 1e-12);
+        assert_eq!(args.trace.as_deref(), Some("/tmp/t.json"));
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(parse(&["--pg", "9"]).is_err());
+        assert!(parse(&["--pg"]).is_err());
+        assert!(parse(&["--framework", "pytorch"]).is_err());
+        assert!(parse(&["--nodes", "abc"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn json_flag_parses() {
+        assert!(parse(&["--json"]).unwrap().json);
+        assert!(!parse(&[]).unwrap().json);
+    }
+
+    #[test]
+    fn topo_spec_flag_parses() {
+        let args = parse(&["--topo", "ib:2x4+roce:2x4"]).unwrap();
+        assert_eq!(args.topo.as_deref(), Some("ib:2x4+roce:2x4"));
+    }
+
+    #[test]
+    fn topologies_build_for_every_env_name() {
+        for env in ["infiniband", "ib", "roce", "ethernet", "eth", "hybrid", "ib+eth", "roce+eth"] {
+            let topo = build_topology(env, 4).unwrap();
+            assert!(topo.device_count() > 0, "{env}");
+        }
+        assert!(build_topology("token-ring", 4).is_err());
+        assert!(build_topology("hybrid", 0).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Holmes feature configuration (the knobs of the Table 5 ablation).
+
+/// Which Holmes components are enabled.
+///
+/// The full framework enables all four; the paper's ablation (Table 5)
+/// turns off *Self-Adapting Pipeline Partition* and the *Overlapped
+/// Distributed Optimizer* individually and jointly, always keeping
+/// *Cross-Cluster Pipeline Parallelism* and *Automatic NIC Selection* on
+/// (their effect is shown separately against Megatron-LM).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HolmesConfig {
+    /// NIC-aware device ordering: align pipeline stages with cluster
+    /// boundaries (§3.1.2 Cross-Cluster Pipeline Parallelism). When off,
+    /// devices are taken in raw hostfile order.
+    pub cross_cluster_pp: bool,
+    /// Per-group transport selection (§3.2 Automatic NIC Selection). When
+    /// off, inter-node traffic uses the job-wide common-denominator
+    /// transport (TCP in any heterogeneous environment).
+    pub auto_nic_selection: bool,
+    /// Eq. 2 layer partitioning (§3.1.2). When off, layers split uniformly.
+    pub self_adapting_partition: bool,
+    /// Bucketed reduce-scatter overlapped with the final backward (§3.2).
+    /// When off, a blocking distributed optimizer is used.
+    pub overlapped_optimizer: bool,
+    /// Eq. 2 hyper-parameter α (the paper uses 1.05).
+    pub alpha: f64,
+    /// Gradient buckets for the overlapped optimizer.
+    pub buckets: u32,
+}
+
+impl Default for HolmesConfig {
+    fn default() -> Self {
+        HolmesConfig {
+            cross_cluster_pp: true,
+            auto_nic_selection: true,
+            self_adapting_partition: true,
+            overlapped_optimizer: true,
+            alpha: 1.05,
+            buckets: 8,
+        }
+    }
+}
+
+impl HolmesConfig {
+    /// Full Holmes.
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Table 5 row "w/o Self-Adapting-Partition".
+    pub fn without_self_adapting() -> Self {
+        HolmesConfig {
+            self_adapting_partition: false,
+            ..Self::default()
+        }
+    }
+
+    /// Table 5 row "w/o Overlapped Optimizer".
+    pub fn without_overlapped_optimizer() -> Self {
+        HolmesConfig {
+            overlapped_optimizer: false,
+            ..Self::default()
+        }
+    }
+
+    /// Table 5 row "w/o Above Two".
+    pub fn without_both() -> Self {
+        HolmesConfig {
+            self_adapting_partition: false,
+            overlapped_optimizer: false,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_everything() {
+        let c = HolmesConfig::default();
+        assert!(c.cross_cluster_pp && c.auto_nic_selection);
+        assert!(c.self_adapting_partition && c.overlapped_optimizer);
+        assert_eq!(c.alpha, 1.05);
+    }
+
+    #[test]
+    fn ablation_rows_disable_the_right_flags() {
+        assert!(!HolmesConfig::without_self_adapting().self_adapting_partition);
+        assert!(HolmesConfig::without_self_adapting().overlapped_optimizer);
+        assert!(!HolmesConfig::without_overlapped_optimizer().overlapped_optimizer);
+        let both = HolmesConfig::without_both();
+        assert!(!both.self_adapting_partition && !both.overlapped_optimizer);
+        assert!(both.cross_cluster_pp && both.auto_nic_selection);
+    }
+}

@@ -1,0 +1,262 @@
+//! Closed-form iteration-time estimation.
+//!
+//! The event-driven simulator is the ground truth, but plan *search* wants
+//! thousands of what-if evaluations. This estimator composes the analytic
+//! building blocks (pipeline-bubble formula, ring-collective cost models,
+//! per-stage compute costs) into a microseconds-cheap prediction, and is
+//! cross-validated against the simulator in the test suite (and by the
+//! `estimator accuracy` extension experiment).
+
+use holmes_engine::{ComputeModel, DpSyncStrategy, EngineConfig, TransportPolicy};
+use holmes_model::{embedding_params, layer_params, CommVolumes, TrainJob};
+use holmes_netsim::{Communicator, Fabric, NetSim};
+use holmes_parallel::ParallelPlan;
+use holmes_topology::Topology;
+
+/// Decomposed iteration-time estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationEstimate {
+    /// Predicted end-to-end iteration seconds.
+    pub seconds: f64,
+    /// Steady-state pipeline compute (all micro-batches at the slowest
+    /// stage's rate).
+    pub compute_seconds: f64,
+    /// Pipeline fill/drain bubble.
+    pub bubble_seconds: f64,
+    /// Exposed data-parallel synchronization after overlap.
+    pub dp_sync_seconds: f64,
+    /// Stage-boundary activation traffic not hidden under compute.
+    pub p2p_seconds: f64,
+    /// Optimizer step.
+    pub optimizer_seconds: f64,
+}
+
+/// Estimate one training iteration for a plan without simulating it.
+///
+/// Returns `None` when the batch does not divide across replicas (the same
+/// condition under which the engine's builder errors).
+pub fn estimate_iteration(
+    topo: &Topology,
+    plan: &ParallelPlan,
+    job: &TrainJob,
+    cfg: &EngineConfig,
+) -> Option<IterationEstimate> {
+    let degrees = plan.degrees();
+    let (t, p, d) = (degrees.tensor, degrees.pipeline, degrees.data);
+    let m = job.microbatches_per_replica(d)?;
+
+    // Per-stage compute and parameters.
+    let mut slot_max = 0.0f64; // fwd+bwd of the slowest stage
+    let mut stage_params = Vec::with_capacity(p as usize);
+    let mut models = Vec::with_capacity(p as usize);
+    for stage in 0..p {
+        let device0 = plan.stage_devices(stage)[0];
+        let coord = topo.coord(device0).ok()?;
+        let node = &topo.clusters()[coord.cluster.0 as usize].nodes[coord.node.0 as usize];
+        let model = ComputeModel::with_interference(
+            job.config,
+            node.gpu.clone(),
+            node.intra_link,
+            t,
+            job.micro_batch,
+            node.nic.compute_interference,
+        );
+        let cost = model.stage_cost(plan.stage_layers[stage as usize], stage == p - 1);
+        slot_max = slot_max.max(cost.fwd_seconds + cost.bwd_seconds);
+        let mut params = u64::from(plan.stage_layers[stage as usize]) * layer_params(&job.config);
+        if stage == 0 {
+            params += embedding_params(&job.config);
+        }
+        stage_params.push(params);
+        models.push((model, cost));
+    }
+
+    let compute_seconds = f64::from(m) * slot_max;
+    // 1F1B / GPipe bubble: (p − 1) slots of the slowest stage.
+    let bubble_seconds = f64::from(p - 1) * slot_max;
+
+    // Stage-boundary p2p: each boundary node forwards `G` pipeline groups'
+    // activations per micro-batch in each direction; compare against the
+    // compute available to hide it.
+    let p2p_seconds = if p > 1 {
+        let act = CommVolumes::p2p_activation_bytes(
+            &job.config,
+            job.micro_batch,
+            t,
+            plan.scatter_gather,
+        );
+        // Worst boundary: the slowest link out of stage 0.
+        let from = plan.stage_devices(0)[0];
+        let to = plan.stage_devices(1)[0];
+        let link = topo.link_between(from, to).ok()?;
+        let forced_tcp = cfg.transport == TransportPolicy::ForceTcpInterNode;
+        let bw = if forced_tcp && !link.kind.is_intra_node() {
+            // Approximate the forced-TCP path with the inter-cluster profile.
+            topo.inter_cluster_profile().effective_bytes_per_sec()
+        } else {
+            link.bandwidth_bytes_per_sec
+        };
+        let g = f64::from(topo.gpus_per_node());
+        // Per node per micro-batch slot: G groups × act bytes × 2 dirs
+        // through a (ports-limited) uplink ≈ g/ports flows per port.
+        let per_slot = g * act.max(1) as f64 * 2.0 / (bw * f64::from(
+            plan.stage_devices(0)
+                .first()
+                .and_then(|r| topo.device(*r).ok())
+                .map(|dev| dev.nic.ports_per_node)
+                .unwrap_or(1),
+        ));
+        (f64::from(m) * (per_slot - slot_max).max(0.0)).max(0.0)
+    } else {
+        0.0
+    };
+
+    // Data-parallel sync: ring cost on each stage's DP group; overlap hides
+    // up to one backward of compute per the overlapped strategy.
+    let mut sim = NetSim::new();
+    let fabric = Fabric::build(topo, &mut sim);
+    let mut dp_sync_seconds = 0.0f64;
+    let mut optimizer_seconds = 0.0f64;
+    for g in 0..plan.layout.dp_group_count() {
+        let stage = g / t;
+        let devices = plan.dp_group_devices(g);
+        let grad_bytes = CommVolumes::dp_gradient_bytes(stage_params[stage as usize], t);
+        let param_bytes = stage_params[stage as usize] / u64::from(t) * 2;
+        let (model, cost) = &models[stage as usize];
+        let comm = if cfg.transport == TransportPolicy::ForceTcpInterNode && devices.len() > 1 {
+            // Approximate: the forced-TCP ring bottoms out at the slowest
+            // node's Ethernet effective rate.
+            None
+        } else {
+            Some(Communicator::new(topo, &fabric, devices.clone()))
+        };
+        let (rs, ag) = match &comm {
+            Some(c) => (
+                c.reduce_scatter_seconds(grad_bytes),
+                c.all_gather_seconds(param_bytes),
+            ),
+            None => {
+                let eth = topo.inter_cluster_profile();
+                let n = devices.len() as u32;
+                let bw = eth.effective_bytes_per_sec();
+                let lat = eth.latency_ns() as f64 * 1e-9;
+                (
+                    holmes_netsim::collective::reduce_scatter_seconds(n, grad_bytes, bw, lat),
+                    holmes_netsim::collective::all_gather_seconds(n, param_bytes, bw, lat),
+                )
+            }
+        };
+        let sync = match cfg.dp_sync {
+            DpSyncStrategy::AllReduce => {
+                // all-reduce ≈ RS + AG over gradient bytes.
+                rs + match &comm {
+                    Some(c) => c.all_gather_seconds(grad_bytes),
+                    None => rs,
+                }
+            }
+            DpSyncStrategy::DistributedOptimizer => rs + ag,
+            // ZeRO-3 pays the same RS plus a *blocking* parameter gather
+            // at the start of the iteration (same volume as the ZeRO-1
+            // trailing gather, but never overlapped with the cooldown).
+            DpSyncStrategy::Zero3 => rs + ag,
+            DpSyncStrategy::OverlappedOptimizer { .. } => {
+                // The RS hides under the final backward.
+                (rs - cost.bwd_seconds).max(0.0) + ag
+            }
+        };
+        dp_sync_seconds = dp_sync_seconds.max(sync);
+        let shards = cfg.dp_sync.optimizer_shards(d);
+        optimizer_seconds = optimizer_seconds.max(
+            model.optimizer_seconds(stage_params[stage as usize] / u64::from(t) / u64::from(shards)),
+        );
+    }
+
+    Some(IterationEstimate {
+        seconds: compute_seconds + bubble_seconds + dp_sync_seconds + p2p_seconds
+            + optimizer_seconds,
+        compute_seconds,
+        bubble_seconds,
+        dp_sync_seconds,
+        p2p_seconds,
+        optimizer_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HolmesConfig;
+    use crate::planner::{plan_for, PlanRequest};
+    use holmes_engine::simulate_iteration;
+    use holmes_topology::{presets, NicType};
+
+    fn compare(topo: &Topology, pg: u8) -> (f64, f64) {
+        let (plan, engine_cfg) = plan_for(
+            topo,
+            &PlanRequest::parameter_group(pg),
+            &HolmesConfig::full(),
+            DpSyncStrategy::DistributedOptimizer,
+        )
+        .unwrap();
+        let job = PlanRequest::parameter_group(pg).job;
+        let est = estimate_iteration(topo, &plan, &job, &engine_cfg).unwrap();
+        let (report, _) = simulate_iteration(topo, &plan, &job, &engine_cfg).unwrap();
+        (est.seconds, report.total_seconds)
+    }
+
+    #[test]
+    fn estimator_within_25_percent_of_simulation() {
+        for nic in NicType::ALL {
+            let topo = presets::homogeneous(nic, 4);
+            let (est, sim) = compare(&topo, 1);
+            let rel = (est - sim).abs() / sim;
+            assert!(rel < 0.25, "{nic}: est {est:.2} vs sim {sim:.2} (rel {rel:.3})");
+        }
+        let hybrid = presets::hybrid_two_cluster(2);
+        let (est, sim) = compare(&hybrid, 1);
+        assert!(((est - sim).abs() / sim) < 0.25, "hybrid est {est} vs {sim}");
+    }
+
+    #[test]
+    fn estimator_preserves_environment_ordering() {
+        let mut values = Vec::new();
+        for nic in NicType::ALL {
+            let topo = presets::homogeneous(nic, 4);
+            values.push(compare(&topo, 1).0);
+        }
+        assert!(values[0] < values[1] && values[1] < values[2], "{values:?}");
+    }
+
+    #[test]
+    fn estimate_decomposition_sums() {
+        let topo = presets::homogeneous(NicType::InfiniBand, 4);
+        let (plan, engine_cfg) = plan_for(
+            &topo,
+            &PlanRequest::parameter_group(1),
+            &HolmesConfig::full(),
+            DpSyncStrategy::DistributedOptimizer,
+        )
+        .unwrap();
+        let job = PlanRequest::parameter_group(1).job;
+        let e = estimate_iteration(&topo, &plan, &job, &engine_cfg).unwrap();
+        let sum = e.compute_seconds + e.bubble_seconds + e.dp_sync_seconds + e.p2p_seconds
+            + e.optimizer_seconds;
+        assert!((e.seconds - sum).abs() < 1e-12);
+        assert!(e.compute_seconds > 0.0 && e.bubble_seconds > 0.0);
+    }
+
+    #[test]
+    fn indivisible_batch_estimates_none() {
+        let topo = presets::homogeneous(NicType::InfiniBand, 4);
+        let (plan, engine_cfg) = plan_for(
+            &topo,
+            &PlanRequest::parameter_group(1),
+            &HolmesConfig::full(),
+            DpSyncStrategy::DistributedOptimizer,
+        )
+        .unwrap();
+        let mut job = PlanRequest::parameter_group(1).job;
+        job.global_batch = 7;
+        assert!(estimate_iteration(&topo, &plan, &job, &engine_cfg).is_none());
+    }
+}

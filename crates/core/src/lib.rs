@@ -1,0 +1,67 @@
+//! # holmes
+//!
+//! The Holmes framework (ICPP 2024 reproduction): heterogeneous-NIC-aware
+//! scheduling of distributed LLM training, plus emulations of the
+//! mainstream frameworks the paper compares against, all running on the
+//! `holmes-netsim` simulated substrate.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use holmes::{run_framework, FrameworkKind};
+//! use holmes_topology::presets;
+//!
+//! // PG1 (3.6 B GPT) on two 2-node clusters: InfiniBand + RoCE, joined
+//! // only by Ethernet — the paper's "Hybird" environment.
+//! let topo = presets::hybrid_two_cluster(2);
+//! let result = run_framework(FrameworkKind::Holmes, &topo, 1).unwrap();
+//! println!(
+//!     "Holmes: {:.0} TFLOPS/GPU, {:.2} samples/s",
+//!     result.metrics.tflops_per_gpu, result.metrics.throughput_samples_per_sec
+//! );
+//! ```
+//!
+//! ## Components (paper §3)
+//!
+//! * **Cross-Cluster Pipeline Parallelism** — pipeline groups span cluster
+//!   boundaries so only activation traffic crosses slow Ethernet;
+//! * **Automatic NIC Selection** — data-parallel groups confined to
+//!   NIC-homogeneous device sets, restoring RDMA;
+//! * **Self-Adapting Pipeline Partition** — Eq. 2 layer allocation
+//!   proportional to per-stage effective speed (α = 1.05);
+//! * **Overlapped Distributed Optimizer** — bucketed reduce-scatter hidden
+//!   under the final backward.
+//!
+//! Each component is a flag in [`HolmesConfig`], enabling the paper's
+//! Table 5 ablation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autotune;
+pub mod calibration;
+mod config;
+pub mod estimate;
+mod framework;
+mod planner;
+mod report;
+pub mod reliability;
+mod runner;
+pub mod training;
+
+pub use config::HolmesConfig;
+pub use framework::FrameworkKind;
+pub use planner::{plan_for, PlanError, PlanRequest};
+pub use autotune::{autotune, AutotuneRequest, Candidate};
+pub use estimate::{estimate_iteration, IterationEstimate};
+pub use reliability::{CheckpointPlan, ReliabilityModel};
+pub use report::TableBuilder;
+pub use runner::{run_framework, run_holmes_with, run_scenario, RunError, RunResult, Scenario};
+pub use training::{simulate_training_run, TrainingRunConfig, TrainingRunReport};
+
+// Re-export the substrate crates so downstream users need one dependency.
+pub use holmes_engine as engine;
+pub use holmes_model as model;
+pub use holmes_netsim as netsim;
+pub use holmes_parallel as parallel;
+pub use holmes_topology as topology;

@@ -1,0 +1,234 @@
+//! The Holmes planner: topology + job + feature flags → parallel plan.
+
+use holmes_engine::{DpSyncStrategy, EngineConfig, ScheduleKind, TransportPolicy};
+use holmes_model::{ParameterGroup, TrainJob};
+use holmes_parallel::{
+    DegreeError, GroupLayout, HolmesScheduler, ParallelDegrees, ParallelPlan, PartitionStrategy,
+    Scheduler, SelfAdaptingPartition, SequentialScheduler, UniformPartition,
+};
+use holmes_topology::Topology;
+
+use crate::calibration;
+use crate::config::HolmesConfig;
+
+/// What to plan: a job plus the model-parallel degrees it requires.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanRequest {
+    /// Tensor parallel size `t`.
+    pub tensor_parallel: u32,
+    /// Pipeline parallel size `p`.
+    pub pipeline_parallel: u32,
+    /// The training workload.
+    pub job: TrainJob,
+}
+
+impl PlanRequest {
+    /// The request for one of Table 2's parameter groups.
+    pub fn parameter_group(id: u8) -> Self {
+        let pg = ParameterGroup::table2(id);
+        PlanRequest {
+            tensor_parallel: pg.tensor_parallel,
+            pipeline_parallel: pg.pipeline_parallel,
+            job: pg.job(),
+        }
+    }
+}
+
+/// Planning failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The degrees do not divide the topology's device count.
+    Degrees(DegreeError),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Degrees(e) => write!(f, "invalid parallel degrees: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Build the parallel plan and engine configuration for a request under a
+/// Holmes feature configuration.
+///
+/// `fallback_dp` is the gradient-sync strategy used when the overlapped
+/// optimizer flag is off: the Holmes ablation falls back to a blocking
+/// distributed optimizer, Megatron-LM emulation to plain DDP all-reduce.
+pub fn plan_for(
+    topo: &Topology,
+    req: &PlanRequest,
+    cfg: &HolmesConfig,
+    fallback_dp: DpSyncStrategy,
+) -> Result<(ParallelPlan, EngineConfig), PlanError> {
+    let degrees = ParallelDegrees::infer_data(
+        req.tensor_parallel,
+        req.pipeline_parallel,
+        topo.device_count(),
+    )
+    .map_err(PlanError::Degrees)?;
+    let layout = GroupLayout::new(degrees);
+
+    // 1. Device ordering (Cross-Cluster Pipeline Parallelism).
+    let assignment = if cfg.cross_cluster_pp {
+        HolmesScheduler.assign(topo, &layout)
+    } else {
+        SequentialScheduler.assign(topo, &layout)
+    };
+
+    // 2. Effective stage speeds — the slowest member (NIC × GPU) binds a
+    // stage. GPU-peak scaling extends the paper to mixed-accelerator
+    // fleets (see `calibration::device_speed`).
+    let stage_speeds: Vec<f64> = (0..degrees.pipeline)
+        .map(|stage| {
+            layout
+                .stage_ranks(stage)
+                .iter()
+                .map(|&l| {
+                    let dev = topo
+                        .device(assignment.device_of(l))
+                        .expect("device in topology");
+                    calibration::device_speed(dev.nic_type, dev.gpu.peak_tflops)
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+
+    // 3. Layer partition (Self-Adapting vs Uniform).
+    let stage_layers = if cfg.self_adapting_partition {
+        SelfAdaptingPartition { alpha: cfg.alpha }
+            .partition(req.job.config.num_layers, &stage_speeds)
+    } else {
+        UniformPartition.partition(req.job.config.num_layers, &stage_speeds)
+    };
+
+    let plan = ParallelPlan::new(layout, assignment, stage_layers, true);
+
+    // 4. Transport (Automatic NIC Selection) — without it, a job touching
+    // more than one cluster or NIC technology is demoted to TCP job-wide.
+    let transport = if cfg.auto_nic_selection || topo.is_homogeneous() {
+        TransportPolicy::Auto
+    } else {
+        TransportPolicy::ForceTcpInterNode
+    };
+
+    // 5. Gradient synchronization.
+    let dp_sync = if cfg.overlapped_optimizer {
+        DpSyncStrategy::OverlappedOptimizer {
+            buckets: cfg.buckets,
+        }
+    } else {
+        fallback_dp
+    };
+
+    Ok((
+        plan,
+        EngineConfig {
+            schedule: ScheduleKind::OneFOneB,
+            dp_sync,
+            transport,
+            recompute_activations: false,
+            enforce_memory: false,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holmes_topology::{presets, NicType};
+
+    #[test]
+    fn full_holmes_plan_on_hybrid() {
+        let topo = presets::hybrid_two_cluster(2);
+        let (plan, engine) = plan_for(
+            &topo,
+            &PlanRequest::parameter_group(1),
+            &HolmesConfig::full(),
+            DpSyncStrategy::DistributedOptimizer,
+        )
+        .unwrap();
+        // Self-adapting: IB stage (197) gets more layers than RoCE (160).
+        assert_eq!(plan.stage_layers, vec![17, 13]);
+        assert_eq!(engine.transport, TransportPolicy::Auto);
+        assert!(matches!(
+            engine.dp_sync,
+            DpSyncStrategy::OverlappedOptimizer { .. }
+        ));
+        // All DP groups NIC-homogeneous under the Holmes scheduler.
+        assert_eq!(plan.nic_report(&topo).ethernet_groups, 0);
+    }
+
+    #[test]
+    fn baseline_plan_demotes_to_tcp_on_heterogeneous() {
+        let topo = presets::hybrid_two_cluster(2);
+        let cfg = HolmesConfig {
+            auto_nic_selection: false,
+            cross_cluster_pp: false,
+            self_adapting_partition: false,
+            overlapped_optimizer: false,
+            ..HolmesConfig::default()
+        };
+        let (plan, engine) = plan_for(
+            &topo,
+            &PlanRequest::parameter_group(1),
+            &cfg,
+            DpSyncStrategy::AllReduce,
+        )
+        .unwrap();
+        assert_eq!(engine.transport, TransportPolicy::ForceTcpInterNode);
+        assert_eq!(engine.dp_sync, DpSyncStrategy::AllReduce);
+        assert_eq!(plan.stage_layers, vec![15, 15]);
+    }
+
+    #[test]
+    fn baseline_keeps_rdma_in_homogeneous_cluster() {
+        let topo = presets::homogeneous(NicType::InfiniBand, 4);
+        let cfg = HolmesConfig {
+            auto_nic_selection: false,
+            ..HolmesConfig::default()
+        };
+        let (_, engine) = plan_for(
+            &topo,
+            &PlanRequest::parameter_group(1),
+            &cfg,
+            DpSyncStrategy::AllReduce,
+        )
+        .unwrap();
+        assert_eq!(engine.transport, TransportPolicy::Auto);
+    }
+
+    #[test]
+    fn three_cluster_plan_gets_three_stage_speeds() {
+        let topo = presets::table4_2r_2ib_2ib();
+        let (plan, _) = plan_for(
+            &topo,
+            &PlanRequest::parameter_group(5),
+            &HolmesConfig::full(),
+            DpSyncStrategy::DistributedOptimizer,
+        )
+        .unwrap();
+        assert_eq!(plan.stage_layers.len(), 3);
+        assert_eq!(plan.total_layers(), 36);
+        // Holmes orders IB clusters first: stage 0/1 (IB) ≥ stage 2 (RoCE).
+        assert!(plan.stage_layers[0] >= plan.stage_layers[2]);
+    }
+
+    #[test]
+    fn impossible_degrees_are_rejected() {
+        let topo = presets::homogeneous(NicType::InfiniBand, 3); // 24 GPUs
+        let mut req = PlanRequest::parameter_group(1);
+        req.pipeline_parallel = 5; // 24 % 5 != 0
+        assert!(matches!(
+            plan_for(
+                &topo,
+                &req,
+                &HolmesConfig::full(),
+                DpSyncStrategy::AllReduce
+            ),
+            Err(PlanError::Degrees(_))
+        ));
+    }
+}

@@ -1,0 +1,196 @@
+//! Fault handling and checkpointing — the paper's declared future work
+//! ("In the future, we need to explore scheduling methods for diverse
+//! environments and figure out how to handle faults", §1).
+//!
+//! This module layers the classical checkpoint/restart analysis on top of
+//! the simulated iteration time:
+//!
+//! * a fleet-level failure model (per-node MTBF composes into a job-level
+//!   failure rate — a 96-GPU job fails 12× as often as one node);
+//! * checkpoint cost derived from the actual model state size and the
+//!   fleet's storage bandwidth;
+//! * the Young/Daly optimal checkpoint interval `√(2·δ·MTBF)`;
+//! * **goodput**: the fraction of wall-clock that survives failures and
+//!   checkpoint overhead, turning per-iteration throughput into realistic
+//!   end-to-end training throughput.
+
+use holmes_model::{GptConfig, BYTES_PER_PARAM_FULL};
+use holmes_topology::Topology;
+
+/// Fleet reliability parameters.
+///
+/// ```
+/// use holmes::ReliabilityModel;
+/// use holmes_model::ParameterGroup;
+/// use holmes_topology::presets;
+///
+/// let plan = ReliabilityModel::default().plan(
+///     &presets::hybrid_split(4, 4),
+///     &ParameterGroup::table2(3).config,
+/// );
+/// assert!(plan.goodput > 0.9 && plan.goodput < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ReliabilityModel {
+    /// Mean time between failures of a single node, in hours. Large-scale
+    /// LLM reports put this around 500–2000 h per node.
+    pub node_mtbf_hours: f64,
+    /// Aggregate checkpoint-storage write bandwidth in bytes/second.
+    pub storage_bytes_per_sec: f64,
+    /// Wall-clock lost per failure before work resumes (detection,
+    /// rescheduling, NCCL re-init), in seconds.
+    pub restart_overhead_seconds: f64,
+}
+
+impl Default for ReliabilityModel {
+    fn default() -> Self {
+        ReliabilityModel {
+            node_mtbf_hours: 1000.0,
+            storage_bytes_per_sec: 20e9,
+            restart_overhead_seconds: 300.0,
+        }
+    }
+}
+
+/// Derived checkpoint/restart plan for a job on a fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointPlan {
+    /// Job-level mean time between failures, seconds.
+    pub job_mtbf_seconds: f64,
+    /// Seconds to write one full checkpoint.
+    pub checkpoint_seconds: f64,
+    /// Young/Daly optimal interval between checkpoints, seconds.
+    pub interval_seconds: f64,
+    /// Expected fraction of wall-clock doing useful training (goodput).
+    pub goodput: f64,
+}
+
+impl ReliabilityModel {
+    /// Job-level MTBF: any of the fleet's nodes failing kills the
+    /// synchronous job, so rates add.
+    pub fn job_mtbf_seconds(&self, topo: &Topology) -> f64 {
+        assert!(self.node_mtbf_hours > 0.0, "MTBF must be positive");
+        self.node_mtbf_hours * 3600.0 / f64::from(topo.node_count().max(1))
+    }
+
+    /// Full checkpoint size: parameters + optimizer state (the 16 bytes
+    /// per parameter of mixed-precision Adam).
+    pub fn checkpoint_bytes(&self, cfg: &GptConfig) -> u64 {
+        cfg.parameter_count() * BYTES_PER_PARAM_FULL
+    }
+
+    /// Seconds to write one checkpoint at the storage bandwidth.
+    pub fn checkpoint_seconds(&self, cfg: &GptConfig) -> f64 {
+        assert!(self.storage_bytes_per_sec > 0.0, "storage bandwidth must be positive");
+        self.checkpoint_bytes(cfg) as f64 / self.storage_bytes_per_sec
+    }
+
+    /// Compute the checkpoint plan for a model on a fleet.
+    ///
+    /// Goodput uses the first-order expansion of the checkpoint/restart
+    /// overhead: a `δ`-second checkpoint every `τ` seconds costs `δ/τ`;
+    /// each failure wastes on average `τ/2` of work plus the restart
+    /// overhead, at rate `1/MTBF`.
+    pub fn plan(&self, topo: &Topology, cfg: &GptConfig) -> CheckpointPlan {
+        let mtbf = self.job_mtbf_seconds(topo);
+        let delta = self.checkpoint_seconds(cfg);
+        // Young/Daly; clamp so τ ≥ δ (checkpointing cannot exceed work).
+        let interval = (2.0 * delta * mtbf).sqrt().max(delta);
+        let checkpoint_overhead = delta / interval;
+        let failure_overhead = (interval / 2.0 + self.restart_overhead_seconds) / mtbf;
+        let goodput = (1.0 - checkpoint_overhead - failure_overhead).clamp(0.0, 1.0);
+        CheckpointPlan {
+            job_mtbf_seconds: mtbf,
+            checkpoint_seconds: delta,
+            interval_seconds: interval,
+            goodput,
+        }
+    }
+}
+
+impl CheckpointPlan {
+    /// Effective samples/second after reliability overheads.
+    pub fn effective_throughput(&self, raw_samples_per_sec: f64) -> f64 {
+        raw_samples_per_sec * self.goodput
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holmes_model::ParameterGroup;
+    use holmes_topology::{presets, NicType};
+
+    #[test]
+    fn job_mtbf_shrinks_with_fleet_size() {
+        let model = ReliabilityModel::default();
+        let small = model.job_mtbf_seconds(&presets::homogeneous(NicType::InfiniBand, 4));
+        let large = model.job_mtbf_seconds(&presets::homogeneous(NicType::InfiniBand, 12));
+        assert!((small / large - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checkpoint_size_matches_mixed_precision_adam() {
+        let model = ReliabilityModel::default();
+        let cfg = ParameterGroup::table2(1).config; // 3.6 B
+        let bytes = model.checkpoint_bytes(&cfg);
+        // 3.6 B × 16 B ≈ 58 GB.
+        assert!(bytes > 55_000_000_000 && bytes < 62_000_000_000, "{bytes}");
+        // ≈ 2.9 s at 20 GB/s.
+        let secs = model.checkpoint_seconds(&cfg);
+        assert!(secs > 2.0 && secs < 4.0, "{secs}");
+    }
+
+    #[test]
+    fn young_daly_interval_and_goodput_are_sane() {
+        let model = ReliabilityModel::default();
+        let topo = presets::homogeneous(NicType::InfiniBand, 4);
+        let plan = model.plan(&topo, &ParameterGroup::table2(3).config);
+        assert!(plan.interval_seconds >= plan.checkpoint_seconds);
+        // 4-node fleet at 1000 h/node MTBF: failures are rare; goodput
+        // must be high but below 1.
+        assert!(plan.goodput > 0.95 && plan.goodput < 1.0, "{}", plan.goodput);
+        // τ = √(2·δ·MTBF) exactly, when above the δ floor.
+        let expect = (2.0 * plan.checkpoint_seconds * plan.job_mtbf_seconds).sqrt();
+        assert!((plan.interval_seconds - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_models_and_fleets_lower_goodput() {
+        let model = ReliabilityModel::default();
+        let small = model
+            .plan(
+                &presets::homogeneous(NicType::InfiniBand, 4),
+                &ParameterGroup::table2(1).config,
+            )
+            .goodput;
+        let large = model
+            .plan(
+                &presets::hybrid_split(6, 6),
+                &ParameterGroup::table2(7).config,
+            )
+            .goodput;
+        assert!(large < small, "large-fleet goodput {large} vs {small}");
+    }
+
+    #[test]
+    fn flaky_fleet_degrades_goodput_sharply() {
+        let flaky = ReliabilityModel {
+            node_mtbf_hours: 24.0, // a node dies daily
+            ..ReliabilityModel::default()
+        };
+        let topo = presets::hybrid_split(6, 6);
+        let plan = flaky.plan(&topo, &ParameterGroup::table2(7).config);
+        assert!(plan.goodput < 0.9, "{}", plan.goodput);
+        assert!(plan.goodput > 0.0);
+    }
+
+    #[test]
+    fn effective_throughput_scales_by_goodput() {
+        let model = ReliabilityModel::default();
+        let topo = presets::homogeneous(NicType::InfiniBand, 4);
+        let plan = model.plan(&topo, &ParameterGroup::table2(1).config);
+        let eff = plan.effective_throughput(100.0);
+        assert!((eff - 100.0 * plan.goodput).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! Paper-style table rendering for the benchmark harness.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width table builder producing aligned plain-text tables
+/// like the paper's, with an optional `paper vs measured` convention.
+#[derive(Debug, Clone, Default)]
+pub struct TableBuilder {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableBuilder {
+    /// Start a table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        TableBuilder {
+            title: title.into(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set the column headers.
+    pub fn header<I, S>(mut self, cols: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append a row.
+    pub fn row<I, S>(&mut self, cols: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cols.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// A `"paper → measured"` cell.
+    pub fn paper_vs(paper: f64, measured: f64) -> String {
+        format!("{paper:.1} → {measured:.1}")
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "## {}", self.title);
+        }
+        let fmt_row = |row: &[String]| {
+            let mut line = String::from("|");
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                let pad = width - cell.chars().count();
+                let _ = write!(line, " {}{} |", cell, " ".repeat(pad));
+            }
+            line
+        };
+        if !self.header.is_empty() {
+            let _ = writeln!(out, "{}", fmt_row(&self.header));
+            let mut sep = String::from("|");
+            for width in &widths {
+                let _ = write!(sep, "{}|", "-".repeat(width + 2));
+            }
+            let _ = writeln!(out, "{sep}");
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TableBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = TableBuilder::new("Demo").header(["NIC", "TFLOPS"]);
+        t.row(["InfiniBand", "197"]);
+        t.row(["RoCE", "160"]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| NIC        | TFLOPS |"));
+        assert!(s.contains("| RoCE       | 160    |"));
+    }
+
+    #[test]
+    fn paper_vs_format() {
+        assert_eq!(TableBuilder::paper_vs(197.0, 203.4), "197.0 → 203.4");
+    }
+
+    #[test]
+    fn empty_table_renders_title_only() {
+        let t = TableBuilder::new("Empty");
+        assert_eq!(t.render(), "## Empty\n");
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = TableBuilder::new("").header(["a", "b", "c"]);
+        t.row(["1"]);
+        let s = t.render();
+        assert!(s.contains("| 1 |   |   |"));
+    }
+}

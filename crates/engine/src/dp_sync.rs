@@ -1,0 +1,179 @@
+//! Data-parallel gradient-synchronization strategies.
+//!
+//! Three strategies, matching the frameworks the paper compares:
+//!
+//! * [`DpSyncStrategy::AllReduce`] — classic DDP: one blocking ring
+//!   all-reduce of the full gradient buffer after the last backward, then
+//!   a full (unsharded) optimizer step. Megatron-LM's legacy path.
+//! * [`DpSyncStrategy::DistributedOptimizer`] — ZeRO-1-style: blocking
+//!   reduce-scatter of gradients, optimizer step on the 1/d shard, then a
+//!   blocking all-gather of updated 16-bit parameters.
+//! * [`DpSyncStrategy::OverlappedOptimizer`] — the paper's *Overlapped
+//!   Distributed Optimizer* (§3.2, from Megatron-LLaMA): gradients are
+//!   split into buckets; the reduce-scatter of bucket `k` launches as soon
+//!   as the corresponding slice of the final backward completes, hiding
+//!   communication under the remaining backward compute. The sharded step
+//!   and bucketed all-gather follow.
+
+use crate::executor::CollKind;
+
+/// Strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DpSyncStrategy {
+    /// Blocking full-buffer ring all-reduce + unsharded optimizer step.
+    AllReduce,
+    /// Blocking reduce-scatter → sharded step → blocking all-gather.
+    DistributedOptimizer,
+    /// Bucketed reduce-scatter overlapped with the final backward →
+    /// sharded step → bucketed all-gather.
+    OverlappedOptimizer {
+        /// Number of gradient buckets (Megatron-LLaMA defaults to a
+        /// handful; we default to 8 via [`DpSyncStrategy::overlapped`]).
+        buckets: u32,
+    },
+    /// DeepSpeed ZeRO-3-style weight sharding, in its *best-case*
+    /// configuration: the 16-bit parameters are gathered once at the start
+    /// of the iteration (blocking all-gather) and persist across all
+    /// micro-batches (DeepSpeed's persistence threshold covering every
+    /// parameter), gradients reduce-scatter at the end, optimizer fully
+    /// sharded. Real ZeRO-3 without persistence re-gathers per micro-batch
+    /// and is strictly slower than this model.
+    Zero3,
+}
+
+impl DpSyncStrategy {
+    /// The overlapped strategy with the default bucket count.
+    pub fn overlapped() -> Self {
+        DpSyncStrategy::OverlappedOptimizer { buckets: 8 }
+    }
+
+    /// Pre-optimizer collectives per data-parallel group, as
+    /// `(kind, fraction_of_gradient_bytes)` pairs.
+    pub fn pre_optimizer_collectives(self) -> Vec<(CollKind, f64)> {
+        match self {
+            DpSyncStrategy::AllReduce => vec![(CollKind::AllReduce, 1.0)],
+            DpSyncStrategy::DistributedOptimizer | DpSyncStrategy::Zero3 => {
+                vec![(CollKind::ReduceScatter, 1.0)]
+            }
+            DpSyncStrategy::OverlappedOptimizer { buckets } => {
+                let b = buckets.max(1);
+                (0..b)
+                    .map(|_| (CollKind::ReduceScatter, 1.0 / f64::from(b)))
+                    .collect()
+            }
+        }
+    }
+
+    /// Post-optimizer collectives per data-parallel group (parameter
+    /// all-gather), as `(kind, fraction_of_param_bytes)` pairs.
+    pub fn post_optimizer_collectives(self) -> Vec<(CollKind, f64)> {
+        match self {
+            // ZeRO-3 re-gathers at the *next* iteration's start instead.
+            DpSyncStrategy::AllReduce | DpSyncStrategy::Zero3 => vec![],
+            DpSyncStrategy::DistributedOptimizer => vec![(CollKind::AllGather, 1.0)],
+            DpSyncStrategy::OverlappedOptimizer { buckets } => {
+                let b = buckets.max(1);
+                (0..b)
+                    .map(|_| (CollKind::AllGather, 1.0 / f64::from(b)))
+                    .collect()
+            }
+        }
+    }
+
+    /// Whether the pre-optimizer collectives overlap with the final
+    /// backward pass.
+    pub fn overlaps_backward(self) -> bool {
+        matches!(self, DpSyncStrategy::OverlappedOptimizer { .. })
+    }
+
+    /// How many ways the optimizer state (and step cost) shards across the
+    /// data-parallel group of size `d`.
+    pub fn optimizer_shards(self, d: u32) -> u32 {
+        match self {
+            DpSyncStrategy::AllReduce => 1,
+            _ => d.max(1),
+        }
+    }
+
+    /// Whether the 16-bit parameters must be all-gathered at the start of
+    /// every iteration (ZeRO-3's weight sharding).
+    pub fn gathers_params_at_start(self) -> bool {
+        matches!(self, DpSyncStrategy::Zero3)
+    }
+
+    /// Name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DpSyncStrategy::AllReduce => "allreduce",
+            DpSyncStrategy::DistributedOptimizer => "distributed-optimizer",
+            DpSyncStrategy::OverlappedOptimizer { .. } => "overlapped-optimizer",
+            DpSyncStrategy::Zero3 => "zero-3",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_shape() {
+        let s = DpSyncStrategy::AllReduce;
+        assert_eq!(s.pre_optimizer_collectives(), vec![(CollKind::AllReduce, 1.0)]);
+        assert!(s.post_optimizer_collectives().is_empty());
+        assert!(!s.overlaps_backward());
+        assert_eq!(s.optimizer_shards(16), 1);
+    }
+
+    #[test]
+    fn distributed_optimizer_shape() {
+        let s = DpSyncStrategy::DistributedOptimizer;
+        assert_eq!(
+            s.pre_optimizer_collectives(),
+            vec![(CollKind::ReduceScatter, 1.0)]
+        );
+        assert_eq!(
+            s.post_optimizer_collectives(),
+            vec![(CollKind::AllGather, 1.0)]
+        );
+        assert_eq!(s.optimizer_shards(16), 16);
+    }
+
+    #[test]
+    fn overlapped_buckets_cover_full_buffer() {
+        let s = DpSyncStrategy::OverlappedOptimizer { buckets: 8 };
+        let pre = s.pre_optimizer_collectives();
+        assert_eq!(pre.len(), 8);
+        let total: f64 = pre.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(s.overlaps_backward());
+        let post_total: f64 = s.post_optimizer_collectives().iter().map(|(_, f)| f).sum();
+        assert!((post_total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_buckets_clamp_to_one() {
+        let s = DpSyncStrategy::OverlappedOptimizer { buckets: 0 };
+        assert_eq!(s.pre_optimizer_collectives().len(), 1);
+    }
+
+    #[test]
+    fn zero3_shape() {
+        let s = DpSyncStrategy::Zero3;
+        assert_eq!(
+            s.pre_optimizer_collectives(),
+            vec![(CollKind::ReduceScatter, 1.0)]
+        );
+        assert!(s.post_optimizer_collectives().is_empty());
+        assert!(s.gathers_params_at_start());
+        assert!(!s.overlaps_backward());
+        assert_eq!(s.optimizer_shards(8), 8);
+        assert!(!DpSyncStrategy::DistributedOptimizer.gathers_params_at_start());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(DpSyncStrategy::AllReduce.name(), "allreduce");
+        assert_eq!(DpSyncStrategy::overlapped().name(), "overlapped-optimizer");
+    }
+}

@@ -1,0 +1,1140 @@
+//! Event-driven execution of device programs over the network simulator.
+
+use std::collections::HashMap;
+
+use holmes_netsim::{Completion, Fabric, FlowSpec, NetSim, SimDuration};
+use holmes_topology::{Rank, Topology};
+
+use crate::ops::{ComputeLabel, MsgKey, Op};
+use crate::timeline::{Span, SpanKind, Timeline};
+
+/// Collective algorithm kinds executed flow-by-flow by the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollKind {
+    /// Ring all-reduce: `2(n−1)` rounds of `V/n` chunks. Bandwidth-optimal.
+    AllReduce,
+    /// Binary-tree all-reduce: `2·⌈log₂n⌉` rounds of full-buffer hops.
+    /// Latency-optimal — NCCL's choice for small messages.
+    TreeAllReduce,
+    /// Ring reduce-scatter: `n−1` rounds of `V/n` chunks.
+    ReduceScatter,
+    /// Ring all-gather: `n−1` rounds of `V/n` chunks.
+    AllGather,
+    /// Pipelined ring broadcast: `n−1` rounds of `V/(n−1)` chunks.
+    Broadcast,
+}
+
+impl CollKind {
+    fn rounds(self, n: u32) -> u32 {
+        match self {
+            CollKind::AllReduce => 2 * (n - 1),
+            CollKind::TreeAllReduce => 2 * tree_depth(n),
+            CollKind::ReduceScatter | CollKind::AllGather | CollKind::Broadcast => n - 1,
+        }
+    }
+
+    fn chunk_bytes(self, n: u32, bytes: u64) -> u64 {
+        match self {
+            CollKind::Broadcast => bytes / u64::from((n - 1).max(1)),
+            CollKind::TreeAllReduce => bytes,
+            _ => bytes / u64::from(n),
+        }
+    }
+}
+
+/// Depth of a binary tree over `n` ranks (root at depth 0).
+fn tree_depth(n: u32) -> u32 {
+    debug_assert!(n >= 2);
+    u32::BITS - (n - 1).leading_zeros()
+}
+
+/// Sender→receiver pairs for round `r` of a binary-tree all-reduce:
+/// reduce rounds climb from the deepest level to the root, broadcast
+/// rounds descend back.
+fn tree_round_pairs(devices: &[Rank], round: u32) -> Vec<(Rank, Rank)> {
+    let n = devices.len() as u32;
+    let depth = tree_depth(n);
+    let level_of = |i: u32| (i + 1).ilog2();
+    let (level, upward) = if round < depth {
+        (depth - round, true) // reduce: deepest level first
+    } else {
+        (round - depth + 1, false) // broadcast: shallow levels first
+    };
+    (1..n)
+        .filter(|&i| level_of(i) == level)
+        .map(|i| {
+            let parent = (i - 1) / 2;
+            if upward {
+                (devices[i as usize], devices[parent as usize])
+            } else {
+                (devices[parent as usize], devices[i as usize])
+            }
+        })
+        .collect()
+}
+
+/// A collective instance shared by a device group.
+#[derive(Debug, Clone)]
+pub struct CollectiveSpec {
+    /// Algorithm.
+    pub kind: CollKind,
+    /// Member devices in ring order.
+    pub devices: Vec<Rank>,
+    /// Buffer size in bytes (the full gradient/parameter buffer).
+    pub bytes: u64,
+    /// Concurrent channels (NCCL-style): the buffer splits `channels`
+    /// ways and each slice runs its own ring/tree simultaneously, letting
+    /// one collective drive several NIC ports. `0` is treated as `1`.
+    pub channels: u32,
+}
+
+impl CollectiveSpec {
+    /// A single-channel collective (the common case).
+    pub fn new(kind: CollKind, devices: Vec<Rank>, bytes: u64) -> Self {
+        CollectiveSpec {
+            kind,
+            devices,
+            bytes,
+            channels: 1,
+        }
+    }
+}
+
+/// Which transport the communicator layer may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportPolicy {
+    /// Holmes's Automatic NIC Selection: every pair uses the best
+    /// transport the hardware allows (RDMA within compatible clusters).
+    #[default]
+    Auto,
+    /// NIC-oblivious baseline: stock NCCL picks one transport valid for
+    /// every pair in the job, so heterogeneous jobs fall back to TCP for
+    /// all inter-node traffic.
+    ForceTcpInterNode,
+}
+
+/// A complete, runnable iteration: one program per device plus the shared
+/// collective table.
+#[derive(Debug, Clone)]
+pub struct ExecutionSpec {
+    /// `(device, program)` pairs; devices may appear once each.
+    pub programs: Vec<(Rank, Vec<Op>)>,
+    /// Collectives referenced by `CollStart`/`CollWait` ids.
+    pub collectives: Vec<CollectiveSpec>,
+    /// Transport selection policy.
+    pub transport: TransportPolicy,
+}
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The simulation drained with devices still blocked — a deadlock in
+    /// the op programs (e.g. a recv whose send never posts).
+    Deadlock {
+        /// Human-readable description of each stuck device.
+        stuck: Vec<String>,
+    },
+    /// A collective never launched because some member never arrived.
+    CollectiveIncomplete {
+        /// Collective id.
+        id: u32,
+        /// Members arrived vs expected.
+        arrived: u32,
+        /// Expected member count.
+        expected: u32,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Deadlock { stuck } => {
+                write!(f, "deadlock; stuck devices: {}", stuck.join("; "))
+            }
+            ExecError::CollectiveIncomplete {
+                id,
+                arrived,
+                expected,
+            } => write!(
+                f,
+                "collective {id} incomplete: {arrived}/{expected} members arrived"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Traffic through one node's uplinks during an iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NodeLinkUsage {
+    /// Bytes through the node's RDMA uplink + downlink.
+    pub rdma_bytes: f64,
+    /// Bytes through the node's Ethernet uplink + downlink.
+    pub eth_bytes: f64,
+    /// Mean utilization of the RDMA uplink over the iteration.
+    pub rdma_utilization: f64,
+    /// Mean utilization of the Ethernet uplink over the iteration.
+    pub eth_utilization: f64,
+}
+
+/// Wall-clock decomposition of one executed iteration.
+#[derive(Debug, Clone, Default)]
+pub struct IterationReport {
+    /// End-to-end iteration seconds (last device finish).
+    pub total_seconds: f64,
+    /// Per-device finish times, indexed as `programs` was.
+    pub device_finish_seconds: Vec<f64>,
+    /// Busy compute seconds per device (forward + backward + optimizer).
+    pub device_compute_seconds: Vec<f64>,
+    /// Max over devices of forward compute seconds.
+    pub forward_seconds_max: f64,
+    /// Max over devices of backward compute seconds.
+    pub backward_seconds_max: f64,
+    /// Max over devices of optimizer compute seconds.
+    pub optimizer_seconds_max: f64,
+    /// Wall time (launch → done) of each collective, by kind.
+    pub collective_wall_seconds: HashMap<CollKind, Vec<f64>>,
+    /// (launch, done) spans of each collective, by kind — bucketed
+    /// collectives overlap, so operation-level timing (e.g. Figure 3's
+    /// grads-reduce-scatter cost) uses the *union* of spans, not the sum.
+    pub collective_spans: HashMap<CollKind, Vec<(f64, f64)>>,
+    /// Simulator events processed (diagnostic).
+    pub events: u64,
+    /// Flows completed (diagnostic).
+    pub flows: u64,
+    /// Full per-device span timeline (compute, pipeline waits, collective
+    /// waits) — see [`Timeline::to_chrome_trace`].
+    pub timeline: Timeline,
+    /// Per-node uplink traffic and utilization, in global node order.
+    pub node_link_usage: Vec<NodeLinkUsage>,
+}
+
+impl IterationReport {
+    /// Figure 3's metric: wall-clock time the iteration spends with at
+    /// least one gradient reduce-scatter in flight (union of spans — the
+    /// bucketed collectives of the overlapped optimizer run concurrently).
+    pub fn reduce_scatter_seconds(&self) -> f64 {
+        self.collective_kind_seconds(CollKind::ReduceScatter)
+    }
+
+    /// Union-of-spans seconds for a collective kind.
+    pub fn collective_kind_seconds(&self, kind: CollKind) -> f64 {
+        let mut spans = match self.collective_spans.get(&kind) {
+            None => return 0.0,
+            Some(spans) => spans.clone(),
+        };
+        spans.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mut total = 0.0;
+        let mut current: Option<(f64, f64)> = None;
+        for (start, end) in spans {
+            match current {
+                Some((cs, ce)) if start <= ce => current = Some((cs, ce.max(end))),
+                Some((cs, ce)) => {
+                    total += ce - cs;
+                    current = Some((start, end));
+                    let _ = cs;
+                }
+                None => current = Some((start, end)),
+            }
+        }
+        if let Some((cs, ce)) = current {
+            total += ce - cs;
+        }
+        total
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DevStatus {
+    Runnable,
+    Computing,
+    WaitingMsg(MsgKey),
+    WaitingColl(u32),
+    Done,
+}
+
+#[derive(Debug)]
+struct DevState {
+    rank: Rank,
+    pc: usize,
+    status: DevStatus,
+    finish: f64,
+    compute_seconds: f64,
+    forward_seconds: f64,
+    backward_seconds: f64,
+    optimizer_seconds: f64,
+    /// Start time of the in-progress wait span, if blocked.
+    wait_since: f64,
+}
+
+#[derive(Debug)]
+struct CollState {
+    kind: CollKind,
+    devices: Vec<Rank>,
+    chunk: u64,
+    rounds_total: u32,
+    /// Per-channel current round.
+    round: Vec<u32>,
+    arrived: u32,
+    /// Per-channel outstanding flows of the current round.
+    outstanding: Vec<u32>,
+    /// Channels that finished all rounds.
+    channels_done: u32,
+    done: bool,
+    launch_time: f64,
+    wall: f64,
+    waiters: Vec<usize>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Token {
+    ComputeDone { dev: usize },
+    MsgArrived { msg: usize },
+    CollFlow { coll: usize, channel: u32 },
+}
+
+struct Executor<'t> {
+    topo: &'t Topology,
+    sim: NetSim,
+    fabric: Fabric,
+    transport: TransportPolicy,
+    devs: Vec<DevState>,
+    programs: Vec<Vec<Op>>,
+    colls: Vec<CollState>,
+    tokens: Vec<Token>,
+    /// Msg bookkeeping: key → index into `msg_arrived`/`msg_waiter`.
+    msg_index: HashMap<MsgKey, usize>,
+    msg_arrived: Vec<bool>,
+    msg_waiter: Vec<Option<usize>>,
+    dev_of_rank: HashMap<Rank, usize>,
+    timeline: Timeline,
+}
+
+/// Execute a spec on a topology. See [`IterationReport`].
+///
+/// In debug builds the spec is statically validated first
+/// ([`crate::validate::validate_spec`]); a structurally broken spec
+/// panics with the defect list instead of deadlocking mid-simulation.
+pub fn execute(topo: &Topology, spec: ExecutionSpec) -> Result<IterationReport, ExecError> {
+    #[cfg(debug_assertions)]
+    {
+        let defects = crate::validate::validate_spec(&spec);
+        // Unmatched receives surface as dynamic deadlocks (some tests rely
+        // on that); only hard structural defects panic here.
+        let hard: Vec<_> = defects
+            .iter()
+            .filter(|d| {
+                !matches!(
+                    d,
+                    crate::validate::SpecError::UnmatchedRecv(_)
+                        | crate::validate::SpecError::UnmatchedSend(_)
+                )
+            })
+            .collect();
+        assert!(hard.is_empty(), "structurally invalid spec: {hard:?}");
+    }
+    let mut sim = NetSim::new();
+    let fabric = Fabric::build(topo, &mut sim);
+    let n = spec.programs.len();
+    let mut devs = Vec::with_capacity(n);
+    let mut programs = Vec::with_capacity(n);
+    let mut dev_of_rank = HashMap::with_capacity(n);
+    for (idx, (rank, program)) in spec.programs.into_iter().enumerate() {
+        assert!(
+            dev_of_rank.insert(rank, idx).is_none(),
+            "device {rank} has two programs"
+        );
+        devs.push(DevState {
+            rank,
+            pc: 0,
+            status: DevStatus::Runnable,
+            finish: 0.0,
+            compute_seconds: 0.0,
+            forward_seconds: 0.0,
+            backward_seconds: 0.0,
+            optimizer_seconds: 0.0,
+            wait_since: 0.0,
+        });
+        programs.push(program);
+    }
+    let colls = spec
+        .collectives
+        .into_iter()
+        .map(|c| {
+            let n = c.devices.len() as u32;
+            assert!(n >= 1, "collective needs at least one member");
+            let channels = c.channels.max(1);
+            let (rounds_total, chunk) = if n == 1 {
+                (0, 0)
+            } else {
+                (
+                    c.kind.rounds(n),
+                    c.kind.chunk_bytes(n, c.bytes / u64::from(channels)),
+                )
+            };
+            CollState {
+                kind: c.kind,
+                devices: c.devices,
+                chunk,
+                rounds_total,
+                round: vec![0; channels as usize],
+                arrived: 0,
+                outstanding: vec![0; channels as usize],
+                channels_done: 0,
+                done: false,
+                launch_time: 0.0,
+                wall: 0.0,
+                waiters: Vec::new(),
+            }
+        })
+        .collect();
+
+    let mut exec = Executor {
+        topo,
+        sim,
+        fabric,
+        transport: spec.transport,
+        devs,
+        programs,
+        colls,
+        tokens: Vec::new(),
+        msg_index: HashMap::new(),
+        msg_arrived: Vec::new(),
+        msg_waiter: Vec::new(),
+        dev_of_rank,
+        timeline: Timeline::default(),
+    };
+    exec.run()
+}
+
+impl<'t> Executor<'t> {
+    fn run(&mut self) -> Result<IterationReport, ExecError> {
+        for dev in 0..self.devs.len() {
+            self.advance(dev);
+        }
+        while let Some(completion) = self.sim.next() {
+            let token = match completion {
+                Completion::Flow { token, .. } | Completion::Timer { token } => token,
+            };
+            match self.tokens[token as usize] {
+                Token::ComputeDone { dev } => {
+                    self.devs[dev].pc += 1;
+                    self.devs[dev].status = DevStatus::Runnable;
+                    self.advance(dev);
+                }
+                Token::MsgArrived { msg } => {
+                    self.msg_arrived[msg] = true;
+                    if let Some(dev) = self.msg_waiter[msg].take() {
+                        self.end_wait_span(dev, SpanKind::RecvWait);
+                        self.devs[dev].pc += 1;
+                        self.devs[dev].status = DevStatus::Runnable;
+                        self.advance(dev);
+                    }
+                }
+                Token::CollFlow { coll, channel } => {
+                    self.coll_flow_done(coll, channel);
+                }
+            }
+        }
+        self.finish_report()
+    }
+
+    fn token(&mut self, t: Token) -> u64 {
+        self.tokens.push(t);
+        (self.tokens.len() - 1) as u64
+    }
+
+    fn msg_slot(&mut self, key: MsgKey) -> usize {
+        if let Some(&i) = self.msg_index.get(&key) {
+            return i;
+        }
+        let i = self.msg_arrived.len();
+        self.msg_arrived.push(false);
+        self.msg_waiter.push(None);
+        self.msg_index.insert(key, i);
+        i
+    }
+
+    fn route_flow(&mut self, from: Rank, to: Rank, bytes: u64, token: u64) {
+        let route = match self.transport {
+            TransportPolicy::Auto => self.fabric.route(self.topo, from, to),
+            TransportPolicy::ForceTcpInterNode => {
+                self.fabric.route_forced_tcp(self.topo, from, to)
+            }
+        };
+        self.sim.start_flow(FlowSpec {
+            path: route.path,
+            bytes,
+            latency: route.latency,
+            rate_cap: route.rate_cap,
+            token,
+        });
+    }
+
+    /// Execute ops for `dev` until it blocks or finishes.
+    fn advance(&mut self, dev: usize) {
+        loop {
+            let pc = self.devs[dev].pc;
+            if pc >= self.programs[dev].len() {
+                self.devs[dev].status = DevStatus::Done;
+                self.devs[dev].finish = self.sim.now().as_secs_f64();
+                return;
+            }
+            let op = self.programs[dev][pc];
+            match op {
+                Op::Compute { label, seconds } => {
+                    let start = self.sim.now().as_secs_f64();
+                    self.timeline.spans.push(Span {
+                        device: self.devs[dev].rank,
+                        kind: SpanKind::Compute(label),
+                        start,
+                        end: start + seconds,
+                    });
+                    let d = &mut self.devs[dev];
+                    d.compute_seconds += seconds;
+                    match label {
+                        ComputeLabel::Forward { .. } => d.forward_seconds += seconds,
+                        ComputeLabel::Optimizer => d.optimizer_seconds += seconds,
+                        l if l.is_backward() => d.backward_seconds += seconds,
+                        _ => {}
+                    }
+                    d.status = DevStatus::Computing;
+                    let token = self.token(Token::ComputeDone { dev });
+                    self.sim
+                        .set_timer(SimDuration::from_secs_f64(seconds), token);
+                    return;
+                }
+                Op::Send { key, bytes } => {
+                    debug_assert_eq!(key.from, self.devs[dev].rank, "send from wrong device");
+                    let msg = self.msg_slot(key);
+                    let token = self.token(Token::MsgArrived { msg });
+                    self.route_flow(key.from, key.to, bytes, token);
+                    self.devs[dev].pc += 1;
+                }
+                Op::Recv { key } => {
+                    debug_assert_eq!(key.to, self.devs[dev].rank, "recv on wrong device");
+                    let msg = self.msg_slot(key);
+                    if self.msg_arrived[msg] {
+                        self.devs[dev].pc += 1;
+                    } else {
+                        debug_assert!(
+                            self.msg_waiter[msg].is_none(),
+                            "two receivers for one message"
+                        );
+                        self.msg_waiter[msg] = Some(dev);
+                        self.devs[dev].status = DevStatus::WaitingMsg(key);
+                        self.devs[dev].wait_since = self.sim.now().as_secs_f64();
+                        return;
+                    }
+                }
+                Op::CollStart { id } => {
+                    let id = id as usize;
+                    self.colls[id].arrived += 1;
+                    if self.colls[id].arrived as usize == self.colls[id].devices.len() {
+                        self.launch_collective(id);
+                    }
+                    self.devs[dev].pc += 1;
+                }
+                Op::CollWait { id } => {
+                    let idx = id as usize;
+                    if self.colls[idx].done {
+                        self.devs[dev].pc += 1;
+                    } else {
+                        self.colls[idx].waiters.push(dev);
+                        self.devs[dev].status = DevStatus::WaitingColl(id);
+                        self.devs[dev].wait_since = self.sim.now().as_secs_f64();
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn launch_collective(&mut self, id: usize) {
+        self.colls[id].launch_time = self.sim.now().as_secs_f64();
+        if self.colls[id].rounds_total == 0 {
+            self.complete_collective(id);
+            return;
+        }
+        for channel in 0..self.colls[id].round.len() as u32 {
+            self.launch_round(id, channel);
+        }
+    }
+
+    fn launch_round(&mut self, id: usize, channel: u32) {
+        let coll = &self.colls[id];
+        let round = coll.round[channel as usize];
+        let pairs: Vec<(Rank, Rank)> = match coll.kind {
+            CollKind::TreeAllReduce => tree_round_pairs(&coll.devices, round),
+            _ => {
+                let n = coll.devices.len();
+                (0..n)
+                    .map(|i| (coll.devices[i], coll.devices[(i + 1) % n]))
+                    .collect()
+            }
+        };
+        debug_assert!(!pairs.is_empty(), "round must have flows");
+        self.colls[id].outstanding[channel as usize] = pairs.len() as u32;
+        let chunk = self.colls[id].chunk;
+        for (from, to) in pairs {
+            let token = self.token(Token::CollFlow { coll: id, channel });
+            self.route_flow(from, to, chunk, token);
+        }
+    }
+
+    fn coll_flow_done(&mut self, id: usize, channel: u32) {
+        let c = channel as usize;
+        self.colls[id].outstanding[c] -= 1;
+        if self.colls[id].outstanding[c] > 0 {
+            return;
+        }
+        self.colls[id].round[c] += 1;
+        if self.colls[id].round[c] < self.colls[id].rounds_total {
+            self.launch_round(id, channel);
+        } else {
+            self.colls[id].channels_done += 1;
+            if self.colls[id].channels_done as usize == self.colls[id].round.len() {
+                self.complete_collective(id);
+            }
+        }
+    }
+
+    fn complete_collective(&mut self, id: usize) {
+        let now = self.sim.now().as_secs_f64();
+        self.colls[id].done = true;
+        self.colls[id].wall = now - self.colls[id].launch_time;
+        let kind = self.colls[id].kind;
+        let waiters = std::mem::take(&mut self.colls[id].waiters);
+        for dev in waiters {
+            self.end_wait_span(dev, SpanKind::CollWait(kind));
+            self.devs[dev].pc += 1;
+            self.devs[dev].status = DevStatus::Runnable;
+            self.advance(dev);
+        }
+    }
+
+    /// Close a wait span opened when `dev` blocked. Zero-length waits are
+    /// not recorded.
+    fn end_wait_span(&mut self, dev: usize, kind: SpanKind) {
+        let now = self.sim.now().as_secs_f64();
+        let since = self.devs[dev].wait_since;
+        if now > since {
+            self.timeline.spans.push(Span {
+                device: self.devs[dev].rank,
+                kind,
+                start: since,
+                end: now,
+            });
+        }
+    }
+
+    fn finish_report(&mut self) -> Result<IterationReport, ExecError> {
+        // Validate everything drained cleanly.
+        let mut stuck = Vec::new();
+        for (i, d) in self.devs.iter().enumerate() {
+            match d.status {
+                DevStatus::Done => {}
+                DevStatus::WaitingMsg(key) => stuck.push(format!(
+                    "{} at op {} waiting for {:?}",
+                    d.rank, self.devs[i].pc, key
+                )),
+                DevStatus::WaitingColl(id) => {
+                    stuck.push(format!("{} waiting for collective {id}", d.rank))
+                }
+                other => stuck.push(format!("{} in state {other:?}", d.rank)),
+            }
+        }
+        if !stuck.is_empty() {
+            return Err(ExecError::Deadlock { stuck });
+        }
+        for (id, c) in self.colls.iter().enumerate() {
+            if !c.done && c.arrived > 0 {
+                return Err(ExecError::CollectiveIncomplete {
+                    id: id as u32,
+                    arrived: c.arrived,
+                    expected: c.devices.len() as u32,
+                });
+            }
+        }
+
+        let mut report = IterationReport {
+            total_seconds: self
+                .devs
+                .iter()
+                .map(|d| d.finish)
+                .fold(0.0, f64::max),
+            device_finish_seconds: self.devs.iter().map(|d| d.finish).collect(),
+            device_compute_seconds: self.devs.iter().map(|d| d.compute_seconds).collect(),
+            forward_seconds_max: self
+                .devs
+                .iter()
+                .map(|d| d.forward_seconds)
+                .fold(0.0, f64::max),
+            backward_seconds_max: self
+                .devs
+                .iter()
+                .map(|d| d.backward_seconds)
+                .fold(0.0, f64::max),
+            optimizer_seconds_max: self
+                .devs
+                .iter()
+                .map(|d| d.optimizer_seconds)
+                .fold(0.0, f64::max),
+            collective_wall_seconds: HashMap::new(),
+            collective_spans: HashMap::new(),
+            events: self.sim.events_processed(),
+            flows: self.sim.flows_completed(),
+            timeline: std::mem::take(&mut self.timeline),
+            node_link_usage: Vec::new(),
+        };
+        let horizon = report.total_seconds;
+        for node in 0..self.fabric.node_count() {
+            let (rdma_up, rdma_down, eth_up, eth_down) = self.fabric.node_link_ids(node);
+            let stat = |id| self.sim.link_stats(id).unwrap_or_default();
+            let util = |id| {
+                self.sim
+                    .link_capacity(id)
+                    .map(|cap| stat(id).utilization(cap, horizon))
+                    .unwrap_or(0.0)
+            };
+            report.node_link_usage.push(NodeLinkUsage {
+                rdma_bytes: stat(rdma_up).bytes + stat(rdma_down).bytes,
+                eth_bytes: stat(eth_up).bytes + stat(eth_down).bytes,
+                rdma_utilization: util(rdma_up).max(util(rdma_down)),
+                eth_utilization: util(eth_up).max(util(eth_down)),
+            });
+        }
+        for c in &self.colls {
+            if c.done && c.rounds_total > 0 {
+                report
+                    .collective_wall_seconds
+                    .entry(c.kind)
+                    .or_default()
+                    .push(c.wall);
+                report
+                    .collective_spans
+                    .entry(c.kind)
+                    .or_default()
+                    .push((c.launch_time, c.launch_time + c.wall));
+            }
+        }
+        let _ = &self.dev_of_rank; // reserved for future cross-program queries
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Channel;
+    use holmes_topology::{presets, NicType};
+
+    fn topo2() -> Topology {
+        presets::homogeneous(NicType::InfiniBand, 2)
+    }
+
+    fn compute(label: ComputeLabel, seconds: f64) -> Op {
+        Op::Compute { label, seconds }
+    }
+
+    fn fwd(mb: u32, seconds: f64) -> Op {
+        compute(ComputeLabel::Forward { microbatch: mb }, seconds)
+    }
+
+    #[test]
+    fn single_device_compute_sequence() {
+        let topo = topo2();
+        let spec = ExecutionSpec {
+            programs: vec![(Rank(0), vec![fwd(0, 0.5), fwd(1, 0.25)])],
+            collectives: vec![],
+            transport: TransportPolicy::Auto,
+        };
+        let r = execute(&topo, spec).unwrap();
+        assert!((r.total_seconds - 0.75).abs() < 1e-9);
+        assert!((r.forward_seconds_max - 0.75).abs() < 1e-9);
+        assert_eq!(r.backward_seconds_max, 0.0);
+    }
+
+    #[test]
+    fn send_recv_across_nodes() {
+        let topo = topo2();
+        let key = MsgKey {
+            from: Rank(0),
+            to: Rank(8),
+            channel: Channel::Activation,
+            microbatch: 0,
+            chunk: 0,
+        };
+        // 23 GB over one IB port ≈ 1 s.
+        let spec = ExecutionSpec {
+            programs: vec![
+                (Rank(0), vec![Op::Send { key, bytes: 23_000_000_000 }]),
+                (Rank(8), vec![Op::Recv { key }]),
+            ],
+            collectives: vec![],
+            transport: TransportPolicy::Auto,
+        };
+        let r = execute(&topo, spec).unwrap();
+        assert!((r.total_seconds - 1.0).abs() < 0.01, "{}", r.total_seconds);
+    }
+
+    #[test]
+    fn recv_before_send_still_completes() {
+        let topo = topo2();
+        let key = MsgKey {
+            from: Rank(0),
+            to: Rank(8),
+            channel: Channel::Activation,
+            microbatch: 0,
+            chunk: 0,
+        };
+        // The receiver reaches its recv immediately; the sender computes
+        // 0.5 s first. Total = 0.5 + transfer.
+        let spec = ExecutionSpec {
+            programs: vec![
+                (
+                    Rank(0),
+                    vec![fwd(0, 0.5), Op::Send { key, bytes: 2_300_000_000 }],
+                ),
+                (Rank(8), vec![Op::Recv { key }]),
+            ],
+            collectives: vec![],
+            transport: TransportPolicy::Auto,
+        };
+        let r = execute(&topo, spec).unwrap();
+        assert!((r.total_seconds - 0.6).abs() < 0.01, "{}", r.total_seconds);
+    }
+
+    #[test]
+    fn missing_send_is_a_deadlock() {
+        let topo = topo2();
+        let key = MsgKey {
+            from: Rank(0),
+            to: Rank(8),
+            channel: Channel::Activation,
+            microbatch: 0,
+            chunk: 0,
+        };
+        let spec = ExecutionSpec {
+            programs: vec![(Rank(8), vec![Op::Recv { key }])],
+            collectives: vec![],
+            transport: TransportPolicy::Auto,
+        };
+        match execute(&topo, spec) {
+            Err(ExecError::Deadlock { stuck }) => assert_eq!(stuck.len(), 1),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn allreduce_collective_runs_and_reports_wall_time() {
+        let topo = topo2();
+        // 8 ranks on one node: NVLink ring, 1 GiB.
+        let devices: Vec<Rank> = (0..8).map(Rank).collect();
+        let mut programs = Vec::new();
+        for &d in &devices {
+            programs.push((d, vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }]));
+        }
+        let spec = ExecutionSpec {
+            programs,
+            collectives: vec![CollectiveSpec {
+                kind: CollKind::AllReduce,
+                devices,
+                bytes: 1 << 30,
+                channels: 1,
+            }],
+            transport: TransportPolicy::Auto,
+        };
+        let r = execute(&topo, spec).unwrap();
+        let walls = &r.collective_wall_seconds[&CollKind::AllReduce];
+        assert_eq!(walls.len(), 1);
+        // Ideal: 2·7/8·1GiB / 250GB/s ≈ 7.5 ms (+ latencies).
+        assert!(walls[0] > 0.005 && walls[0] < 0.02, "wall = {}", walls[0]);
+        assert!((r.total_seconds - walls[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collective_waits_for_late_members() {
+        let topo = topo2();
+        let devices: Vec<Rank> = vec![Rank(0), Rank(1)];
+        let spec = ExecutionSpec {
+            programs: vec![
+                (
+                    Rank(0),
+                    vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }],
+                ),
+                (
+                    Rank(1),
+                    vec![fwd(0, 1.0), Op::CollStart { id: 0 }, Op::CollWait { id: 0 }],
+                ),
+            ],
+            collectives: vec![CollectiveSpec {
+                kind: CollKind::AllReduce,
+                devices,
+                bytes: 0,
+                channels: 1,
+            }],
+            transport: TransportPolicy::Auto,
+        };
+        let r = execute(&topo, spec).unwrap();
+        // Launch can only happen after rank 1's 1 s compute.
+        assert!(r.total_seconds >= 1.0);
+    }
+
+    #[test]
+    fn singleton_collective_is_instant() {
+        let topo = topo2();
+        let spec = ExecutionSpec {
+            programs: vec![(
+                Rank(0),
+                vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }],
+            )],
+            collectives: vec![CollectiveSpec {
+                kind: CollKind::ReduceScatter,
+                devices: vec![Rank(0)],
+                bytes: 1 << 30,
+                channels: 1,
+            }],
+            transport: TransportPolicy::Auto,
+        };
+        let r = execute(&topo, spec).unwrap();
+        assert_eq!(r.total_seconds, 0.0);
+    }
+
+    #[test]
+    fn forced_tcp_slows_inter_node_collectives() {
+        let topo = topo2();
+        let devices: Vec<Rank> = vec![Rank(0), Rank(8)];
+        let build = |transport| ExecutionSpec {
+            programs: vec![
+                (
+                    Rank(0),
+                    vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }],
+                ),
+                (
+                    Rank(8),
+                    vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }],
+                ),
+            ],
+            collectives: vec![CollectiveSpec {
+                kind: CollKind::AllReduce,
+                devices: devices.clone(),
+                bytes: 1 << 30,
+                channels: 1,
+            }],
+            transport,
+        };
+        let auto = execute(&topo, build(TransportPolicy::Auto)).unwrap();
+        let tcp = execute(&topo, build(TransportPolicy::ForceTcpInterNode)).unwrap();
+        assert!(
+            tcp.total_seconds > 3.0 * auto.total_seconds,
+            "tcp {} vs auto {}",
+            tcp.total_seconds,
+            auto.total_seconds
+        );
+    }
+
+    #[test]
+    fn overlap_between_compute_and_collective() {
+        let topo = topo2();
+        let devices: Vec<Rank> = vec![Rank(0), Rank(8)];
+        // Both members start the collective, then compute 1 s, then wait.
+        // The ~0.37 s IB all-reduce hides under compute: total ≈ 1 s.
+        let mut programs = Vec::new();
+        for &d in &devices {
+            programs.push((
+                d,
+                vec![
+                    Op::CollStart { id: 0 },
+                    compute(ComputeLabel::Backward { microbatch: 0 }, 1.0),
+                    Op::CollWait { id: 0 },
+                ],
+            ));
+        }
+        let spec = ExecutionSpec {
+            programs,
+            collectives: vec![CollectiveSpec {
+                kind: CollKind::AllReduce,
+                devices,
+                bytes: 4 << 30,
+                channels: 1,
+            }],
+            transport: TransportPolicy::Auto,
+        };
+        let r = execute(&topo, spec).unwrap();
+        assert!(
+            (r.total_seconds - 1.0).abs() < 0.05,
+            "total = {}",
+            r.total_seconds
+        );
+        assert!((r.backward_seconds_max - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_diagnostics_are_populated() {
+        let topo = topo2();
+        let spec = ExecutionSpec {
+            programs: vec![(Rank(0), vec![fwd(0, 0.1)])],
+            collectives: vec![],
+            transport: TransportPolicy::Auto,
+        };
+        let r = execute(&topo, spec).unwrap();
+        assert!(r.events >= 1);
+        assert_eq!(r.device_finish_seconds.len(), 1);
+        assert_eq!(r.device_compute_seconds.len(), 1);
+    }
+
+    #[test]
+    fn tree_allreduce_runs_and_beats_ring_on_latency() {
+        // 2 ranks across nodes with tiny payload: tree = 2 hops, ring = 2
+        // hops — equal there; use 16 ranks for a real depth difference.
+        let topo = presets::homogeneous(NicType::InfiniBand, 2);
+        let run = |kind| {
+            let devices: Vec<Rank> = (0..16).map(Rank).collect();
+            let programs = devices
+                .iter()
+                .map(|&d| (d, vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }]))
+                .collect();
+            let spec = ExecutionSpec {
+                programs,
+                collectives: vec![CollectiveSpec::new(kind, devices, 4096)],
+                transport: TransportPolicy::Auto,
+            };
+            execute(&topo, spec).unwrap().total_seconds
+        };
+        let ring = run(CollKind::AllReduce);
+        let tree = run(CollKind::TreeAllReduce);
+        // 4 KiB over 16 ranks: ring pays 30 round latencies, tree 8.
+        assert!(tree < ring, "tree {tree} vs ring {ring}");
+    }
+
+    #[test]
+    fn tree_allreduce_large_buffer_loses_to_ring() {
+        let topo = presets::homogeneous(NicType::InfiniBand, 2);
+        let run = |kind| {
+            let devices: Vec<Rank> = (0..16).map(Rank).collect();
+            let programs = devices
+                .iter()
+                .map(|&d| (d, vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }]))
+                .collect();
+            let spec = ExecutionSpec {
+                programs,
+                collectives: vec![CollectiveSpec::new(kind, devices, 1 << 30)],
+                transport: TransportPolicy::Auto,
+            };
+            execute(&topo, spec).unwrap().total_seconds
+        };
+        assert!(run(CollKind::AllReduce) < run(CollKind::TreeAllReduce));
+    }
+
+    #[test]
+    fn multi_channel_collective_uses_more_ports() {
+        // One inter-node ring flow is capped at one IB port (23 GB/s);
+        // with 2 channels the two half-size rings ride 2 ports and finish
+        // in about half the time.
+        let topo = presets::homogeneous(NicType::InfiniBand, 2);
+        let run = |channels| {
+            let devices: Vec<Rank> = (0..16).map(Rank).collect();
+            let programs = devices
+                .iter()
+                .map(|&d| (d, vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }]))
+                .collect();
+            let spec = ExecutionSpec {
+                programs,
+                collectives: vec![CollectiveSpec {
+                    kind: CollKind::ReduceScatter,
+                    devices,
+                    bytes: 8 << 30,
+                    channels,
+                }],
+                transport: TransportPolicy::Auto,
+            };
+            execute(&topo, spec).unwrap().total_seconds
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!(
+            two < 0.6 * one,
+            "2 channels {two} vs 1 channel {one}"
+        );
+        // Beyond the port count there is nothing left to parallelize:
+        // the node uplink saturates at 2 ports.
+        let four = run(4);
+        assert!(four > 0.4 * two, "4 channels {four} vs 2 channels {two}");
+    }
+
+    #[test]
+    #[should_panic(expected = "two programs")]
+    fn duplicate_device_programs_rejected() {
+        let topo = topo2();
+        let _ = execute(
+            &topo,
+            ExecutionSpec {
+                programs: vec![(Rank(0), vec![]), (Rank(0), vec![])],
+                collectives: vec![],
+                transport: TransportPolicy::Auto,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod link_usage_tests {
+    use super::*;
+    use crate::ops::Channel;
+    use holmes_topology::{presets, NicType};
+
+    #[test]
+    fn rdma_traffic_is_attributed_to_rdma_links() {
+        let topo = presets::homogeneous(NicType::InfiniBand, 2);
+        let key = MsgKey {
+            from: Rank(0),
+            to: Rank(8),
+            channel: Channel::Activation,
+            microbatch: 0,
+            chunk: 0,
+        };
+        let bytes = 1_000_000_000u64;
+        let spec = ExecutionSpec {
+            programs: vec![
+                (Rank(0), vec![Op::Send { key, bytes }]),
+                (Rank(8), vec![Op::Recv { key }]),
+            ],
+            collectives: vec![],
+            transport: TransportPolicy::Auto,
+        };
+        let report = execute(&topo, spec).unwrap();
+        assert_eq!(report.node_link_usage.len(), 2);
+        // Node 0 uplink + node 1 downlink each saw the payload.
+        let n0 = report.node_link_usage[0];
+        let n1 = report.node_link_usage[1];
+        assert!((n0.rdma_bytes - bytes as f64).abs() / (bytes as f64) < 0.01, "{n0:?}");
+        assert!((n1.rdma_bytes - bytes as f64).abs() / (bytes as f64) < 0.01, "{n1:?}");
+        assert_eq!(n0.eth_bytes, 0.0);
+        assert!(n0.rdma_utilization > 0.0 && n0.rdma_utilization <= 1.0);
+    }
+
+    #[test]
+    fn forced_tcp_traffic_lands_on_ethernet_links() {
+        let topo = presets::homogeneous(NicType::InfiniBand, 2);
+        let key = MsgKey {
+            from: Rank(0),
+            to: Rank(8),
+            channel: Channel::Activation,
+            microbatch: 0,
+            chunk: 0,
+        };
+        let spec = ExecutionSpec {
+            programs: vec![
+                (Rank(0), vec![Op::Send { key, bytes: 100_000_000 }]),
+                (Rank(8), vec![Op::Recv { key }]),
+            ],
+            collectives: vec![],
+            transport: TransportPolicy::ForceTcpInterNode,
+        };
+        let report = execute(&topo, spec).unwrap();
+        assert_eq!(report.node_link_usage[0].rdma_bytes, 0.0);
+        assert!(report.node_link_usage[0].eth_bytes > 9e7);
+    }
+}

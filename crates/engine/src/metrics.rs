@@ -1,0 +1,79 @@
+//! The paper's two reported metrics: TFLOPS per GPU and throughput.
+
+use holmes_model::{flops_per_iteration, TrainJob};
+
+use crate::executor::IterationReport;
+
+/// Training performance metrics, computed exactly as §2.3 defines them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingMetrics {
+    /// Achieved teraFLOP/s per GPU: `Eq.6(B) / (iter_time · N)`.
+    pub tflops_per_gpu: f64,
+    /// Samples processed per second: `B / iter_time`.
+    pub throughput_samples_per_sec: f64,
+    /// Iteration wall-clock seconds.
+    pub iteration_seconds: f64,
+}
+
+impl TrainingMetrics {
+    /// Compute metrics from a simulated iteration over `devices` GPUs.
+    pub fn from_report(job: &TrainJob, devices: u32, report: &IterationReport) -> Self {
+        Self::from_seconds(job, devices, report.total_seconds)
+    }
+
+    /// Compute metrics from a raw iteration time.
+    pub fn from_seconds(job: &TrainJob, devices: u32, iteration_seconds: f64) -> Self {
+        assert!(iteration_seconds > 0.0, "iteration time must be positive");
+        assert!(devices > 0, "need at least one device");
+        let flops = flops_per_iteration(&job.config, job.global_batch);
+        TrainingMetrics {
+            tflops_per_gpu: flops / (iteration_seconds * f64::from(devices)) / 1e12,
+            throughput_samples_per_sec: f64::from(job.global_batch) / iteration_seconds,
+            iteration_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holmes_model::ParameterGroup;
+
+    #[test]
+    fn metrics_match_table1_arithmetic() {
+        // Table 1 row 1: PG1, 32 GPUs, IB: 197 TFLOPS and 99.23 samples/s.
+        // Feeding the implied iteration time back must reproduce both.
+        let job = ParameterGroup::table2(1).job();
+        let iter = 768.0 / 99.23;
+        let m = TrainingMetrics::from_seconds(&job, 32, iter);
+        assert!((m.throughput_samples_per_sec - 99.23).abs() < 1e-9);
+        assert!((m.tflops_per_gpu - 197.0).abs() < 6.0, "{}", m.tflops_per_gpu);
+    }
+
+    #[test]
+    fn tflops_inversely_proportional_to_time() {
+        let job = ParameterGroup::table2(1).job();
+        let fast = TrainingMetrics::from_seconds(&job, 32, 5.0);
+        let slow = TrainingMetrics::from_seconds(&job, 32, 10.0);
+        assert!((fast.tflops_per_gpu / slow.tflops_per_gpu - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_devices_lower_per_gpu_tflops_at_fixed_time() {
+        let job = ParameterGroup::table2(1).job();
+        let small = TrainingMetrics::from_seconds(&job, 32, 8.0);
+        let large = TrainingMetrics::from_seconds(&job, 64, 8.0);
+        assert!(large.tflops_per_gpu < small.tflops_per_gpu);
+        assert_eq!(
+            large.throughput_samples_per_sec,
+            small.throughput_samples_per_sec
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_time_rejected() {
+        let job = ParameterGroup::table2(1).job();
+        TrainingMetrics::from_seconds(&job, 32, 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! The GPipe schedule: all forwards, then all backwards.
+
+use super::{PipelineSchedule, Slot};
+
+/// GPipe (Huang et al., the paper's \[15\]): every stage runs all `m`
+/// forwards, a synchronization flush, then all `m` backwards. Simple but
+/// stores `m` micro-batches of activations and leaves a `2(p−1)` slot
+/// bubble; included as the classical baseline schedule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GPipe;
+
+impl PipelineSchedule for GPipe {
+    fn slots(&self, _stage: u32, _stages: u32, microbatches: u32) -> Vec<Slot> {
+        let mut slots = Vec::with_capacity(2 * microbatches as usize);
+        for mb in 0..microbatches {
+            slots.push(Slot::Forward { mb });
+        }
+        for mb in 0..microbatches {
+            slots.push(Slot::Backward { mb });
+        }
+        slots
+    }
+
+    fn name(&self) -> &'static str {
+        "gpipe"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::assert_valid_schedule;
+
+    #[test]
+    fn gpipe_is_valid_for_all_stages() {
+        for stage in 0..4 {
+            let slots = GPipe.slots(stage, 4, 8);
+            assert_valid_schedule(&slots, 8);
+            assert_eq!(slots.len(), 16);
+        }
+    }
+
+    #[test]
+    fn all_forwards_precede_all_backwards() {
+        let slots = GPipe.slots(1, 4, 5);
+        let first_bwd = slots
+            .iter()
+            .position(|s| matches!(s, Slot::Backward { .. }))
+            .unwrap();
+        assert!(slots[..first_bwd]
+            .iter()
+            .all(|s| matches!(s, Slot::Forward { .. })));
+        assert_eq!(first_bwd, 5);
+    }
+}

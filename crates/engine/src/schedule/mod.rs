@@ -1,0 +1,68 @@
+//! Pipeline schedules: the order in which a stage processes forward and
+//! backward micro-batches.
+//!
+//! A schedule yields an abstract slot sequence per stage; the
+//! [`crate::builder`] expands slots into concrete ops (receives, computes,
+//! sends). Implemented schedules:
+//!
+//! * [`GPipe`] — all forwards, flush, all backwards (high activation
+//!   memory, large bubble);
+//! * [`OneFOneB`] — PipeDream-Flush / 1F1B, the schedule Holmes builds on
+//!   (§3.1.2 "similar to PipeDream-Flush"): a warm-up of `p−1−s` forwards,
+//!   a steady phase alternating one-forward-one-backward, and a cooldown
+//!   draining backwards. Keeps ≤ `p` micro-batches in flight.
+//! * [`Interleaved`] — Megatron's interleaved virtual-pipeline schedule
+//!   (each device hosts `v` model chunks); the paper's experiments enable
+//!   it (§4.1). Exposed as slots over `(chunk, microbatch)` pairs.
+
+mod gpipe;
+mod interleaved;
+mod one_f_one_b;
+
+pub use gpipe::GPipe;
+pub use interleaved::Interleaved;
+pub use one_f_one_b::OneFOneB;
+
+/// One unit of pipeline work for a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// Forward pass of micro-batch `mb`.
+    Forward {
+        /// Micro-batch index.
+        mb: u32,
+    },
+    /// Backward pass of micro-batch `mb`.
+    Backward {
+        /// Micro-batch index.
+        mb: u32,
+    },
+}
+
+/// A pipeline schedule.
+pub trait PipelineSchedule {
+    /// Slot order for `stage` of `stages`, running `microbatches`
+    /// micro-batches. Every schedule must emit each forward and each
+    /// backward exactly once.
+    fn slots(&self, stage: u32, stages: u32, microbatches: u32) -> Vec<Slot>;
+
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) fn assert_valid_schedule(slots: &[Slot], microbatches: u32) {
+    use std::collections::HashSet;
+    let mut fwd = HashSet::new();
+    let mut bwd = HashSet::new();
+    for s in slots {
+        match *s {
+            Slot::Forward { mb } => assert!(fwd.insert(mb), "duplicate forward {mb}"),
+            Slot::Backward { mb } => {
+                assert!(fwd.contains(&mb), "backward {mb} before its forward");
+                assert!(bwd.insert(mb), "duplicate backward {mb}");
+            }
+        }
+    }
+    assert_eq!(fwd.len() as u32, microbatches, "missing forwards");
+    assert_eq!(bwd.len() as u32, microbatches, "missing backwards");
+}

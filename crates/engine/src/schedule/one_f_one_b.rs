@@ -1,0 +1,114 @@
+//! The 1F1B / PipeDream-Flush schedule (the paper's pipeline schedule).
+
+use super::{PipelineSchedule, Slot};
+
+/// PipeDream-Flush (Narayanan et al., the paper's \[24\]), a.k.a. 1F1B:
+///
+/// * warm-up: stage `s` runs `min(m, p−1−s)` forwards;
+/// * steady state: alternate forward / backward, keeping at most
+///   `p−s` micro-batches in flight;
+/// * cooldown: drain the remaining backwards.
+///
+/// Same bubble as GPipe (`(p−1)/(m+p−1)` of the iteration) but activation
+/// memory bounded by `p` micro-batches instead of `m`, which is why
+/// Megatron-LM and Holmes use it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OneFOneB;
+
+impl PipelineSchedule for OneFOneB {
+    fn slots(&self, stage: u32, stages: u32, microbatches: u32) -> Vec<Slot> {
+        assert!(stage < stages, "stage out of range");
+        let m = microbatches;
+        let warmup = (stages - 1 - stage).min(m);
+        let mut slots = Vec::with_capacity(2 * m as usize);
+        for mb in 0..warmup {
+            slots.push(Slot::Forward { mb });
+        }
+        let steady = m - warmup;
+        for i in 0..steady {
+            slots.push(Slot::Forward { mb: warmup + i });
+            slots.push(Slot::Backward { mb: i });
+        }
+        for mb in steady..m {
+            slots.push(Slot::Backward { mb });
+        }
+        slots
+    }
+
+    fn name(&self) -> &'static str {
+        "1f1b"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::assert_valid_schedule;
+
+    #[test]
+    fn valid_for_all_stage_and_m_combinations() {
+        for p in 1..=6u32 {
+            for m in 1..=12u32 {
+                for s in 0..p {
+                    let slots = OneFOneB.slots(s, p, m);
+                    assert_valid_schedule(&slots, m);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn last_stage_has_no_warmup() {
+        let slots = OneFOneB.slots(3, 4, 6);
+        // Last stage alternates F0 B0 F1 B1 …
+        assert_eq!(slots[0], Slot::Forward { mb: 0 });
+        assert_eq!(slots[1], Slot::Backward { mb: 0 });
+        assert_eq!(slots[2], Slot::Forward { mb: 1 });
+    }
+
+    #[test]
+    fn first_stage_warmup_is_p_minus_1() {
+        let slots = OneFOneB.slots(0, 4, 6);
+        assert_eq!(
+            &slots[..3],
+            &[
+                Slot::Forward { mb: 0 },
+                Slot::Forward { mb: 1 },
+                Slot::Forward { mb: 2 }
+            ]
+        );
+        assert_eq!(slots[3], Slot::Forward { mb: 3 });
+        assert_eq!(slots[4], Slot::Backward { mb: 0 });
+    }
+
+    #[test]
+    fn in_flight_microbatches_bounded_by_p_minus_s() {
+        for p in 2..=5u32 {
+            for s in 0..p {
+                let slots = OneFOneB.slots(s, p, 10);
+                let mut in_flight: i64 = 0;
+                let mut max_in_flight: i64 = 0;
+                for slot in slots {
+                    match slot {
+                        Slot::Forward { .. } => in_flight += 1,
+                        Slot::Backward { .. } => in_flight -= 1,
+                    }
+                    max_in_flight = max_in_flight.max(in_flight);
+                }
+                assert!(max_in_flight <= i64::from(p - s), "p={p} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_microbatches_than_warmup_degenerates_gracefully() {
+        let slots = OneFOneB.slots(0, 8, 2);
+        assert_valid_schedule(&slots, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stage out of range")]
+    fn invalid_stage_panics() {
+        OneFOneB.slots(4, 4, 2);
+    }
+}

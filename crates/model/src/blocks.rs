@@ -1,0 +1,110 @@
+//! Per-layer blocks: the unit of pipeline partitioning.
+
+use crate::config::GptConfig;
+use crate::flops::{layer_fwd_flops_per_sample, logit_fwd_flops_per_sample};
+use crate::params::{embedding_params, layer_params};
+
+/// What a block is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Token + position embedding lookup (first stage).
+    Embedding,
+    /// One transformer layer.
+    Transformer,
+    /// Final layer norm + logit projection (last stage).
+    Logit,
+}
+
+/// One schedulable block of the model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerBlock {
+    /// Block kind.
+    pub kind: BlockKind,
+    /// Parameter count of this block.
+    pub params: u64,
+    /// Forward FLOPs for a single sample.
+    pub fwd_flops_per_sample: f64,
+    /// Bytes of activation output per sample (16-bit): `s·h·2`.
+    pub activation_bytes_per_sample: u64,
+}
+
+impl LayerBlock {
+    /// Backward FLOPs (standard `2 × forward` convention).
+    #[inline]
+    pub fn bwd_flops_per_sample(&self) -> f64 {
+        2.0 * self.fwd_flops_per_sample
+    }
+}
+
+/// The full block sequence of a GPT model:
+/// `[Embedding, Transformer × l, Logit]`.
+///
+/// Pipeline partition strategies slice the transformer span; the embedding
+/// block always joins the first stage and the logit block the last, as in
+/// Megatron-LM.
+pub fn model_blocks(cfg: &GptConfig) -> Vec<LayerBlock> {
+    let act = u64::from(cfg.seq_len) * u64::from(cfg.hidden_size) * 2;
+    let mut blocks = Vec::with_capacity(cfg.num_layers as usize + 2);
+    blocks.push(LayerBlock {
+        kind: BlockKind::Embedding,
+        params: embedding_params(cfg),
+        // Lookup: negligible arithmetic relative to the GEMMs.
+        fwd_flops_per_sample: 0.0,
+        activation_bytes_per_sample: act,
+    });
+    for _ in 0..cfg.num_layers {
+        blocks.push(LayerBlock {
+            kind: BlockKind::Transformer,
+            params: layer_params(cfg),
+            fwd_flops_per_sample: layer_fwd_flops_per_sample(cfg),
+            activation_bytes_per_sample: act,
+        });
+    }
+    blocks.push(LayerBlock {
+        kind: BlockKind::Logit,
+        // Logit projection is weight-tied to the embedding: no extra params.
+        params: 0,
+        fwd_flops_per_sample: logit_fwd_flops_per_sample(cfg),
+        activation_bytes_per_sample: act,
+    });
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::parameter_count;
+
+    #[test]
+    fn block_params_sum_to_eq5_total() {
+        let cfg = GptConfig::paper_standard(36, 4096, 32);
+        let sum: u64 = model_blocks(&cfg).iter().map(|b| b.params).sum();
+        assert_eq!(sum, parameter_count(&cfg));
+    }
+
+    #[test]
+    fn block_sequence_shape() {
+        let cfg = GptConfig::paper_standard(30, 3072, 32);
+        let blocks = model_blocks(&cfg);
+        assert_eq!(blocks.len(), 32);
+        assert_eq!(blocks[0].kind, BlockKind::Embedding);
+        assert_eq!(blocks[31].kind, BlockKind::Logit);
+        assert!(blocks[1..31]
+            .iter()
+            .all(|b| b.kind == BlockKind::Transformer));
+    }
+
+    #[test]
+    fn backward_is_twice_forward() {
+        let cfg = GptConfig::paper_standard(30, 3072, 32);
+        let layer = model_blocks(&cfg)[1];
+        assert_eq!(layer.bwd_flops_per_sample(), 2.0 * layer.fwd_flops_per_sample);
+    }
+
+    #[test]
+    fn activation_size_is_seq_times_hidden_fp16() {
+        let cfg = GptConfig::paper_standard(30, 3072, 32);
+        let blocks = model_blocks(&cfg);
+        assert_eq!(blocks[1].activation_bytes_per_sample, 2048 * 3072 * 2);
+    }
+}

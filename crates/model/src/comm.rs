@@ -1,0 +1,123 @@
+//! Communication volumes of a partitioned training step.
+
+use crate::config::{GptConfig, TrainJob};
+
+/// Bytes per gradient element synchronized by data parallelism.
+///
+/// Megatron-LM (the framework Holmes is built on) accumulates and reduces
+/// gradients in a 32-bit main-grad buffer — 4 bytes per element on the
+/// wire. This matters for fidelity: with 16-bit reduction the simulated
+/// Ethernet column of Table 1 comes out far faster than the paper measured.
+pub const GRAD_BYTES: u64 = 4;
+
+/// Bytes per activation element crossing a pipeline-stage boundary (16-bit).
+pub const ACT_BYTES: u64 = 2;
+
+/// Analytic communication volumes for one rank of a parallel plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommVolumes;
+
+impl CommVolumes {
+    /// Bytes of activations sent from one pipeline stage to the next per
+    /// micro-batch: `b·s·h·ACT_BYTES`, divided by `t` when Megatron's
+    /// scatter/gather optimization is enabled (the paper enables it, §4.1).
+    pub fn p2p_activation_bytes(
+        cfg: &GptConfig,
+        micro_batch: u32,
+        tensor_parallel: u32,
+        scatter_gather: bool,
+    ) -> u64 {
+        let raw = u64::from(micro_batch)
+            * u64::from(cfg.seq_len)
+            * u64::from(cfg.hidden_size)
+            * ACT_BYTES;
+        if scatter_gather && tensor_parallel > 1 {
+            raw / u64::from(tensor_parallel)
+        } else {
+            raw
+        }
+    }
+
+    /// Bytes of gradients each rank contributes to data-parallel
+    /// synchronization, for a stage shard holding `stage_params` parameters
+    /// split over `t` tensor-parallel ways.
+    pub fn dp_gradient_bytes(stage_params: u64, tensor_parallel: u32) -> u64 {
+        stage_params / u64::from(tensor_parallel.max(1)) * GRAD_BYTES
+    }
+
+    /// Bytes all-reduced by tensor parallelism per transformer layer per
+    /// micro-batch: Megatron's row/column split requires 2 all-reduces in
+    /// forward and 2 in backward, each of `b·s·h` 16-bit activations.
+    pub fn tp_allreduce_bytes_per_layer(cfg: &GptConfig, micro_batch: u32) -> u64 {
+        4 * u64::from(micro_batch)
+            * u64::from(cfg.seq_len)
+            * u64::from(cfg.hidden_size)
+            * ACT_BYTES
+    }
+
+    /// Total per-iteration p2p activation traffic leaving one stage of one
+    /// pipeline replica (forward activations + backward gradients have the
+    /// same size, so a non-final stage sends `2 × microbatches × act`).
+    pub fn stage_p2p_bytes_per_iteration(
+        job: &TrainJob,
+        tensor_parallel: u32,
+        microbatches: u32,
+        scatter_gather: bool,
+    ) -> u64 {
+        2 * u64::from(microbatches)
+            * Self::p2p_activation_bytes(&job.config, job.micro_batch, tensor_parallel, scatter_gather)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ParameterGroup;
+
+    #[test]
+    fn activation_bytes_match_formula() {
+        let cfg = GptConfig::paper_standard(30, 3072, 32);
+        let bytes = CommVolumes::p2p_activation_bytes(&cfg, 4, 1, true);
+        assert_eq!(bytes, 4 * 2048 * 3072 * 2);
+    }
+
+    #[test]
+    fn scatter_gather_divides_by_t() {
+        let cfg = GptConfig::paper_standard(48, 8192, 64);
+        let full = CommVolumes::p2p_activation_bytes(&cfg, 4, 8, false);
+        let opt = CommVolumes::p2p_activation_bytes(&cfg, 4, 8, true);
+        assert_eq!(full, 8 * opt);
+    }
+
+    #[test]
+    fn scatter_gather_is_noop_for_t1() {
+        let cfg = GptConfig::paper_standard(30, 3072, 32);
+        assert_eq!(
+            CommVolumes::p2p_activation_bytes(&cfg, 4, 1, true),
+            CommVolumes::p2p_activation_bytes(&cfg, 4, 1, false)
+        );
+    }
+
+    #[test]
+    fn dp_gradient_bytes_shard_by_t() {
+        assert_eq!(CommVolumes::dp_gradient_bytes(1_000_000, 1), 4_000_000);
+        assert_eq!(CommVolumes::dp_gradient_bytes(1_000_000, 8), 500_000);
+        // Degenerate t=0 treated as 1.
+        assert_eq!(CommVolumes::dp_gradient_bytes(10, 0), 40);
+    }
+
+    #[test]
+    fn stage_p2p_counts_both_directions() {
+        let job = ParameterGroup::table2(1).job();
+        let one_mb = CommVolumes::p2p_activation_bytes(&job.config, job.micro_batch, 1, true);
+        let total = CommVolumes::stage_p2p_bytes_per_iteration(&job, 1, 12, true);
+        assert_eq!(total, 2 * 12 * one_mb);
+    }
+
+    #[test]
+    fn tp_allreduce_is_four_per_layer() {
+        let cfg = GptConfig::paper_standard(48, 8192, 64);
+        let bytes = CommVolumes::tp_allreduce_bytes_per_layer(&cfg, 4);
+        assert_eq!(bytes, 4 * 4 * 2048 * 8192 * 2);
+    }
+}

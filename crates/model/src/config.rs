@@ -1,0 +1,203 @@
+//! GPT model configurations and the paper's Table 2 parameter groups.
+
+use crate::params::parameter_count;
+
+/// Architecture of a GPT-style transformer language model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GptConfig {
+    /// Number of transformer layers `l`.
+    pub num_layers: u32,
+    /// Hidden size `h`.
+    pub hidden_size: u32,
+    /// Number of attention heads.
+    pub num_heads: u32,
+    /// Vocabulary size `V`. The paper fixes 51 200 (a multiple of 1024).
+    pub vocab_size: u32,
+    /// Sequence length `s`. The paper fixes 2048.
+    pub seq_len: u32,
+}
+
+impl GptConfig {
+    /// The paper's shared vocabulary size.
+    pub const PAPER_VOCAB: u32 = 51_200;
+    /// The paper's shared sequence length.
+    pub const PAPER_SEQ: u32 = 2_048;
+
+    /// Construct with the paper's fixed vocabulary and sequence length.
+    pub fn paper_standard(num_layers: u32, hidden_size: u32, num_heads: u32) -> Self {
+        GptConfig {
+            num_layers,
+            hidden_size,
+            num_heads,
+            vocab_size: Self::PAPER_VOCAB,
+            seq_len: Self::PAPER_SEQ,
+        }
+    }
+
+    /// Eq. 5 parameter count for this architecture.
+    pub fn parameter_count(&self) -> u64 {
+        parameter_count(self)
+    }
+}
+
+/// One row of Table 2: an architecture plus parallelism hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParameterGroup {
+    /// 1-based group id matching the paper (1..=8).
+    pub id: u8,
+    /// Model architecture.
+    pub config: GptConfig,
+    /// Tensor parallel size `t`.
+    pub tensor_parallel: u32,
+    /// Pipeline parallel size `p`.
+    pub pipeline_parallel: u32,
+    /// Micro-batch size.
+    pub micro_batch: u32,
+    /// Global batch size `B`.
+    pub global_batch: u32,
+}
+
+impl ParameterGroup {
+    /// The Table 2 parameter group with the given 1-based id.
+    ///
+    /// Notes on the table's typography: groups 2, 5 and 6 inherit the
+    /// architecture of the row above them (the "3.0"/"1.5" entries in the
+    /// billion-parameter column are misprints of 3.6 and 7.5 — the
+    /// architecture columns, which are authoritative, are blank
+    /// i.e. inherited). Group 8's batch "1550" is not divisible by any
+    /// feasible `d × micro_batch`; we use 1536 like group 7.
+    ///
+    /// # Panics
+    /// Panics for ids outside `1..=8`.
+    pub fn table2(id: u8) -> ParameterGroup {
+        let (config, t, p, batch) = match id {
+            // 3.6 B: h=3072, l=30, heads=32.
+            1 => (GptConfig::paper_standard(30, 3072, 32), 1, 2, 768),
+            2 => (GptConfig::paper_standard(30, 3072, 32), 1, 2, 1536),
+            // 7.5 B: h=4096, l=36.
+            3 => (GptConfig::paper_standard(36, 4096, 32), 1, 2, 1536),
+            4 => (GptConfig::paper_standard(36, 4096, 32), 1, 2, 2688),
+            5 => (GptConfig::paper_standard(36, 4096, 32), 1, 3, 1536),
+            6 => (GptConfig::paper_standard(36, 4096, 32), 1, 3, 2688),
+            // 39.1 B: h=8192, l=48, heads=64.
+            7 => (GptConfig::paper_standard(48, 8192, 64), 8, 2, 1536),
+            8 => (GptConfig::paper_standard(48, 8192, 64), 8, 3, 1536),
+            other => panic!("parameter group {other} does not exist (1..=8)"),
+        };
+        ParameterGroup {
+            id,
+            config,
+            tensor_parallel: t,
+            pipeline_parallel: p,
+            micro_batch: 4,
+            global_batch: batch,
+        }
+    }
+
+    /// All eight groups in order.
+    pub fn all() -> Vec<ParameterGroup> {
+        (1..=8).map(ParameterGroup::table2).collect()
+    }
+
+    /// The training job this group defines.
+    pub fn job(&self) -> TrainJob {
+        TrainJob {
+            config: self.config,
+            micro_batch: self.micro_batch,
+            global_batch: self.global_batch,
+        }
+    }
+}
+
+/// A training workload: architecture plus batching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainJob {
+    /// Model architecture.
+    pub config: GptConfig,
+    /// Micro-batch size per pipeline slot.
+    pub micro_batch: u32,
+    /// Global batch size `B` per iteration.
+    pub global_batch: u32,
+}
+
+impl TrainJob {
+    /// Number of micro-batches each data-parallel replica pipelines per
+    /// iteration: `B / (d · micro_batch)`.
+    ///
+    /// Returns `None` when the batch does not divide evenly.
+    pub fn microbatches_per_replica(&self, data_parallel: u32) -> Option<u32> {
+        let per_replica = self.global_batch.checked_div(data_parallel)?;
+        if per_replica == 0
+            || !self.global_batch.is_multiple_of(data_parallel)
+            || per_replica % self.micro_batch != 0
+        {
+            return None;
+        }
+        Some(per_replica / self.micro_batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_parameter_counts_match_paper() {
+        // Paper: PG1/2 → 3.6 B, PG3..6 → 7.5 B, PG7/8 → 39.1 B.
+        let billions = |id: u8| ParameterGroup::table2(id).config.parameter_count() as f64 / 1e9;
+        assert!((billions(1) - 3.6).abs() < 0.05, "PG1 = {}", billions(1));
+        assert!((billions(2) - 3.6).abs() < 0.05);
+        assert!((billions(3) - 7.5).abs() < 0.05, "PG3 = {}", billions(3));
+        assert!((billions(4) - 7.5).abs() < 0.05);
+        assert!((billions(5) - 7.5).abs() < 0.05);
+        assert!((billions(6) - 7.5).abs() < 0.05);
+        assert!((billions(7) - 39.1).abs() < 0.2, "PG7 = {}", billions(7));
+        assert!((billions(8) - 39.1).abs() < 0.2);
+    }
+
+    #[test]
+    fn table2_parallelism_settings() {
+        for id in 1..=6 {
+            assert_eq!(ParameterGroup::table2(id).tensor_parallel, 1);
+        }
+        assert_eq!(ParameterGroup::table2(7).tensor_parallel, 8);
+        assert_eq!(ParameterGroup::table2(8).tensor_parallel, 8);
+        assert_eq!(ParameterGroup::table2(5).pipeline_parallel, 3);
+        assert_eq!(ParameterGroup::table2(6).pipeline_parallel, 3);
+        assert_eq!(ParameterGroup::table2(1).global_batch, 768);
+        assert_eq!(ParameterGroup::table2(4).global_batch, 2688);
+    }
+
+    #[test]
+    fn all_returns_eight_groups() {
+        let all = ParameterGroup::all();
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[0].id, 1);
+        assert_eq!(all[7].id, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn unknown_group_panics() {
+        ParameterGroup::table2(9);
+    }
+
+    #[test]
+    fn microbatch_division() {
+        let job = ParameterGroup::table2(1).job(); // B=768, micro=4
+        assert_eq!(job.microbatches_per_replica(16), Some(12));
+        assert_eq!(job.microbatches_per_replica(24), Some(8));
+        // 768/5 does not divide.
+        assert_eq!(job.microbatches_per_replica(5), None);
+        assert_eq!(job.microbatches_per_replica(0), None);
+        // 768/768 = 1 sample per replica < micro_batch 4.
+        assert_eq!(job.microbatches_per_replica(768), None);
+    }
+
+    #[test]
+    fn paper_constants() {
+        let cfg = GptConfig::paper_standard(30, 3072, 32);
+        assert_eq!(cfg.vocab_size, 51_200);
+        assert_eq!(cfg.seq_len, 2_048);
+    }
+}

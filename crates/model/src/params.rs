@@ -1,0 +1,77 @@
+//! Eq. 5: parameter counts.
+
+use crate::config::GptConfig;
+
+/// Eq. 5 of the paper: total parameter count
+/// `P = 12·l·h²·(1 + 13/(12h) + (V+s)/(12·l·h))`.
+///
+/// Expanding: `P = 12·l·h² + 13·l·h + (V+s)·h`, i.e. `12h²+13h` per
+/// transformer layer plus token and position embeddings.
+///
+/// ```
+/// use holmes_model::{parameter_count, GptConfig};
+///
+/// // Table 2's parameter group 1: 30 layers × hidden 3072 ⇒ 3.6 B.
+/// let cfg = GptConfig::paper_standard(30, 3072, 32);
+/// assert_eq!(parameter_count(&cfg) / 100_000_000, 35); // 3.5xx B
+/// ```
+pub fn parameter_count(cfg: &GptConfig) -> u64 {
+    let l = u64::from(cfg.num_layers);
+    let h = u64::from(cfg.hidden_size);
+    let v = u64::from(cfg.vocab_size);
+    let s = u64::from(cfg.seq_len);
+    l * (12 * h * h + 13 * h) + (v + s) * h
+}
+
+/// Parameters of one transformer layer: `12h² + 13h`
+/// (QKV + output projection + 4h MLP, with biases and layer norms).
+pub fn layer_params(cfg: &GptConfig) -> u64 {
+    let h = u64::from(cfg.hidden_size);
+    12 * h * h + 13 * h
+}
+
+/// Parameters of the embedding block: token table `V·h` plus positional
+/// table `s·h`. The output logit projection shares the token table
+/// (standard weight tying, as in Megatron-LM).
+pub fn embedding_params(cfg: &GptConfig) -> u64 {
+    let h = u64::from(cfg.hidden_size);
+    (u64::from(cfg.vocab_size) + u64::from(cfg.seq_len)) * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_sums_to_total() {
+        let cfg = GptConfig::paper_standard(36, 4096, 32);
+        assert_eq!(
+            parameter_count(&cfg),
+            u64::from(cfg.num_layers) * layer_params(&cfg) + embedding_params(&cfg)
+        );
+    }
+
+    #[test]
+    fn closed_form_matches_eq5_float_form() {
+        for cfg in [
+            GptConfig::paper_standard(30, 3072, 32),
+            GptConfig::paper_standard(36, 4096, 32),
+            GptConfig::paper_standard(48, 8192, 64),
+        ] {
+            let l = f64::from(cfg.num_layers);
+            let h = f64::from(cfg.hidden_size);
+            let v = f64::from(cfg.vocab_size);
+            let s = f64::from(cfg.seq_len);
+            let eq5 = 12.0 * l * h * h * (1.0 + 13.0 / (12.0 * h) + (v + s) / (12.0 * l * h));
+            let ours = parameter_count(&cfg) as f64;
+            assert!((eq5 - ours).abs() / eq5 < 1e-12, "{} vs {}", eq5, ours);
+        }
+    }
+
+    #[test]
+    fn params_grow_with_depth_and_width() {
+        let base = parameter_count(&GptConfig::paper_standard(30, 3072, 32));
+        assert!(parameter_count(&GptConfig::paper_standard(31, 3072, 32)) > base);
+        assert!(parameter_count(&GptConfig::paper_standard(30, 4096, 32)) > base);
+    }
+}

@@ -1,0 +1,176 @@
+//! Closed-form cost models for ring-based collectives.
+//!
+//! These mirror the standard bandwidth-optimal ring algorithms NCCL uses
+//! for large messages (Patarasuk & Yuan, the paper's \[26\], and the
+//! Ring-AllReduce the paper describes in §3.2):
+//!
+//! * **reduce-scatter** — `n−1` steps, each moving `V/n` bytes;
+//! * **all-gather** — `n−1` steps, each moving `V/n` bytes;
+//! * **all-reduce** — reduce-scatter followed by all-gather:
+//!   `2(n−1)` steps, total traffic `2·V·(n−1)/n` per rank.
+//!
+//! The models are used by the Holmes planner to *score* candidate
+//! placements cheaply; the engine simulates the same algorithms flow-by-flow
+//! on the fabric for full contention fidelity, and the two agree on
+//! uncontended fabrics (see the cross-validation tests in the engine crate).
+
+/// Time for a point-to-point transfer: latency plus serialization.
+pub fn p2p_seconds(bytes: u64, bandwidth_bytes_per_sec: f64, latency_s: f64) -> f64 {
+    latency_s + bytes as f64 / bandwidth_bytes_per_sec
+}
+
+/// Ring reduce-scatter over `n` ranks of a `bytes`-sized buffer.
+pub fn reduce_scatter_seconds(
+    n: u32,
+    bytes: u64,
+    bandwidth_bytes_per_sec: f64,
+    latency_s: f64,
+) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let steps = f64::from(n - 1);
+    let chunk = bytes as f64 / f64::from(n);
+    steps * (latency_s + chunk / bandwidth_bytes_per_sec)
+}
+
+/// Ring all-gather over `n` ranks of a `bytes`-sized buffer.
+pub fn all_gather_seconds(
+    n: u32,
+    bytes: u64,
+    bandwidth_bytes_per_sec: f64,
+    latency_s: f64,
+) -> f64 {
+    // Identical step structure to reduce-scatter.
+    reduce_scatter_seconds(n, bytes, bandwidth_bytes_per_sec, latency_s)
+}
+
+/// Ring all-reduce = reduce-scatter + all-gather.
+pub fn ring_allreduce_seconds(
+    n: u32,
+    bytes: u64,
+    bandwidth_bytes_per_sec: f64,
+    latency_s: f64,
+) -> f64 {
+    reduce_scatter_seconds(n, bytes, bandwidth_bytes_per_sec, latency_s)
+        + all_gather_seconds(n, bytes, bandwidth_bytes_per_sec, latency_s)
+}
+
+/// Binary-tree all-reduce over `n` ranks: `2·⌈log₂n⌉` full-buffer hops.
+/// Latency-optimal: beats the ring for small buffers / large rings, which
+/// is why NCCL switches algorithms by message size.
+pub fn tree_allreduce_seconds(
+    n: u32,
+    bytes: u64,
+    bandwidth_bytes_per_sec: f64,
+    latency_s: f64,
+) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let depth = f64::from(u32::BITS - (n - 1).leading_zeros());
+    2.0 * depth * (latency_s + bytes as f64 / bandwidth_bytes_per_sec)
+}
+
+/// Pipelined ring broadcast of a `bytes`-sized buffer.
+pub fn broadcast_seconds(
+    n: u32,
+    bytes: u64,
+    bandwidth_bytes_per_sec: f64,
+    latency_s: f64,
+) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    f64::from(n - 1) * latency_s + bytes as f64 / bandwidth_bytes_per_sec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1_000_000_000;
+    const BW: f64 = 1e9; // 1 GB/s
+    const LAT: f64 = 1e-5;
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        assert_eq!(ring_allreduce_seconds(1, GB, BW, LAT), 0.0);
+        assert_eq!(reduce_scatter_seconds(1, GB, BW, LAT), 0.0);
+        assert_eq!(all_gather_seconds(0, GB, BW, LAT), 0.0);
+        assert_eq!(broadcast_seconds(1, GB, BW, LAT), 0.0);
+    }
+
+    #[test]
+    fn allreduce_equals_rs_plus_ag() {
+        let ar = ring_allreduce_seconds(8, GB, BW, LAT);
+        let rs = reduce_scatter_seconds(8, GB, BW, LAT);
+        let ag = all_gather_seconds(8, GB, BW, LAT);
+        assert!((ar - (rs + ag)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allreduce_traffic_approaches_2v_for_large_n() {
+        // At zero latency, all-reduce time → 2·V·(n−1)/n ÷ BW.
+        let t = ring_allreduce_seconds(1000, GB, BW, 0.0);
+        let ideal = 2.0 * (GB as f64) * 999.0 / 1000.0 / BW;
+        assert!((t - ideal).abs() < 1e-9);
+        assert!(t < 2.0 * GB as f64 / BW);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_volume() {
+        let a = ring_allreduce_seconds(8, GB, BW, LAT);
+        let b = ring_allreduce_seconds(8, 2 * GB, BW, LAT);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_latency_and_inverse_in_bandwidth() {
+        let base = ring_allreduce_seconds(8, GB, BW, LAT);
+        assert!(ring_allreduce_seconds(8, GB, BW, 10.0 * LAT) > base);
+        assert!(ring_allreduce_seconds(8, GB, 2.0 * BW, LAT) < base);
+    }
+
+    #[test]
+    fn latency_term_scales_with_ring_size() {
+        // With a zero-byte payload, cost is purely (n−1)·latency per phase.
+        let t = ring_allreduce_seconds(5, 0, BW, LAT);
+        assert!((t - 2.0 * 4.0 * LAT).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_beats_ring_for_small_buffers_and_loses_for_large() {
+        // 64 ranks, 4 KiB: ring pays 126 latencies, tree pays 12.
+        let small_ring = ring_allreduce_seconds(64, 4096, BW, LAT);
+        let small_tree = tree_allreduce_seconds(64, 4096, BW, LAT);
+        assert!(small_tree < small_ring, "{small_tree} vs {small_ring}");
+        // 64 ranks, 1 GiB: ring moves 2·V·(63/64), tree moves 2·6·V.
+        let big_ring = ring_allreduce_seconds(64, 1 << 30, BW, LAT);
+        let big_tree = tree_allreduce_seconds(64, 1 << 30, BW, LAT);
+        assert!(big_ring < big_tree, "{big_ring} vs {big_tree}");
+    }
+
+    #[test]
+    fn tree_depth_rounds() {
+        // n=2 → depth 1; n=8 → 3; n=9 → 4.
+        assert!((tree_allreduce_seconds(2, 0, BW, 1.0) - 2.0).abs() < 1e-12);
+        assert!((tree_allreduce_seconds(8, 0, BW, 1.0) - 6.0).abs() < 1e-12);
+        assert!((tree_allreduce_seconds(9, 0, BW, 1.0) - 8.0).abs() < 1e-12);
+        assert_eq!(tree_allreduce_seconds(1, 1 << 20, BW, LAT), 0.0);
+    }
+
+    #[test]
+    fn p2p_cost() {
+        assert!((p2p_seconds(GB, BW, LAT) - (1.0 + LAT)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broadcast_is_pipelined() {
+        // Pipelined broadcast ≈ one serialization plus per-hop latencies —
+        // far cheaper than n−1 sequential full transfers.
+        let t = broadcast_seconds(8, GB, BW, LAT);
+        assert!(t < 1.1);
+        assert!(t > 1.0);
+    }
+}

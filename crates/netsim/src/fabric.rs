@@ -1,0 +1,388 @@
+//! Mapping a hardware [`Topology`] onto simulator links, plus routing.
+//!
+//! Every node contributes four shared links: RDMA uplink/downlink (its
+//! high-speed NIC, all ports aggregated) and Ethernet uplink/downlink (the
+//! TCP fallback path). A transfer between two ranks is routed according to
+//! the topology's transport-resolution rules
+//! ([`Topology::link_between`]): NVLink transfers are modelled as
+//! uncontended (NVSwitch is effectively non-blocking), RDMA transfers
+//! traverse the two nodes' RDMA links, TCP transfers traverse the Ethernet
+//! links and, across clusters, an optional shared trunk.
+
+use holmes_topology::{LinkKind, Rank, Topology};
+
+use crate::flow::FlowSpec;
+use crate::link::{LinkCapacity, LinkId};
+use crate::sim::NetSim;
+use crate::time::SimDuration;
+
+/// Per-node link handles.
+#[derive(Debug, Clone, Copy)]
+struct NodeLinks {
+    rdma_up: LinkId,
+    rdma_down: LinkId,
+    eth_up: LinkId,
+    eth_down: LinkId,
+}
+
+/// A resolved route between two ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Shared links the flow traverses (empty for intra-node NVLink).
+    pub path: Vec<LinkId>,
+    /// Per-flow rate ceiling in bytes/second (one NIC port or NVLink lane).
+    pub rate_cap: f64,
+    /// One-way latency.
+    pub latency: SimDuration,
+}
+
+/// The simulated network fabric for one topology.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    node_links: Vec<NodeLinks>,
+    /// Optional shared inter-cluster trunk (bandwidth bottleneck between
+    /// sites). `None` models a full-bisection Ethernet fabric where only
+    /// per-node uplinks bind.
+    trunk: Option<LinkId>,
+    /// Per-cluster switch link for oversubscribed fabrics (`None` when the
+    /// cluster is non-blocking).
+    cluster_switches: Vec<Option<LinkId>>,
+    gpus_per_node: u32,
+}
+
+impl Fabric {
+    /// Register this topology's links with `sim` and return the fabric.
+    pub fn build(topo: &Topology, sim: &mut NetSim) -> Fabric {
+        Self::build_inner(topo, sim, None)
+    }
+
+    /// Like [`Fabric::build`] but with a shared inter-cluster trunk of the
+    /// given capacity (bytes/second). Used to model bandwidth-limited
+    /// site-to-site connectivity and for failure-injection experiments.
+    pub fn build_with_trunk(topo: &Topology, sim: &mut NetSim, trunk_bytes_per_sec: f64) -> Fabric {
+        Self::build_inner(topo, sim, Some(trunk_bytes_per_sec))
+    }
+
+    fn build_inner(topo: &Topology, sim: &mut NetSim, trunk: Option<f64>) -> Fabric {
+        let mut node_links = Vec::new();
+        let mut cluster_switches = Vec::new();
+        for cluster in topo.clusters() {
+            for node in &cluster.nodes {
+                let rdma_cap = LinkCapacity::new(node.nic.node_uplink_bytes_per_sec());
+                let eth_cap = LinkCapacity::new(node.ethernet.node_uplink_bytes_per_sec());
+                node_links.push(NodeLinks {
+                    rdma_up: sim.add_link(rdma_cap),
+                    rdma_down: sim.add_link(rdma_cap),
+                    eth_up: sim.add_link(eth_cap),
+                    eth_down: sim.add_link(eth_cap),
+                });
+            }
+            cluster_switches.push(if cluster.oversubscription > 1.0 {
+                Some(sim.add_link(LinkCapacity::new(
+                    cluster.switch_bisection_bytes_per_sec(),
+                )))
+            } else {
+                None
+            });
+        }
+        let trunk = trunk.map(|cap| sim.add_link(LinkCapacity::new(cap)));
+        Fabric {
+            node_links,
+            trunk,
+            cluster_switches,
+            gpus_per_node: topo.gpus_per_node(),
+        }
+    }
+
+    /// Global node index hosting `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: Rank) -> usize {
+        (rank.0 / self.gpus_per_node) as usize
+    }
+
+    /// The trunk link, when one was configured.
+    #[inline]
+    pub fn trunk(&self) -> Option<LinkId> {
+        self.trunk
+    }
+
+    /// Number of nodes with registered links.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_links.len()
+    }
+
+    /// `(rdma_up, rdma_down, eth_up, eth_down)` link ids of a node, for
+    /// utilization reporting.
+    pub fn node_link_ids(&self, node: usize) -> (LinkId, LinkId, LinkId, LinkId) {
+        let l = self.node_links[node];
+        (l.rdma_up, l.rdma_down, l.eth_up, l.eth_down)
+    }
+
+    /// Resolve the route for a transfer from `a` to `b`.
+    ///
+    /// # Panics
+    /// Panics when either rank is outside the topology (the fabric is built
+    /// for exactly one topology).
+    pub fn route(&self, topo: &Topology, a: Rank, b: Rank) -> Route {
+        self.route_with(topo, a, b, false)
+    }
+
+    /// Like [`Fabric::route`], but inter-node transfers are forced down to
+    /// the TCP/Ethernet path regardless of RDMA availability.
+    ///
+    /// This models NIC-oblivious frameworks in a heterogeneous environment:
+    /// stock NCCL selects a transport that works for *every* pair in the
+    /// job, so one incompatible NIC pairing demotes the whole job to
+    /// sockets (the paper §3.2: traditional frameworks "can only support
+    /// using the low-speed Ethernet NIC" in heterogeneous environments).
+    pub fn route_forced_tcp(&self, topo: &Topology, a: Rank, b: Rank) -> Route {
+        self.route_with(topo, a, b, true)
+    }
+
+    fn route_with(&self, topo: &Topology, a: Rank, b: Rank, force_tcp: bool) -> Route {
+        assert_ne!(a, b, "no self-routes");
+        let profile = topo
+            .link_between(a, b)
+            .expect("ranks belong to the fabric's topology");
+        if force_tcp && !profile.kind.is_intra_node() {
+            let src = self.node_links[self.node_of(a)];
+            let dst = self.node_links[self.node_of(b)];
+            let (ca, cb) = (
+                topo.coord(a).expect("rank in range").cluster,
+                topo.coord(b).expect("rank in range").cluster,
+            );
+            let eth = if ca == cb {
+                // Within one cluster: the slower endpoint's Ethernet NIC.
+                let na = &topo.clusters()[ca.0 as usize].nodes
+                    [topo.coord(a).expect("rank in range").node.0 as usize];
+                let nb = &topo.clusters()[cb.0 as usize].nodes
+                    [topo.coord(b).expect("rank in range").node.0 as usize];
+                if na.ethernet.effective_bytes_per_sec() <= nb.ethernet.effective_bytes_per_sec() {
+                    na.ethernet
+                } else {
+                    nb.ethernet
+                }
+            } else {
+                *topo.inter_cluster_profile()
+            };
+            let mut path = vec![src.eth_up, dst.eth_down];
+            if ca != cb {
+                if let Some(trunk) = self.trunk {
+                    path.push(trunk);
+                }
+            }
+            return Route {
+                path,
+                rate_cap: eth.effective_bytes_per_sec(),
+                latency: SimDuration::from_nanos(eth.latency_ns()),
+            };
+        }
+        let latency = SimDuration::from_nanos(profile.latency_ns);
+        match profile.kind {
+            LinkKind::NvLink | LinkKind::PciE => Route {
+                path: Vec::new(),
+                rate_cap: profile.bandwidth_bytes_per_sec,
+                latency,
+            },
+            LinkKind::Rdma(_) => {
+                let src = self.node_links[self.node_of(a)];
+                let dst = self.node_links[self.node_of(b)];
+                let mut path = vec![src.rdma_up, dst.rdma_down];
+                // Oversubscribed fabrics bottleneck inter-node RDMA at the
+                // cluster switch's bisection.
+                let cluster = topo.coord(a).expect("rank in range").cluster;
+                if let Some(switch) = self.cluster_switches[cluster.0 as usize] {
+                    path.push(switch);
+                }
+                Route {
+                    path,
+                    rate_cap: profile.bandwidth_bytes_per_sec,
+                    latency,
+                }
+            }
+            LinkKind::Tcp => {
+                let src = self.node_links[self.node_of(a)];
+                let dst = self.node_links[self.node_of(b)];
+                let mut path = vec![src.eth_up, dst.eth_down];
+                let cross_cluster = {
+                    let ca = topo.coord(a).expect("rank in range").cluster;
+                    let cb = topo.coord(b).expect("rank in range").cluster;
+                    ca != cb
+                };
+                if cross_cluster {
+                    if let Some(trunk) = self.trunk {
+                        path.push(trunk);
+                    }
+                }
+                Route {
+                    path,
+                    rate_cap: profile.bandwidth_bytes_per_sec,
+                    latency,
+                }
+            }
+        }
+    }
+
+    /// Build a ready-to-start [`FlowSpec`] for a transfer.
+    pub fn flow_spec(
+        &self,
+        topo: &Topology,
+        from: Rank,
+        to: Rank,
+        bytes: u64,
+        token: u64,
+    ) -> FlowSpec {
+        let route = self.route(topo, from, to);
+        FlowSpec {
+            path: route.path,
+            bytes,
+            latency: route.latency,
+            rate_cap: route.rate_cap,
+            token,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holmes_topology::{presets, NicType};
+
+    fn hybrid() -> (Topology, NetSim, Fabric) {
+        let topo = presets::hybrid_two_cluster(2);
+        let mut sim = NetSim::new();
+        let fabric = Fabric::build(&topo, &mut sim);
+        (topo, sim, fabric)
+    }
+
+    #[test]
+    fn intra_node_route_is_pathless() {
+        let (topo, _, fabric) = hybrid();
+        let r = fabric.route(&topo, Rank(0), Rank(1));
+        assert!(r.path.is_empty());
+        assert!(r.rate_cap > 100e9); // NVLink-class
+    }
+
+    #[test]
+    fn rdma_route_uses_two_links() {
+        let (topo, _, fabric) = hybrid();
+        // Ranks 0 and 8 are nodes 0 and 1 of the InfiniBand cluster.
+        let r = fabric.route(&topo, Rank(0), Rank(8));
+        assert_eq!(r.path.len(), 2);
+        // Per-port IB rate: 200 Gb/s × 0.92 = 23 GB/s.
+        assert!((r.rate_cap - 23e9).abs() < 1e8);
+    }
+
+    #[test]
+    fn cross_cluster_route_is_ethernet() {
+        let (topo, _, fabric) = hybrid();
+        let r = fabric.route(&topo, Rank(0), Rank(16));
+        assert_eq!(r.path.len(), 2);
+        // 25 Gb/s × 0.85 ≈ 2.66 GB/s.
+        assert!(r.rate_cap < 4e9);
+        assert!(r.latency >= SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn trunk_is_appended_to_cross_cluster_routes_only() {
+        let topo = presets::hybrid_two_cluster(2);
+        let mut sim = NetSim::new();
+        let fabric = Fabric::build_with_trunk(&topo, &mut sim, 10e9);
+        let cross = fabric.route(&topo, Rank(0), Rank(16));
+        assert_eq!(cross.path.len(), 3);
+        let within = fabric.route(&topo, Rank(0), Rank(8));
+        assert_eq!(within.path.len(), 2);
+    }
+
+    #[test]
+    fn flows_through_fabric_complete() {
+        let (topo, mut sim, fabric) = hybrid();
+        let spec = fabric.flow_spec(&topo, Rank(0), Rank(8), 23_000_000_000, 1);
+        sim.start_flow(spec);
+        let c = sim.next().unwrap();
+        assert!(matches!(c, crate::sim::Completion::Flow { token: 1, .. }));
+        // 23 GB at ~23 GB/s ≈ 1 s.
+        let t = sim.now().as_secs_f64();
+        assert!((t - 1.0).abs() < 0.01, "t = {t}");
+    }
+
+    #[test]
+    fn node_uplink_contention_halves_rate() {
+        let (topo, mut sim, fabric) = hybrid();
+        // Two flows out of node 0 (ranks 0 and 1) to node 1: they share the
+        // node-0 RDMA uplink... but the uplink aggregates 8 ports, so two
+        // single-port flows do NOT contend. Verify no slowdown first.
+        sim.start_flow(fabric.flow_spec(&topo, Rank(0), Rank(8), 2_300_000_000, 1));
+        sim.start_flow(fabric.flow_spec(&topo, Rank(1), Rank(9), 2_300_000_000, 2));
+        sim.next().unwrap();
+        let t = sim.now().as_secs_f64();
+        assert!((t - 0.1).abs() < 0.01, "per-port flows should not contend: {t}");
+    }
+
+    #[test]
+    fn ethernet_preset_nodes_route_tcp() {
+        let topo = presets::homogeneous(NicType::Ethernet, 2);
+        let mut sim = NetSim::new();
+        let fabric = Fabric::build(&topo, &mut sim);
+        let r = fabric.route(&topo, Rank(0), Rank(8));
+        assert_eq!(r.path.len(), 2);
+        assert!(r.rate_cap < 4e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-routes")]
+    fn self_route_panics() {
+        let (topo, _, fabric) = hybrid();
+        fabric.route(&topo, Rank(0), Rank(0));
+    }
+
+    #[test]
+    fn oversubscribed_switch_bottlenecks_many_flows() {
+        use holmes_topology::TopologyBuilder;
+        let run = |oversub: f64| {
+            let topo = TopologyBuilder::new()
+                .cluster("ib", 2, NicType::InfiniBand)
+                .oversubscription(oversub)
+                .build()
+                .unwrap();
+            let mut sim = NetSim::new();
+            let fabric = Fabric::build(&topo, &mut sim);
+            // Two concurrent inter-node flows, each one port's worth.
+            sim.start_flow(fabric.flow_spec(&topo, Rank(0), Rank(8), 23_000_000_000, 1));
+            sim.start_flow(fabric.flow_spec(&topo, Rank(1), Rank(9), 23_000_000_000, 2));
+            while sim.next().is_some() {}
+            sim.now().as_secs_f64()
+        };
+        let full = run(1.0);
+        // 4:1 taper: switch bisection = 2 nodes × 2 ports × 23 GB/s ÷ 4 =
+        // 23 GB/s shared by both flows.
+        let tapered = run(4.0);
+        assert!(
+            tapered > 1.8 * full,
+            "tapered {tapered} vs full-bisection {full}"
+        );
+    }
+
+    #[test]
+    fn forced_tcp_demotes_rdma_pairs() {
+        let (topo, _, fabric) = hybrid();
+        let rdma = fabric.route(&topo, Rank(0), Rank(8));
+        let tcp = fabric.route_forced_tcp(&topo, Rank(0), Rank(8));
+        assert!(tcp.rate_cap < rdma.rate_cap / 5.0);
+        // Intra-node stays on NVLink even when forced.
+        let nv = fabric.route_forced_tcp(&topo, Rank(0), Rank(1));
+        assert!(nv.path.is_empty());
+        assert!(nv.rate_cap > 100e9);
+    }
+
+    #[test]
+    fn forced_tcp_cross_cluster_matches_auto() {
+        let (topo, _, fabric) = hybrid();
+        // Cross-cluster pairs were already TCP under auto routing.
+        let auto = fabric.route(&topo, Rank(0), Rank(16));
+        let forced = fabric.route_forced_tcp(&topo, Rank(0), Rank(16));
+        assert_eq!(auto.rate_cap, forced.rate_cap);
+        assert_eq!(auto.path.len(), forced.path.len());
+    }
+}

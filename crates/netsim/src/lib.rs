@@ -1,0 +1,47 @@
+//! # holmes-netsim
+//!
+//! Deterministic discrete-event, flow-level network simulator used as the
+//! communication substrate of the Holmes reproduction.
+//!
+//! The Holmes paper measures wall-clock training time on real clusters whose
+//! NICs (InfiniBand / RoCE / Ethernet) differ in bandwidth, latency and
+//! protocol efficiency. We reproduce those measurements with a *fluid-flow*
+//! model: every in-flight transfer is a flow across a path of shared links;
+//! link capacity is divided among concurrent flows by **max-min fairness**,
+//! recomputed whenever a flow starts or finishes. This captures exactly the
+//! effects the paper's scheduling method exploits — which traffic class sits
+//! on which NIC, and how contention on a shared uplink slows a collective.
+//!
+//! Components:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulated clock.
+//! * [`NetSim`] — the event queue plus the active-flow set. Pull-based API:
+//!   callers start flows / set timers, then repeatedly call
+//!   [`NetSim::next`] to advance to the next completion.
+//! * [`Fabric`] — maps a [`holmes_topology::Topology`] onto simulator links
+//!   (per-node RDMA and Ethernet uplinks/downlinks, optional inter-cluster
+//!   trunk) and routes rank-to-rank transfers.
+//! * [`collective`] — closed-form cost models for ring collectives
+//!   (all-reduce, reduce-scatter, all-gather, broadcast), used by the
+//!   planner for cost scoring; the engine simulates collectives flow-by-flow
+//!   for full contention fidelity.
+//! * [`Communicator`] — an NCCL-like handle binding a rank set to the
+//!   fabric, exposing ring-neighbour routes and analytic collective costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collective;
+mod communicator;
+mod fabric;
+mod flow;
+mod link;
+mod sim;
+mod time;
+
+pub use communicator::Communicator;
+pub use fabric::{Fabric, Route};
+pub use flow::{FlowId, FlowSpec};
+pub use link::{LinkCapacity, LinkId, LinkStats};
+pub use sim::{Completion, NetSim};
+pub use time::{SimDuration, SimTime};

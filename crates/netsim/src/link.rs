@@ -1,0 +1,78 @@
+//! Shared-capacity links: the contended resources of the fluid-flow model.
+
+/// Identifier of a link registered with a [`crate::NetSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+/// A link's capacity in bytes per second.
+///
+/// Capacities already include protocol efficiency (the
+/// `holmes-topology` NIC profiles fold PFC/TCP overheads into their
+/// effective rates), so the simulator itself is protocol-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkCapacity {
+    /// Aggregate capacity shared by all flows on the link, bytes/second.
+    pub bytes_per_sec: f64,
+}
+
+impl LinkCapacity {
+    /// Construct, clamping to a tiny positive floor so that a "dead" link
+    /// stalls flows instead of producing divisions by zero.
+    pub fn new(bytes_per_sec: f64) -> Self {
+        LinkCapacity {
+            bytes_per_sec: bytes_per_sec.max(1e-3),
+        }
+    }
+}
+
+/// Accumulated per-link traffic statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkStats {
+    /// Total bytes moved through the link.
+    pub bytes: f64,
+    /// Seconds during which at least one flow was using the link.
+    pub busy_seconds: f64,
+}
+
+impl LinkStats {
+    /// Mean utilization of a link with `capacity` over a `horizon` of
+    /// seconds: moved bytes over the bytes the link *could* have moved.
+    pub fn utilization(&self, capacity: LinkCapacity, horizon_seconds: f64) -> f64 {
+        if horizon_seconds <= 0.0 {
+            return 0.0;
+        }
+        (self.bytes / (capacity.bytes_per_sec * horizon_seconds)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_capacity_clamps_to_floor() {
+        assert!(LinkCapacity::new(0.0).bytes_per_sec > 0.0);
+        assert!(LinkCapacity::new(-5.0).bytes_per_sec > 0.0);
+    }
+
+    #[test]
+    fn positive_capacity_preserved() {
+        assert_eq!(LinkCapacity::new(1e9).bytes_per_sec, 1e9);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let stats = LinkStats {
+            bytes: 5e8,
+            busy_seconds: 0.5,
+        };
+        let cap = LinkCapacity::new(1e9);
+        assert!((stats.utilization(cap, 1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(stats.utilization(cap, 0.0), 0.0);
+        // Can never exceed 1.
+        assert_eq!(
+            LinkStats { bytes: 1e12, busy_seconds: 1.0 }.utilization(cap, 1.0),
+            1.0
+        );
+    }
+}

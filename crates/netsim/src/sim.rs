@@ -1,0 +1,660 @@
+//! The discrete-event simulator core.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use crate::flow::{FlowId, FlowSpec};
+use crate::link::{LinkCapacity, LinkId, LinkStats};
+use crate::time::{SimDuration, SimTime};
+
+/// A completion delivered by [`NetSim::next`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// A flow finished transferring all of its bytes.
+    Flow {
+        /// The finished flow.
+        id: FlowId,
+        /// The caller token from the [`FlowSpec`].
+        token: u64,
+    },
+    /// A timer set with [`NetSim::set_timer`] fired.
+    Timer {
+        /// The caller token.
+        token: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Payload {
+    /// Latency phase of a flow ended; it starts consuming bandwidth.
+    FlowStart(FlowId),
+    /// Versioned check for the earliest predicted flow completion.
+    RatesCheck(u64),
+    /// User timer.
+    Timer(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QueuedEvent {
+    time: SimTime,
+    seq: u64,
+    payload: Payload,
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct ActiveFlow {
+    path: Vec<LinkId>,
+    /// Bytes left to move.
+    remaining: f64,
+    /// Current max-min rate in bytes per nanosecond.
+    rate: f64,
+    /// Per-flow ceiling in bytes per nanosecond.
+    rate_cap: f64,
+    token: u64,
+}
+
+/// Sub-byte residue below which a flow counts as finished (absorbs float
+/// rounding from rate recomputations).
+const DONE_EPS: f64 = 0.5;
+
+/// The fluid-flow network simulator.
+///
+/// Deterministic: identical call sequences produce identical event
+/// timelines (ties broken by insertion order, flow iteration ordered by
+/// [`FlowId`]).
+///
+/// ```
+/// use holmes_netsim::{Completion, FlowSpec, LinkCapacity, NetSim, SimDuration};
+///
+/// let mut sim = NetSim::new();
+/// let link = sim.add_link(LinkCapacity::new(1e9)); // 1 GB/s
+/// sim.start_flow(FlowSpec {
+///     path: vec![link],
+///     bytes: 500_000_000,
+///     latency: SimDuration::ZERO,
+///     rate_cap: f64::INFINITY,
+///     token: 42,
+/// });
+/// assert_eq!(sim.next(), Some(Completion::Flow { id: holmes_netsim::FlowId(0), token: 42 }));
+/// assert!((sim.now().as_secs_f64() - 0.5).abs() < 1e-9); // 500 MB at 1 GB/s
+/// ```
+#[derive(Debug, Default)]
+pub struct NetSim {
+    now: SimTime,
+    links: Vec<LinkCapacity>,
+    /// Per-link accumulated traffic and busy time.
+    link_stats: Vec<LinkStats>,
+    /// Flows past their latency phase, currently sharing bandwidth.
+    active: BTreeMap<FlowId, ActiveFlow>,
+    /// Flows still in their latency phase.
+    pending: BTreeMap<FlowId, FlowSpec>,
+    queue: BinaryHeap<QueuedEvent>,
+    backlog: VecDeque<Completion>,
+    next_flow: u64,
+    next_seq: u64,
+    rates_version: u64,
+    last_settle: SimTime,
+    flows_completed: u64,
+    events_processed: u64,
+}
+
+impl NetSim {
+    /// An empty simulator at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of flows that have fully completed.
+    #[inline]
+    pub fn flows_completed(&self) -> u64 {
+        self.flows_completed
+    }
+
+    /// Number of events processed (diagnostic).
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Register a shared link and get its id.
+    pub fn add_link(&mut self, capacity: LinkCapacity) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(capacity);
+        self.link_stats.push(LinkStats::default());
+        id
+    }
+
+    /// Accumulated traffic statistics of a link.
+    pub fn link_stats(&self, id: LinkId) -> Option<LinkStats> {
+        self.link_stats.get(id.0 as usize).copied()
+    }
+
+    /// Capacity of a registered link.
+    pub fn link_capacity(&self, id: LinkId) -> Option<LinkCapacity> {
+        self.links.get(id.0 as usize).copied()
+    }
+
+    /// Re-set a link's capacity (used by failure-injection tests). Takes
+    /// effect at the next rate recomputation.
+    pub fn set_link_capacity(&mut self, id: LinkId, capacity: LinkCapacity) {
+        if let Some(slot) = self.links.get_mut(id.0 as usize) {
+            *slot = capacity;
+            // Force re-fair-sharing for flows already in flight.
+            self.settle_progress();
+            self.recompute_rates();
+            self.schedule_rates_check();
+        }
+    }
+
+    /// Number of currently in-flight flows (latency phase included).
+    pub fn inflight_flows(&self) -> usize {
+        self.active.len() + self.pending.len()
+    }
+
+    /// Start a flow; completion arrives later via [`NetSim::next`].
+    ///
+    /// # Panics
+    /// Panics if the spec references an unregistered link.
+    pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+        for link in &spec.path {
+            assert!(
+                (link.0 as usize) < self.links.len(),
+                "flow references unregistered link {link:?}"
+            );
+        }
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        let start = self.now + spec.latency;
+        self.pending.insert(id, spec);
+        self.push_event(start, Payload::FlowStart(id));
+        id
+    }
+
+    /// Schedule a timer completion after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let at = self.now + delay;
+        self.push_event(at, Payload::Timer(token));
+    }
+
+    /// Advance to, and return, the next completion. `None` when the
+    /// simulation has fully drained.
+    ///
+    /// Deliberately named like `Iterator::next` — this *is* a pull-based
+    /// event stream — but not implemented as `Iterator` because callers
+    /// interleave `start_flow`/`set_timer` between pulls.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Completion> {
+        loop {
+            if let Some(done) = self.backlog.pop_front() {
+                return Some(done);
+            }
+            let ev = self.queue.pop()?;
+            self.events_processed += 1;
+            debug_assert!(ev.time >= self.now, "time must be monotone");
+            self.now = ev.time;
+            match ev.payload {
+                Payload::Timer(token) => return Some(Completion::Timer { token }),
+                Payload::FlowStart(id) => {
+                    self.settle_progress();
+                    self.activate(id);
+                    // Batch every other flow start at this same instant so
+                    // rates are recomputed once, not per flow.
+                    while let Some(peek) = self.queue.peek() {
+                        if peek.time != self.now {
+                            break;
+                        }
+                        if let Payload::FlowStart(next_id) = peek.payload {
+                            self.queue.pop();
+                            self.events_processed += 1;
+                            self.activate(next_id);
+                        } else {
+                            break;
+                        }
+                    }
+                    self.harvest_finished();
+                    self.recompute_rates();
+                    self.schedule_rates_check();
+                }
+                Payload::RatesCheck(version) => {
+                    if version != self.rates_version {
+                        continue; // superseded prediction
+                    }
+                    self.settle_progress();
+                    self.harvest_finished();
+                    self.recompute_rates();
+                    self.schedule_rates_check();
+                }
+            }
+        }
+    }
+
+    /// Run until fully drained, collecting every completion.
+    pub fn drain(&mut self) -> Vec<Completion> {
+        let mut all = Vec::new();
+        while let Some(c) = self.next() {
+            all.push(c);
+        }
+        all
+    }
+
+    fn push_event(&mut self, time: SimTime, payload: Payload) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(QueuedEvent { time, seq, payload });
+    }
+
+    fn activate(&mut self, id: FlowId) {
+        let spec = self
+            .pending
+            .remove(&id)
+            .expect("FlowStart for unknown pending flow");
+        // Convert to bytes-per-nanosecond internally.
+        let cap = if spec.rate_cap.is_finite() {
+            (spec.rate_cap * 1e-9).max(1e-12)
+        } else {
+            f64::INFINITY
+        };
+        self.active.insert(
+            id,
+            ActiveFlow {
+                path: spec.path,
+                remaining: spec.bytes as f64,
+                rate: 0.0,
+                rate_cap: cap,
+                token: spec.token,
+            },
+        );
+    }
+
+    /// Advance every active flow's `remaining` to the current time,
+    /// attributing the moved bytes to the links each flow traverses.
+    fn settle_progress(&mut self) {
+        let elapsed = self.now.since(self.last_settle).0 as f64;
+        if elapsed > 0.0 {
+            let mut link_active = vec![false; self.links.len()];
+            for flow in self.active.values_mut() {
+                let moved = (flow.rate * elapsed).min(flow.remaining);
+                flow.remaining -= flow.rate * elapsed;
+                if flow.remaining < 0.0 {
+                    flow.remaining = 0.0;
+                }
+                for link in &flow.path {
+                    let i = link.0 as usize;
+                    self.link_stats[i].bytes += moved;
+                    link_active[i] = true;
+                }
+            }
+            for (i, active) in link_active.iter().enumerate() {
+                if *active {
+                    self.link_stats[i].busy_seconds += elapsed * 1e-9;
+                }
+            }
+        }
+        self.last_settle = self.now;
+    }
+
+    /// Move flows that finished into the completion backlog.
+    fn harvest_finished(&mut self) {
+        let done: Vec<FlowId> = self
+            .active
+            .iter()
+            .filter(|(_, f)| f.remaining <= DONE_EPS)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in done {
+            let flow = self.active.remove(&id).expect("flow present");
+            self.flows_completed += 1;
+            self.backlog.push_back(Completion::Flow {
+                id,
+                token: flow.token,
+            });
+        }
+    }
+
+    /// Max-min fair bandwidth allocation over all active flows.
+    ///
+    /// Iterative water-filling: repeatedly find the tightest constraint —
+    /// either a link's equal share or a flow's own rate cap — freeze the
+    /// flows it binds, subtract their consumption, and continue.
+    fn recompute_rates(&mut self) {
+        self.rates_version += 1;
+        if self.active.is_empty() {
+            return;
+        }
+
+        // Per-link bookkeeping in bytes/ns.
+        let mut cap_left: Vec<f64> = self
+            .links
+            .iter()
+            .map(|l| l.bytes_per_sec * 1e-9)
+            .collect();
+        let mut n_unfixed: Vec<u32> = vec![0; self.links.len()];
+        let ids: Vec<FlowId> = self.active.keys().copied().collect();
+        for id in &ids {
+            for link in &self.active[id].path {
+                n_unfixed[link.0 as usize] += 1;
+            }
+        }
+        let mut unfixed: Vec<FlowId> = ids;
+
+        while !unfixed.is_empty() {
+            // Tightest link share.
+            let mut bottleneck = f64::INFINITY;
+            for (cap, n) in cap_left.iter().zip(&n_unfixed) {
+                if *n > 0 {
+                    bottleneck = bottleneck.min(cap / f64::from(*n));
+                }
+            }
+            // Tightest flow cap.
+            for id in &unfixed {
+                bottleneck = bottleneck.min(self.active[id].rate_cap);
+            }
+            if !bottleneck.is_finite() {
+                // Pathless, uncapped flows: complete "instantly" at an
+                // enormous but finite rate to keep the arithmetic sane.
+                bottleneck = 1e6; // 1 PB/s in bytes/ns
+            }
+            let threshold = bottleneck * (1.0 + 1e-9);
+
+            // Snapshot which links are at the bottleneck *before* freezing,
+            // so freezing one flow does not change membership for the rest
+            // of this round.
+            let is_bottleneck: Vec<bool> = cap_left
+                .iter()
+                .zip(&n_unfixed)
+                .map(|(cap, n)| *n > 0 && cap / f64::from(*n) <= threshold)
+                .collect();
+
+            // Freeze every flow bound by this constraint.
+            let before = unfixed.len();
+            let mut still = Vec::with_capacity(unfixed.len());
+            for id in unfixed {
+                let constrained_by_cap = self.active[&id].rate_cap <= threshold;
+                let constrained_by_link = self.active[&id]
+                    .path
+                    .iter()
+                    .any(|l| is_bottleneck[l.0 as usize]);
+                if constrained_by_cap || constrained_by_link {
+                    let rate = self.active[&id].rate_cap.min(bottleneck);
+                    for l in self.active[&id].path.clone() {
+                        let i = l.0 as usize;
+                        cap_left[i] = (cap_left[i] - rate).max(0.0);
+                        n_unfixed[i] -= 1;
+                    }
+                    self.active.get_mut(&id).expect("flow present").rate = rate;
+                } else {
+                    still.push(id);
+                }
+            }
+            if still.len() == before {
+                // Numerical corner: nothing matched the constraint. Freeze
+                // everything at the bottleneck rate to guarantee progress.
+                for id in &still {
+                    let rate = self.active[id].rate_cap.min(bottleneck);
+                    self.active.get_mut(id).expect("flow present").rate = rate;
+                }
+                break;
+            }
+            unfixed = still;
+        }
+    }
+
+    /// Predict the earliest completion among active flows and schedule a
+    /// versioned check there.
+    fn schedule_rates_check(&mut self) {
+        let mut earliest: Option<SimTime> = None;
+        for flow in self.active.values() {
+            if flow.rate <= 0.0 {
+                continue;
+            }
+            let ns = (flow.remaining / flow.rate).ceil();
+            // Clamp to avoid u64 overflow on pathological stalls.
+            let ns = ns.min(1e18) as u64;
+            let t = self.now + SimDuration::from_nanos(ns.max(1));
+            earliest = Some(match earliest {
+                Some(e) if e <= t => e,
+                _ => t,
+            });
+        }
+        if let Some(t) = earliest {
+            let version = self.rates_version;
+            self.push_event(t, Payload::RatesCheck(version));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_with_link(bytes_per_sec: f64) -> (NetSim, LinkId) {
+        let mut sim = NetSim::new();
+        let link = sim.add_link(LinkCapacity::new(bytes_per_sec));
+        (sim, link)
+    }
+
+    fn flow_on(link: LinkId, bytes: u64, token: u64) -> FlowSpec {
+        FlowSpec {
+            path: vec![link],
+            bytes,
+            latency: SimDuration::ZERO,
+            rate_cap: f64::INFINITY,
+            token,
+        }
+    }
+
+    #[test]
+    fn single_flow_takes_bytes_over_bandwidth() {
+        let (mut sim, link) = sim_with_link(1e9); // 1 GB/s
+        sim.start_flow(flow_on(link, 1_000_000_000, 1));
+        let c = sim.next().unwrap();
+        assert_eq!(c, Completion::Flow { id: FlowId(0), token: 1 });
+        // 1 GB at 1 GB/s = 1 s.
+        assert!((sim.now().as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_delays_start() {
+        let (mut sim, link) = sim_with_link(1e9);
+        let mut spec = flow_on(link, 1_000_000_000, 1);
+        spec.latency = SimDuration::from_secs_f64(0.5);
+        sim.start_flow(spec);
+        sim.next().unwrap();
+        assert!((sim.now().as_secs_f64() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_flows_share_a_link_fairly() {
+        let (mut sim, link) = sim_with_link(1e9);
+        sim.start_flow(flow_on(link, 500_000_000, 1));
+        sim.start_flow(flow_on(link, 500_000_000, 2));
+        let c1 = sim.next().unwrap();
+        let t1 = sim.now().as_secs_f64();
+        let c2 = sim.next().unwrap();
+        let t2 = sim.now().as_secs_f64();
+        // Both halves at 0.5 GB/s → both finish at 1 s.
+        assert!((t1 - 1.0).abs() < 1e-6, "t1 = {t1}");
+        assert!((t2 - 1.0).abs() < 1e-6, "t2 = {t2}");
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn departing_flow_releases_bandwidth() {
+        let (mut sim, link) = sim_with_link(1e9);
+        // Short flow shares the first phase, long flow then speeds up:
+        // phase 1: both at 0.5 GB/s until short (250 MB) finishes at 0.5 s.
+        // phase 2: long has 750 MB left at 1 GB/s → finishes at 1.25 s.
+        sim.start_flow(flow_on(link, 250_000_000, 1));
+        sim.start_flow(flow_on(link, 1_000_000_000, 2));
+        let first = sim.next().unwrap();
+        assert_eq!(first, Completion::Flow { id: FlowId(0), token: 1 });
+        assert!((sim.now().as_secs_f64() - 0.5).abs() < 1e-6);
+        sim.next().unwrap();
+        assert!((sim.now().as_secs_f64() - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_cap_binds_below_link_share() {
+        let (mut sim, link) = sim_with_link(1e9);
+        let mut spec = flow_on(link, 500_000_000, 1);
+        spec.rate_cap = 0.25e9; // one port
+        sim.start_flow(spec);
+        sim.next().unwrap();
+        // 500 MB at 250 MB/s = 2 s despite the idle 1 GB/s link.
+        assert!((sim.now().as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capped_flow_leaves_headroom_for_others() {
+        let (mut sim, link) = sim_with_link(1e9);
+        let mut capped = flow_on(link, 200_000_000, 1);
+        capped.rate_cap = 0.2e9;
+        sim.start_flow(capped);
+        sim.start_flow(flow_on(link, 800_000_000, 2));
+        // Max-min: capped takes 0.2 GB/s, other takes 0.8 GB/s → both 1 s.
+        sim.next().unwrap();
+        let t1 = sim.now().as_secs_f64();
+        sim.next().unwrap();
+        let t2 = sim.now().as_secs_f64();
+        assert!((t1 - 1.0).abs() < 1e-6, "t1 = {t1}");
+        assert!((t2 - 1.0).abs() < 1e-6, "t2 = {t2}");
+    }
+
+    #[test]
+    fn multi_link_path_bounded_by_tightest_link() {
+        let mut sim = NetSim::new();
+        let fast = sim.add_link(LinkCapacity::new(10e9));
+        let slow = sim.add_link(LinkCapacity::new(1e9));
+        sim.start_flow(FlowSpec {
+            path: vec![fast, slow],
+            bytes: 1_000_000_000,
+            latency: SimDuration::ZERO,
+            rate_cap: f64::INFINITY,
+            token: 0,
+        });
+        sim.next().unwrap();
+        assert!((sim.now().as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pathless_flow_respects_rate_cap() {
+        let mut sim = NetSim::new();
+        sim.start_flow(FlowSpec::direct(
+            1_000_000_000,
+            SimDuration::ZERO,
+            2e9,
+            9,
+        ));
+        let c = sim.next().unwrap();
+        assert_eq!(c, Completion::Flow { id: FlowId(0), token: 9 });
+        assert!((sim.now().as_secs_f64() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim = NetSim::new();
+        sim.set_timer(SimDuration::from_micros(20), 2);
+        sim.set_timer(SimDuration::from_micros(10), 1);
+        assert_eq!(sim.next(), Some(Completion::Timer { token: 1 }));
+        assert_eq!(sim.next(), Some(Completion::Timer { token: 2 }));
+        assert_eq!(sim.next(), None);
+    }
+
+    #[test]
+    fn simultaneous_timers_fire_in_insertion_order() {
+        let mut sim = NetSim::new();
+        sim.set_timer(SimDuration::from_micros(10), 5);
+        sim.set_timer(SimDuration::from_micros(10), 6);
+        assert_eq!(sim.next(), Some(Completion::Timer { token: 5 }));
+        assert_eq!(sim.next(), Some(Completion::Timer { token: 6 }));
+    }
+
+    #[test]
+    fn drain_returns_every_completion() {
+        let (mut sim, link) = sim_with_link(1e9);
+        for t in 0..5 {
+            sim.start_flow(flow_on(link, 1_000_000, t));
+        }
+        sim.set_timer(SimDuration::from_micros(1), 99);
+        let all = sim.drain();
+        assert_eq!(all.len(), 6);
+        assert_eq!(sim.inflight_flows(), 0);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let (mut sim, link) = sim_with_link(3e9);
+            for t in 0..8 {
+                let mut f = flow_on(link, 10_000_000 * (t + 1), t);
+                f.latency = SimDuration::from_micros(t * 3);
+                sim.start_flow(f);
+            }
+            let mut log = Vec::new();
+            while let Some(c) = sim.next() {
+                log.push((sim.now(), c));
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn capacity_change_mid_flight_slows_flows() {
+        let (mut sim, link) = sim_with_link(1e9);
+        sim.start_flow(flow_on(link, 1_000_000_000, 1));
+        // Let the flow make progress to 0.5 s via a timer checkpoint.
+        sim.set_timer(SimDuration::from_secs_f64(0.5), 0);
+        assert_eq!(sim.next(), Some(Completion::Timer { token: 0 }));
+        sim.set_link_capacity(link, LinkCapacity::new(0.5e9));
+        sim.next().unwrap();
+        // 500 MB left at 0.5 GB/s → one more second: total 1.5 s.
+        assert!((sim.now().as_secs_f64() - 1.5).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered link")]
+    fn unknown_link_panics() {
+        let mut sim = NetSim::new();
+        sim.start_flow(FlowSpec {
+            path: vec![LinkId(7)],
+            bytes: 1,
+            latency: SimDuration::ZERO,
+            rate_cap: f64::INFINITY,
+            token: 0,
+        });
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_after_latency() {
+        let (mut sim, link) = sim_with_link(1e9);
+        let mut f = flow_on(link, 0, 3);
+        f.latency = SimDuration::from_micros(7);
+        sim.start_flow(f);
+        let c = sim.next().unwrap();
+        assert_eq!(c, Completion::Flow { id: FlowId(0), token: 3 });
+        assert_eq!(sim.now(), SimTime(7_000));
+    }
+}

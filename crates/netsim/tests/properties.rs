@@ -1,0 +1,179 @@
+//! Property-based tests of the fluid-flow simulator: fairness, work
+//! conservation, monotonicity and determinism under randomized workloads.
+
+use proptest::prelude::*;
+
+use holmes_netsim::{Completion, FlowSpec, LinkCapacity, NetSim, SimDuration};
+
+/// Drain a simulator, returning (completion order tokens, final time).
+fn drain(sim: &mut NetSim) -> (Vec<u64>, f64) {
+    let mut tokens = Vec::new();
+    while let Some(c) = sim.next() {
+        if let Completion::Flow { token, .. } = c {
+            tokens.push(token);
+        }
+    }
+    (tokens, sim.now().as_secs_f64())
+}
+
+proptest! {
+    /// Work conservation: N flows on one link drain in exactly
+    /// `total_bytes / capacity` (zero latency, no caps) — the fluid model
+    /// never wastes capacity while work remains.
+    #[test]
+    fn shared_link_is_work_conserving(
+        sizes in prop::collection::vec(1_000_000u64..1_000_000_000, 1..20),
+    ) {
+        let capacity = 1e9;
+        let mut sim = NetSim::new();
+        let link = sim.add_link(LinkCapacity::new(capacity));
+        for (token, &bytes) in sizes.iter().enumerate() {
+            sim.start_flow(FlowSpec {
+                path: vec![link],
+                bytes,
+                latency: SimDuration::ZERO,
+                rate_cap: f64::INFINITY,
+                token: token as u64,
+            });
+        }
+        let total: u64 = sizes.iter().sum();
+        let (_, finish) = drain(&mut sim);
+        let ideal = total as f64 / capacity;
+        prop_assert!(
+            (finish - ideal).abs() / ideal < 1e-3,
+            "finish {finish} vs ideal {ideal}"
+        );
+    }
+
+    /// Fairness: equal flows arriving together finish together.
+    #[test]
+    fn equal_flows_finish_together(n in 2usize..16, bytes in 1_000_000u64..100_000_000) {
+        let mut sim = NetSim::new();
+        let link = sim.add_link(LinkCapacity::new(2e9));
+        for token in 0..n as u64 {
+            sim.start_flow(FlowSpec {
+                path: vec![link],
+                bytes,
+                latency: SimDuration::ZERO,
+                rate_cap: f64::INFINITY,
+                token,
+            });
+        }
+        let mut finish_times = Vec::new();
+        while let Some(c) = sim.next() {
+            if matches!(c, Completion::Flow { .. }) {
+                finish_times.push(sim.now().as_secs_f64());
+            }
+        }
+        prop_assert_eq!(finish_times.len(), n);
+        let first = finish_times[0];
+        prop_assert!(finish_times.iter().all(|&t| (t - first).abs() < 1e-6));
+    }
+
+    /// Monotonicity: adding background load never makes a probe flow
+    /// finish earlier.
+    #[test]
+    fn extra_load_never_speeds_a_flow(
+        probe_bytes in 10_000_000u64..500_000_000,
+        bg in prop::collection::vec(1_000_000u64..500_000_000, 0..10),
+    ) {
+        let run = |with_bg: bool| {
+            let mut sim = NetSim::new();
+            let link = sim.add_link(LinkCapacity::new(1e9));
+            sim.start_flow(FlowSpec {
+                path: vec![link],
+                bytes: probe_bytes,
+                latency: SimDuration::ZERO,
+                rate_cap: f64::INFINITY,
+                token: 999,
+            });
+            if with_bg {
+                for (i, &bytes) in bg.iter().enumerate() {
+                    sim.start_flow(FlowSpec {
+                        path: vec![link],
+                        bytes,
+                        latency: SimDuration::ZERO,
+                        rate_cap: f64::INFINITY,
+                        token: i as u64,
+                    });
+                }
+            }
+            loop {
+                match sim.next() {
+                    Some(Completion::Flow { token: 999, .. }) => {
+                        return sim.now().as_secs_f64()
+                    }
+                    Some(_) => continue,
+                    None => unreachable!("probe must complete"),
+                }
+            }
+        };
+        let alone = run(false);
+        let contended = run(true);
+        prop_assert!(contended >= alone - 1e-9, "{contended} vs {alone}");
+    }
+
+    /// Determinism under arbitrary workloads: identical inputs give
+    /// identical completion orders and times.
+    #[test]
+    fn random_workloads_are_deterministic(
+        spec in prop::collection::vec(
+            (1_000u64..50_000_000, 0u64..1_000, 0usize..4, 0usize..4),
+            1..25,
+        ),
+    ) {
+        let run = || {
+            let mut sim = NetSim::new();
+            let links: Vec<_> = (0..4)
+                .map(|i| sim.add_link(LinkCapacity::new(1e9 * (i + 1) as f64)))
+                .collect();
+            for (token, &(bytes, lat_us, a, b)) in spec.iter().enumerate() {
+                let mut path = vec![links[a]];
+                if b != a {
+                    path.push(links[b]);
+                }
+                sim.start_flow(FlowSpec {
+                    path,
+                    bytes,
+                    latency: SimDuration::from_micros(lat_us),
+                    rate_cap: 25e9,
+                    token: token as u64,
+                });
+            }
+            let (order, finish) = drain(&mut sim);
+            (order, finish)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Rate caps bind: a capped flow can never beat `bytes / cap` even on
+    /// an idle fabric, and never loses more than the fair share predicts.
+    #[test]
+    fn rate_cap_bounds_hold(bytes in 1_000_000u64..1_000_000_000, cap_gbps in 1u32..100) {
+        let cap = f64::from(cap_gbps) * 1e9 / 8.0;
+        let mut sim = NetSim::new();
+        let link = sim.add_link(LinkCapacity::new(1e12)); // effectively infinite
+        sim.start_flow(FlowSpec {
+            path: vec![link],
+            bytes,
+            latency: SimDuration::ZERO,
+            rate_cap: cap,
+            token: 0,
+        });
+        let (_, finish) = drain(&mut sim);
+        let ideal = bytes as f64 / cap;
+        prop_assert!((finish - ideal).abs() / ideal < 1e-3, "{finish} vs {ideal}");
+    }
+
+    /// Analytic collective costs scale linearly in volume at zero latency.
+    #[test]
+    fn collective_costs_scale_linearly(
+        n in 2u32..64,
+        bytes in 1_000_000u64..1_000_000_000,
+    ) {
+        use holmes_netsim::collective::ring_allreduce_seconds;
+        let one = ring_allreduce_seconds(n, bytes, 1e9, 0.0);
+        let two = ring_allreduce_seconds(n, 2 * bytes, 1e9, 0.0);
+        prop_assert!((two / one - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,127 @@
+//! Validated parallelism degree triples.
+
+use std::fmt;
+
+/// Error building [`ParallelDegrees`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegreeError {
+    /// One of the degrees was zero.
+    ZeroDegree,
+    /// `t·p·d` did not equal the device count `N`.
+    ProductMismatch {
+        /// `t·p·d`.
+        product: u64,
+        /// Expected device count.
+        devices: u32,
+    },
+}
+
+impl fmt::Display for DegreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegreeError::ZeroDegree => write!(f, "parallel degrees must be positive"),
+            DegreeError::ProductMismatch { product, devices } => {
+                write!(f, "t*p*d = {product} but the topology has {devices} devices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DegreeError {}
+
+/// Parallelism degrees `(t, p, d)` with the §2.4 invariant `t·p·d = N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParallelDegrees {
+    /// Tensor parallel size `t` (≤ GPUs per node in practice).
+    pub tensor: u32,
+    /// Pipeline parallel size `p`.
+    pub pipeline: u32,
+    /// Data parallel size `d`.
+    pub data: u32,
+}
+
+impl ParallelDegrees {
+    /// Validate `(t, p, d)` against a device count.
+    pub fn new(tensor: u32, pipeline: u32, data: u32, devices: u32) -> Result<Self, DegreeError> {
+        if tensor == 0 || pipeline == 0 || data == 0 {
+            return Err(DegreeError::ZeroDegree);
+        }
+        let product = u64::from(tensor) * u64::from(pipeline) * u64::from(data);
+        if product != u64::from(devices) {
+            return Err(DegreeError::ProductMismatch { product, devices });
+        }
+        Ok(ParallelDegrees {
+            tensor,
+            pipeline,
+            data,
+        })
+    }
+
+    /// Derive `d = N / (t·p)` from a device count.
+    pub fn infer_data(tensor: u32, pipeline: u32, devices: u32) -> Result<Self, DegreeError> {
+        if tensor == 0 || pipeline == 0 {
+            return Err(DegreeError::ZeroDegree);
+        }
+        let tp = tensor * pipeline;
+        if tp == 0 || !devices.is_multiple_of(tp) || devices == 0 {
+            return Err(DegreeError::ProductMismatch {
+                product: u64::from(tp),
+                devices,
+            });
+        }
+        Self::new(tensor, pipeline, devices / tp, devices)
+    }
+
+    /// Total devices `N = t·p·d`.
+    #[inline]
+    pub fn devices(&self) -> u32 {
+        self.tensor * self.pipeline * self.data
+    }
+}
+
+impl fmt::Display for ParallelDegrees {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={} p={} d={}", self.tensor, self.pipeline, self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_degrees() {
+        let deg = ParallelDegrees::new(2, 4, 4, 32).unwrap();
+        assert_eq!(deg.devices(), 32);
+    }
+
+    #[test]
+    fn zero_degree_rejected() {
+        assert_eq!(
+            ParallelDegrees::new(0, 1, 1, 0),
+            Err(DegreeError::ZeroDegree)
+        );
+    }
+
+    #[test]
+    fn product_mismatch_rejected() {
+        assert!(matches!(
+            ParallelDegrees::new(2, 2, 2, 16),
+            Err(DegreeError::ProductMismatch { product: 8, devices: 16 })
+        ));
+    }
+
+    #[test]
+    fn infer_data_divides() {
+        let deg = ParallelDegrees::infer_data(1, 2, 32).unwrap();
+        assert_eq!(deg.data, 16);
+        assert!(ParallelDegrees::infer_data(1, 3, 32).is_err());
+        assert!(ParallelDegrees::infer_data(0, 3, 32).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let deg = ParallelDegrees::new(8, 2, 2, 32).unwrap();
+        assert_eq!(deg.to_string(), "t=8 p=2 d=2");
+    }
+}

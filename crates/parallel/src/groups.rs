@@ -1,0 +1,275 @@
+//! The `[TP]`, `[PP]`, `[DP]` group matrices of §2.4 (Eqs. 1, 3, 4).
+//!
+//! Groups are defined over *logical* ranks `0 .. N-1`; a
+//! [`crate::DeviceAssignment`] later maps logical ranks to physical
+//! devices. The paper writes the formulas 1-based; we store 0-based and
+//! verify the exact 1-based identities in tests.
+
+use crate::degrees::ParallelDegrees;
+
+/// O(1) group membership algebra for a degree triple.
+///
+/// The paper's Figure 2 example — `t=2, p=4, d=2` over 16 GPUs:
+///
+/// ```
+/// use holmes_parallel::{GroupLayout, ParallelDegrees};
+///
+/// let layout = GroupLayout::new(ParallelDegrees::new(2, 4, 2, 16).unwrap());
+/// assert_eq!(layout.tp_group(0), vec![0, 1]);        // one node's pair
+/// assert_eq!(layout.pp_group(0), vec![0, 4, 8, 12]); // one per stage
+/// assert_eq!(layout.dp_group(0), vec![0, 2]);        // replicas of a shard
+/// assert_eq!(layout.stage_of(9), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupLayout {
+    degrees: ParallelDegrees,
+}
+
+impl GroupLayout {
+    /// Layout for validated degrees.
+    pub fn new(degrees: ParallelDegrees) -> Self {
+        GroupLayout { degrees }
+    }
+
+    /// The degree triple.
+    #[inline]
+    pub fn degrees(&self) -> ParallelDegrees {
+        self.degrees
+    }
+
+    #[inline]
+    fn t(&self) -> u32 {
+        self.degrees.tensor
+    }
+    #[inline]
+    fn p(&self) -> u32 {
+        self.degrees.pipeline
+    }
+    #[inline]
+    fn d(&self) -> u32 {
+        self.degrees.data
+    }
+
+    /// Number of tensor parallel groups: `p·d`.
+    #[inline]
+    pub fn tp_group_count(&self) -> u32 {
+        self.p() * self.d()
+    }
+
+    /// Number of pipeline parallel groups: `t·d`.
+    #[inline]
+    pub fn pp_group_count(&self) -> u32 {
+        self.t() * self.d()
+    }
+
+    /// Number of data parallel groups: `p·t`.
+    #[inline]
+    pub fn dp_group_count(&self) -> u32 {
+        self.p() * self.t()
+    }
+
+    /// Eq. 1: members of tensor parallel group `i` (0-based):
+    /// `{ i·t, i·t+1, …, i·t+t−1 }`.
+    pub fn tp_group(&self, i: u32) -> Vec<u32> {
+        debug_assert!(i < self.tp_group_count());
+        (0..self.t()).map(|j| i * self.t() + j).collect()
+    }
+
+    /// Eq. 3: members of pipeline parallel group `i` (0-based):
+    /// `{ i + j·t·d : j ∈ 0..p }` — member `j` sits on pipeline stage `j`.
+    pub fn pp_group(&self, i: u32) -> Vec<u32> {
+        debug_assert!(i < self.pp_group_count());
+        let stride = self.t() * self.d();
+        (0..self.p()).map(|j| i + j * stride).collect()
+    }
+
+    /// Eq. 4: members of data parallel group `i` (0-based):
+    /// `{ (i mod t) + ((i div t)·d + j)·t : j ∈ 0..d }`.
+    pub fn dp_group(&self, i: u32) -> Vec<u32> {
+        debug_assert!(i < self.dp_group_count());
+        let (t, d) = (self.t(), self.d());
+        let m = i % t;
+        let q = i / t;
+        (0..d).map(|j| m + (q * d + j) * t).collect()
+    }
+
+    /// Pipeline stage of a logical rank: `r div (t·d)` ∈ `0..p`.
+    #[inline]
+    pub fn stage_of(&self, rank: u32) -> u32 {
+        rank / (self.t() * self.d())
+    }
+
+    /// Tensor parallel group index of a logical rank.
+    #[inline]
+    pub fn tp_group_of(&self, rank: u32) -> u32 {
+        rank / self.t()
+    }
+
+    /// Pipeline parallel group index of a logical rank.
+    #[inline]
+    pub fn pp_group_of(&self, rank: u32) -> u32 {
+        rank % (self.t() * self.d())
+    }
+
+    /// Data parallel group index of a logical rank:
+    /// `stage·t + (offset mod t)` where `offset = rank mod (t·d)`.
+    #[inline]
+    pub fn dp_group_of(&self, rank: u32) -> u32 {
+        let offset = rank % (self.t() * self.d());
+        self.stage_of(rank) * self.t() + offset % self.t()
+    }
+
+    /// Position of a logical rank within its data parallel group.
+    #[inline]
+    pub fn dp_position_of(&self, rank: u32) -> u32 {
+        (rank % (self.t() * self.d())) / self.t()
+    }
+
+    /// All logical ranks on a pipeline stage, in order:
+    /// `[stage·t·d, (stage+1)·t·d)`.
+    pub fn stage_ranks(&self, stage: u32) -> Vec<u32> {
+        debug_assert!(stage < self.p());
+        let stride = self.t() * self.d();
+        (stage * stride..(stage + 1) * stride).collect()
+    }
+
+    /// All tensor parallel groups.
+    pub fn tp_groups(&self) -> Vec<Vec<u32>> {
+        (0..self.tp_group_count()).map(|i| self.tp_group(i)).collect()
+    }
+
+    /// All pipeline parallel groups.
+    pub fn pp_groups(&self) -> Vec<Vec<u32>> {
+        (0..self.pp_group_count()).map(|i| self.pp_group(i)).collect()
+    }
+
+    /// All data parallel groups.
+    pub fn dp_groups(&self) -> Vec<Vec<u32>> {
+        (0..self.dp_group_count()).map(|i| self.dp_group(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(t: u32, p: u32, d: u32) -> GroupLayout {
+        GroupLayout::new(ParallelDegrees::new(t, p, d, t * p * d).unwrap())
+    }
+
+    /// Check a family of groups covers 0..N exactly once.
+    fn assert_partition(groups: &[Vec<u32>], n: u32) {
+        let mut seen = vec![false; n as usize];
+        for g in groups {
+            for &r in g {
+                assert!(!seen[r as usize], "rank {r} appears twice");
+                seen[r as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "not all ranks covered");
+    }
+
+    #[test]
+    fn figure2_example_groups() {
+        // Figure 2: t=2, d=2, p=4 over 16 GPUs.
+        let l = layout(2, 4, 2);
+        assert_eq!(l.tp_group(0), vec![0, 1]);
+        assert_eq!(l.pp_group(0), vec![0, 4, 8, 12]);
+        assert_eq!(l.dp_group(0), vec![0, 2]);
+        assert_eq!(l.dp_group(1), vec![1, 3]);
+    }
+
+    #[test]
+    fn eq1_matches_paper_one_based_formula() {
+        let l = layout(3, 2, 4);
+        for i1 in 1..=(l.p() * l.d()) {
+            for j1 in 1..=l.t() {
+                let paper_rank = (i1 - 1) * l.t() + j1; // 1-based
+                assert_eq!(l.tp_group(i1 - 1)[(j1 - 1) as usize] + 1, paper_rank);
+            }
+        }
+    }
+
+    #[test]
+    fn eq3_matches_paper_one_based_formula() {
+        let l = layout(3, 2, 4);
+        for i1 in 1..=(l.t() * l.d()) {
+            for j1 in 1..=l.p() {
+                let paper_rank = i1 + (j1 - 1) * l.t() * l.d();
+                assert_eq!(l.pp_group(i1 - 1)[(j1 - 1) as usize] + 1, paper_rank);
+            }
+        }
+    }
+
+    #[test]
+    fn eq4_matches_paper_one_based_formula() {
+        let l = layout(3, 2, 4);
+        let (t, d) = (l.t(), l.d());
+        for i1 in 1..=(l.p() * l.t()) {
+            for j1 in 1..=d {
+                let paper_rank = (i1 - 1) % t + (((i1 - 1) / t) * d + j1 - 1) * t + 1;
+                assert_eq!(l.dp_group(i1 - 1)[(j1 - 1) as usize] + 1, paper_rank);
+            }
+        }
+    }
+
+    #[test]
+    fn each_group_family_partitions_all_ranks() {
+        for (t, p, d) in [(1, 2, 16), (2, 4, 2), (8, 2, 2), (4, 3, 2), (1, 1, 1)] {
+            let l = layout(t, p, d);
+            let n = t * p * d;
+            assert_partition(&l.tp_groups(), n);
+            assert_partition(&l.pp_groups(), n);
+            assert_partition(&l.dp_groups(), n);
+        }
+    }
+
+    #[test]
+    fn membership_queries_agree_with_group_lists() {
+        let l = layout(2, 3, 4);
+        for r in 0..24 {
+            assert!(l.tp_group(l.tp_group_of(r)).contains(&r));
+            assert!(l.pp_group(l.pp_group_of(r)).contains(&r));
+            let dp = l.dp_group(l.dp_group_of(r));
+            assert!(dp.contains(&r));
+            assert_eq!(dp[l.dp_position_of(r) as usize], r);
+        }
+    }
+
+    #[test]
+    fn pp_group_member_j_is_on_stage_j() {
+        let l = layout(2, 4, 2);
+        for i in 0..l.pp_group_count() {
+            for (j, &r) in l.pp_group(i).iter().enumerate() {
+                assert_eq!(l.stage_of(r), j as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn dp_groups_stay_within_one_stage() {
+        // Every DP group's members must share a pipeline stage — this is
+        // what lets Holmes confine DP traffic inside one cluster.
+        let l = layout(2, 3, 4);
+        for i in 0..l.dp_group_count() {
+            let g = l.dp_group(i);
+            let stage = l.stage_of(g[0]);
+            assert!(g.iter().all(|&r| l.stage_of(r) == stage));
+        }
+    }
+
+    #[test]
+    fn stage_ranks_are_contiguous_blocks() {
+        let l = layout(2, 4, 2);
+        assert_eq!(l.stage_ranks(0), (0..4).collect::<Vec<_>>());
+        assert_eq!(l.stage_ranks(3), (12..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_counts() {
+        let l = layout(2, 4, 3);
+        assert_eq!(l.tp_group_count(), 12);
+        assert_eq!(l.pp_group_count(), 6);
+        assert_eq!(l.dp_group_count(), 8);
+    }
+}

@@ -1,0 +1,43 @@
+//! # holmes-parallel
+//!
+//! The parallel-group algebra and scheduling machinery of the Holmes paper.
+//!
+//! The paper formalizes distributed training as a scheduling problem
+//! (§2.4): `N = t·p·d` devices are organized into tensor-, pipeline- and
+//! data-parallel groups given by the matrices of Eqs. 1, 3 and 4. This
+//! crate implements:
+//!
+//! * [`ParallelDegrees`] — validated `(t, p, d)` degree triples;
+//! * [`GroupLayout`] — the exact `[TP]`, `[PP]`, `[DP]` matrices over
+//!   *logical* ranks, with O(1) membership queries;
+//! * [`DeviceAssignment`] + [`Scheduler`] — mapping logical ranks onto
+//!   physical devices: the Megatron-style sequential order, an
+//!   adversarial interleaved hostfile, and the NIC-aware Holmes order that
+//!   aligns pipeline stages with cluster boundaries;
+//! * [`NicSelectionReport`] — the paper's *Automatic NIC Selection*
+//!   analysis: which data-parallel groups are NIC-homogeneous (and may use
+//!   RDMA) and which are forced down to Ethernet;
+//! * [`PartitionStrategy`] — *Uniform* vs *Self-Adapting* (Eq. 2) pipeline
+//!   layer partitioning;
+//! * [`ParallelPlan`] — the assembled plan consumed by the engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod degrees;
+mod groups;
+mod nic_selection;
+mod partition;
+mod plan;
+mod scheduler;
+mod search;
+
+pub use degrees::{DegreeError, ParallelDegrees};
+pub use groups::GroupLayout;
+pub use nic_selection::{DpGroupNic, NicSelectionReport};
+pub use partition::{PartitionStrategy, SelfAdaptingPartition, UniformPartition};
+pub use plan::ParallelPlan;
+pub use search::{assignment_for_order, search_cluster_orders, PlacementSearchResult};
+pub use scheduler::{
+    DeviceAssignment, HolmesScheduler, InterleavedScheduler, Scheduler, SequentialScheduler,
+};

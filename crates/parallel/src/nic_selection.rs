@@ -1,0 +1,203 @@
+//! Automatic NIC Selection (§3.2).
+//!
+//! Holmes modifies NCCL/Megatron so that each data-parallel group is formed
+//! from devices behind *one* NIC technology, letting the group communicate
+//! over RDMA. This module implements the analysis side: given a layout and
+//! a device assignment, classify every DP group, and score the plan's
+//! data-parallel communication cost — the signal the Holmes planner uses to
+//! choose between candidate assignments.
+
+use holmes_topology::{NicType, Rank, Topology};
+
+use crate::groups::GroupLayout;
+use crate::scheduler::DeviceAssignment;
+
+/// Classification of one data-parallel group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpGroupNic {
+    /// Group index (row of `[DP]`).
+    pub group: u32,
+    /// Physical members.
+    pub devices: Vec<Rank>,
+    /// `Some(t)` when all members share NIC technology `t` *and* a single
+    /// cluster (so RDMA is actually reachable); `None` when the group is
+    /// forced down to Ethernet.
+    pub rdma_nic: Option<NicType>,
+}
+
+/// Plan-wide Automatic NIC Selection report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NicSelectionReport {
+    /// Per-group classification.
+    pub groups: Vec<DpGroupNic>,
+    /// Number of groups able to use RDMA.
+    pub rdma_groups: u32,
+    /// Number of groups forced down to Ethernet.
+    pub ethernet_groups: u32,
+}
+
+impl NicSelectionReport {
+    /// Analyze every data-parallel group of a plan.
+    pub fn analyze(topo: &Topology, layout: &GroupLayout, assignment: &DeviceAssignment) -> Self {
+        let mut groups = Vec::with_capacity(layout.dp_group_count() as usize);
+        let mut rdma = 0u32;
+        for i in 0..layout.dp_group_count() {
+            let devices = assignment.map_group(&layout.dp_group(i));
+            let rdma_nic = Self::classify(topo, &devices);
+            if rdma_nic.is_some() {
+                rdma += 1;
+            }
+            groups.push(DpGroupNic {
+                group: i,
+                devices,
+                rdma_nic,
+            });
+        }
+        let total = groups.len() as u32;
+        NicSelectionReport {
+            groups,
+            rdma_groups: rdma,
+            ethernet_groups: total - rdma,
+        }
+    }
+
+    /// `Some(nic)` when the device set can use RDMA end-to-end: identical
+    /// RDMA-capable NIC technology and a single switched cluster.
+    fn classify(topo: &Topology, devices: &[Rank]) -> Option<NicType> {
+        let first = devices.first()?;
+        let nic = topo.nic_type_of(*first).ok()?;
+        if !nic.supports_rdma() {
+            return None;
+        }
+        let cluster = topo.coord(*first).ok()?.cluster;
+        if !topo.clusters()[cluster.0 as usize].has_switch {
+            return None;
+        }
+        for r in &devices[1..] {
+            if topo.nic_type_of(*r).ok()? != nic || topo.coord(*r).ok()?.cluster != cluster {
+                return None;
+            }
+        }
+        Some(nic)
+    }
+
+    /// Fraction of groups able to use RDMA (1.0 = perfect selection).
+    pub fn rdma_fraction(&self) -> f64 {
+        let total = self.groups.len();
+        if total == 0 {
+            return 1.0;
+        }
+        f64::from(self.rdma_groups) / total as f64
+    }
+
+    /// Analytic per-iteration data-parallel synchronization cost in
+    /// seconds, for `gradient_bytes` of gradients per rank: the max over
+    /// groups of a ring all-reduce at the group's bottleneck pairwise
+    /// bandwidth. Used by the planner to compare assignments cheaply.
+    pub fn dp_sync_cost_seconds(&self, topo: &Topology, gradient_bytes: u64) -> f64 {
+        let mut worst: f64 = 0.0;
+        for g in &self.groups {
+            let n = g.devices.len() as u32;
+            if n <= 1 {
+                continue;
+            }
+            // Ring over the group's device order: bottleneck hop binds.
+            let mut bw = f64::INFINITY;
+            let mut lat: f64 = 0.0;
+            for (i, &a) in g.devices.iter().enumerate() {
+                let b = g.devices[(i + 1) % g.devices.len()];
+                let link = topo.link_between(a, b).expect("devices in topology");
+                bw = bw.min(link.bandwidth_bytes_per_sec);
+                lat = lat.max(link.latency_ns as f64 * 1e-9);
+            }
+            let steps = f64::from(2 * (n - 1));
+            let chunk = gradient_bytes as f64 / f64::from(n);
+            worst = worst.max(steps * (lat + chunk / bw));
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degrees::ParallelDegrees;
+    use crate::scheduler::{HolmesScheduler, InterleavedScheduler, Scheduler};
+    use holmes_topology::presets;
+
+    fn layout_for(topo: &Topology, t: u32, p: u32) -> GroupLayout {
+        GroupLayout::new(ParallelDegrees::infer_data(t, p, topo.device_count()).unwrap())
+    }
+
+    #[test]
+    fn holmes_assignment_gives_all_rdma_groups_on_hybrid() {
+        let topo = presets::hybrid_two_cluster(2);
+        let layout = layout_for(&topo, 1, 2);
+        let a = HolmesScheduler.assign(&topo, &layout);
+        let report = NicSelectionReport::analyze(&topo, &layout, &a);
+        assert_eq!(report.ethernet_groups, 0);
+        assert_eq!(report.rdma_fraction(), 1.0);
+        // One stage's groups are IB, the other's RoCE.
+        let nics: std::collections::BTreeSet<_> =
+            report.groups.iter().map(|g| g.rdma_nic).collect();
+        assert!(nics.contains(&Some(NicType::InfiniBand)));
+        assert!(nics.contains(&Some(NicType::RoCE)));
+    }
+
+    #[test]
+    fn interleaved_assignment_breaks_every_group_on_hybrid() {
+        let topo = presets::hybrid_two_cluster(2);
+        let layout = layout_for(&topo, 1, 2);
+        let a = InterleavedScheduler.assign(&topo, &layout);
+        let report = NicSelectionReport::analyze(&topo, &layout, &a);
+        // Each stage (16 logical ranks = 2 physical nodes) now mixes an IB
+        // node and a RoCE node, so every DP group is heterogeneous.
+        assert_eq!(report.rdma_groups, 0);
+        assert_eq!(report.rdma_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ethernet_only_topology_has_no_rdma_groups() {
+        let topo = presets::homogeneous(NicType::Ethernet, 4);
+        let layout = layout_for(&topo, 1, 2);
+        let a = HolmesScheduler.assign(&topo, &layout);
+        let report = NicSelectionReport::analyze(&topo, &layout, &a);
+        assert_eq!(report.rdma_groups, 0);
+    }
+
+    #[test]
+    fn homogeneous_ib_topology_is_fully_rdma() {
+        let topo = presets::homogeneous(NicType::InfiniBand, 4);
+        let layout = layout_for(&topo, 1, 2);
+        let a = HolmesScheduler.assign(&topo, &layout);
+        let report = NicSelectionReport::analyze(&topo, &layout, &a);
+        assert_eq!(report.rdma_fraction(), 1.0);
+        assert!(report
+            .groups
+            .iter()
+            .all(|g| g.rdma_nic == Some(NicType::InfiniBand)));
+    }
+
+    #[test]
+    fn dp_cost_lower_for_holmes_than_interleaved() {
+        let topo = presets::hybrid_two_cluster(2);
+        let layout = layout_for(&topo, 1, 2);
+        let grad = 1u64 << 30;
+        let holmes = NicSelectionReport::analyze(&topo, &layout, &HolmesScheduler.assign(&topo, &layout));
+        let inter =
+            NicSelectionReport::analyze(&topo, &layout, &InterleavedScheduler.assign(&topo, &layout));
+        let c_h = holmes.dp_sync_cost_seconds(&topo, grad);
+        let c_i = inter.dp_sync_cost_seconds(&topo, grad);
+        assert!(c_h < c_i, "holmes {c_h} vs interleaved {c_i}");
+    }
+
+    #[test]
+    fn singleton_dp_groups_cost_nothing() {
+        let topo = presets::homogeneous(NicType::InfiniBand, 2);
+        // d=1: t=8, p=2 over 16 devices.
+        let layout = layout_for(&topo, 8, 2);
+        let a = HolmesScheduler.assign(&topo, &layout);
+        let report = NicSelectionReport::analyze(&topo, &layout, &a);
+        assert_eq!(report.dp_sync_cost_seconds(&topo, 1 << 30), 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Exhaustive placement search over cluster orderings.
+//!
+//! [`crate::HolmesScheduler`] is a *heuristic*: concatenate clusters
+//! fastest-NIC-first. This module searches every cluster permutation and
+//! scores each candidate by the analytic data-parallel synchronization
+//! cost ([`NicSelectionReport::dp_sync_cost_seconds`]), providing
+//!
+//! * an optimality check for the heuristic (the test suite proves the
+//!   heuristic matches the exhaustive optimum on every paper topology);
+//! * a fallback for exotic fleets where fastest-first is not best.
+//!
+//! Cluster counts in practice are tiny (the paper tops out at 3), so the
+//! `M!` search is instantaneous.
+
+use holmes_topology::{ClusterId, Topology};
+
+use crate::groups::GroupLayout;
+use crate::nic_selection::NicSelectionReport;
+use crate::scheduler::DeviceAssignment;
+
+/// Result of an exhaustive placement search.
+#[derive(Debug, Clone)]
+pub struct PlacementSearchResult {
+    /// The winning cluster visit order.
+    pub cluster_order: Vec<ClusterId>,
+    /// The assignment induced by that order.
+    pub assignment: DeviceAssignment,
+    /// Its analytic DP synchronization cost (seconds).
+    pub cost_seconds: f64,
+    /// Number of permutations evaluated.
+    pub evaluated: u32,
+}
+
+/// Build the assignment that concatenates clusters in `order`.
+pub fn assignment_for_order(topo: &Topology, order: &[ClusterId]) -> DeviceAssignment {
+    let mut device_of = Vec::with_capacity(topo.device_count() as usize);
+    for &cluster in order {
+        device_of.extend(topo.cluster_ranks(cluster));
+    }
+    DeviceAssignment::from_permutation(device_of)
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    for rest in permutations(n - 1) {
+        for pos in 0..=rest.len() {
+            let mut p = rest.clone();
+            p.insert(pos, n - 1);
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Search every cluster ordering; score by the DP sync cost for
+/// `gradient_bytes` per rank. Ties break toward the first-found (which,
+/// because permutations enumerate stably, keeps results deterministic).
+pub fn search_cluster_orders(
+    topo: &Topology,
+    layout: &GroupLayout,
+    gradient_bytes: u64,
+) -> PlacementSearchResult {
+    let m = topo.cluster_count() as usize;
+    let mut best: Option<PlacementSearchResult> = None;
+    let mut evaluated = 0;
+    for perm in permutations(m) {
+        let order: Vec<ClusterId> = perm.iter().map(|&i| ClusterId(i as u32)).collect();
+        let assignment = assignment_for_order(topo, &order);
+        let report = NicSelectionReport::analyze(topo, layout, &assignment);
+        let cost = report.dp_sync_cost_seconds(topo, gradient_bytes);
+        evaluated += 1;
+        let better = match &best {
+            None => true,
+            Some(b) => cost < b.cost_seconds - 1e-12,
+        };
+        if better {
+            best = Some(PlacementSearchResult {
+                cluster_order: order,
+                assignment,
+                cost_seconds: cost,
+                evaluated,
+            });
+        }
+    }
+    let mut result = best.expect("at least one permutation");
+    result.evaluated = evaluated;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degrees::ParallelDegrees;
+    use crate::scheduler::{HolmesScheduler, Scheduler};
+    use holmes_topology::presets;
+
+    const GRAD: u64 = 1 << 32; // 4 GiB, PG-scale
+
+    fn layout_for(topo: &Topology, t: u32, p: u32) -> GroupLayout {
+        GroupLayout::new(ParallelDegrees::infer_data(t, p, topo.device_count()).unwrap())
+    }
+
+    #[test]
+    fn permutations_enumerate_factorially() {
+        assert_eq!(permutations(0).len(), 1);
+        assert_eq!(permutations(1).len(), 1);
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(4).len(), 24);
+        // Each is a permutation of 0..n.
+        for p in permutations(4) {
+            let mut q = p.clone();
+            q.sort_unstable();
+            assert_eq!(q, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn heuristic_matches_exhaustive_on_paper_topologies() {
+        for (topo, p) in [
+            (presets::hybrid_two_cluster(2), 2u32),
+            (presets::table4_2r_2r_2ib(), 3),
+            (presets::table4_2r_2ib_2ib(), 3),
+            (presets::table4_4r_4ib_4ib(), 3),
+        ] {
+            let layout = layout_for(&topo, 1, p);
+            let exhaustive = search_cluster_orders(&topo, &layout, GRAD);
+            let heuristic = HolmesScheduler.assign(&topo, &layout);
+            let heuristic_cost = NicSelectionReport::analyze(&topo, &layout, &heuristic)
+                .dp_sync_cost_seconds(&topo, GRAD);
+            assert!(
+                heuristic_cost <= exhaustive.cost_seconds + 1e-9,
+                "heuristic {heuristic_cost} vs exhaustive {}",
+                exhaustive.cost_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn search_beats_the_identity_order_when_identity_misaligns() {
+        // 3 clusters, but p=2: some stage must span two clusters. The
+        // search finds an order that minimizes the damage.
+        let topo = presets::table4_2r_2ib_2ib(); // RoCE, IB, IB
+        let layout = layout_for(&topo, 1, 2);
+        let result = search_cluster_orders(&topo, &layout, GRAD);
+        assert_eq!(result.evaluated, 6);
+        // With p=2 over 3 clusters, each DP group (d=24) inevitably spans
+        // a cluster boundary — no order can fully restore RDMA — but the
+        // search must still never lose to the identity order.
+        let identity = assignment_for_order(
+            &topo,
+            &[ClusterId(0), ClusterId(1), ClusterId(2)],
+        );
+        let identity_cost = NicSelectionReport::analyze(&topo, &layout, &identity)
+            .dp_sync_cost_seconds(&topo, GRAD);
+        assert!(result.cost_seconds <= identity_cost + 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_search_is_trivial() {
+        let topo = presets::homogeneous(holmes_topology::NicType::InfiniBand, 4);
+        let layout = layout_for(&topo, 1, 2);
+        let result = search_cluster_orders(&topo, &layout, GRAD);
+        assert_eq!(result.evaluated, 1);
+        assert_eq!(result.cluster_order, vec![ClusterId(0)]);
+    }
+}

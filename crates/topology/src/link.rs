@@ -1,0 +1,123 @@
+//! Effective transports between pairs of devices.
+
+use crate::nic::NicType;
+
+/// The transport technology resolved for a device pair.
+///
+/// Resolution rules (paper §2.2 / §3.1):
+///
+/// * same node → [`LinkKind::NvLink`] (or [`LinkKind::PciE`] on nodes
+///   without NVLink);
+/// * same cluster, both NICs the same RDMA technology → [`LinkKind::Rdma`];
+/// * everything else (cross-cluster, or mixed IB/RoCE) → [`LinkKind::Tcp`]
+///   over plain Ethernet, because InfiniBand and RoCE are incompatible and
+///   clusters in the paper's Case 2 lack high-speed interconnects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// Intra-node NVLink / NVSwitch.
+    NvLink,
+    /// Intra-node PCI-E (fallback when NVLink is absent).
+    PciE,
+    /// Inter-node RDMA over the given NIC technology.
+    Rdma(NicType),
+    /// Inter-node TCP over Ethernet.
+    Tcp,
+}
+
+impl LinkKind {
+    /// True for intra-node transports.
+    #[inline]
+    pub fn is_intra_node(self) -> bool {
+        matches!(self, LinkKind::NvLink | LinkKind::PciE)
+    }
+
+    /// True when the transport uses RDMA semantics.
+    #[inline]
+    pub fn is_rdma(self) -> bool {
+        matches!(self, LinkKind::Rdma(_))
+    }
+}
+
+/// A resolved transport with its performance characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkProfile {
+    /// Transport technology.
+    pub kind: LinkKind,
+    /// Effective point-to-point bandwidth in bytes per second (already
+    /// discounted by protocol efficiency).
+    pub bandwidth_bytes_per_sec: f64,
+    /// One-way latency in nanoseconds.
+    pub latency_ns: u64,
+}
+
+impl LinkProfile {
+    /// NVLink 3 (A100 generation): 600 GB/s bidirectional per GPU through
+    /// NVSwitch; we model ~250 GB/s effective unidirectional per flow.
+    pub fn nvlink() -> Self {
+        LinkProfile {
+            kind: LinkKind::NvLink,
+            bandwidth_bytes_per_sec: 250e9,
+            latency_ns: 700,
+        }
+    }
+
+    /// PCI-E 4.0 x16: ~32 GB/s raw, ~25 GB/s effective.
+    pub fn pcie4() -> Self {
+        LinkProfile {
+            kind: LinkKind::PciE,
+            bandwidth_bytes_per_sec: 25e9,
+            latency_ns: 1_500,
+        }
+    }
+
+    /// Wall-clock seconds to move `bytes` over this link, unloaded.
+    #[inline]
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.latency_ns as f64 * 1e-9 + bytes as f64 / self.bandwidth_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intra_node_classification() {
+        assert!(LinkKind::NvLink.is_intra_node());
+        assert!(LinkKind::PciE.is_intra_node());
+        assert!(!LinkKind::Rdma(NicType::InfiniBand).is_intra_node());
+        assert!(!LinkKind::Tcp.is_intra_node());
+    }
+
+    #[test]
+    fn rdma_classification() {
+        assert!(LinkKind::Rdma(NicType::RoCE).is_rdma());
+        assert!(!LinkKind::Tcp.is_rdma());
+        assert!(!LinkKind::NvLink.is_rdma());
+    }
+
+    #[test]
+    fn nvlink_is_faster_than_pcie() {
+        assert!(
+            LinkProfile::nvlink().bandwidth_bytes_per_sec
+                > LinkProfile::pcie4().bandwidth_bytes_per_sec
+        );
+    }
+
+    #[test]
+    fn transfer_time_includes_latency() {
+        let link = LinkProfile {
+            kind: LinkKind::Tcp,
+            bandwidth_bytes_per_sec: 1e9,
+            latency_ns: 1_000_000, // 1 ms
+        };
+        let t = link.transfer_seconds(1_000_000_000);
+        assert!((t - 1.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_byte_transfer_costs_only_latency() {
+        let link = LinkProfile::nvlink();
+        assert!((link.transfer_seconds(0) - 700e-9).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,147 @@
+//! Preset topologies matching every machine environment in the paper's
+//! experiment section (§4.1 "NIC Environment").
+//!
+//! All presets use paper-standard nodes: 8× A100-80GB, NVLink intra-node,
+//! a 25 Gb/s Ethernet fallback, and reference NIC profiles.
+
+use crate::builder::TopologyBuilder;
+use crate::nic::NicType;
+use crate::topology::Topology;
+
+/// *InfiniBand* / *RoCE* / *Ethernet* environments: one cluster of
+/// `node_count` nodes, every node behind the same NIC technology and a
+/// high-speed switch.
+pub fn homogeneous(nic: NicType, node_count: u32) -> Topology {
+    TopologyBuilder::new()
+        .cluster(format!("{nic}-cluster"), node_count, nic)
+        .build()
+        .expect("non-empty homogeneous topology")
+}
+
+/// The *Hybird* environment of Table 3: two clusters with the same number
+/// of nodes, one InfiniBand and one RoCE, no high-speed interconnect
+/// between them.
+pub fn hybrid_two_cluster(nodes_per_cluster: u32) -> Topology {
+    TopologyBuilder::new()
+        .cluster("ib-cluster", nodes_per_cluster, NicType::InfiniBand)
+        .cluster("roce-cluster", nodes_per_cluster, NicType::RoCE)
+        .build()
+        .expect("non-empty hybrid topology")
+}
+
+/// Unequal hybrid split (e.g. Figure 6's "4 nodes RoCE + 4 nodes IB" is the
+/// equal case; this supports arbitrary splits for extensions).
+pub fn hybrid_split(ib_nodes: u32, roce_nodes: u32) -> Topology {
+    TopologyBuilder::new()
+        .cluster("ib-cluster", ib_nodes, NicType::InfiniBand)
+        .cluster("roce-cluster", roce_nodes, NicType::RoCE)
+        .build()
+        .expect("non-empty hybrid topology")
+}
+
+/// Figure 4's Case-2 environments with *homogeneous* NICs but **no**
+/// inter-cluster high-speed interconnect ("InfiniBand & Ethernet" /
+/// "RoCE & Ethernet"): two clusters of `nodes_per_cluster` nodes each, both
+/// behind `nic`, communicating across clusters only via Ethernet.
+pub fn same_nic_two_clusters(nic: NicType, nodes_per_cluster: u32) -> Topology {
+    TopologyBuilder::new()
+        .cluster(format!("{nic}-cluster-1"), nodes_per_cluster, nic)
+        .cluster(format!("{nic}-cluster-2"), nodes_per_cluster, nic)
+        .build()
+        .expect("non-empty two-cluster topology")
+}
+
+/// Table 4's three-cluster environments. `spec` gives, per cluster, the node
+/// count and NIC technology, e.g. `[(2, RoCE), (2, RoCE), (2, InfiniBand)]`
+/// for "2RoCE & 2RoCE & 2IB".
+pub fn three_cluster(spec: [(u32, NicType); 3]) -> Topology {
+    let mut builder = TopologyBuilder::new();
+    for (i, (nodes, nic)) in spec.into_iter().enumerate() {
+        builder = builder.cluster(format!("{nic}-cluster-{i}"), nodes, nic);
+    }
+    builder.build().expect("non-empty three-cluster topology")
+}
+
+/// Table 4 column "2RoCE & 2RoCE & 2IB" (6 nodes / 48 GPUs).
+pub fn table4_2r_2r_2ib() -> Topology {
+    three_cluster([
+        (2, NicType::RoCE),
+        (2, NicType::RoCE),
+        (2, NicType::InfiniBand),
+    ])
+}
+
+/// Table 4 column "2RoCE & 2IB & 2IB" (6 nodes / 48 GPUs).
+pub fn table4_2r_2ib_2ib() -> Topology {
+    three_cluster([
+        (2, NicType::RoCE),
+        (2, NicType::InfiniBand),
+        (2, NicType::InfiniBand),
+    ])
+}
+
+/// Table 4 column "4RoCE & 4IB & 4IB" (12 nodes / 96 GPUs).
+pub fn table4_4r_4ib_4ib() -> Topology {
+    three_cluster([
+        (4, NicType::RoCE),
+        (4, NicType::InfiniBand),
+        (4, NicType::InfiniBand),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_sizes() {
+        for n in [4, 6, 8] {
+            let topo = homogeneous(NicType::InfiniBand, n);
+            assert_eq!(topo.node_count(), n);
+            assert_eq!(topo.device_count(), n * 8);
+            assert!(topo.is_homogeneous());
+        }
+    }
+
+    #[test]
+    fn hybrid_has_two_clusters_and_both_rdma_types() {
+        let topo = hybrid_two_cluster(2);
+        assert_eq!(topo.cluster_count(), 2);
+        assert_eq!(topo.device_count(), 32);
+        assert_eq!(
+            topo.nic_types_present(),
+            vec![NicType::InfiniBand, NicType::RoCE]
+        );
+    }
+
+    #[test]
+    fn same_nic_two_clusters_is_not_homogeneous_case1() {
+        // Same NIC type everywhere but two clusters → cross-cluster pairs
+        // must fall back to TCP (this is exactly Figure 4's setting).
+        use crate::topology::Rank;
+        use crate::link::LinkKind;
+        let topo = same_nic_two_clusters(NicType::InfiniBand, 2);
+        assert!(!topo.is_homogeneous());
+        let cross = topo.link_between(Rank(0), Rank(16)).unwrap();
+        assert_eq!(cross.kind, LinkKind::Tcp);
+        let within = topo.link_between(Rank(0), Rank(8)).unwrap();
+        assert_eq!(within.kind, LinkKind::Rdma(NicType::InfiniBand));
+    }
+
+    #[test]
+    fn table4_presets_match_paper_columns() {
+        assert_eq!(table4_2r_2r_2ib().node_count(), 6);
+        assert_eq!(table4_2r_2ib_2ib().node_count(), 6);
+        assert_eq!(table4_4r_4ib_4ib().node_count(), 12);
+        assert_eq!(table4_4r_4ib_4ib().device_count(), 96);
+        assert_eq!(table4_2r_2r_2ib().cluster_count(), 3);
+    }
+
+    #[test]
+    fn hybrid_split_supports_unequal_clusters() {
+        let topo = hybrid_split(3, 1);
+        assert_eq!(topo.cluster_count(), 2);
+        assert_eq!(topo.clusters()[0].nodes.len(), 3);
+        assert_eq!(topo.clusters()[1].nodes.len(), 1);
+    }
+}

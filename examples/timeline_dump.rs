@@ -1,0 +1,40 @@
+//! Dump a simulated iteration's execution timeline as Chrome tracing JSON
+//! (open in `chrome://tracing` or https://ui.perfetto.dev) and print a
+//! per-stage utilization summary.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example timeline_dump
+//! ```
+
+use holmes_repro::topology::{presets, Rank};
+use holmes_repro::{run_framework, FrameworkKind};
+
+fn main() {
+    let topo = presets::hybrid_two_cluster(2);
+    let result = run_framework(FrameworkKind::Holmes, &topo, 1).expect("run");
+    let tl = &result.report.timeline;
+
+    println!(
+        "Simulated iteration: {:.2} s, {} spans recorded\n",
+        result.report.total_seconds,
+        tl.spans.len()
+    );
+    println!("{:<10} {:>10} {:>10} {:>8}", "device", "busy (s)", "wait (s)", "util");
+    for device in [0u32, 8, 16, 24] {
+        let busy = tl.device_busy_seconds(Rank(device));
+        let wait = result.report.total_seconds - busy;
+        println!(
+            "rank {:<5} {:>10.2} {:>10.2} {:>7.0}%",
+            device,
+            busy,
+            wait,
+            100.0 * (1.0 - tl.device_wait_fraction(Rank(device), result.report.total_seconds))
+        );
+    }
+
+    let path = std::env::temp_dir().join("holmes_trace.json");
+    std::fs::write(&path, tl.to_chrome_trace()).expect("write trace");
+    println!("\nChrome trace written to {}", path.display());
+    println!("Open chrome://tracing and load it to see the 1F1B pipeline shape.");
+}

@@ -1,0 +1,13 @@
+//! Root façade crate for the Holmes reproduction.
+//!
+//! Re-exports the public API of the `holmes` framework crate plus the
+//! substrate crates, and hosts the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`).
+
+pub use holmes::*;
+
+pub use holmes_engine as engine;
+pub use holmes_model as model;
+pub use holmes_netsim as netsim;
+pub use holmes_parallel as parallel;
+pub use holmes_topology as topology;

@@ -1,0 +1,214 @@
+//! Workspace-level property-based tests (proptest) over the full stack:
+//! random degree triples, topologies and workloads must preserve the
+//! structural invariants the Holmes scheduling method relies on.
+
+use proptest::prelude::*;
+
+use holmes_repro::model::{GptConfig, TrainJob};
+use holmes_repro::parallel::{
+    GroupLayout, HolmesScheduler, InterleavedScheduler, ParallelDegrees, ParallelPlan,
+    PartitionStrategy, Scheduler, SelfAdaptingPartition, SequentialScheduler, UniformPartition,
+};
+use holmes_repro::topology::{presets, NicType, Rank, TopologyBuilder};
+
+fn degrees_strategy() -> impl Strategy<Value = (u32, u32, u32)> {
+    (1u32..=4, 1u32..=4, 1u32..=8)
+}
+
+fn nic_strategy() -> impl Strategy<Value = NicType> {
+    prop_oneof![
+        Just(NicType::InfiniBand),
+        Just(NicType::RoCE),
+        Just(NicType::Ethernet),
+    ]
+}
+
+proptest! {
+    /// Every group family of Eqs. 1/3/4 partitions the rank set, for any
+    /// valid degree triple.
+    #[test]
+    fn group_families_partition_ranks((t, p, d) in degrees_strategy()) {
+        let n = t * p * d;
+        let layout = GroupLayout::new(ParallelDegrees::new(t, p, d, n).unwrap());
+        for groups in [layout.tp_groups(), layout.pp_groups(), layout.dp_groups()] {
+            let mut seen = vec![false; n as usize];
+            for g in &groups {
+                for &r in g {
+                    prop_assert!(!seen[r as usize]);
+                    seen[r as usize] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    /// Membership queries agree with the enumerated groups everywhere.
+    #[test]
+    fn membership_queries_consistent((t, p, d) in degrees_strategy()) {
+        let n = t * p * d;
+        let layout = GroupLayout::new(ParallelDegrees::new(t, p, d, n).unwrap());
+        for r in 0..n {
+            prop_assert!(layout.tp_group(layout.tp_group_of(r)).contains(&r));
+            prop_assert!(layout.pp_group(layout.pp_group_of(r)).contains(&r));
+            prop_assert!(layout.dp_group(layout.dp_group_of(r)).contains(&r));
+            prop_assert_eq!(
+                layout.pp_group(layout.pp_group_of(r))[layout.stage_of(r) as usize],
+                r
+            );
+        }
+    }
+
+    /// Every scheduler yields a bijection for any multi-cluster topology.
+    #[test]
+    fn schedulers_produce_permutations(
+        ib_nodes in 1u32..=3,
+        roce_nodes in 1u32..=3,
+        gpus in prop::sample::select(vec![2u32, 4, 8]),
+        t in 1u32..=2,
+        p in 1u32..=2,
+    ) {
+        let topo = TopologyBuilder::new()
+            .cluster("ib", ib_nodes, NicType::InfiniBand)
+            .cluster("roce", roce_nodes, NicType::RoCE)
+            .gpus_per_node(gpus)
+            .build()
+            .unwrap();
+        let n = topo.device_count();
+        prop_assume!(n % (t * p) == 0);
+        let layout = GroupLayout::new(ParallelDegrees::infer_data(t, p, n).unwrap());
+        for scheduler in [
+            &HolmesScheduler as &dyn Scheduler,
+            &SequentialScheduler,
+            &InterleavedScheduler,
+        ] {
+            let a = scheduler.assign(&topo, &layout);
+            let mut devices: Vec<u32> = (0..n).map(|l| a.device_of(l).0).collect();
+            devices.sort_unstable();
+            prop_assert_eq!(devices, (0..n).collect::<Vec<_>>());
+            for l in 0..n {
+                prop_assert_eq!(a.logical_of(a.device_of(l)), l);
+            }
+        }
+    }
+
+    /// Partition strategies preserve the layer total and stage minimums
+    /// for arbitrary positive speeds and any α in a sane range.
+    #[test]
+    fn partitions_preserve_totals(
+        layers in 1u32..=128,
+        speeds in prop::collection::vec(1.0f64..500.0, 1..=6),
+        alpha in 1.0f64..1.5,
+    ) {
+        let uni = UniformPartition.partition(layers, &speeds);
+        prop_assert_eq!(uni.iter().sum::<u32>(), layers);
+        let sa = SelfAdaptingPartition { alpha }.partition(layers, &speeds);
+        prop_assert_eq!(sa.iter().sum::<u32>(), layers);
+        if layers >= speeds.len() as u32 {
+            prop_assert!(uni.iter().all(|&l| l >= 1));
+            prop_assert!(sa.iter().all(|&l| l >= 1));
+        }
+    }
+
+    /// Self-adapting at α=1 with equal speeds reproduces the paper's Eq. 2
+    /// floor rule: every stage gets `⌊layers/stages⌋`, with the whole
+    /// remainder on the last-visited stage (`N_roce = N − N_ib` in the
+    /// two-stage form). When layers divide evenly this *is* uniform.
+    #[test]
+    fn self_adapting_degenerates_to_floor_rule(
+        layers in 1u32..=96,
+        stages in 1usize..=6,
+    ) {
+        prop_assume!(layers >= stages as u32);
+        let speeds = vec![1.0; stages];
+        let sa = SelfAdaptingPartition { alpha: 1.0 }.partition(layers, &speeds);
+        let floor = layers / stages as u32;
+        let remainder = layers % stages as u32;
+        prop_assert_eq!(*sa.iter().min().unwrap(), floor);
+        prop_assert_eq!(*sa.iter().max().unwrap(), floor + remainder);
+        if remainder == 0 {
+            let uni = UniformPartition.partition(layers, &speeds);
+            prop_assert_eq!(sa, uni);
+        }
+    }
+
+    /// Under the Holmes scheduler, every DP group's devices share a single
+    /// pipeline stage and, when cluster sizes align with stages, a single
+    /// cluster — the invariant Automatic NIC Selection depends on.
+    #[test]
+    fn holmes_dp_groups_share_stage(nodes in 1u32..=3, t in 1u32..=2) {
+        let topo = presets::hybrid_two_cluster(nodes);
+        let n = topo.device_count();
+        prop_assume!(n.is_multiple_of(t * 2));
+        let layout = GroupLayout::new(ParallelDegrees::infer_data(t, 2, n).unwrap());
+        let a = HolmesScheduler.assign(&topo, &layout);
+        for g in 0..layout.dp_group_count() {
+            let devices: Vec<Rank> = layout
+                .dp_group(g)
+                .iter()
+                .map(|&l| a.device_of(l))
+                .collect();
+            let clusters: std::collections::BTreeSet<u32> = devices
+                .iter()
+                .map(|r| topo.coord(*r).unwrap().cluster.0)
+                .collect();
+            prop_assert_eq!(clusters.len(), 1);
+        }
+    }
+
+    /// Eq. 5 / Eq. 6 arithmetic sanity over random architectures: positive,
+    /// monotone in batch, and the per-layer decomposition always re-sums.
+    #[test]
+    fn model_formulas_hold(
+        layers in 2u32..=64,
+        hidden_pow in 8u32..=13,
+        batch in prop::sample::select(vec![64u32, 256, 768, 1536]),
+    ) {
+        use holmes_repro::model::{
+            flops_per_iteration, layer_fwd_flops_per_sample, logit_fwd_flops_per_sample,
+            model_blocks, parameter_count,
+        };
+        let cfg = GptConfig::paper_standard(layers, 1 << hidden_pow, 16);
+        let params = parameter_count(&cfg);
+        prop_assert!(params > 0);
+        let blocks = model_blocks(&cfg);
+        prop_assert_eq!(blocks.iter().map(|b| b.params).sum::<u64>(), params);
+        let f = flops_per_iteration(&cfg, batch);
+        let rebuilt = 3.0
+            * f64::from(batch)
+            * (f64::from(layers) * layer_fwd_flops_per_sample(&cfg)
+                + logit_fwd_flops_per_sample(&cfg));
+        prop_assert!((f - rebuilt).abs() / f < 1e-9);
+    }
+
+    /// Full-stack smoke property: any feasible (t, p) on a random
+    /// environment simulates successfully with physically sane metrics.
+    #[test]
+    fn random_plans_simulate_sanely(
+        nic in nic_strategy(),
+        nodes in prop::sample::select(vec![2u32, 4]),
+        p in 1u32..=2,
+    ) {
+        use holmes_repro::engine::{simulate_iteration, EngineConfig};
+        let topo = presets::homogeneous(nic, nodes);
+        let n = topo.device_count();
+        prop_assume!(n.is_multiple_of(p));
+        let job = TrainJob {
+            config: GptConfig::paper_standard(12, 1024, 16),
+            micro_batch: 2,
+            global_batch: 256,
+        };
+        let d = n / p;
+        prop_assume!(job.microbatches_per_replica(d).is_some());
+        let layout = GroupLayout::new(ParallelDegrees::infer_data(1, p, n).unwrap());
+        let assignment = HolmesScheduler.assign(&topo, &layout);
+        let layers = UniformPartition.partition(12, &vec![1.0; p as usize]);
+        let plan = ParallelPlan::new(layout, assignment, layers, true);
+        let (report, metrics) =
+            simulate_iteration(&topo, &plan, &job, &EngineConfig::default()).unwrap();
+        prop_assert!(metrics.tflops_per_gpu > 0.0);
+        prop_assert!(metrics.tflops_per_gpu < 312.0, "cannot exceed peak");
+        prop_assert!(report.total_seconds > 0.0);
+        prop_assert!(report.forward_seconds_max > 0.0);
+        prop_assert!(report.backward_seconds_max >= report.forward_seconds_max);
+    }
+}
