@@ -1,93 +1,6 @@
-//! Micro-benchmarks of the discrete-event network simulator: event
-//! throughput under max-min fair-share recomputation is what bounds how
-//! many training configurations the harness can sweep.
+//! Thin harness wrapper; the suite lives in `holmes_bench::suites::netsim`
+//! so the `bench` binary can drive it in quick mode too.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use criterion::criterion_main;
 
-use holmes_netsim::{FlowSpec, LinkCapacity, NetSim, SimDuration};
-
-/// `flows` concurrent transfers over one shared link, drained to empty.
-fn drain_shared_link(flows: u64) -> u64 {
-    let mut sim = NetSim::new();
-    let link = sim.add_link(LinkCapacity::new(100e9));
-    for token in 0..flows {
-        sim.start_flow(FlowSpec {
-            path: vec![link],
-            bytes: 1_000_000 * (token + 1),
-            latency: SimDuration::from_micros(token % 7),
-            rate_cap: 25e9,
-            token,
-        });
-    }
-    let mut n = 0;
-    while sim.next().is_some() {
-        n += 1;
-    }
-    n
-}
-
-/// A mesh: `n` links, flows crossing random-ish pairs of links.
-fn drain_mesh(links: u32, flows: u64) -> u64 {
-    let mut sim = NetSim::new();
-    let link_ids: Vec<_> = (0..links)
-        .map(|_| sim.add_link(LinkCapacity::new(50e9)))
-        .collect();
-    for token in 0..flows {
-        let a = link_ids[(token as usize * 7) % link_ids.len()];
-        let b = link_ids[(token as usize * 13 + 1) % link_ids.len()];
-        sim.start_flow(FlowSpec {
-            path: vec![a, b],
-            bytes: 5_000_000 + 1_000 * token,
-            latency: SimDuration::from_micros(1),
-            rate_cap: f64::INFINITY,
-            token,
-        });
-    }
-    let mut n = 0;
-    while sim.next().is_some() {
-        n += 1;
-    }
-    n
-}
-
-fn bench_shared_link(c: &mut Criterion) {
-    let mut g = c.benchmark_group("netsim/shared_link_drain");
-    for flows in [16u64, 64, 256] {
-        g.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, &f| {
-            b.iter(|| black_box(drain_shared_link(f)))
-        });
-    }
-    g.finish();
-}
-
-fn bench_mesh(c: &mut Criterion) {
-    let mut g = c.benchmark_group("netsim/mesh_drain");
-    for &(links, flows) in &[(16u32, 64u64), (64, 256), (128, 512)] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{links}l/{flows}f")),
-            &(links, flows),
-            |b, &(l, f)| b.iter(|| black_box(drain_mesh(l, f))),
-        );
-    }
-    g.finish();
-}
-
-fn bench_timer_queue(c: &mut Criterion) {
-    c.bench_function("netsim/timer_queue_10k", |b| {
-        b.iter(|| {
-            let mut sim = NetSim::new();
-            for i in 0..10_000u64 {
-                sim.set_timer(SimDuration::from_micros((i * 37) % 1000), i);
-            }
-            let mut n = 0;
-            while sim.next().is_some() {
-                n += 1;
-            }
-            black_box(n)
-        })
-    });
-}
-
-criterion_group!(benches, bench_shared_link, bench_mesh, bench_timer_queue);
-criterion_main!(benches);
+criterion_main!(holmes_bench::suites::netsim::benches);

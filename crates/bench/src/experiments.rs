@@ -6,6 +6,8 @@
 //! simulator, not the authors' testbed); orderings, gaps and crossovers
 //! are.
 
+use rayon::prelude::*;
+
 use holmes::{
     calibration, run_framework, run_holmes_with, run_scenario, FrameworkKind, HolmesConfig,
     RunResult, Scenario, TableBuilder,
@@ -45,21 +47,34 @@ fn run_holmes(topo: &Topology, pg: u8) -> RunResult {
 /// Table 1: PG1 on 4 nodes under each homogeneous NIC environment — the
 /// calibration anchor.
 pub fn table1() -> ExperimentSection {
-    let mut t = TableBuilder::new(
-        "Table 1 — PG1 (3.6 B) on 4 nodes / 32 GPUs: paper → measured",
-    )
-    .header(["NIC Env", "TFLOPS", "Throughput (samples/s)", "Bandwidth (Gb/s)"]);
+    let mut t = TableBuilder::new("Table 1 — PG1 (3.6 B) on 4 nodes / 32 GPUs: paper → measured")
+        .header([
+            "NIC Env",
+            "TFLOPS",
+            "Throughput (samples/s)",
+            "Bandwidth (Gb/s)",
+        ]);
     for nic in NicType::ALL {
         let topo = presets::homogeneous(nic, 4);
         let r = run_holmes(&topo, 1);
         t.row([
             nic.label().to_string(),
-            TableBuilder::paper_vs(calibration::paper_table1_tflops(nic), r.metrics.tflops_per_gpu),
+            TableBuilder::paper_vs(
+                calibration::paper_table1_tflops(nic),
+                r.metrics.tflops_per_gpu,
+            ),
             TableBuilder::paper_vs(
                 calibration::paper_table1_throughput(nic),
                 r.metrics.throughput_samples_per_sec,
             ),
-            format!("{:.0}", if nic == NicType::Ethernet { 25.0 } else { 200.0 }),
+            format!(
+                "{:.0}",
+                if nic == NicType::Ethernet {
+                    25.0
+                } else {
+                    200.0
+                }
+            ),
         ]);
     }
     ExperimentSection {
@@ -73,7 +88,15 @@ pub fn table1() -> ExperimentSection {
 pub fn table2() -> ExperimentSection {
     let paper_billions = [3.6, 3.6, 7.5, 7.5, 7.5, 7.5, 39.1, 39.1];
     let mut t = TableBuilder::new("Table 2 — parameter groups (Eq. 5 check)").header([
-        "Group", "Params (B) paper → Eq.5", "Heads", "Hidden", "Layers", "t", "p", "Micro", "Batch",
+        "Group",
+        "Params (B) paper → Eq.5",
+        "Heads",
+        "Hidden",
+        "Layers",
+        "t",
+        "p",
+        "Micro",
+        "Batch",
     ]);
     for pg in ParameterGroup::all() {
         let billions = parameter_count(&pg.config) as f64 / 1e9;
@@ -133,36 +156,37 @@ const TABLE3_NODES: [u32; 3] = [4, 6, 8];
 
 /// Table 3: PG1–4 across the four environments and three node counts.
 pub fn table3() -> ExperimentSection {
-    let mut t = TableBuilder::new(
-        "Table 3 — homogeneous and heterogeneous environments: paper → measured",
-    )
-    .header([
-        "PG",
-        "NIC Env",
-        "4n TFLOPS",
-        "4n Thpt",
-        "6n TFLOPS",
-        "6n Thpt",
-        "8n TFLOPS",
-        "8n Thpt",
-    ]);
-    // Sweep in parallel: 48 independent simulations.
-    let mut cells: Vec<((usize, usize, usize), RunResult)> = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (pi, pg) in (1u8..=4).enumerate() {
-            for (ei, env) in TABLE3_ENVS.iter().enumerate() {
-                for (ni, nodes) in TABLE3_NODES.iter().enumerate() {
-                    handles.push(scope.spawn(move |_| {
-                        let topo = environment(env, *nodes);
-                        ((pi, ei, ni), run_holmes(&topo, pg))
-                    }));
-                }
+    let mut t =
+        TableBuilder::new("Table 3 — homogeneous and heterogeneous environments: paper → measured")
+            .header([
+                "PG",
+                "NIC Env",
+                "4n TFLOPS",
+                "4n Thpt",
+                "6n TFLOPS",
+                "6n Thpt",
+                "8n TFLOPS",
+                "8n Thpt",
+            ]);
+    // Sweep in parallel: 48 independent simulations, each owning a private
+    // simulator. The rayon collect preserves input order, so `cells` comes
+    // back already sorted by (pg, env, nodes) and rendering is identical to
+    // a serial sweep.
+    let mut keys: Vec<(usize, usize, usize)> = Vec::new();
+    for pi in 0..4 {
+        for ei in 0..TABLE3_ENVS.len() {
+            for ni in 0..TABLE3_NODES.len() {
+                keys.push((pi, ei, ni));
             }
         }
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
-    cells.sort_by_key(|(k, _)| *k);
+    }
+    let cells: Vec<((usize, usize, usize), RunResult)> = keys
+        .par_iter()
+        .map(|&(pi, ei, ni)| {
+            let topo = environment(TABLE3_ENVS[ei], TABLE3_NODES[ni]);
+            ((pi, ei, ni), run_holmes(&topo, (pi + 1) as u8))
+        })
+        .collect();
 
     for (pi, pg) in (1u8..=4).enumerate() {
         for (ei, env) in TABLE3_ENVS.iter().enumerate() {
@@ -258,10 +282,9 @@ pub fn table5() -> ExperimentSection {
         run_holmes_with(&HolmesConfig::without_overlapped_optimizer(), &topo, 3).unwrap(),
         run_holmes_with(&HolmesConfig::without_both(), &topo, 3).unwrap(),
     ];
-    let mut t = TableBuilder::new(
-        "Table 5 — ablation (PG3, 8 nodes = 4 RoCE + 4 IB): paper → measured",
-    )
-    .header(["Training Framework", "TFLOPS", "Throughput"]);
+    let mut t =
+        TableBuilder::new("Table 5 — ablation (PG3, 8 nodes = 4 RoCE + 4 IB): paper → measured")
+            .header(["Training Framework", "TFLOPS", "Throughput"]);
     for ((name, ptf, pth), r) in paper.iter().zip(&measured) {
         t.row([
             (*name).to_string(),
@@ -306,7 +329,10 @@ pub fn fig3() -> ExperimentSection {
 /// high-speed interconnect between them.
 pub fn fig4() -> ExperimentSection {
     let envs: [(&str, Topology); 6] = [
-        ("InfiniBand (upper bound)", presets::homogeneous(NicType::InfiniBand, 4)),
+        (
+            "InfiniBand (upper bound)",
+            presets::homogeneous(NicType::InfiniBand, 4),
+        ),
         ("RoCE", presets::homogeneous(NicType::RoCE, 4)),
         (
             "InfiniBand & Ethernet",
@@ -317,7 +343,10 @@ pub fn fig4() -> ExperimentSection {
             presets::same_nic_two_clusters(NicType::RoCE, 2),
         ),
         ("Hybrid (IB + RoCE)", presets::hybrid_two_cluster(2)),
-        ("Ethernet (lower bound)", presets::homogeneous(NicType::Ethernet, 4)),
+        (
+            "Ethernet (lower bound)",
+            presets::homogeneous(NicType::Ethernet, 4),
+        ),
     ];
     let mut t = TableBuilder::new(
         "Figure 4 — throughput (samples/s) on 4 nodes, Case 2 cross-cluster settings (measured)",
@@ -342,17 +371,16 @@ pub fn fig4() -> ExperimentSection {
 /// environment.
 pub fn fig5() -> ExperimentSection {
     let topo = presets::hybrid_two_cluster(2);
-    let mut t = TableBuilder::new(
-        "Figure 5 — pipeline partition strategies on 4-node hybrid (measured)",
-    )
-    .header([
-        "PG",
-        "Uniform TFLOPS",
-        "Self-Adapting TFLOPS",
-        "Uniform Thpt",
-        "Self-Adapting Thpt",
-        "Stage layers (SA)",
-    ]);
+    let mut t =
+        TableBuilder::new("Figure 5 — pipeline partition strategies on 4-node hybrid (measured)")
+            .header([
+                "PG",
+                "Uniform TFLOPS",
+                "Self-Adapting TFLOPS",
+                "Uniform Thpt",
+                "Self-Adapting Thpt",
+                "Stage layers (SA)",
+            ]);
     for pg in 1u8..=4 {
         let uni = run_holmes_with(&HolmesConfig::without_self_adapting(), &topo, pg).unwrap();
         let sa = run_holmes_with(&HolmesConfig::full(), &topo, pg).unwrap();
@@ -499,10 +527,8 @@ pub fn ext_scheduling() -> ExperimentSection {
 /// Extension: α sensitivity of the Self-Adapting Pipeline Partition.
 pub fn ext_alpha_sweep() -> ExperimentSection {
     let topo = presets::hybrid_two_cluster(2);
-    let mut t = TableBuilder::new(
-        "Extension — Eq. 2 α sweep (PG3, 4-node hybrid, measured)",
-    )
-    .header(["alpha", "Stage layers", "TFLOPS", "Throughput"]);
+    let mut t = TableBuilder::new("Extension — Eq. 2 α sweep (PG3, 4-node hybrid, measured)")
+        .header(["alpha", "Stage layers", "TFLOPS", "Throughput"]);
     for alpha in [1.0, 1.05, 1.1, 1.2, 1.3] {
         let cfg = HolmesConfig {
             alpha,
@@ -555,15 +581,21 @@ pub fn ext_bucket_sweep() -> ExperimentSection {
 pub fn ext_schedules() -> ExperimentSection {
     use holmes_engine::{simulate_iteration, EngineConfig, ScheduleKind};
     use holmes_parallel::{
-        GroupLayout, HolmesScheduler, ParallelDegrees, ParallelPlan, PartitionStrategy,
-        Scheduler, UniformPartition,
+        GroupLayout, HolmesScheduler, ParallelDegrees, ParallelPlan, PartitionStrategy, Scheduler,
+        UniformPartition,
     };
 
     let topo = presets::homogeneous(NicType::InfiniBand, 4);
     let mut t = TableBuilder::new(
         "Extension — pipeline schedules (PG3 arch, 4-node IB, p=4, measured TFLOPS/GPU)",
     )
-    .header(["Microbatches/replica", "GPipe", "1F1B", "Interleaved v=2", "Interleaved v=3"]);
+    .header([
+        "Microbatches/replica",
+        "GPipe",
+        "1F1B",
+        "Interleaved v=2",
+        "Interleaved v=3",
+    ]);
     // p=4 over 32 GPUs → d=8; vary the global batch to vary m.
     for (label, batch) in [("4 (bubble-bound)", 128u32), ("24 (steady-state)", 768)] {
         let pg = ParameterGroup::table2(3);
@@ -602,14 +634,13 @@ pub fn ext_schedules() -> ExperimentSection {
 /// environment — classic DDP all-reduce, ZeRO-1 (blocking distributed
 /// optimizer), the paper's overlapped optimizer, and ZeRO-3 full sharding.
 pub fn ext_dp_strategies() -> ExperimentSection {
-    use holmes_engine::{simulate_iteration, EngineConfig};
     use holmes::plan_for;
     use holmes::PlanRequest;
+    use holmes_engine::{simulate_iteration, EngineConfig};
 
-    let mut t = TableBuilder::new(
-        "Extension — DP sync strategies (PG1, 4 nodes, measured TFLOPS/GPU)",
-    )
-    .header(["NIC Env", "AllReduce", "ZeRO-1", "Overlapped", "ZeRO-3"]);
+    let mut t =
+        TableBuilder::new("Extension — DP sync strategies (PG1, 4 nodes, measured TFLOPS/GPU)")
+            .header(["NIC Env", "AllReduce", "ZeRO-1", "Overlapped", "ZeRO-3"]);
     for nic in NicType::ALL {
         let topo = presets::homogeneous(nic, 4);
         let req = PlanRequest::parameter_group(1);
@@ -621,7 +652,10 @@ pub fn ext_dp_strategies() -> ExperimentSection {
         )
         .expect("plan");
         let run = |dp_sync| {
-            let cfg = EngineConfig { dp_sync, ..base_cfg };
+            let cfg = EngineConfig {
+                dp_sync,
+                ..base_cfg
+            };
             simulate_iteration(&topo, &plan, &req.job, &cfg)
                 .map(|(_, m)| format!("{:.0}", m.tflops_per_gpu))
                 .unwrap_or_else(|e| format!("({e})"))
@@ -659,8 +693,20 @@ pub fn ext_link_usage() -> ExperimentSection {
     ]);
     for kind in [FrameworkKind::Holmes, FrameworkKind::MegatronLm] {
         let r = run_framework(kind, &topo, 1).expect("run");
-        let rdma_gb: f64 = r.report.node_link_usage.iter().map(|u| u.rdma_bytes).sum::<f64>() / 1e9;
-        let eth_gb: f64 = r.report.node_link_usage.iter().map(|u| u.eth_bytes).sum::<f64>() / 1e9;
+        let rdma_gb: f64 = r
+            .report
+            .node_link_usage
+            .iter()
+            .map(|u| u.rdma_bytes)
+            .sum::<f64>()
+            / 1e9;
+        let eth_gb: f64 = r
+            .report
+            .node_link_usage
+            .iter()
+            .map(|u| u.eth_bytes)
+            .sum::<f64>()
+            / 1e9;
         let peak_eth = r
             .report
             .node_link_usage
@@ -726,10 +772,9 @@ pub fn ext_estimator_accuracy() -> ExperimentSection {
 /// advantage (the paper assumes non-blocking switches).
 pub fn ext_oversubscription() -> ExperimentSection {
     use holmes_topology::TopologyBuilder;
-    let mut t = TableBuilder::new(
-        "Extension — IB-cluster switch taper (PG3, 4-node hybrid, measured)",
-    )
-    .header(["Oversubscription", "TFLOPS", "Throughput"]);
+    let mut t =
+        TableBuilder::new("Extension — IB-cluster switch taper (PG3, 4-node hybrid, measured)")
+            .header(["Oversubscription", "TFLOPS", "Throughput"]);
     for oversub in [1.0f64, 2.0, 4.0, 8.0] {
         let topo = TopologyBuilder::new()
             .cluster("ib", 2, NicType::InfiniBand)
@@ -759,7 +804,13 @@ pub fn ext_reliability() -> ExperimentSection {
     let mut t = TableBuilder::new(
         "Extension — checkpoint/restart goodput (PG7, 1000 h/node MTBF, 20 GB/s storage)",
     )
-    .header(["Fleet", "Job MTBF (h)", "Checkpoint (s)", "Interval (s)", "Goodput"]);
+    .header([
+        "Fleet",
+        "Job MTBF (h)",
+        "Checkpoint (s)",
+        "Interval (s)",
+        "Goodput",
+    ]);
     for nodes in [4u32, 8, 12] {
         let topo = presets::hybrid_split(nodes / 2, nodes / 2);
         let plan = model.plan(&topo, &ParameterGroup::table2(7).config);
@@ -795,28 +846,33 @@ pub fn run_baseline(topo: &Topology, pg: u8) -> RunResult {
 }
 
 /// All sections, in paper order.
+///
+/// Every section function is independent (each simulation owns a private
+/// `NetSim`), so sections are evaluated in parallel; the ordered collect
+/// keeps the rendered output byte-identical to a serial run.
 pub fn all_experiment_sections() -> Vec<ExperimentSection> {
-    vec![
-        table1(),
-        table2(),
-        table3(),
-        table4(),
-        table5(),
-        fig3(),
-        fig4(),
-        fig5(),
-        fig6(),
-        fig7(),
-        ext_scheduling(),
-        ext_alpha_sweep(),
-        ext_bucket_sweep(),
-        ext_schedules(),
-        ext_dp_strategies(),
-        ext_link_usage(),
-        ext_estimator_accuracy(),
-        ext_oversubscription(),
-        ext_reliability(),
-    ]
+    let sections: Vec<fn() -> ExperimentSection> = vec![
+        table1,
+        table2,
+        table3,
+        table4,
+        table5,
+        fig3,
+        fig4,
+        fig5,
+        fig6,
+        fig7,
+        ext_scheduling,
+        ext_alpha_sweep,
+        ext_bucket_sweep,
+        ext_schedules,
+        ext_dp_strategies,
+        ext_link_usage,
+        ext_estimator_accuracy,
+        ext_oversubscription,
+        ext_reliability,
+    ];
+    sections.par_iter().map(|build| build()).collect()
 }
 
 #[cfg(test)]

@@ -26,5 +26,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod suites;
 
 pub use experiments::{all_experiment_sections, ExperimentSection};

@@ -1,0 +1,87 @@
+//! Benchmarks of flow-level collective execution — the dominant cost of a
+//! simulated training iteration — across NIC environments and ring sizes.
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+
+use holmes_engine::{execute, CollKind, CollectiveSpec, ExecutionSpec, Op, TransportPolicy};
+use holmes_topology::{presets, NicType, Rank, Topology};
+
+fn run_collective(topo: &Topology, kind: CollKind, ranks: u32, bytes: u64) -> f64 {
+    let devices: Vec<Rank> = (0..ranks).map(Rank).collect();
+    let programs = devices
+        .iter()
+        .map(|&d| (d, vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }]))
+        .collect();
+    let spec = ExecutionSpec {
+        programs,
+        collectives: vec![CollectiveSpec::new(kind, devices, bytes)],
+        transport: TransportPolicy::Auto,
+    };
+    execute(topo, spec).expect("collective runs").total_seconds
+}
+
+fn bench_allreduce_by_env(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives/allreduce_32rank_1GiB");
+    g.throughput(Throughput::Bytes(1 << 30));
+    for nic in NicType::ALL {
+        let topo = presets::homogeneous(nic, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(nic.label()), &topo, |b, t| {
+            b.iter(|| black_box(run_collective(t, CollKind::AllReduce, 32, 1 << 30)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reduce_scatter_by_ring_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives/reduce_scatter_ib");
+    for ranks in [8u32, 16, 32, 64] {
+        let topo = presets::homogeneous(NicType::InfiniBand, (ranks / 8).max(1));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(ranks),
+            &(topo, ranks),
+            |b, (t, r)| {
+                b.iter(|| black_box(run_collective(t, CollKind::ReduceScatter, *r, 1 << 28)))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_concurrent_buckets(c: &mut Criterion) {
+    // The overlapped optimizer launches many bucketed collectives at once;
+    // this measures the simulator cost of that contention pattern.
+    let mut g = c.benchmark_group("collectives/concurrent_buckets");
+    for buckets in [1u32, 8, 32] {
+        let topo = presets::homogeneous(NicType::RoCE, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(buckets), &buckets, |b, &k| {
+            b.iter(|| {
+                let devices: Vec<Rank> = (0..16).map(Rank).collect();
+                let mut ops: Vec<Op> = (0..k).map(|id| Op::CollStart { id }).collect();
+                ops.extend((0..k).map(|id| Op::CollWait { id }));
+                let programs = devices.iter().map(|&d| (d, ops.clone())).collect();
+                let collectives = (0..k)
+                    .map(|_| CollectiveSpec {
+                        kind: CollKind::ReduceScatter,
+                        devices: devices.clone(),
+                        bytes: (1u64 << 30) / u64::from(k),
+                        channels: 1,
+                    })
+                    .collect();
+                let spec = ExecutionSpec {
+                    programs,
+                    collectives,
+                    transport: TransportPolicy::Auto,
+                };
+                black_box(execute(&topo, spec).unwrap().total_seconds)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Run the whole collectives suite against `c`.
+pub fn benches(c: &mut Criterion) {
+    bench_allreduce_by_env(c);
+    bench_reduce_scatter_by_ring_size(c);
+    bench_concurrent_buckets(c);
+}

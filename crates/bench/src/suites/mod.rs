@@ -1,0 +1,11 @@
+//! Criterion benchmark suites as library code.
+//!
+//! Each submodule exposes a `benches(&mut Criterion)` entry point. The
+//! `benches/*.rs` harness files are thin wrappers around these, and the
+//! `bench` binary drives the same suites in quick mode to produce the
+//! committed `BENCH_netsim.json` snapshot.
+
+pub mod collectives;
+pub mod groups;
+pub mod iteration;
+pub mod netsim;

@@ -7,9 +7,11 @@
 //! survivors for an accurate ranking — the classic estimate-then-measure
 //! search loop.
 
-use holmes_engine::{simulate_iteration, DpSyncStrategy, TrainingMetrics};
+use holmes_engine::{simulate_iteration, DpSyncStrategy, EngineConfig, TrainingMetrics};
 use holmes_model::{MemoryEstimate, TrainJob};
+use holmes_parallel::{EvalMode, ParallelPlan};
 use holmes_topology::Topology;
+use rayon::prelude::*;
 
 use crate::config::HolmesConfig;
 use crate::estimate::estimate_iteration;
@@ -55,6 +57,9 @@ pub struct Candidate {
     pub simulated: Option<TrainingMetrics>,
     /// Whether the largest stage fits in device memory.
     pub fits_memory: bool,
+    /// Plan and engine config built during enumeration, cached so the
+    /// finalist simulation pass does not re-run `plan_for`.
+    plan: Option<Box<(ParallelPlan, EngineConfig)>>,
 }
 
 impl Candidate {
@@ -75,7 +80,20 @@ impl Candidate {
 
 /// Search for the fastest feasible plan of a job on a topology under a
 /// Holmes configuration. Returns all evaluated candidates, best first.
+///
+/// Finalists are simulated in parallel; use [`autotune_with_mode`] to
+/// force the serial reference path.
 pub fn autotune(topo: &Topology, req: &AutotuneRequest, cfg: &HolmesConfig) -> Vec<Candidate> {
+    autotune_with_mode(topo, req, cfg, EvalMode::Parallel)
+}
+
+/// [`autotune`] with an explicit finalist evaluation mode.
+pub fn autotune_with_mode(
+    topo: &Topology,
+    req: &AutotuneRequest,
+    cfg: &HolmesConfig,
+    mode: EvalMode,
+) -> Vec<Candidate> {
     let n = topo.device_count();
     let g = topo.gpus_per_node();
     let mut candidates = Vec::new();
@@ -108,8 +126,7 @@ pub fn autotune(topo: &Topology, req: &AutotuneRequest, cfg: &HolmesConfig) -> V
             // Memory feasibility on the heaviest stage.
             let cfg_model = req.job.config;
             let max_layers = *plan.stage_layers.iter().max().expect("p >= 1");
-            let stage_params = u64::from(max_layers)
-                * holmes_model::layer_params(&cfg_model)
+            let stage_params = u64::from(max_layers) * holmes_model::layer_params(&cfg_model)
                 + holmes_model::embedding_params(&cfg_model);
             let device0 = plan.stage_devices(0)[0];
             let capacity = topo
@@ -133,26 +150,30 @@ pub fn autotune(topo: &Topology, req: &AutotuneRequest, cfg: &HolmesConfig) -> V
                 estimated_seconds: est.seconds,
                 simulated: None,
                 fits_memory: mem.fits_in(capacity),
+                plan: Some(Box::new((plan, engine_cfg))),
             });
         }
     }
 
-    // Simulate the top_k feasible estimates.
+    // Simulate the top_k feasible estimates. Each finalist simulation is
+    // independent (private `NetSim` per call), so they fan out across
+    // threads; results merge back in candidate order, keeping the final
+    // ranking identical to the serial path.
     candidates.sort_by(|a, b| a.score().partial_cmp(&b.score()).expect("finite scores"));
     let k = req.top_k.min(candidates.len());
-    for candidate in candidates.iter_mut().take(k) {
-        let plan_req = PlanRequest {
-            tensor_parallel: candidate.tensor,
-            pipeline_parallel: candidate.pipeline,
-            job: req.job,
-        };
-        if let Ok((plan, engine_cfg)) =
-            plan_for(topo, &plan_req, cfg, DpSyncStrategy::DistributedOptimizer)
-        {
-            if let Ok((_, metrics)) = simulate_iteration(topo, &plan, &req.job, &engine_cfg) {
-                candidate.simulated = Some(metrics);
-            }
-        }
+    let job = req.job;
+    let simulate = |candidate: &Candidate| -> Option<TrainingMetrics> {
+        let (plan, engine_cfg) = candidate.plan.as_deref()?;
+        simulate_iteration(topo, plan, &job, engine_cfg)
+            .ok()
+            .map(|(_, metrics)| metrics)
+    };
+    let finalist_metrics: Vec<Option<TrainingMetrics>> = match mode {
+        EvalMode::Parallel => candidates[..k].par_iter().map(simulate).collect(),
+        EvalMode::Serial => candidates[..k].iter().map(simulate).collect(),
+    };
+    for (candidate, metrics) in candidates.iter_mut().zip(finalist_metrics) {
+        candidate.simulated = metrics;
     }
     // Final ranking: simulated finalists first (measured beats estimated —
     // an optimistic estimate must not leapfrog a measured candidate), each
@@ -213,6 +234,27 @@ mod tests {
         );
         // And the paper's own configuration must be in the search space.
         assert!(ranked.iter().any(|c| (c.tensor, c.pipeline) == (1, 2)));
+    }
+
+    #[test]
+    fn parallel_and_serial_rankings_are_identical() {
+        let topo = presets::hybrid_split(4, 4);
+        let req = AutotuneRequest::new(ParameterGroup::table2(3).job());
+        let cfg = HolmesConfig::full();
+        let par = autotune_with_mode(&topo, &req, &cfg, EvalMode::Parallel);
+        let ser = autotune_with_mode(&topo, &req, &cfg, EvalMode::Serial);
+        assert_eq!(par.len(), ser.len());
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(
+                (p.tensor, p.pipeline, p.data),
+                (s.tensor, s.pipeline, s.data)
+            );
+            assert_eq!(p.estimated_seconds.to_bits(), s.estimated_seconds.to_bits());
+            assert_eq!(
+                p.simulated.map(|m| m.iteration_seconds.to_bits()),
+                s.simulated.map(|m| m.iteration_seconds.to_bits()),
+            );
+        }
     }
 
     #[test]

@@ -24,8 +24,8 @@ use std::process::ExitCode;
 
 use holmes::topology::{presets, NicType, Topology};
 use holmes::{
-    run_framework, run_holmes_with, simulate_training_run, FrameworkKind, HolmesConfig,
-    Scenario, TrainingRunConfig,
+    run_framework, run_holmes_with, simulate_training_run, FrameworkKind, HolmesConfig, Scenario,
+    TrainingRunConfig,
 };
 
 /// Parsed command line.
@@ -63,10 +63,7 @@ fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--env" => args.env = value("--env")?,
             "--topo" => args.topo = Some(value("--topo")?),
@@ -252,8 +249,20 @@ mod tests {
     #[test]
     fn full_flag_set_parses() {
         let args = parse(&[
-            "--env", "roce", "--nodes", "8", "--pg", "3", "--framework", "megatron-llama",
-            "--iterations", "20", "--alpha", "1.1", "--trace", "/tmp/t.json",
+            "--env",
+            "roce",
+            "--nodes",
+            "8",
+            "--pg",
+            "3",
+            "--framework",
+            "megatron-llama",
+            "--iterations",
+            "20",
+            "--alpha",
+            "1.1",
+            "--trace",
+            "/tmp/t.json",
         ])
         .unwrap();
         assert_eq!(args.env, "roce");
@@ -288,7 +297,16 @@ mod tests {
 
     #[test]
     fn topologies_build_for_every_env_name() {
-        for env in ["infiniband", "ib", "roce", "ethernet", "eth", "hybrid", "ib+eth", "roce+eth"] {
+        for env in [
+            "infiniband",
+            "ib",
+            "roce",
+            "ethernet",
+            "eth",
+            "hybrid",
+            "ib+eth",
+            "roce+eth",
+        ] {
             let topo = build_topology(env, 4).unwrap();
             assert!(topo.device_count() > 0, "{env}");
         }

@@ -79,12 +79,8 @@ pub fn estimate_iteration(
     // activations per micro-batch in each direction; compare against the
     // compute available to hide it.
     let p2p_seconds = if p > 1 {
-        let act = CommVolumes::p2p_activation_bytes(
-            &job.config,
-            job.micro_batch,
-            t,
-            plan.scatter_gather,
-        );
+        let act =
+            CommVolumes::p2p_activation_bytes(&job.config, job.micro_batch, t, plan.scatter_gather);
         // Worst boundary: the slowest link out of stage 0.
         let from = plan.stage_devices(0)[0];
         let to = plan.stage_devices(1)[0];
@@ -99,13 +95,15 @@ pub fn estimate_iteration(
         let g = f64::from(topo.gpus_per_node());
         // Per node per micro-batch slot: G groups × act bytes × 2 dirs
         // through a (ports-limited) uplink ≈ g/ports flows per port.
-        let per_slot = g * act.max(1) as f64 * 2.0 / (bw * f64::from(
-            plan.stage_devices(0)
-                .first()
-                .and_then(|r| topo.device(*r).ok())
-                .map(|dev| dev.nic.ports_per_node)
-                .unwrap_or(1),
-        ));
+        let per_slot = g * act.max(1) as f64 * 2.0
+            / (bw
+                * f64::from(
+                    plan.stage_devices(0)
+                        .first()
+                        .and_then(|r| topo.device(*r).ok())
+                        .map(|dev| dev.nic.ports_per_node)
+                        .unwrap_or(1),
+                ));
         (f64::from(m) * (per_slot - slot_max).max(0.0)).max(0.0)
     } else {
         0.0
@@ -166,13 +164,17 @@ pub fn estimate_iteration(
         };
         dp_sync_seconds = dp_sync_seconds.max(sync);
         let shards = cfg.dp_sync.optimizer_shards(d);
-        optimizer_seconds = optimizer_seconds.max(
-            model.optimizer_seconds(stage_params[stage as usize] / u64::from(t) / u64::from(shards)),
-        );
+        optimizer_seconds = optimizer_seconds
+            .max(model.optimizer_seconds(
+                stage_params[stage as usize] / u64::from(t) / u64::from(shards),
+            ));
     }
 
     Some(IterationEstimate {
-        seconds: compute_seconds + bubble_seconds + dp_sync_seconds + p2p_seconds
+        seconds: compute_seconds
+            + bubble_seconds
+            + dp_sync_seconds
+            + p2p_seconds
             + optimizer_seconds,
         compute_seconds,
         bubble_seconds,
@@ -210,11 +212,17 @@ mod tests {
             let topo = presets::homogeneous(nic, 4);
             let (est, sim) = compare(&topo, 1);
             let rel = (est - sim).abs() / sim;
-            assert!(rel < 0.25, "{nic}: est {est:.2} vs sim {sim:.2} (rel {rel:.3})");
+            assert!(
+                rel < 0.25,
+                "{nic}: est {est:.2} vs sim {sim:.2} (rel {rel:.3})"
+            );
         }
         let hybrid = presets::hybrid_two_cluster(2);
         let (est, sim) = compare(&hybrid, 1);
-        assert!(((est - sim).abs() / sim) < 0.25, "hybrid est {est} vs {sim}");
+        assert!(
+            ((est - sim).abs() / sim) < 0.25,
+            "hybrid est {est} vs {sim}"
+        );
     }
 
     #[test]
@@ -239,7 +247,10 @@ mod tests {
         .unwrap();
         let job = PlanRequest::parameter_group(1).job;
         let e = estimate_iteration(&topo, &plan, &job, &engine_cfg).unwrap();
-        let sum = e.compute_seconds + e.bubble_seconds + e.dp_sync_seconds + e.p2p_seconds
+        let sum = e.compute_seconds
+            + e.bubble_seconds
+            + e.dp_sync_seconds
+            + e.p2p_seconds
             + e.optimizer_seconds;
         assert!((e.seconds - sum).abs() < 1e-12);
         assert!(e.compute_seconds > 0.0 && e.bubble_seconds > 0.0);

@@ -44,16 +44,17 @@ mod config;
 pub mod estimate;
 mod framework;
 mod planner;
-mod report;
 pub mod reliability;
+mod report;
 mod runner;
 pub mod training;
 
+pub use autotune::{autotune, autotune_with_mode, AutotuneRequest, Candidate};
 pub use config::HolmesConfig;
-pub use framework::FrameworkKind;
-pub use planner::{plan_for, PlanError, PlanRequest};
-pub use autotune::{autotune, AutotuneRequest, Candidate};
 pub use estimate::{estimate_iteration, IterationEstimate};
+pub use framework::FrameworkKind;
+pub use holmes_parallel::EvalMode;
+pub use planner::{plan_for, PlanError, PlanRequest};
 pub use reliability::{CheckpointPlan, ReliabilityModel};
 pub use report::TableBuilder;
 pub use runner::{run_framework, run_holmes_with, run_scenario, RunError, RunResult, Scenario};

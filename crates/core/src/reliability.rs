@@ -81,7 +81,10 @@ impl ReliabilityModel {
 
     /// Seconds to write one checkpoint at the storage bandwidth.
     pub fn checkpoint_seconds(&self, cfg: &GptConfig) -> f64 {
-        assert!(self.storage_bytes_per_sec > 0.0, "storage bandwidth must be positive");
+        assert!(
+            self.storage_bytes_per_sec > 0.0,
+            "storage bandwidth must be positive"
+        );
         self.checkpoint_bytes(cfg) as f64 / self.storage_bytes_per_sec
     }
 
@@ -149,7 +152,11 @@ mod tests {
         assert!(plan.interval_seconds >= plan.checkpoint_seconds);
         // 4-node fleet at 1000 h/node MTBF: failures are rare; goodput
         // must be high but below 1.
-        assert!(plan.goodput > 0.95 && plan.goodput < 1.0, "{}", plan.goodput);
+        assert!(
+            plan.goodput > 0.95 && plan.goodput < 1.0,
+            "{}",
+            plan.goodput
+        );
         // τ = √(2·δ·MTBF) exactly, when above the δ floor.
         let expect = (2.0 * plan.checkpoint_seconds * plan.job_mtbf_seconds).sqrt();
         assert!((plan.interval_seconds - expect).abs() < 1e-9);

@@ -1,8 +1,6 @@
 //! End-to-end simulation entry points.
 
-use holmes_engine::{
-    simulate_iteration, DpSyncStrategy, IterationReport, TrainingMetrics,
-};
+use holmes_engine::{simulate_iteration, DpSyncStrategy, IterationReport, TrainingMetrics};
 use holmes_parallel::NicSelectionReport;
 use holmes_topology::Topology;
 
@@ -131,7 +129,11 @@ pub fn run_framework(
     } else {
         DpSyncStrategy::AllReduce
     };
-    run_scenario(&Scenario::new(topo.clone(), parameter_group), &cfg, fallback)
+    run_scenario(
+        &Scenario::new(topo.clone(), parameter_group),
+        &cfg,
+        fallback,
+    )
 }
 
 #[cfg(test)]
@@ -143,7 +145,10 @@ mod tests {
     fn holmes_beats_every_baseline_on_hybrid() {
         let topo = presets::hybrid_split(4, 4); // Figure 6's environment
         let tflops = |kind| {
-            run_framework(kind, &topo, 3).unwrap().metrics.tflops_per_gpu
+            run_framework(kind, &topo, 3)
+                .unwrap()
+                .metrics
+                .tflops_per_gpu
         };
         let holmes = tflops(FrameworkKind::Holmes);
         let mlm = tflops(FrameworkKind::MegatronLm);
@@ -160,7 +165,10 @@ mod tests {
     fn ablation_ordering_matches_table5() {
         let topo = presets::hybrid_split(4, 4); // Table 5's setting (PG3)
         let t = |cfg: &HolmesConfig| {
-            run_holmes_with(cfg, &topo, 3).unwrap().metrics.tflops_per_gpu
+            run_holmes_with(cfg, &topo, 3)
+                .unwrap()
+                .metrics
+                .tflops_per_gpu
         };
         let full = t(&HolmesConfig::full());
         let no_sa = t(&HolmesConfig::without_self_adapting());
@@ -178,7 +186,10 @@ mod tests {
             .unwrap()
             .metrics
             .tflops_per_gpu;
-        assert!(no_both > mlm, "NIC selection alone {no_both} vs Megatron-LM {mlm}");
+        assert!(
+            no_both > mlm,
+            "NIC selection alone {no_both} vs Megatron-LM {mlm}"
+        );
     }
 
     #[test]

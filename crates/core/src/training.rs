@@ -10,7 +10,6 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-
 use crate::config::HolmesConfig;
 use crate::runner::{run_scenario, RunError, Scenario};
 use holmes_engine::DpSyncStrategy;
@@ -148,8 +147,7 @@ mod tests {
             jitter: 0.0,
             ..TrainingRunConfig::default()
         };
-        let report =
-            simulate_training_run(&scenario(), &HolmesConfig::full(), &cfg).unwrap();
+        let report = simulate_training_run(&scenario(), &HolmesConfig::full(), &cfg).unwrap();
         let first = report.iteration_seconds[0];
         assert!(report
             .iteration_seconds
@@ -165,8 +163,7 @@ mod tests {
         let b = simulate_training_run(&scenario(), &HolmesConfig::full(), &cfg).unwrap();
         assert_eq!(a.iteration_seconds, b.iteration_seconds);
         let different_seed = TrainingRunConfig { seed: 7, ..cfg };
-        let c = simulate_training_run(&scenario(), &HolmesConfig::full(), &different_seed)
-            .unwrap();
+        let c = simulate_training_run(&scenario(), &HolmesConfig::full(), &different_seed).unwrap();
         assert_ne!(a.iteration_seconds, c.iteration_seconds);
     }
 
@@ -188,7 +185,10 @@ mod tests {
             &TrainingRunConfig::default(),
         )
         .unwrap();
-        assert!(jittered.iteration_seconds.iter().all(|&t| t >= base - 1e-12));
+        assert!(jittered
+            .iteration_seconds
+            .iter()
+            .all(|&t| t >= base - 1e-12));
     }
 
     #[test]

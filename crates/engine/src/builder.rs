@@ -345,7 +345,8 @@ pub fn build_iteration(
                 &pre_ids[dp_group as usize],
                 &post_ids[dp_group as usize],
                 model,
-                stage_params[stage as usize] / u64::from(t)
+                stage_params[stage as usize]
+                    / u64::from(t)
                     / u64::from(cfg.dp_sync.optimizer_shards(d)),
             );
             programs.push((device, ops));
@@ -405,7 +406,8 @@ pub fn build_iteration(
                             },
                         });
                     }
-                    let overlap_here = cfg.dp_sync.overlaps_backward() && Some(idx) == last_backward;
+                    let overlap_here =
+                        cfg.dp_sync.overlaps_backward() && Some(idx) == last_backward;
                     if overlap_here {
                         // Chunk the final backward; a gradient bucket's
                         // reduce-scatter launches after each chunk.
@@ -450,7 +452,8 @@ pub fn build_iteration(
             &pre_ids[dp_group as usize],
             &post_ids[dp_group as usize],
             model,
-            stage_params[stage as usize] / u64::from(t)
+            stage_params[stage as usize]
+                / u64::from(t)
                 / u64::from(cfg.dp_sync.optimizer_shards(d)),
         );
 
@@ -502,8 +505,7 @@ fn expand_interleaved_units(
     // Per-chunk layer counts: the device's stage layers split across its v
     // chunks, remainder to the earliest chunks.
     let device_layers = plan.stage_layers[s as usize];
-    let chunk_layers =
-        |c: u32| device_layers / v + u32::from(c < device_layers % v);
+    let chunk_layers = |c: u32| device_layers / v + u32::from(c < device_layers % v);
     // Per-chunk compute costs (the last *global* chunk carries the logit).
     let model = &stage_costs[s as usize].1;
     let costs: Vec<crate::compute::StageCost> = (0..v)
@@ -644,15 +646,20 @@ pub fn simulate_iteration(
 mod tests {
     use super::*;
     use crate::executor::CollKind;
-    use holmes_parallel::{
-        GroupLayout, HolmesScheduler, ParallelDegrees, ParallelPlan, Scheduler,
-        SelfAdaptingPartition, PartitionStrategy, UniformPartition,
-    };
     use holmes_model::ParameterGroup;
+    use holmes_parallel::{
+        GroupLayout, HolmesScheduler, ParallelDegrees, ParallelPlan, PartitionStrategy, Scheduler,
+        SelfAdaptingPartition, UniformPartition,
+    };
     use holmes_topology::{presets, NicType};
 
     /// PG1 (3.6 B) on a topology, uniform partition, Holmes placement.
-    fn plan_for(topo: &Topology, pg: u8, partition: &dyn PartitionStrategy, speeds: &[f64]) -> (ParallelPlan, TrainJob) {
+    fn plan_for(
+        topo: &Topology,
+        pg: u8,
+        partition: &dyn PartitionStrategy,
+        speeds: &[f64],
+    ) -> (ParallelPlan, TrainJob) {
         let group = ParameterGroup::table2(pg);
         let degrees = ParallelDegrees::infer_data(
             group.tensor_parallel,
@@ -873,11 +880,11 @@ mod interleaved_tests {
     use super::*;
     use crate::executor::execute;
     use crate::ops::ComputeLabel;
-    use holmes_parallel::{
-        GroupLayout, HolmesScheduler, ParallelDegrees, ParallelPlan, PartitionStrategy,
-        Scheduler, UniformPartition,
-    };
     use holmes_model::{GptConfig, ParameterGroup, TrainJob};
+    use holmes_parallel::{
+        GroupLayout, HolmesScheduler, ParallelDegrees, ParallelPlan, PartitionStrategy, Scheduler,
+        UniformPartition,
+    };
     use holmes_topology::{presets, NicType, Topology};
 
     fn small_job() -> TrainJob {
@@ -914,8 +921,8 @@ mod interleaved_tests {
                 };
                 let spec = build_iteration(&topo, &plan, &job, &cfg)
                     .unwrap_or_else(|e| panic!("build p={p} v={v}: {e}"));
-                let report = execute(&topo, spec)
-                    .unwrap_or_else(|e| panic!("exec p={p} v={v}: {e}"));
+                let report =
+                    execute(&topo, spec).unwrap_or_else(|e| panic!("exec p={p} v={v}: {e}"));
                 assert!(report.total_seconds > 0.0, "p={p} v={v}");
             }
         }
@@ -939,9 +946,7 @@ mod interleaved_tests {
                 .1
                 .iter()
                 .map(|op| match op {
-                    Op::Compute { seconds, label } if *label != ComputeLabel::Optimizer => {
-                        *seconds
-                    }
+                    Op::Compute { seconds, label } if *label != ComputeLabel::Optimizer => *seconds,
                     _ => 0.0,
                 })
                 .sum()
@@ -998,7 +1003,10 @@ mod interleaved_tests {
         };
         assert!(matches!(
             build_iteration(&topo, &plan, &job, &cfg),
-            Err(BuildError::InterleavedIndivisible { microbatches: 6, pipeline: 4 })
+            Err(BuildError::InterleavedIndivisible {
+                microbatches: 6,
+                pipeline: 4
+            })
         ));
     }
 
@@ -1040,11 +1048,11 @@ mod interleaved_tests {
 mod config_option_tests {
     use super::*;
     use crate::dp_sync::DpSyncStrategy;
-    use holmes_parallel::{
-        GroupLayout, HolmesScheduler, ParallelDegrees, ParallelPlan, PartitionStrategy,
-        Scheduler, UniformPartition,
-    };
     use holmes_model::ParameterGroup;
+    use holmes_parallel::{
+        GroupLayout, HolmesScheduler, ParallelDegrees, ParallelPlan, PartitionStrategy, Scheduler,
+        UniformPartition,
+    };
     use holmes_topology::{presets, NicType};
 
     fn pg1_plan(topo: &holmes_topology::Topology) -> (ParallelPlan, holmes_model::TrainJob) {
@@ -1053,7 +1061,10 @@ mod config_option_tests {
         let layout = GroupLayout::new(degrees);
         let assignment = HolmesScheduler.assign(topo, &layout);
         let layers = UniformPartition.partition(30, &[1.0, 1.0]);
-        (ParallelPlan::new(layout, assignment, layers, true), pg.job())
+        (
+            ParallelPlan::new(layout, assignment, layers, true),
+            pg.job(),
+        )
     }
 
     #[test]
@@ -1134,19 +1145,26 @@ mod memory_enforcement_tests {
     use super::*;
     use holmes_model::ParameterGroup;
     use holmes_parallel::{
-        GroupLayout, HolmesScheduler, ParallelDegrees, ParallelPlan, PartitionStrategy,
-        Scheduler, UniformPartition,
+        GroupLayout, HolmesScheduler, ParallelDegrees, ParallelPlan, PartitionStrategy, Scheduler,
+        UniformPartition,
     };
     use holmes_topology::{presets, NicType};
 
-    fn plan_for_pg(topo: &holmes_topology::Topology, pg: u8, t: u32, p: u32) -> (ParallelPlan, holmes_model::TrainJob) {
+    fn plan_for_pg(
+        topo: &holmes_topology::Topology,
+        pg: u8,
+        t: u32,
+        p: u32,
+    ) -> (ParallelPlan, holmes_model::TrainJob) {
         let group = ParameterGroup::table2(pg);
         let degrees = ParallelDegrees::infer_data(t, p, topo.device_count()).unwrap();
         let layout = GroupLayout::new(degrees);
         let assignment = HolmesScheduler.assign(topo, &layout);
-        let layers =
-            UniformPartition.partition(group.config.num_layers, &vec![1.0; p as usize]);
-        (ParallelPlan::new(layout, assignment, layers, true), group.job())
+        let layers = UniformPartition.partition(group.config.num_layers, &vec![1.0; p as usize]);
+        (
+            ParallelPlan::new(layout, assignment, layers, true),
+            group.job(),
+        )
     }
 
     #[test]

@@ -119,7 +119,10 @@ mod tests {
     #[test]
     fn allreduce_shape() {
         let s = DpSyncStrategy::AllReduce;
-        assert_eq!(s.pre_optimizer_collectives(), vec![(CollKind::AllReduce, 1.0)]);
+        assert_eq!(
+            s.pre_optimizer_collectives(),
+            vec![(CollKind::AllReduce, 1.0)]
+        );
         assert!(s.post_optimizer_collectives().is_empty());
         assert!(!s.overlaps_backward());
         assert_eq!(s.optimizer_shards(16), 1);

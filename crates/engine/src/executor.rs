@@ -459,9 +459,7 @@ impl<'t> Executor<'t> {
     fn route_flow(&mut self, from: Rank, to: Rank, bytes: u64, token: u64) {
         let route = match self.transport {
             TransportPolicy::Auto => self.fabric.route(self.topo, from, to),
-            TransportPolicy::ForceTcpInterNode => {
-                self.fabric.route_forced_tcp(self.topo, from, to)
-            }
+            TransportPolicy::ForceTcpInterNode => self.fabric.route_forced_tcp(self.topo, from, to),
         };
         self.sim.start_flow(FlowSpec {
             path: route.path,
@@ -659,11 +657,7 @@ impl<'t> Executor<'t> {
         }
 
         let mut report = IterationReport {
-            total_seconds: self
-                .devs
-                .iter()
-                .map(|d| d.finish)
-                .fold(0.0, f64::max),
+            total_seconds: self.devs.iter().map(|d| d.finish).fold(0.0, f64::max),
             device_finish_seconds: self.devs.iter().map(|d| d.finish).collect(),
             device_compute_seconds: self.devs.iter().map(|d| d.compute_seconds).collect(),
             forward_seconds_max: self
@@ -769,7 +763,13 @@ mod tests {
         // 23 GB over one IB port ≈ 1 s.
         let spec = ExecutionSpec {
             programs: vec![
-                (Rank(0), vec![Op::Send { key, bytes: 23_000_000_000 }]),
+                (
+                    Rank(0),
+                    vec![Op::Send {
+                        key,
+                        bytes: 23_000_000_000,
+                    }],
+                ),
                 (Rank(8), vec![Op::Recv { key }]),
             ],
             collectives: vec![],
@@ -795,7 +795,13 @@ mod tests {
             programs: vec![
                 (
                     Rank(0),
-                    vec![fwd(0, 0.5), Op::Send { key, bytes: 2_300_000_000 }],
+                    vec![
+                        fwd(0, 0.5),
+                        Op::Send {
+                            key,
+                            bytes: 2_300_000_000,
+                        },
+                    ],
                 ),
                 (Rank(8), vec![Op::Recv { key }]),
             ],
@@ -1054,10 +1060,7 @@ mod tests {
         };
         let one = run(1);
         let two = run(2);
-        assert!(
-            two < 0.6 * one,
-            "2 channels {two} vs 1 channel {one}"
-        );
+        assert!(two < 0.6 * one, "2 channels {two} vs 1 channel {one}");
         // Beyond the port count there is nothing left to parallelize:
         // the node uplink saturates at 2 ports.
         let four = run(4);
@@ -1109,8 +1112,14 @@ mod link_usage_tests {
         // Node 0 uplink + node 1 downlink each saw the payload.
         let n0 = report.node_link_usage[0];
         let n1 = report.node_link_usage[1];
-        assert!((n0.rdma_bytes - bytes as f64).abs() / (bytes as f64) < 0.01, "{n0:?}");
-        assert!((n1.rdma_bytes - bytes as f64).abs() / (bytes as f64) < 0.01, "{n1:?}");
+        assert!(
+            (n0.rdma_bytes - bytes as f64).abs() / (bytes as f64) < 0.01,
+            "{n0:?}"
+        );
+        assert!(
+            (n1.rdma_bytes - bytes as f64).abs() / (bytes as f64) < 0.01,
+            "{n1:?}"
+        );
         assert_eq!(n0.eth_bytes, 0.0);
         assert!(n0.rdma_utilization > 0.0 && n0.rdma_utilization <= 1.0);
     }
@@ -1127,7 +1136,13 @@ mod link_usage_tests {
         };
         let spec = ExecutionSpec {
             programs: vec![
-                (Rank(0), vec![Op::Send { key, bytes: 100_000_000 }]),
+                (
+                    Rank(0),
+                    vec![Op::Send {
+                        key,
+                        bytes: 100_000_000,
+                    }],
+                ),
                 (Rank(8), vec![Op::Recv { key }]),
             ],
             collectives: vec![],

@@ -47,7 +47,11 @@ mod tests {
         let iter = 768.0 / 99.23;
         let m = TrainingMetrics::from_seconds(&job, 32, iter);
         assert!((m.throughput_samples_per_sec - 99.23).abs() < 1e-9);
-        assert!((m.tflops_per_gpu - 197.0).abs() < 6.0, "{}", m.tflops_per_gpu);
+        assert!(
+            (m.tflops_per_gpu - 197.0).abs() < 6.0,
+            "{}",
+            m.tflops_per_gpu
+        );
     }
 
     #[test]

@@ -112,7 +112,11 @@ mod tests {
     #[test]
     fn labels_classify_backward() {
         assert!(ComputeLabel::Backward { microbatch: 0 }.is_backward());
-        assert!(ComputeLabel::BackwardChunk { microbatch: 0, chunk: 1 }.is_backward());
+        assert!(ComputeLabel::BackwardChunk {
+            microbatch: 0,
+            chunk: 1
+        }
+        .is_backward());
         assert!(!ComputeLabel::Forward { microbatch: 0 }.is_backward());
         assert!(!ComputeLabel::Optimizer.is_backward());
     }

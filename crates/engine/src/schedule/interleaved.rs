@@ -156,10 +156,7 @@ mod tests {
             if u.forward {
                 assert!(fwd.insert((u.chunk, u.mb)), "dup fwd {u:?}");
             } else {
-                assert!(
-                    fwd.contains(&(u.chunk, u.mb)),
-                    "bwd before fwd: {u:?}"
-                );
+                assert!(fwd.contains(&(u.chunk, u.mb)), "bwd before fwd: {u:?}");
                 assert!(bwd.insert((u.chunk, u.mb)), "dup bwd {u:?}");
             }
         }

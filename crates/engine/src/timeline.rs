@@ -89,7 +89,11 @@ impl Timeline {
             .copied()
             .filter(|s| s.device == device)
             .collect();
-        spans.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap_or(std::cmp::Ordering::Equal));
+        spans.sort_by(|a, b| {
+            a.start
+                .partial_cmp(&b.start)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         spans
     }
 
@@ -201,7 +205,11 @@ mod tests {
     fn span_names_and_categories() {
         assert_eq!(fwd(7).name(), "F7");
         assert_eq!(
-            SpanKind::Compute(ComputeLabel::BackwardChunk { microbatch: 2, chunk: 3 }).name(),
+            SpanKind::Compute(ComputeLabel::BackwardChunk {
+                microbatch: 2,
+                chunk: 3
+            })
+            .name(),
             "B2.3"
         );
         assert_eq!(fwd(0).category(), "forward");

@@ -106,7 +106,10 @@ pub fn validate_spec(spec: &ExecutionSpec) -> Vec<SpecError> {
                 Op::CollStart { id } => match members.get(id as usize) {
                     None => errors.push(SpecError::UnknownCollective(id)),
                     Some(m) if !m.contains(device) => {
-                        errors.push(SpecError::NotACollectiveMember { id, device: *device })
+                        errors.push(SpecError::NotACollectiveMember {
+                            id,
+                            device: *device,
+                        })
                     }
                     Some(_) => {
                         started[id as usize].insert(*device);
@@ -117,11 +120,17 @@ pub fn validate_spec(spec: &ExecutionSpec) -> Vec<SpecError> {
                 Op::CollWait { id } => match members.get(id as usize) {
                     None => errors.push(SpecError::UnknownCollective(id)),
                     Some(m) if !m.contains(device) => {
-                        errors.push(SpecError::NotACollectiveMember { id, device: *device })
+                        errors.push(SpecError::NotACollectiveMember {
+                            id,
+                            device: *device,
+                        })
                     }
                     Some(_) if !started_here.contains(&id) => {
                         used[id as usize] = true;
-                        errors.push(SpecError::WaitBeforeStart { id, device: *device })
+                        errors.push(SpecError::WaitBeforeStart {
+                            id,
+                            device: *device,
+                        })
                     }
                     Some(_) => used[id as usize] = true,
                 },
@@ -174,8 +183,8 @@ mod tests {
     use crate::ops::{Channel, ComputeLabel};
     use holmes_model::ParameterGroup;
     use holmes_parallel::{
-        GroupLayout, HolmesScheduler, ParallelDegrees, ParallelPlan, PartitionStrategy,
-        Scheduler, UniformPartition,
+        GroupLayout, HolmesScheduler, ParallelDegrees, ParallelPlan, PartitionStrategy, Scheduler,
+        UniformPartition,
     };
     use holmes_topology::{presets, Rank};
 
@@ -241,7 +250,10 @@ mod tests {
         let spec = ExecutionSpec {
             programs: vec![(
                 Rank(0),
-                vec![Op::Send { key: key(0, 1, 0), bytes: 8 }],
+                vec![Op::Send {
+                    key: key(0, 1, 0),
+                    bytes: 8,
+                }],
             )],
             collectives: vec![],
             transport: Default::default(),
@@ -257,10 +269,19 @@ mod tests {
         let spec = ExecutionSpec {
             programs: vec![
                 // Device 5 sending with from=0: misrouted.
-                (Rank(5), vec![Op::Send { key: key(0, 1, 0), bytes: 8 }]),
+                (
+                    Rank(5),
+                    vec![Op::Send {
+                        key: key(0, 1, 0),
+                        bytes: 8,
+                    }],
+                ),
                 (
                     Rank(1),
-                    vec![Op::Recv { key: key(0, 1, 0) }, Op::Recv { key: key(0, 1, 0) }],
+                    vec![
+                        Op::Recv { key: key(0, 1, 0) },
+                        Op::Recv { key: key(0, 1, 0) },
+                    ],
                 ),
             ],
             collectives: vec![],
@@ -280,22 +301,36 @@ mod tests {
                 (Rank(0), vec![Op::CollWait { id: 0 }]),
                 // Member 1 never shows up for the collective at all but has
                 // a program.
-                (Rank(1), vec![Op::Compute {
-                    label: ComputeLabel::Optimizer,
-                    seconds: 0.1,
-                }]),
+                (
+                    Rank(1),
+                    vec![Op::Compute {
+                        label: ComputeLabel::Optimizer,
+                        seconds: 0.1,
+                    }],
+                ),
                 // Device 2 is not a member; unknown id 7 too.
-                (Rank(2), vec![Op::CollStart { id: 0 }, Op::CollStart { id: 7 }]),
+                (
+                    Rank(2),
+                    vec![Op::CollStart { id: 0 }, Op::CollStart { id: 7 }],
+                ),
             ],
             collectives: vec![coll],
             transport: Default::default(),
         };
         let errors = validate_spec(&spec);
-        assert!(errors.contains(&SpecError::WaitBeforeStart { id: 0, device: Rank(0) }));
-        assert!(errors
-            .contains(&SpecError::NotACollectiveMember { id: 0, device: Rank(2) }));
+        assert!(errors.contains(&SpecError::WaitBeforeStart {
+            id: 0,
+            device: Rank(0)
+        }));
+        assert!(errors.contains(&SpecError::NotACollectiveMember {
+            id: 0,
+            device: Rank(2)
+        }));
         assert!(errors.contains(&SpecError::UnknownCollective(7)));
-        assert!(errors.contains(&SpecError::MissingCollStart { id: 0, device: Rank(0) }));
+        assert!(errors.contains(&SpecError::MissingCollStart {
+            id: 0,
+            device: Rank(0)
+        }));
     }
 
     #[test]

@@ -98,7 +98,10 @@ mod tests {
     fn backward_is_twice_forward() {
         let cfg = GptConfig::paper_standard(30, 3072, 32);
         let layer = model_blocks(&cfg)[1];
-        assert_eq!(layer.bwd_flops_per_sample(), 2.0 * layer.fwd_flops_per_sample);
+        assert_eq!(
+            layer.bwd_flops_per_sample(),
+            2.0 * layer.fwd_flops_per_sample
+        );
     }
 
     #[test]

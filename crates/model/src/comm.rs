@@ -49,10 +49,7 @@ impl CommVolumes {
     /// micro-batch: Megatron's row/column split requires 2 all-reduces in
     /// forward and 2 in backward, each of `b·s·h` 16-bit activations.
     pub fn tp_allreduce_bytes_per_layer(cfg: &GptConfig, micro_batch: u32) -> u64 {
-        4 * u64::from(micro_batch)
-            * u64::from(cfg.seq_len)
-            * u64::from(cfg.hidden_size)
-            * ACT_BYTES
+        4 * u64::from(micro_batch) * u64::from(cfg.seq_len) * u64::from(cfg.hidden_size) * ACT_BYTES
     }
 
     /// Total per-iteration p2p activation traffic leaving one stage of one
@@ -65,7 +62,12 @@ impl CommVolumes {
         scatter_gather: bool,
     ) -> u64 {
         2 * u64::from(microbatches)
-            * Self::p2p_activation_bytes(&job.config, job.micro_batch, tensor_parallel, scatter_gather)
+            * Self::p2p_activation_bytes(
+                &job.config,
+                job.micro_batch,
+                tensor_parallel,
+                scatter_gather,
+            )
     }
 }
 

@@ -70,7 +70,10 @@ mod tests {
         let iter_time = 768.0 / 99.23;
         let implied = 197e12 * 32.0 * iter_time;
         let rel = (f - implied).abs() / implied;
-        assert!(rel < 0.03, "Eq.6 = {f:.3e}, implied = {implied:.3e}, rel = {rel}");
+        assert!(
+            rel < 0.03,
+            "Eq.6 = {f:.3e}, implied = {implied:.3e}, rel = {rel}"
+        );
     }
 
     #[test]

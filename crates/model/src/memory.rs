@@ -69,8 +69,8 @@ impl MemoryEstimate {
         let t = u64::from(tensor_parallel.max(1));
         let local_params = stage_params / t;
         let weights_and_grads_bytes = local_params * (BYTES_PER_PARAM_FULL - BYTES_PER_PARAM_OPTIM);
-        let optimizer_bytes = local_params * BYTES_PER_PARAM_OPTIM
-            / u64::from(optimizer_shards.max(1));
+        let optimizer_bytes =
+            local_params * BYTES_PER_PARAM_OPTIM / u64::from(optimizer_shards.max(1));
         // Selective-recompute activation footprint per layer per sample:
         // ~34·s·h bytes (Korthikanti et al.'s bound, 16-bit, attention
         // recomputed), divided by t. Full recomputation keeps only the
@@ -83,8 +83,7 @@ impl MemoryEstimate {
         let activations_bytes = per_layer_per_sample
             * u64::from(micro_batch)
             * u64::from(in_flight_microbatches)
-            * u64::from(layers_on_stage)
-            .max(1);
+            * u64::from(layers_on_stage).max(1);
         MemoryEstimate {
             weights_and_grads_bytes,
             optimizer_bytes,
@@ -124,7 +123,11 @@ mod tests {
         let t1 = MemoryEstimate::for_rank(&pg.config, stage, 1, 4, 2, 24, 16);
         assert!(!t1.fits_in(GIB80), "t=1 must not fit");
         let t8 = MemoryEstimate::for_rank(&pg.config, stage, 8, 4, 2, 24, 16);
-        assert!(t8.fits_in(GIB80), "t=8 should fit: {} GiB", t8.total_bytes() >> 30);
+        assert!(
+            t8.fits_in(GIB80),
+            "t=8 should fit: {} GiB",
+            t8.total_bytes() >> 30
+        );
     }
 
     #[test]
@@ -142,7 +145,10 @@ mod tests {
         let unsharded = MemoryEstimate::for_rank(&pg.config, stage, 1, 4, 2, 18, 1);
         let sharded = MemoryEstimate::for_rank(&pg.config, stage, 1, 4, 2, 18, 16);
         assert!(sharded.optimizer_bytes < unsharded.optimizer_bytes);
-        assert_eq!(sharded.weights_and_grads_bytes, unsharded.weights_and_grads_bytes);
+        assert_eq!(
+            sharded.weights_and_grads_bytes,
+            unsharded.weights_and_grads_bytes
+        );
     }
 
     #[test]
@@ -150,11 +156,13 @@ mod tests {
         let pg = ParameterGroup::table2(3);
         let stage = parameter_count(&pg.config) / 2;
         let normal = MemoryEstimate::for_rank(&pg.config, stage, 1, 4, 2, 18, 16);
-        let recompute = MemoryEstimate::for_rank_with_recompute(
-            &pg.config, stage, 1, 4, 2, 18, 16, true,
-        );
+        let recompute =
+            MemoryEstimate::for_rank_with_recompute(&pg.config, stage, 1, 4, 2, 18, 16, true);
         assert!(recompute.activations_bytes * 10 < normal.activations_bytes);
-        assert_eq!(recompute.weights_and_grads_bytes, normal.weights_and_grads_bytes);
+        assert_eq!(
+            recompute.weights_and_grads_bytes,
+            normal.weights_and_grads_bytes
+        );
     }
 
     #[test]

@@ -35,12 +35,7 @@ pub fn reduce_scatter_seconds(
 }
 
 /// Ring all-gather over `n` ranks of a `bytes`-sized buffer.
-pub fn all_gather_seconds(
-    n: u32,
-    bytes: u64,
-    bandwidth_bytes_per_sec: f64,
-    latency_s: f64,
-) -> f64 {
+pub fn all_gather_seconds(n: u32, bytes: u64, bandwidth_bytes_per_sec: f64, latency_s: f64) -> f64 {
     // Identical step structure to reduce-scatter.
     reduce_scatter_seconds(n, bytes, bandwidth_bytes_per_sec, latency_s)
 }
@@ -73,12 +68,7 @@ pub fn tree_allreduce_seconds(
 }
 
 /// Pipelined ring broadcast of a `bytes`-sized buffer.
-pub fn broadcast_seconds(
-    n: u32,
-    bytes: u64,
-    bandwidth_bytes_per_sec: f64,
-    latency_s: f64,
-) -> f64 {
+pub fn broadcast_seconds(n: u32, bytes: u64, bandwidth_bytes_per_sec: f64, latency_s: f64) -> f64 {
     if n <= 1 {
         return 0.0;
     }

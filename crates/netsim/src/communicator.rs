@@ -141,22 +141,12 @@ impl Communicator {
 
     /// Analytic ring all-gather time for a `bytes` buffer.
     pub fn all_gather_seconds(&self, bytes: u64) -> f64 {
-        collective::all_gather_seconds(
-            self.size(),
-            bytes,
-            self.ring_bandwidth,
-            self.ring_latency_s,
-        )
+        collective::all_gather_seconds(self.size(), bytes, self.ring_bandwidth, self.ring_latency_s)
     }
 
     /// Analytic broadcast time for a `bytes` buffer.
     pub fn broadcast_seconds(&self, bytes: u64) -> f64 {
-        collective::broadcast_seconds(
-            self.size(),
-            bytes,
-            self.ring_bandwidth,
-            self.ring_latency_s,
-        )
+        collective::broadcast_seconds(self.size(), bytes, self.ring_bandwidth, self.ring_latency_s)
     }
 }
 

@@ -78,9 +78,7 @@ impl Fabric {
                 });
             }
             cluster_switches.push(if cluster.oversubscription > 1.0 {
-                Some(sim.add_link(LinkCapacity::new(
-                    cluster.switch_bisection_bytes_per_sec(),
-                )))
+                Some(sim.add_link(LinkCapacity::new(cluster.switch_bisection_bytes_per_sec())))
             } else {
                 None
             });
@@ -317,7 +315,10 @@ mod tests {
         sim.start_flow(fabric.flow_spec(&topo, Rank(1), Rank(9), 2_300_000_000, 2));
         sim.next().unwrap();
         let t = sim.now().as_secs_f64();
-        assert!((t - 0.1).abs() < 0.01, "per-port flows should not contend: {t}");
+        assert!(
+            (t - 0.1).abs() < 0.01,
+            "per-port flows should not contend: {t}"
+        );
     }
 
     #[test]

@@ -71,7 +71,11 @@ mod tests {
         assert_eq!(stats.utilization(cap, 0.0), 0.0);
         // Can never exceed 1.
         assert_eq!(
-            LinkStats { bytes: 1e12, busy_seconds: 1.0 }.utilization(cap, 1.0),
+            LinkStats {
+                bytes: 1e12,
+                busy_seconds: 1.0
+            }
+            .utilization(cap, 1.0),
             1.0
         );
     }

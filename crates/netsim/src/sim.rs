@@ -100,8 +100,20 @@ pub struct NetSim {
     links: Vec<LinkCapacity>,
     /// Per-link accumulated traffic and busy time.
     link_stats: Vec<LinkStats>,
-    /// Flows past their latency phase, currently sharing bandwidth.
-    active: BTreeMap<FlowId, ActiveFlow>,
+    /// Slab of flows past their latency phase. `None` slots are free and
+    /// recorded in `free_slots`; live slots are indexed by `active_order`.
+    slab: Vec<Option<ActiveFlow>>,
+    /// Recyclable slab indices.
+    free_slots: Vec<u32>,
+    /// `(id, slot)` pairs sorted ascending by id — the canonical iteration
+    /// order over active flows. Keeping id order here preserves the exact
+    /// floating-point summation order of the previous `BTreeMap` layout,
+    /// so event timelines stay bit-identical.
+    active_order: Vec<(FlowId, u32)>,
+    /// Per-link count of active flows crossing it, maintained incrementally
+    /// on activation/completion instead of being rebuilt every
+    /// water-filling pass.
+    link_nflows: Vec<u32>,
     /// Flows still in their latency phase.
     pending: BTreeMap<FlowId, FlowSpec>,
     queue: BinaryHeap<QueuedEvent>,
@@ -112,6 +124,13 @@ pub struct NetSim {
     last_settle: SimTime,
     flows_completed: u64,
     events_processed: u64,
+    // Reusable scratch buffers: contents are meaningless between calls,
+    // kept only to avoid per-call heap allocation on the hot path.
+    scratch_cap_left: Vec<f64>,
+    scratch_n_unfixed: Vec<u32>,
+    scratch_is_bottleneck: Vec<bool>,
+    scratch_link_active: Vec<bool>,
+    scratch_unfixed: Vec<u32>,
 }
 
 impl NetSim {
@@ -143,6 +162,7 @@ impl NetSim {
         let id = LinkId(self.links.len() as u32);
         self.links.push(capacity);
         self.link_stats.push(LinkStats::default());
+        self.link_nflows.push(0);
         id
     }
 
@@ -170,7 +190,7 @@ impl NetSim {
 
     /// Number of currently in-flight flows (latency phase included).
     pub fn inflight_flows(&self) -> usize {
-        self.active.len() + self.pending.len()
+        self.active_order.len() + self.pending.len()
     }
 
     /// Start a flow; completion arrives later via [`NetSim::next`].
@@ -276,16 +296,28 @@ impl NetSim {
         } else {
             f64::INFINITY
         };
-        self.active.insert(
-            id,
-            ActiveFlow {
-                path: spec.path,
-                remaining: spec.bytes as f64,
-                rate: 0.0,
-                rate_cap: cap,
-                token: spec.token,
-            },
-        );
+        for link in &spec.path {
+            self.link_nflows[link.0 as usize] += 1;
+        }
+        let flow = ActiveFlow {
+            path: spec.path,
+            remaining: spec.bytes as f64,
+            rate: 0.0,
+            rate_cap: cap,
+            token: spec.token,
+        };
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slab[s as usize] = Some(flow);
+                s
+            }
+            None => {
+                self.slab.push(Some(flow));
+                (self.slab.len() - 1) as u32
+            }
+        };
+        let pos = self.active_order.partition_point(|&(fid, _)| fid < id);
+        self.active_order.insert(pos, (id, slot));
     }
 
     /// Advance every active flow's `remaining` to the current time,
@@ -293,8 +325,11 @@ impl NetSim {
     fn settle_progress(&mut self) {
         let elapsed = self.now.since(self.last_settle).0 as f64;
         if elapsed > 0.0 {
-            let mut link_active = vec![false; self.links.len()];
-            for flow in self.active.values_mut() {
+            let link_active = &mut self.scratch_link_active;
+            link_active.clear();
+            link_active.resize(self.links.len(), false);
+            for &(_, slot) in &self.active_order {
+                let flow = self.slab[slot as usize].as_mut().expect("live slot");
                 let moved = (flow.rate * elapsed).min(flow.remaining);
                 flow.remaining -= flow.rate * elapsed;
                 if flow.remaining < 0.0 {
@@ -317,20 +352,33 @@ impl NetSim {
 
     /// Move flows that finished into the completion backlog.
     fn harvest_finished(&mut self) {
-        let done: Vec<FlowId> = self
-            .active
-            .iter()
-            .filter(|(_, f)| f.remaining <= DONE_EPS)
-            .map(|(id, _)| *id)
-            .collect();
-        for id in done {
-            let flow = self.active.remove(&id).expect("flow present");
-            self.flows_completed += 1;
-            self.backlog.push_back(Completion::Flow {
-                id,
-                token: flow.token,
-            });
+        // Single in-place compaction pass, in id order (matching the old
+        // BTreeMap iteration) so completions are queued identically.
+        let mut w = 0;
+        for r in 0..self.active_order.len() {
+            let (id, slot) = self.active_order[r];
+            let finished = self.slab[slot as usize]
+                .as_ref()
+                .expect("live slot")
+                .remaining
+                <= DONE_EPS;
+            if finished {
+                let flow = self.slab[slot as usize].take().expect("live slot");
+                for link in &flow.path {
+                    self.link_nflows[link.0 as usize] -= 1;
+                }
+                self.free_slots.push(slot);
+                self.flows_completed += 1;
+                self.backlog.push_back(Completion::Flow {
+                    id,
+                    token: flow.token,
+                });
+            } else {
+                self.active_order[w] = (id, slot);
+                w += 1;
+            }
         }
+        self.active_order.truncate(w);
     }
 
     /// Max-min fair bandwidth allocation over all active flows.
@@ -340,36 +388,41 @@ impl NetSim {
     /// flows it binds, subtract their consumption, and continue.
     fn recompute_rates(&mut self) {
         self.rates_version += 1;
-        if self.active.is_empty() {
+        if self.active_order.is_empty() {
             return;
         }
 
+        // Disjoint field borrows: flows mutate through `slab` while the
+        // per-link scratch vectors are updated alongside.
+        let slab = &mut self.slab;
+        let cap_left = &mut self.scratch_cap_left;
+        let n_unfixed = &mut self.scratch_n_unfixed;
+        let is_bottleneck = &mut self.scratch_is_bottleneck;
+        let unfixed = &mut self.scratch_unfixed;
+
         // Per-link bookkeeping in bytes/ns.
-        let mut cap_left: Vec<f64> = self
-            .links
-            .iter()
-            .map(|l| l.bytes_per_sec * 1e-9)
-            .collect();
-        let mut n_unfixed: Vec<u32> = vec![0; self.links.len()];
-        let ids: Vec<FlowId> = self.active.keys().copied().collect();
-        for id in &ids {
-            for link in &self.active[id].path {
-                n_unfixed[link.0 as usize] += 1;
-            }
-        }
-        let mut unfixed: Vec<FlowId> = ids;
+        cap_left.clear();
+        cap_left.extend(self.links.iter().map(|l| l.bytes_per_sec * 1e-9));
+        // Seed from the incrementally maintained per-link counts instead of
+        // re-walking every flow's path.
+        n_unfixed.clear();
+        n_unfixed.extend_from_slice(&self.link_nflows);
+        // Water-fill in id order (same as the old BTreeMap iteration).
+        unfixed.clear();
+        unfixed.extend(self.active_order.iter().map(|&(_, slot)| slot));
 
         while !unfixed.is_empty() {
             // Tightest link share.
             let mut bottleneck = f64::INFINITY;
-            for (cap, n) in cap_left.iter().zip(&n_unfixed) {
+            for (cap, n) in cap_left.iter().zip(n_unfixed.iter()) {
                 if *n > 0 {
                     bottleneck = bottleneck.min(cap / f64::from(*n));
                 }
             }
             // Tightest flow cap.
-            for id in &unfixed {
-                bottleneck = bottleneck.min(self.active[id].rate_cap);
+            for &slot in unfixed.iter() {
+                bottleneck =
+                    bottleneck.min(slab[slot as usize].as_ref().expect("live slot").rate_cap);
             }
             if !bottleneck.is_finite() {
                 // Pathless, uncapped flows: complete "instantly" at an
@@ -381,43 +434,46 @@ impl NetSim {
             // Snapshot which links are at the bottleneck *before* freezing,
             // so freezing one flow does not change membership for the rest
             // of this round.
-            let is_bottleneck: Vec<bool> = cap_left
-                .iter()
-                .zip(&n_unfixed)
-                .map(|(cap, n)| *n > 0 && cap / f64::from(*n) <= threshold)
-                .collect();
-
-            // Freeze every flow bound by this constraint.
-            let before = unfixed.len();
-            let mut still = Vec::with_capacity(unfixed.len());
-            for id in unfixed {
-                let constrained_by_cap = self.active[&id].rate_cap <= threshold;
-                let constrained_by_link = self.active[&id]
-                    .path
+            is_bottleneck.clear();
+            is_bottleneck.extend(
+                cap_left
                     .iter()
-                    .any(|l| is_bottleneck[l.0 as usize]);
+                    .zip(n_unfixed.iter())
+                    .map(|(cap, n)| *n > 0 && cap / f64::from(*n) <= threshold),
+            );
+
+            // Freeze every flow bound by this constraint, compacting the
+            // survivors in place.
+            let before = unfixed.len();
+            let mut w = 0;
+            for r in 0..unfixed.len() {
+                let slot = unfixed[r];
+                let flow = slab[slot as usize].as_mut().expect("live slot");
+                let constrained_by_cap = flow.rate_cap <= threshold;
+                let constrained_by_link = flow.path.iter().any(|l| is_bottleneck[l.0 as usize]);
                 if constrained_by_cap || constrained_by_link {
-                    let rate = self.active[&id].rate_cap.min(bottleneck);
-                    for l in self.active[&id].path.clone() {
+                    let rate = flow.rate_cap.min(bottleneck);
+                    flow.rate = rate;
+                    for l in &flow.path {
                         let i = l.0 as usize;
                         cap_left[i] = (cap_left[i] - rate).max(0.0);
                         n_unfixed[i] -= 1;
                     }
-                    self.active.get_mut(&id).expect("flow present").rate = rate;
                 } else {
-                    still.push(id);
+                    unfixed[w] = slot;
+                    w += 1;
                 }
             }
-            if still.len() == before {
+            if w == before {
                 // Numerical corner: nothing matched the constraint. Freeze
                 // everything at the bottleneck rate to guarantee progress.
-                for id in &still {
-                    let rate = self.active[id].rate_cap.min(bottleneck);
-                    self.active.get_mut(id).expect("flow present").rate = rate;
+                for &slot in unfixed.iter() {
+                    let flow = slab[slot as usize].as_mut().expect("live slot");
+                    flow.rate = flow.rate_cap.min(bottleneck);
                 }
                 break;
             }
-            unfixed = still;
+            unfixed.truncate(w);
         }
     }
 
@@ -425,7 +481,8 @@ impl NetSim {
     /// versioned check there.
     fn schedule_rates_check(&mut self) {
         let mut earliest: Option<SimTime> = None;
-        for flow in self.active.values() {
+        for &(_, slot) in &self.active_order {
+            let flow = self.slab[slot as usize].as_ref().expect("live slot");
             if flow.rate <= 0.0 {
                 continue;
             }
@@ -470,7 +527,13 @@ mod tests {
         let (mut sim, link) = sim_with_link(1e9); // 1 GB/s
         sim.start_flow(flow_on(link, 1_000_000_000, 1));
         let c = sim.next().unwrap();
-        assert_eq!(c, Completion::Flow { id: FlowId(0), token: 1 });
+        assert_eq!(
+            c,
+            Completion::Flow {
+                id: FlowId(0),
+                token: 1
+            }
+        );
         // 1 GB at 1 GB/s = 1 s.
         assert!((sim.now().as_secs_f64() - 1.0).abs() < 1e-6);
     }
@@ -509,7 +572,13 @@ mod tests {
         sim.start_flow(flow_on(link, 250_000_000, 1));
         sim.start_flow(flow_on(link, 1_000_000_000, 2));
         let first = sim.next().unwrap();
-        assert_eq!(first, Completion::Flow { id: FlowId(0), token: 1 });
+        assert_eq!(
+            first,
+            Completion::Flow {
+                id: FlowId(0),
+                token: 1
+            }
+        );
         assert!((sim.now().as_secs_f64() - 0.5).abs() < 1e-6);
         sim.next().unwrap();
         assert!((sim.now().as_secs_f64() - 1.25).abs() < 1e-6);
@@ -561,14 +630,15 @@ mod tests {
     #[test]
     fn pathless_flow_respects_rate_cap() {
         let mut sim = NetSim::new();
-        sim.start_flow(FlowSpec::direct(
-            1_000_000_000,
-            SimDuration::ZERO,
-            2e9,
-            9,
-        ));
+        sim.start_flow(FlowSpec::direct(1_000_000_000, SimDuration::ZERO, 2e9, 9));
         let c = sim.next().unwrap();
-        assert_eq!(c, Completion::Flow { id: FlowId(0), token: 9 });
+        assert_eq!(
+            c,
+            Completion::Flow {
+                id: FlowId(0),
+                token: 9
+            }
+        );
         assert!((sim.now().as_secs_f64() - 0.5).abs() < 1e-6);
     }
 
@@ -621,6 +691,68 @@ mod tests {
         assert_eq!(run(), run());
     }
 
+    /// The canonical 8-flow staggered-start workload used by the
+    /// determinism tests, rendered as a textual event log.
+    fn staggered_event_log() -> String {
+        let (mut sim, link) = sim_with_link(3e9);
+        for t in 0..8 {
+            let mut f = flow_on(link, 10_000_000 * (t + 1), t);
+            f.latency = SimDuration::from_micros(t * 3);
+            sim.start_flow(f);
+        }
+        let mut log = String::new();
+        while let Some(c) = sim.next() {
+            log.push_str(&format!("{:?} {:?}\n", sim.now(), c));
+        }
+        log
+    }
+
+    #[test]
+    fn event_log_is_byte_identical_across_runs() {
+        // Two fresh simulators over the same workload must render the
+        // exact same bytes: flow-id iteration order (and therefore float
+        // summation order) may not depend on slab slot assignment.
+        assert_eq!(staggered_event_log(), staggered_event_log());
+    }
+
+    #[test]
+    fn slab_slots_are_recycled_across_waves() {
+        let (mut sim, link) = sim_with_link(1e9);
+        // Wave 1: fill five slots, drain them all.
+        for t in 0..5 {
+            sim.start_flow(flow_on(link, 1_000_000, t));
+        }
+        assert_eq!(sim.drain().len(), 5);
+        let slots_after_first_wave = sim.slab.len();
+        // Wave 2: same number of flows must reuse freed slots, not grow
+        // the slab.
+        for t in 5..10 {
+            sim.start_flow(flow_on(link, 1_000_000, t));
+        }
+        assert_eq!(sim.drain().len(), 5);
+        assert_eq!(sim.slab.len(), slots_after_first_wave);
+        assert_eq!(sim.free_slots.len(), slots_after_first_wave);
+        assert!(sim.active_order.is_empty());
+    }
+
+    #[test]
+    fn link_flow_counts_return_to_zero_when_drained() {
+        let mut sim = NetSim::new();
+        let a = sim.add_link(LinkCapacity::new(1e9));
+        let b = sim.add_link(LinkCapacity::new(2e9));
+        for t in 0..4 {
+            sim.start_flow(FlowSpec {
+                path: vec![a, b],
+                bytes: 1_000_000,
+                latency: SimDuration::from_micros(t),
+                rate_cap: f64::INFINITY,
+                token: t,
+            });
+        }
+        sim.drain();
+        assert_eq!(sim.link_nflows, vec![0, 0]);
+    }
+
     #[test]
     fn capacity_change_mid_flight_slows_flows() {
         let (mut sim, link) = sim_with_link(1e9);
@@ -654,7 +786,13 @@ mod tests {
         f.latency = SimDuration::from_micros(7);
         sim.start_flow(f);
         let c = sim.next().unwrap();
-        assert_eq!(c, Completion::Flow { id: FlowId(0), token: 3 });
+        assert_eq!(
+            c,
+            Completion::Flow {
+                id: FlowId(0),
+                token: 3
+            }
+        );
         assert_eq!(sim.now(), SimTime(7_000));
     }
 }

@@ -21,7 +21,10 @@ impl fmt::Display for DegreeError {
         match self {
             DegreeError::ZeroDegree => write!(f, "parallel degrees must be positive"),
             DegreeError::ProductMismatch { product, devices } => {
-                write!(f, "t*p*d = {product} but the topology has {devices} devices")
+                write!(
+                    f,
+                    "t*p*d = {product} but the topology has {devices} devices"
+                )
             }
         }
     }
@@ -107,7 +110,10 @@ mod tests {
     fn product_mismatch_rejected() {
         assert!(matches!(
             ParallelDegrees::new(2, 2, 2, 16),
-            Err(DegreeError::ProductMismatch { product: 8, devices: 16 })
+            Err(DegreeError::ProductMismatch {
+                product: 8,
+                devices: 16
+            })
         ));
     }
 

@@ -135,17 +135,23 @@ impl GroupLayout {
 
     /// All tensor parallel groups.
     pub fn tp_groups(&self) -> Vec<Vec<u32>> {
-        (0..self.tp_group_count()).map(|i| self.tp_group(i)).collect()
+        (0..self.tp_group_count())
+            .map(|i| self.tp_group(i))
+            .collect()
     }
 
     /// All pipeline parallel groups.
     pub fn pp_groups(&self) -> Vec<Vec<u32>> {
-        (0..self.pp_group_count()).map(|i| self.pp_group(i)).collect()
+        (0..self.pp_group_count())
+            .map(|i| self.pp_group(i))
+            .collect()
     }
 
     /// All data parallel groups.
     pub fn dp_groups(&self) -> Vec<Vec<u32>> {
-        (0..self.dp_group_count()).map(|i| self.dp_group(i)).collect()
+        (0..self.dp_group_count())
+            .map(|i| self.dp_group(i))
+            .collect()
     }
 }
 

@@ -37,7 +37,10 @@ pub use groups::GroupLayout;
 pub use nic_selection::{DpGroupNic, NicSelectionReport};
 pub use partition::{PartitionStrategy, SelfAdaptingPartition, UniformPartition};
 pub use plan::ParallelPlan;
-pub use search::{assignment_for_order, search_cluster_orders, PlacementSearchResult};
 pub use scheduler::{
     DeviceAssignment, HolmesScheduler, InterleavedScheduler, Scheduler, SequentialScheduler,
+};
+pub use search::{
+    assignment_for_order, search_cluster_orders, search_cluster_orders_with_mode, EvalMode,
+    PlacementSearchResult,
 };

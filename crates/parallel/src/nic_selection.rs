@@ -183,9 +183,13 @@ mod tests {
         let topo = presets::hybrid_two_cluster(2);
         let layout = layout_for(&topo, 1, 2);
         let grad = 1u64 << 30;
-        let holmes = NicSelectionReport::analyze(&topo, &layout, &HolmesScheduler.assign(&topo, &layout));
-        let inter =
-            NicSelectionReport::analyze(&topo, &layout, &InterleavedScheduler.assign(&topo, &layout));
+        let holmes =
+            NicSelectionReport::analyze(&topo, &layout, &HolmesScheduler.assign(&topo, &layout));
+        let inter = NicSelectionReport::analyze(
+            &topo,
+            &layout,
+            &InterleavedScheduler.assign(&topo, &layout),
+        );
         let c_h = holmes.dp_sync_cost_seconds(&topo, grad);
         let c_i = inter.dp_sync_cost_seconds(&topo, grad);
         assert!(c_h < c_i, "holmes {c_h} vs interleaved {c_i}");

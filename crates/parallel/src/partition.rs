@@ -93,7 +93,11 @@ impl PartitionStrategy for SelfAdaptingPartition {
                 (raw as u32).min(remaining.saturating_sub(stages_left_min(visited)))
             };
             // Guarantee at least one layer per stage when feasible.
-            let want = if layers >= p as u32 { want.max(1) } else { want };
+            let want = if layers >= p as u32 {
+                want.max(1)
+            } else {
+                want
+            };
             out[i] = want.min(remaining);
             remaining -= out[i];
         }

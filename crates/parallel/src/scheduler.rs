@@ -79,8 +79,11 @@ impl DeviceAssignment {
     pub fn to_rank_map(&self) -> String {
         let mut out = String::with_capacity(self.device_of.len() * 8);
         for (logical, device) in self.device_of.iter().enumerate() {
-            out.push_str(&format!("{logical}={}
-", device.0));
+            out.push_str(&format!(
+                "{logical}={}
+",
+                device.0
+            ));
         }
         out
     }
@@ -245,7 +248,10 @@ impl HolmesScheduler {
             })
             .collect();
         order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        order.into_iter().map(|(i, _)| ClusterId(i as u32)).collect()
+        order
+            .into_iter()
+            .map(|(i, _)| ClusterId(i as u32))
+            .collect()
     }
 }
 
@@ -410,7 +416,12 @@ mod tests {
             let a = sched.assign(&topo, &layout);
             let mut seen: Vec<u32> = (0..a.len()).map(|l| a.device_of(l).0).collect();
             seen.sort();
-            assert_eq!(seen, (0..topo.device_count()).collect::<Vec<_>>(), "{}", sched.name());
+            assert_eq!(
+                seen,
+                (0..topo.device_count()).collect::<Vec<_>>(),
+                "{}",
+                sched.name()
+            );
             // Inverse must agree.
             for l in 0..a.len() {
                 assert_eq!(a.logical_of(a.device_of(l)), l);

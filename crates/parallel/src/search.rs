@@ -13,10 +13,26 @@
 //! `M!` search is instantaneous.
 
 use holmes_topology::{ClusterId, Topology};
+use rayon::prelude::*;
 
 use crate::groups::GroupLayout;
 use crate::nic_selection::NicSelectionReport;
 use crate::scheduler::DeviceAssignment;
+
+/// How a candidate-evaluation fan-out is executed.
+///
+/// Used by [`search_cluster_orders_with_mode`] here and by the autotuner
+/// in the `holmes` crate. Parallel evaluation merges results in stable
+/// candidate order, so both modes produce identical rankings; `Serial` is
+/// the reference path the determinism tests compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Fan independent evaluations out across threads (default).
+    #[default]
+    Parallel,
+    /// Evaluate candidates one by one.
+    Serial,
+}
 
 /// Result of an exhaustive placement search.
 #[derive(Debug, Clone)]
@@ -40,38 +56,96 @@ pub fn assignment_for_order(topo: &Topology, order: &[ClusterId]) -> DeviceAssig
     DeviceAssignment::from_permutation(device_of)
 }
 
-fn permutations(n: usize) -> Vec<Vec<usize>> {
-    if n == 0 {
-        return vec![vec![]];
-    }
-    let mut out = Vec::new();
-    for rest in permutations(n - 1) {
-        for pos in 0..=rest.len() {
-            let mut p = rest.clone();
-            p.insert(pos, n - 1);
-            out.push(p);
+/// Iterative permutation generator over `0..n` (Heap's algorithm).
+///
+/// Yields each of the `n!` orderings exactly once, starting from the
+/// identity, mutating a single buffer with one swap per step instead of
+/// the clone-and-insert of a recursive enumeration.
+struct Permutations {
+    items: Vec<usize>,
+    counters: Vec<usize>,
+    i: usize,
+    first: bool,
+}
+
+impl Permutations {
+    fn new(n: usize) -> Self {
+        Permutations {
+            items: (0..n).collect(),
+            counters: vec![0; n],
+            i: 1,
+            first: true,
         }
     }
-    out
+}
+
+impl Iterator for Permutations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.first {
+            self.first = false;
+            return Some(self.items.clone());
+        }
+        while self.i < self.items.len() {
+            if self.counters[self.i] < self.i {
+                if self.i.is_multiple_of(2) {
+                    self.items.swap(0, self.i);
+                } else {
+                    self.items.swap(self.counters[self.i], self.i);
+                }
+                self.counters[self.i] += 1;
+                self.i = 1;
+                return Some(self.items.clone());
+            }
+            self.counters[self.i] = 0;
+            self.i += 1;
+        }
+        None
+    }
 }
 
 /// Search every cluster ordering; score by the DP sync cost for
-/// `gradient_bytes` per rank. Ties break toward the first-found (which,
-/// because permutations enumerate stably, keeps results deterministic).
+/// `gradient_bytes` per rank. Ties break toward the first-enumerated
+/// (permutations enumerate stably, keeping results deterministic).
+///
+/// Permutations are scored in parallel; use
+/// [`search_cluster_orders_with_mode`] to force the serial path.
 pub fn search_cluster_orders(
     topo: &Topology,
     layout: &GroupLayout,
     gradient_bytes: u64,
 ) -> PlacementSearchResult {
+    search_cluster_orders_with_mode(topo, layout, gradient_bytes, EvalMode::Parallel)
+}
+
+/// [`search_cluster_orders`] with an explicit evaluation mode.
+pub fn search_cluster_orders_with_mode(
+    topo: &Topology,
+    layout: &GroupLayout,
+    gradient_bytes: u64,
+    mode: EvalMode,
+) -> PlacementSearchResult {
     let m = topo.cluster_count() as usize;
-    let mut best: Option<PlacementSearchResult> = None;
-    let mut evaluated = 0;
-    for perm in permutations(m) {
-        let order: Vec<ClusterId> = perm.iter().map(|&i| ClusterId(i as u32)).collect();
-        let assignment = assignment_for_order(topo, &order);
+    let orders: Vec<Vec<ClusterId>> = Permutations::new(m)
+        .map(|perm| perm.into_iter().map(|i| ClusterId(i as u32)).collect())
+        .collect();
+    // Score each ordering independently (each evaluation builds its own
+    // assignment and report), then pick the winner by a serial scan in
+    // enumeration order so the tie-break is identical in both modes.
+    let score = |order: &Vec<ClusterId>| -> (DeviceAssignment, f64) {
+        let assignment = assignment_for_order(topo, order);
         let report = NicSelectionReport::analyze(topo, layout, &assignment);
         let cost = report.dp_sync_cost_seconds(topo, gradient_bytes);
-        evaluated += 1;
+        (assignment, cost)
+    };
+    let scored: Vec<(DeviceAssignment, f64)> = match mode {
+        EvalMode::Parallel => orders.par_iter().map(score).collect(),
+        EvalMode::Serial => orders.iter().map(score).collect(),
+    };
+    let evaluated = scored.len() as u32;
+    let mut best: Option<PlacementSearchResult> = None;
+    for (order, (assignment, cost)) in orders.into_iter().zip(scored) {
         let better = match &best {
             None => true,
             Some(b) => cost < b.cost_seconds - 1e-12,
@@ -85,9 +159,7 @@ pub fn search_cluster_orders(
             });
         }
     }
-    let mut result = best.expect("at least one permutation");
-    result.evaluated = evaluated;
-    result
+    best.expect("at least one permutation")
 }
 
 #[cfg(test)]
@@ -105,15 +177,39 @@ mod tests {
 
     #[test]
     fn permutations_enumerate_factorially() {
-        assert_eq!(permutations(0).len(), 1);
-        assert_eq!(permutations(1).len(), 1);
-        assert_eq!(permutations(3).len(), 6);
-        assert_eq!(permutations(4).len(), 24);
-        // Each is a permutation of 0..n.
-        for p in permutations(4) {
+        assert_eq!(Permutations::new(0).count(), 1);
+        assert_eq!(Permutations::new(1).count(), 1);
+        assert_eq!(Permutations::new(3).count(), 6);
+        assert_eq!(Permutations::new(4).count(), 24);
+        // The first ordering is the identity (the tie-break favourite).
+        assert_eq!(Permutations::new(4).next(), Some(vec![0, 1, 2, 3]));
+        // Each is a permutation of 0..n, and all are distinct.
+        let all: Vec<Vec<usize>> = Permutations::new(4).collect();
+        for p in &all {
             let mut q = p.clone();
             q.sort_unstable();
             assert_eq!(q, vec![0, 1, 2, 3]);
+        }
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn parallel_and_serial_search_pick_the_same_winner() {
+        for (topo, p) in [
+            (presets::hybrid_two_cluster(2), 2u32),
+            (presets::table4_2r_2r_2ib(), 3),
+            (presets::table4_2r_2ib_2ib(), 3),
+            (presets::table4_4r_4ib_4ib(), 3),
+        ] {
+            let layout = layout_for(&topo, 1, p);
+            let par = search_cluster_orders_with_mode(&topo, &layout, GRAD, EvalMode::Parallel);
+            let ser = search_cluster_orders_with_mode(&topo, &layout, GRAD, EvalMode::Serial);
+            assert_eq!(par.cluster_order, ser.cluster_order);
+            assert_eq!(par.cost_seconds.to_bits(), ser.cost_seconds.to_bits());
+            assert_eq!(par.evaluated, ser.evaluated);
         }
     }
 
@@ -149,10 +245,7 @@ mod tests {
         // With p=2 over 3 clusters, each DP group (d=24) inevitably spans
         // a cluster boundary — no order can fully restore RDMA — but the
         // search must still never lose to the identity order.
-        let identity = assignment_for_order(
-            &topo,
-            &[ClusterId(0), ClusterId(1), ClusterId(2)],
-        );
+        let identity = assignment_for_order(&topo, &[ClusterId(0), ClusterId(1), ClusterId(2)]);
         let identity_cost = NicSelectionReport::analyze(&topo, &layout, &identity)
             .dp_sync_cost_seconds(&topo, GRAD);
         assert!(result.cost_seconds <= identity_cost + 1e-12);

@@ -128,9 +128,7 @@ impl TopologyBuilder {
                 }
             }
         }
-        let inter = self
-            .inter_cluster
-            .unwrap_or_else(NicProfile::ethernet_25g);
+        let inter = self.inter_cluster.unwrap_or_else(NicProfile::ethernet_25g);
         Topology::new(self.clusters, inter)
     }
 }
@@ -178,7 +176,7 @@ mod tests {
     }
 
     #[test]
-    fn custom_cluster_is_preserved(){
+    fn custom_cluster_is_preserved() {
         let mut c = Cluster::homogeneous("x", 1, NicType::Ethernet);
         c.has_switch = false;
         let topo = TopologyBuilder::new().custom_cluster(c).build().unwrap();

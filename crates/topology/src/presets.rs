@@ -118,8 +118,8 @@ mod tests {
     fn same_nic_two_clusters_is_not_homogeneous_case1() {
         // Same NIC type everywhere but two clusters → cross-cluster pairs
         // must fall back to TCP (this is exactly Figure 4's setting).
-        use crate::topology::Rank;
         use crate::link::LinkKind;
+        use crate::topology::Rank;
         let topo = same_nic_two_clusters(NicType::InfiniBand, 2);
         assert!(!topo.is_homogeneous());
         let cross = topo.link_between(Rank(0), Rank(16)).unwrap();

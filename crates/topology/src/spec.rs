@@ -112,7 +112,9 @@ mod tests {
             );
         }
         assert_eq!(
-            parse_topology_spec("ETHERNET:2").unwrap().nic_types_present(),
+            parse_topology_spec("ETHERNET:2")
+                .unwrap()
+                .nic_types_present(),
             vec![NicType::Ethernet]
         );
     }

@@ -178,9 +178,7 @@ impl Topology {
                 if coord.gpu >= node.gpu_count {
                     return None;
                 }
-                return Some(Rank(
-                    base + coord.node.0 * self.gpus_per_node + coord.gpu,
-                ));
+                return Some(Rank(base + coord.node.0 * self.gpus_per_node + coord.gpu));
             }
             base += cluster.gpu_count();
         }
@@ -378,9 +376,7 @@ mod tests {
     fn mixed_nic_inside_cluster_falls_back_to_tcp() {
         use crate::cluster::{Cluster, Node};
         let mut cluster = Cluster::homogeneous("mixed", 1, NicType::InfiniBand);
-        cluster
-            .nodes
-            .push(Node::standard(NicProfile::roce_200g()));
+        cluster.nodes.push(Node::standard(NicProfile::roce_200g()));
         let topo = Topology::new(vec![cluster], NicProfile::ethernet_25g()).unwrap();
         let link = topo.link_between(Rank(0), Rank(8)).unwrap();
         assert_eq!(link.kind, LinkKind::Tcp);
@@ -419,8 +415,16 @@ mod tests {
     #[test]
     fn cluster_ranks_are_contiguous() {
         let topo = two_cluster_topo();
-        let c0: Vec<u32> = topo.cluster_ranks(ClusterId(0)).iter().map(|r| r.0).collect();
-        let c1: Vec<u32> = topo.cluster_ranks(ClusterId(1)).iter().map(|r| r.0).collect();
+        let c0: Vec<u32> = topo
+            .cluster_ranks(ClusterId(0))
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        let c1: Vec<u32> = topo
+            .cluster_ranks(ClusterId(1))
+            .iter()
+            .map(|r| r.0)
+            .collect();
         assert_eq!(c0, (0..8).collect::<Vec<_>>());
         assert_eq!(c1, (8..16).collect::<Vec<_>>());
         assert!(topo.cluster_ranks(ClusterId(5)).is_empty());
@@ -431,7 +435,10 @@ mod tests {
         let topo = two_cluster_topo();
         assert!(matches!(
             topo.coord(Rank(99)),
-            Err(TopologyError::RankOutOfRange { rank: 99, total: 16 })
+            Err(TopologyError::RankOutOfRange {
+                rank: 99,
+                total: 16
+            })
         ));
     }
 
@@ -452,7 +459,10 @@ mod tests {
         cluster.nodes.push(odd);
         assert!(matches!(
             Topology::new(vec![cluster], NicProfile::ethernet_25g()),
-            Err(TopologyError::UnevenGpuCounts { expected: 8, found: 4 })
+            Err(TopologyError::UnevenGpuCounts {
+                expected: 8,
+                found: 4
+            })
         ));
     }
 }

@@ -15,12 +15,21 @@ fn main() {
     let topo = presets::hybrid_split(4, 4);
 
     println!("Ablation on PG3, 8 nodes (4 RoCE + 4 IB):\n");
-    println!("{:<32} {:>12} {:>14}", "configuration", "TFLOPS/GPU", "samples/sec");
+    println!(
+        "{:<32} {:>12} {:>14}",
+        "configuration", "TFLOPS/GPU", "samples/sec"
+    );
 
     let rows: Vec<(&str, HolmesConfig)> = vec![
         ("Holmes (full)", HolmesConfig::full()),
-        ("w/o Self-Adapting-Partition", HolmesConfig::without_self_adapting()),
-        ("w/o Overlapped Optimizer", HolmesConfig::without_overlapped_optimizer()),
+        (
+            "w/o Self-Adapting-Partition",
+            HolmesConfig::without_self_adapting(),
+        ),
+        (
+            "w/o Overlapped Optimizer",
+            HolmesConfig::without_overlapped_optimizer(),
+        ),
         ("w/o Above Two", HolmesConfig::without_both()),
     ];
     let full = run_holmes_with(&HolmesConfig::full(), &topo, 3).unwrap();
@@ -45,7 +54,10 @@ fn main() {
     println!("\nEq. 2 α sweep (same setting):");
     println!("{:<8} {:>16} {:>12}", "alpha", "stage layers", "TFLOPS/GPU");
     for alpha in [1.0, 1.02, 1.05, 1.1, 1.15, 1.2, 1.3] {
-        let cfg = HolmesConfig { alpha, ..HolmesConfig::full() };
+        let cfg = HolmesConfig {
+            alpha,
+            ..HolmesConfig::full()
+        };
         let r = run_holmes_with(&cfg, &topo, 3).unwrap();
         println!(
             "{:<8.2} {:>16} {:>12.1}",

@@ -11,8 +11,8 @@
 use holmes_repro::model::ParameterGroup;
 use holmes_repro::topology::presets;
 use holmes_repro::{
-    autotune, simulate_training_run, AutotuneRequest, HolmesConfig, PlanRequest,
-    ReliabilityModel, Scenario, TrainingRunConfig,
+    autotune, simulate_training_run, AutotuneRequest, HolmesConfig, PlanRequest, ReliabilityModel,
+    Scenario, TrainingRunConfig,
 };
 
 fn main() {
@@ -26,7 +26,11 @@ fn main() {
     );
 
     // 1. Auto-tune the parallelism degrees.
-    let ranked = autotune(&topo, &AutotuneRequest::new(pg.job()), &HolmesConfig::full());
+    let ranked = autotune(
+        &topo,
+        &AutotuneRequest::new(pg.job()),
+        &HolmesConfig::full(),
+    );
     println!("Top plans (estimate-pruned, finalists simulated):");
     println!(
         "{:>3} {:>3} {:>4} {:>14} {:>14} {:>8}",
@@ -66,7 +70,10 @@ fn main() {
     )
     .expect("run simulates");
 
-    println!("\n100-iteration run with t={} p={}:", best.tensor, best.pipeline);
+    println!(
+        "\n100-iteration run with t={} p={}:",
+        best.tensor, best.pipeline
+    );
     println!(
         "  iteration: mean {:.2} s, p50 {:.2} s, p95 {:.2} s",
         run.mean_seconds, run.p50_seconds, run.p95_seconds

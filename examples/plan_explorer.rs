@@ -51,10 +51,18 @@ fn main() {
                 continue;
             }
             // Memory feasibility: the largest stage must fit in 80 GiB.
-            let stage_params =
-                u64::from(cfg.num_layers.div_ceil(p)) * holmes_repro::model::layer_params(&cfg)
-                    + holmes_repro::model::embedding_params(&cfg);
-            let mem = MemoryEstimate::for_rank(&cfg, stage_params, t, job.micro_batch, p, cfg.num_layers.div_ceil(p), d);
+            let stage_params = u64::from(cfg.num_layers.div_ceil(p))
+                * holmes_repro::model::layer_params(&cfg)
+                + holmes_repro::model::embedding_params(&cfg);
+            let mem = MemoryEstimate::for_rank(
+                &cfg,
+                stage_params,
+                t,
+                job.micro_batch,
+                p,
+                cfg.num_layers.div_ceil(p),
+                d,
+            );
             let fits = mem.fits_in(80 * 1024 * 1024 * 1024);
 
             let scenario = Scenario {

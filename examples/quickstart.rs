@@ -6,8 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use holmes_repro::{run_framework, FrameworkKind};
 use holmes_repro::topology::presets;
+use holmes_repro::{run_framework, FrameworkKind};
 
 fn main() {
     // The paper's "Hybird" environment: one InfiniBand cluster and one
@@ -22,7 +22,10 @@ fn main() {
 
     // Train parameter group 1 (a 3.6 B-parameter GPT-3-style model,
     // Table 2 of the paper) for one simulated iteration per framework.
-    println!("\n{:<20} {:>12} {:>16} {:>12}", "framework", "TFLOPS/GPU", "samples/sec", "iter (s)");
+    println!(
+        "\n{:<20} {:>12} {:>16} {:>12}",
+        "framework", "TFLOPS/GPU", "samples/sec", "iter (s)"
+    );
     for kind in FrameworkKind::ALL {
         let result = run_framework(kind, &topo, 1).expect("simulation runs");
         println!(

@@ -20,7 +20,10 @@ fn main() {
         result.report.total_seconds,
         tl.spans.len()
     );
-    println!("{:<10} {:>10} {:>10} {:>8}", "device", "busy (s)", "wait (s)", "util");
+    println!(
+        "{:<10} {:>10} {:>10} {:>8}",
+        "device", "busy (s)", "wait (s)", "util"
+    );
     for device in [0u32, 8, 16, 24] {
         let busy = tl.device_busy_seconds(Rank(device));
         let wait = result.report.total_seconds - busy;

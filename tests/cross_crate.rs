@@ -2,9 +2,7 @@
 //! planner for scoring) must agree with the event-driven simulation (used
 //! for measurement) wherever both apply.
 
-use holmes_repro::engine::{
-    execute, CollKind, CollectiveSpec, ExecutionSpec, TransportPolicy,
-};
+use holmes_repro::engine::{execute, CollKind, CollectiveSpec, ExecutionSpec, TransportPolicy};
 use holmes_repro::netsim::{Communicator, Fabric, NetSim};
 use holmes_repro::parallel::{GroupLayout, HolmesScheduler, ParallelDegrees, Scheduler};
 use holmes_repro::topology::{presets, NicType, Rank};
@@ -68,7 +66,8 @@ fn analytic_dp_cost_ranks_like_simulation() {
         let degrees = ParallelDegrees::infer_data(1, 2, topo.device_count()).unwrap();
         let layout = GroupLayout::new(degrees);
         let assignment = HolmesScheduler.assign(&topo, &layout);
-        let report = holmes_repro::parallel::NicSelectionReport::analyze(&topo, &layout, &assignment);
+        let report =
+            holmes_repro::parallel::NicSelectionReport::analyze(&topo, &layout, &assignment);
         analytic.push(report.dp_sync_cost_seconds(&topo, grad_bytes));
         simulated.push(
             run_framework(FrameworkKind::Holmes, &topo, 1)
@@ -78,8 +77,14 @@ fn analytic_dp_cost_ranks_like_simulation() {
         );
     }
     // Both must be ordered IB < RoCE < Ethernet.
-    assert!(analytic[0] < analytic[1] && analytic[1] < analytic[2], "{analytic:?}");
-    assert!(simulated[0] < simulated[1] && simulated[1] < simulated[2], "{simulated:?}");
+    assert!(
+        analytic[0] < analytic[1] && analytic[1] < analytic[2],
+        "{analytic:?}"
+    );
+    assert!(
+        simulated[0] < simulated[1] && simulated[1] < simulated[2],
+        "{simulated:?}"
+    );
 }
 
 /// Eq. 6 bookkeeping: metrics computed by the engine must be exactly

@@ -1,0 +1,99 @@
+//! Cross-crate determinism contracts for the parallel evaluation paths.
+//!
+//! The autotuner and the placement search fan independent simulations out
+//! across threads; these tests pin the contract that the parallel mode is
+//! *observationally identical* to the serial reference — same winners,
+//! same rankings, bit-identical scores — on the paper's own topologies.
+//! A netsim check on top pins that the slab-backed active set preserves
+//! the exact event timeline of the original ordered-map implementation.
+
+use holmes::autotune::{autotune_with_mode, AutotuneRequest};
+use holmes::model::ParameterGroup;
+use holmes::topology::presets;
+use holmes::{EvalMode, HolmesConfig};
+use holmes_netsim::{FlowSpec, LinkCapacity, NetSim, SimDuration};
+use holmes_parallel::{search_cluster_orders_with_mode, GroupLayout, ParallelDegrees};
+
+#[test]
+fn autotune_parallel_ranking_matches_serial_on_paper_topologies() {
+    let cfg = HolmesConfig::full();
+    for (topo, group) in [
+        (presets::hybrid_split(4, 4), 3),
+        (presets::hybrid_two_cluster(2), 1),
+        (presets::table4_2r_2ib_2ib(), 5),
+    ] {
+        let req = AutotuneRequest::new(ParameterGroup::table2(group).job());
+        let par = autotune_with_mode(&topo, &req, &cfg, EvalMode::Parallel);
+        let ser = autotune_with_mode(&topo, &req, &cfg, EvalMode::Serial);
+        assert_eq!(par.len(), ser.len(), "group {group}");
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(
+                (p.tensor, p.pipeline, p.data),
+                (s.tensor, s.pipeline, s.data),
+                "group {group}: ranking order diverged"
+            );
+            assert_eq!(
+                p.estimated_seconds.to_bits(),
+                s.estimated_seconds.to_bits(),
+                "group {group}: estimates must be bit-identical"
+            );
+            assert_eq!(
+                p.simulated.map(|m| m.iteration_seconds.to_bits()),
+                s.simulated.map(|m| m.iteration_seconds.to_bits()),
+                "group {group}: simulated metrics must be bit-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn placement_search_parallel_winner_matches_serial_on_paper_topologies() {
+    const GRAD: u64 = 1 << 32;
+    for (topo, p) in [
+        (presets::hybrid_two_cluster(2), 2u32),
+        (presets::table4_2r_2r_2ib(), 3),
+        (presets::table4_2r_2ib_2ib(), 3),
+        (presets::table4_4r_4ib_4ib(), 3),
+    ] {
+        let layout =
+            GroupLayout::new(ParallelDegrees::infer_data(1, p, topo.device_count()).unwrap());
+        let par = search_cluster_orders_with_mode(&topo, &layout, GRAD, EvalMode::Parallel);
+        let ser = search_cluster_orders_with_mode(&topo, &layout, GRAD, EvalMode::Serial);
+        assert_eq!(par.cluster_order, ser.cluster_order);
+        assert_eq!(par.cost_seconds.to_bits(), ser.cost_seconds.to_bits());
+        assert_eq!(par.evaluated, ser.evaluated);
+    }
+}
+
+/// Render the full event timeline of a staggered multi-flow workload as a
+/// byte string. Two runs must agree byte-for-byte: the slab-backed active
+/// set must not let slot assignment leak into float summation order.
+fn event_log() -> Vec<u8> {
+    let mut sim = NetSim::new();
+    let shared = sim.add_link(LinkCapacity::new(3e9));
+    let side = sim.add_link(LinkCapacity::new(1e9));
+    for t in 0..12u64 {
+        let path = if t % 3 == 0 {
+            vec![shared, side]
+        } else {
+            vec![shared]
+        };
+        sim.start_flow(FlowSpec {
+            path,
+            bytes: 7_000_000 * (t + 1),
+            latency: SimDuration::from_micros(t * 5),
+            rate_cap: if t % 4 == 0 { 0.9e9 } else { f64::INFINITY },
+            token: t,
+        });
+    }
+    let mut log = Vec::new();
+    while let Some(c) = sim.next() {
+        log.extend_from_slice(format!("{:?} {c:?}\n", sim.now()).as_bytes());
+    }
+    log
+}
+
+#[test]
+fn netsim_event_log_is_byte_identical_across_runs() {
+    assert_eq!(event_log(), event_log());
+}

@@ -23,7 +23,7 @@ fn v100_like() -> GpuProfile {
 /// A fleet mixing an A100 InfiniBand cluster with an older RoCE cluster
 /// of slower GPUs.
 fn mixed_gpu_fleet() -> holmes_repro::topology::Topology {
-    use holmes_repro::topology::{Cluster, Node, NicProfile};
+    use holmes_repro::topology::{Cluster, NicProfile, Node};
     let a100_cluster = Cluster::homogeneous("a100-ib", 2, NicType::InfiniBand);
     let mut old_cluster = Cluster {
         name: "v100-roce".into(),

@@ -34,7 +34,10 @@ fn trunk_bottleneck_throttles_cross_cluster_only() {
     let healthy = run_with_trunk(10e9);
     let degraded = run_with_trunk(0.1e9);
     // Cross-cluster transfer slows by ~an order of magnitude…
-    assert!(degraded[0] > 5.0 * healthy[0], "{degraded:?} vs {healthy:?}");
+    assert!(
+        degraded[0] > 5.0 * healthy[0],
+        "{degraded:?} vs {healthy:?}"
+    );
     // …intra-cluster RDMA is unaffected.
     assert!((degraded[1] - healthy[1]).abs() / healthy[1] < 0.01);
 }
@@ -84,32 +87,46 @@ fn near_dead_link_stalls_but_terminates() {
         token: 0,
     });
     let c = sim.next();
-    assert!(c.is_some(), "flow eventually completes at the capacity floor");
+    assert!(
+        c.is_some(),
+        "flow eventually completes at the capacity floor"
+    );
 }
 
 /// Training on a cluster whose switch died (RDMA unreachable) still runs,
 /// at Ethernet speed.
 #[test]
 fn switchless_cluster_degrades_to_ethernet_speed() {
-    let mut cluster = holmes_repro::topology::Cluster::homogeneous(
-        "broken-switch",
-        4,
-        NicType::InfiniBand,
-    );
+    let mut cluster =
+        holmes_repro::topology::Cluster::homogeneous("broken-switch", 4, NicType::InfiniBand);
     cluster.has_switch = false;
-    let broken = TopologyBuilder::new().custom_cluster(cluster).build().unwrap();
+    let broken = TopologyBuilder::new()
+        .custom_cluster(cluster)
+        .build()
+        .unwrap();
     let healthy = presets::homogeneous(NicType::InfiniBand, 4);
     let eth = presets::homogeneous(NicType::Ethernet, 4);
 
-    let t_broken = run_framework(FrameworkKind::Holmes, &broken, 1).unwrap().metrics;
-    let t_healthy = run_framework(FrameworkKind::Holmes, &healthy, 1).unwrap().metrics;
-    let t_eth = run_framework(FrameworkKind::Holmes, &eth, 1).unwrap().metrics;
+    let t_broken = run_framework(FrameworkKind::Holmes, &broken, 1)
+        .unwrap()
+        .metrics;
+    let t_healthy = run_framework(FrameworkKind::Holmes, &healthy, 1)
+        .unwrap()
+        .metrics;
+    let t_eth = run_framework(FrameworkKind::Holmes, &eth, 1)
+        .unwrap()
+        .metrics;
 
     assert!(t_broken.tflops_per_gpu < t_healthy.tflops_per_gpu);
     // Same compute-interference class as IB, so slightly above the
     // Ethernet environment, but within its regime.
     let rel = (t_broken.tflops_per_gpu - t_eth.tflops_per_gpu).abs() / t_eth.tflops_per_gpu;
-    assert!(rel < 0.25, "broken {} vs ethernet {}", t_broken.tflops_per_gpu, t_eth.tflops_per_gpu);
+    assert!(
+        rel < 0.25,
+        "broken {} vs ethernet {}",
+        t_broken.tflops_per_gpu,
+        t_eth.tflops_per_gpu
+    );
 }
 
 /// Degraded per-node Ethernet (1 Gb/s management network) makes the
@@ -127,8 +144,12 @@ fn slow_management_network_hurts_tcp_baseline_most() {
         .inter_cluster_ethernet(slow_eth)
         .build()
         .unwrap();
-    let holmes = run_framework(FrameworkKind::Holmes, &topo, 1).unwrap().metrics;
-    let baseline = run_framework(FrameworkKind::MegatronLm, &topo, 1).unwrap().metrics;
+    let holmes = run_framework(FrameworkKind::Holmes, &topo, 1)
+        .unwrap()
+        .metrics;
+    let baseline = run_framework(FrameworkKind::MegatronLm, &topo, 1)
+        .unwrap()
+        .metrics;
     // Holmes keeps DP on RDMA; only pipeline p2p suffers (and at 1 Gb/s
     // that is already painful). The baseline additionally pushes
     // *gradients* over the same links and loses at least another 2×.
@@ -147,9 +168,19 @@ fn degenerate_collectives_complete() {
     let topo = presets::hybrid_two_cluster(1);
     let spec = ExecutionSpec {
         programs: vec![
-            (Rank(0), vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 },
-                           Op::CollStart { id: 1 }, Op::CollWait { id: 1 }]),
-            (Rank(8), vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }]),
+            (
+                Rank(0),
+                vec![
+                    Op::CollStart { id: 0 },
+                    Op::CollWait { id: 0 },
+                    Op::CollStart { id: 1 },
+                    Op::CollWait { id: 1 },
+                ],
+            ),
+            (
+                Rank(8),
+                vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }],
+            ),
         ],
         collectives: vec![
             CollectiveSpec {

@@ -3,9 +3,7 @@
 //! sentence in the paper's abstract or evaluation (§4).
 
 use holmes_repro::topology::{presets, NicType};
-use holmes_repro::{
-    calibration, run_framework, run_holmes_with, FrameworkKind, HolmesConfig,
-};
+use holmes_repro::{calibration, run_framework, run_holmes_with, FrameworkKind, HolmesConfig};
 
 fn tflops(kind: FrameworkKind, topo: &holmes_repro::topology::Topology, pg: u8) -> f64 {
     run_framework(kind, topo, pg)
@@ -37,7 +35,10 @@ fn hybrid_close_to_rdma_far_above_ethernet() {
         );
         let hybrid = tflops(FrameworkKind::Holmes, &presets::hybrid_two_cluster(2), pg);
         // "close to" the homogeneous RDMA envelope…
-        assert!(hybrid > 0.80 * roce, "PG{pg}: hybrid {hybrid} vs RoCE {roce}");
+        assert!(
+            hybrid > 0.80 * roce,
+            "PG{pg}: hybrid {hybrid} vs RoCE {roce}"
+        );
         assert!(hybrid < ib, "PG{pg}: hybrid cannot beat pure InfiniBand");
         // …and "significantly exceeding" Ethernet.
         assert!(
@@ -77,8 +78,10 @@ fn figure6_framework_ordering() {
     let llama = tflops(FrameworkKind::MegatronLlama, &topo, 3);
     let ds = tflops(FrameworkKind::MegatronDeepSpeed, &topo, 3);
     let lm = tflops(FrameworkKind::MegatronLm, &topo, 3);
-    assert!(holmes > llama && llama > ds && llama > lm,
-        "holmes {holmes}, llama {llama}, deepspeed {ds}, lm {lm}");
+    assert!(
+        holmes > llama && llama > ds && llama > lm,
+        "holmes {holmes}, llama {llama}, deepspeed {ds}, lm {lm}"
+    );
     // The paper's Figure 6 gap: Holmes ≈ 1.4× Megatron-LM.
     let ratio = holmes / lm;
     assert!(
@@ -93,7 +96,10 @@ fn figure6_framework_ordering() {
 #[test]
 fn table5_ablation_structure() {
     let topo = presets::hybrid_split(4, 4);
-    let full = run_holmes_with(&HolmesConfig::full(), &topo, 3).unwrap().metrics.tflops_per_gpu;
+    let full = run_holmes_with(&HolmesConfig::full(), &topo, 3)
+        .unwrap()
+        .metrics
+        .tflops_per_gpu;
     let no_sa = run_holmes_with(&HolmesConfig::without_self_adapting(), &topo, 3)
         .unwrap()
         .metrics
@@ -111,7 +117,10 @@ fn table5_ablation_structure() {
     let loss_ov = full - no_ov;
     let loss_both = full - no_both;
     assert!(loss_sa >= 0.0 && loss_ov >= 0.0);
-    assert!(loss_ov > loss_sa, "overlap {loss_ov} must matter more than SA {loss_sa}");
+    assert!(
+        loss_ov > loss_sa,
+        "overlap {loss_ov} must matter more than SA {loss_sa}"
+    );
     // Orthogonality: joint loss within 35% of the sum of individual losses.
     let sum = loss_sa + loss_ov;
     assert!(

@@ -1,0 +1,409 @@
+//! Vendored minimal subset of the [`criterion`](https://docs.rs/criterion)
+//! benchmarking API.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the slice of criterion its bench targets use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group` with `bench_with_input` / `throughput`,
+//! `BenchmarkId`, and `Throughput`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * No statistical regression analysis, plots, or baselines — each
+//!   benchmark reports min / mean / median of its sample of wall-clock
+//!   iteration times.
+//! * A **quick mode** (`--quick` on the command line, the
+//!   `CRITERION_QUICK` environment variable, or [`Criterion::quick`])
+//!   that shrinks warm-up and sampling so a full suite runs in seconds —
+//!   used by the repo's `bench` binary to record perf trajectories.
+//! * Results are collected on the [`Criterion`] value and can be drained
+//!   with [`Criterion::take_results`] for machine-readable output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (reported, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from just a parameter (the group name provides context).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// One measured benchmark, as recorded on the [`Criterion`] value.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/bench` or `bench`).
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Minimum observed nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Total timed iterations contributing to the stats.
+    pub iterations: u64,
+    /// Optional throughput annotation from the group.
+    pub throughput: Option<Throughput>,
+}
+
+/// Timing configuration.
+#[derive(Debug, Clone, Copy)]
+struct Profile {
+    warmup: Duration,
+    measure: Duration,
+    min_samples: u32,
+}
+
+impl Profile {
+    fn standard() -> Self {
+        Profile {
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(1500),
+            min_samples: 10,
+        }
+    }
+
+    fn quick() -> Self {
+        Profile {
+            warmup: Duration::from_millis(20),
+            measure: Duration::from_millis(120),
+            min_samples: 3,
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    profile: Profile,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+    quiet: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+        Criterion {
+            profile: if quick {
+                Profile::quick()
+            } else {
+                Profile::standard()
+            },
+            filter: None,
+            results: Vec::new(),
+            quiet: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// A driver in quick mode (short warm-up, short measurement window).
+    pub fn quick() -> Self {
+        Criterion {
+            profile: Profile::quick(),
+            ..Criterion::default()
+        }
+    }
+
+    /// Suppress per-benchmark stdout lines (results still recorded).
+    pub fn quiet(mut self) -> Self {
+        self.quiet = true;
+        self
+    }
+
+    /// Apply command-line arguments (`--quick`, and a free-form substring
+    /// filter). Unrecognized flags — including the `--bench` cargo
+    /// passes — are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => self.profile = Profile::quick(),
+                "--bench" | "--test" => {}
+                s if s.starts_with("--") => {
+                    // Flags with a value (e.g. --save-baseline x): skip it.
+                    if let Some(next) = args.peek() {
+                        if !next.starts_with("--") {
+                            args.next();
+                        }
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        self.run_one(id, None, |b| f(b));
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Drain the recorded results (oldest first).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    /// Print a one-line summary of everything measured so far.
+    pub fn final_summary(&self) {
+        if !self.quiet {
+            println!("\n{} benchmarks measured", self.results.len());
+        }
+    }
+
+    fn run_one<F>(&mut self, id: String, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            profile: self.profile,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let Bencher { mut samples, .. } = bencher;
+        if samples.is_empty() {
+            return; // closure never called iter()
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        if !self.quiet {
+            let mut line = format!(
+                "{id:<50} time: [{} {} {}]",
+                fmt_ns(min),
+                fmt_ns(mean),
+                fmt_ns(samples[samples.len() - 1]),
+            );
+            if let Some(Throughput::Bytes(bytes)) = throughput {
+                let gib_per_s = bytes as f64 / mean; // bytes per ns == GB/s
+                let _ = write!(line, " thrpt: {gib_per_s:.3} GB/s");
+            }
+            println!("{line}");
+        }
+        self.results.push(BenchResult {
+            id,
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: min,
+            iterations: samples.len() as u64,
+            throughput,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure receiving a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let throughput = self.throughput;
+        self.criterion.run_one(full, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let throughput = self.throughput;
+        self.criterion.run_one(full, throughput, |b| f(b));
+        self
+    }
+
+    /// Close the group (upstream reports here; the shim records eagerly).
+    pub fn finish(self) {}
+}
+
+/// Handed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    profile: Profile,
+    /// Wall-clock nanoseconds per iteration, one entry per timed sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Warm up, then repeatedly time `payload` until the measurement
+    /// window closes (at least `min_samples` iterations).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut payload: F) {
+        let warm_deadline = Instant::now() + self.profile.warmup;
+        loop {
+            black_box(payload());
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let measure_start = Instant::now();
+        let deadline = measure_start + self.profile.measure;
+        loop {
+            let t0 = Instant::now();
+            black_box(payload());
+            self.samples.push(t0.elapsed().as_nanos() as f64);
+            if Instant::now() >= deadline && self.samples.len() >= self.profile.min_samples as usize
+            {
+                break;
+            }
+        }
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirror of upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, mirror of upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::quick().quiet();
+        c.bench_function("trivial", |b| b.iter(|| 1 + 1));
+        let results = c.take_results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].id, "trivial");
+        assert!(results[0].iterations >= 3);
+        assert!(results[0].mean_ns >= 0.0);
+        assert!(results[0].min_ns <= results[0].mean_ns + 1e-9);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_keep_throughput() {
+        let mut c = Criterion::quick().quiet();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.throughput(Throughput::Bytes(1024));
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            g.finish();
+        }
+        let results = c.take_results();
+        assert_eq!(results[0].id, "grp/7");
+        assert!(matches!(
+            results[0].throughput,
+            Some(Throughput::Bytes(1024))
+        ));
+    }
+
+    #[test]
+    fn median_is_ordered() {
+        let mut c = Criterion::quick().quiet();
+        c.bench_function("spin", |b| b.iter(|| (0..100).sum::<u64>()));
+        let r = &c.take_results()[0];
+        assert!(r.min_ns <= r.median_ns);
+    }
+}

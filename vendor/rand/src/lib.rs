@@ -1,0 +1,183 @@
+//! Vendored minimal subset of the [`rand`](https://docs.rs/rand) API.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the tiny slice of `rand` it uses: a seedable deterministic
+//! generator (`rngs::StdRng`) and a `random::<T>()` extension method.
+//!
+//! The generator is SplitMix64 feeding xoshiro256++ — high-quality,
+//! allocation-free, and fully deterministic from `seed_from_u64`. Streams
+//! differ from upstream `rand`'s `StdRng` (which is ChaCha-based); callers
+//! in this workspace only rely on determinism per seed, not on matching
+//! upstream streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from an [`RngCore`] under the "standard" distribution:
+/// uniform over the value range (for floats: uniform in `[0, 1)`).
+pub trait StandardSample {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform double in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Convenience sampling methods on any generator.
+pub trait RngExt: RngCore {
+    /// Draw a value of type `T` from the standard distribution.
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform draw from `[lo, hi)`; debiased via rejection sampling.
+    fn random_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        let span = hi - lo;
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return lo + v % span;
+            }
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_is_bounded_and_covers() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.random_range_u64(5, 15);
+            assert!((5..15).contains(&v));
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,333 @@
+//! Vendored minimal subset of the [`rayon`](https://docs.rs/rayon) API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the small slice of rayon it actually uses, implemented on
+//! `std::thread::scope`. The guarantees that matter to callers hold:
+//!
+//! * **Stable output order** — `par_iter().map(f).collect::<Vec<_>>()`
+//!   returns results in input order regardless of execution interleaving,
+//!   exactly like real rayon's indexed parallel iterators.
+//! * **Dynamic scheduling** — items are claimed from a shared atomic
+//!   cursor, so uneven per-item cost still balances across workers.
+//! * **Panic propagation** — a panic in a worker closure propagates to the
+//!   caller (via scoped-thread join), matching rayon.
+//!
+//! Thread count is `std::thread::available_parallelism()`, overridable
+//! with the `RAYON_NUM_THREADS` environment variable (`1` forces serial
+//! in-place execution with no thread spawns).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Parallel iterator traits and adapters.
+pub mod iter {
+    use super::*;
+
+    /// The number of worker threads to use for `len` items.
+    fn workers_for(len: usize) -> usize {
+        let hw = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        hw.min(len).max(1)
+    }
+
+    /// Run `f` over `0..len`, collecting results in index order.
+    ///
+    /// Work is claimed dynamically from an atomic cursor; each worker
+    /// buffers `(index, value)` pairs which are merged and re-ordered at
+    /// the end, so the output order is independent of scheduling.
+    fn par_map_indexed<R, F>(len: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = workers_for(len);
+        if workers <= 1 {
+            return (0..len).map(f).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let cursor = &cursor;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                buckets.push(h.join().expect("rayon shim worker panicked"));
+            }
+        });
+        let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+        for (i, v) in buckets.into_iter().flatten() {
+            slots[i] = Some(v);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index produced exactly once"))
+            .collect()
+    }
+
+    /// A parallel iterator: a deferred `map` over an indexable source.
+    ///
+    /// Unlike real rayon this is not a general combinator algebra — only
+    /// `map(...).collect::<Vec<_>>()` (plus a few reductions) is offered,
+    /// which is the entire surface this workspace uses.
+    pub trait ParallelIterator: Sized {
+        /// Element type produced by the iterator.
+        type Item: Send;
+
+        /// Realize the iterator into index-ordered items.
+        fn realize(self) -> Vec<Self::Item>;
+
+        /// Map every element through `f` in parallel.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync + Send,
+        {
+            Map { base: self, f }
+        }
+
+        /// Collect into a container (only `Vec<T>` is supported).
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_par_iter(self)
+        }
+    }
+
+    /// Conversion from a parallel iterator, mirror of rayon's trait.
+    pub trait FromParallelIterator<T: Send> {
+        /// Build the collection from the realized items.
+        fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+            iter.realize()
+        }
+    }
+
+    /// `map` adapter.
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, F, R> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        R: Send,
+        F: Fn(B::Item) -> R + Sync + Send,
+    {
+        type Item = R;
+
+        fn realize(self) -> Vec<R> {
+            let Map { base, f } = self;
+            let items = base.realize();
+            let slots: Vec<Mutex<Option<B::Item>>> =
+                items.into_iter().map(|v| Mutex::new(Some(v))).collect();
+            par_map_indexed(slots.len(), |i| {
+                let item = slots[i]
+                    .lock()
+                    .expect("slot lock")
+                    .take()
+                    .expect("item taken once");
+                f(item)
+            })
+        }
+    }
+
+    /// Borrowing parallel iterator over a slice.
+    pub struct SliceParIter<'a, T> {
+        items: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+        type Item = &'a T;
+
+        fn realize(self) -> Vec<&'a T> {
+            self.items.iter().collect()
+        }
+    }
+
+    /// Owning parallel iterator over a `Vec`.
+    pub struct VecParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for VecParIter<T> {
+        type Item = T;
+
+        fn realize(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// Parallel iterator over an integer range.
+    pub struct RangeParIter<T> {
+        range: std::ops::Range<T>,
+    }
+
+    macro_rules! range_par_iter {
+        ($($ty:ty),*) => {$(
+            impl ParallelIterator for RangeParIter<$ty> {
+                type Item = $ty;
+
+                fn realize(self) -> Vec<$ty> {
+                    self.range.collect()
+                }
+            }
+
+            impl IntoParallelIterator for std::ops::Range<$ty> {
+                type Item = $ty;
+                type Iter = RangeParIter<$ty>;
+
+                fn into_par_iter(self) -> RangeParIter<$ty> {
+                    RangeParIter { range: self }
+                }
+            }
+        )*};
+    }
+    range_par_iter!(u32, u64, usize);
+
+    /// Types convertible into an owning parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Convert into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecParIter<T>;
+
+        fn into_par_iter(self) -> VecParIter<T> {
+            VecParIter { items: self }
+        }
+    }
+
+    /// Types with a borrowing `par_iter`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Borrowed element type.
+        type Item: Send + 'a;
+        /// Iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Borrowing parallel iterator, mirror of `slice::iter`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = SliceParIter<'a, T>;
+
+        fn par_iter(&'a self) -> SliceParIter<'a, T> {
+            SliceParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = SliceParIter<'a, T>;
+
+        fn par_iter(&'a self) -> SliceParIter<'a, T> {
+            SliceParIter { items: self }
+        }
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon shim join arm panicked"))
+    })
+}
+
+/// The customary glob-import module, mirror of `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_moves_values() {
+        let items: Vec<String> = (0..64).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = items.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[9], 1);
+        assert_eq!(out[10], 2);
+    }
+
+    #[test]
+    fn range_par_iter_works() {
+        let out: Vec<usize> = (0usize..100).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out[0], 1);
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        let items: Vec<u64> = (0..200).collect();
+        let out: Vec<u64> = items
+            .par_iter()
+            .map(|&x| {
+                if x % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                x
+            })
+            .collect();
+        assert_eq!(out, items);
+    }
+}
