@@ -767,6 +767,54 @@ pub fn ext_estimator_accuracy() -> ExperimentSection {
     }
 }
 
+/// Extension: the two-level hierarchical all-reduce vs the flat ring for
+/// a DP group spanning two same-NIC clusters joined by an Ethernet trunk
+/// (raw collective wall time for a 1 GiB gradient buffer). The flat ring
+/// drags every round through the slow inter-cluster hop; the hierarchical
+/// schedule confines all but `1/k` of the volume to intra-cluster RDMA.
+pub fn ext_hierarchical() -> ExperimentSection {
+    use holmes_engine::{execute, CollKind, CollectiveSpec, ExecutionSpec, Op, TransportPolicy};
+    use holmes_topology::Rank;
+    let bytes = 1u64 << 30;
+    let mut t = TableBuilder::new(
+        "Extension — hierarchical vs flat all-reduce across clusters (2+2 nodes, 1 GiB, seconds)",
+    )
+    .header(["NIC Env", "Flat ring", "Hierarchical", "Speedup"]);
+    for nic in [NicType::InfiniBand, NicType::RoCE] {
+        let topo = presets::same_nic_two_clusters(nic, 2);
+        let devices: Vec<Rank> = (0..topo.device_count()).map(Rank).collect();
+        let run = |kind| {
+            let programs = devices
+                .iter()
+                .map(|&d| (d, vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }]))
+                .collect();
+            execute(
+                &topo,
+                ExecutionSpec {
+                    programs,
+                    collectives: vec![CollectiveSpec::new(kind, devices.clone(), bytes)],
+                    transport: TransportPolicy::Auto,
+                },
+            )
+            .expect("collective must run")
+            .total_seconds
+        };
+        let flat = run(CollKind::AllReduce);
+        let hier = run(CollKind::HierarchicalAllReduce);
+        t.row([
+            nic.label().to_string(),
+            format!("{flat:.3}"),
+            format!("{hier:.3}"),
+            format!("{:.2}x", flat / hier),
+        ]);
+    }
+    ExperimentSection {
+        id: "ext_hierarchical",
+        title: "Extension: hierarchical cross-cluster all-reduce",
+        body: t.render(),
+    }
+}
+
 /// Extension: switch oversubscription sensitivity — how a tapered
 /// leaf–spine fabric inside the InfiniBand cluster erodes Holmes's hybrid
 /// advantage (the paper assumes non-blocking switches).
@@ -869,6 +917,7 @@ pub fn all_experiment_sections() -> Vec<ExperimentSection> {
         ext_dp_strategies,
         ext_link_usage,
         ext_estimator_accuracy,
+        ext_hierarchical,
         ext_oversubscription,
         ext_reliability,
     ];
@@ -903,6 +952,29 @@ mod tests {
     #[should_panic(expected = "unknown NIC environment")]
     fn unknown_environment_panics() {
         environment("token-ring", 4);
+    }
+
+    #[test]
+    fn hierarchical_section_shows_a_speedup_over_the_flat_ring() {
+        let section = ext_hierarchical();
+        assert_eq!(section.id, "ext_hierarchical");
+        for env in ["InfiniBand", "RoCE"] {
+            assert!(section.body.contains(env));
+        }
+        // Every data row ends with a `<ratio>x` speedup cell; the ratio
+        // must favour the hierarchical schedule on both environments.
+        let mut rows = 0;
+        for line in section.body.lines() {
+            let ratio = line
+                .split_whitespace()
+                .rev()
+                .find_map(|cell| cell.strip_suffix('x')?.parse::<f64>().ok());
+            if let Some(ratio) = ratio {
+                rows += 1;
+                assert!(ratio > 1.2, "weak speedup in {line:?}");
+            }
+        }
+        assert_eq!(rows, 2, "one speedup row per environment");
     }
 
     #[test]

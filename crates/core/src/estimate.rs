@@ -144,7 +144,24 @@ pub fn estimate_iteration(
                 )
             }
         };
+        let spans_clusters = devices.split_first().is_some_and(|(&first, rest)| {
+            let cluster = |r| topo.coord(r).map(|c| c.cluster).ok();
+            rest.iter().any(|&r| cluster(r) != cluster(first))
+        });
         let sync = match cfg.dp_sync {
+            DpSyncStrategy::AllReduce
+                if cfg.hierarchical_cross_cluster && spans_clusters && comm.is_some() =>
+            {
+                // The builder upgrades this group to the hierarchical
+                // all-reduce; score the same IR schedule the executor will
+                // replay (fold with per-node contention).
+                holmes_netsim::algo::estimate_collective(
+                    topo,
+                    holmes_netsim::algo::CollKind::HierarchicalAllReduce,
+                    &devices,
+                    grad_bytes,
+                )
+            }
             DpSyncStrategy::AllReduce => {
                 // all-reduce ≈ RS + AG over gradient bytes.
                 rs + match &comm {

@@ -131,6 +131,9 @@ pub fn plan_for(
             transport,
             recompute_activations: false,
             enforce_memory: false,
+            // Holmes's NIC-aware planning includes the hierarchical
+            // cross-cluster all-reduce whenever the transport allows it.
+            hierarchical_cross_cluster: cfg.auto_nic_selection,
         },
     ))
 }

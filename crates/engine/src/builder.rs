@@ -59,6 +59,14 @@ pub struct EngineConfig {
     /// hardware would, with a CUDA OOM). Off by default so what-if sweeps
     /// can still report infeasible points.
     pub enforce_memory: bool,
+    /// Upgrade flat all-reduces to the two-level hierarchical algorithm
+    /// ([`crate::executor::CollKind::HierarchicalAllReduce`]) whenever a
+    /// DP group straddles clusters and the transport is
+    /// [`TransportPolicy::Auto`] — keeping the bulk of the gradient
+    /// traffic on intra-cluster RDMA instead of dragging every ring round
+    /// through the inter-cluster Ethernet hops. On by default; disable to
+    /// reproduce the flat-ring baseline.
+    pub hierarchical_cross_cluster: bool,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +77,7 @@ impl Default for EngineConfig {
             transport: TransportPolicy::Auto,
             recompute_activations: false,
             enforce_memory: false,
+            hierarchical_cross_cluster: true,
         }
     }
 }
@@ -237,6 +246,28 @@ pub fn build_iteration(
     }
 
     // Data-parallel collectives: one set of bucketed specs per DP group.
+    // A flat all-reduce over a cluster-straddling group upgrades to the
+    // hierarchical two-level algorithm (when enabled and the transport can
+    // actually exploit intra-cluster RDMA).
+    let upgrade_kind = |kind: crate::executor::CollKind, devices: &[holmes_topology::Rank]| {
+        use crate::executor::CollKind;
+        let spans_clusters = || {
+            let cluster =
+                |r: holmes_topology::Rank| topo.coord(r).expect("plan devices in topology").cluster;
+            devices
+                .split_first()
+                .is_some_and(|(&first, rest)| rest.iter().any(|&r| cluster(r) != cluster(first)))
+        };
+        if kind == CollKind::AllReduce
+            && cfg.hierarchical_cross_cluster
+            && cfg.transport == TransportPolicy::Auto
+            && spans_clusters()
+        {
+            CollKind::HierarchicalAllReduce
+        } else {
+            kind
+        }
+    };
     let pre_fracs = cfg.dp_sync.pre_optimizer_collectives();
     let post_fracs = cfg.dp_sync.post_optimizer_collectives();
     let mut collectives = Vec::new();
@@ -265,7 +296,7 @@ pub fn build_iteration(
         for (kind, frac) in &pre_fracs {
             pre.push(collectives.len() as u32);
             collectives.push(CollectiveSpec {
-                kind: *kind,
+                kind: upgrade_kind(*kind, &devices),
                 devices: devices.clone(),
                 bytes: (grad_bytes as f64 * frac) as u64,
                 channels: 1,
@@ -275,7 +306,7 @@ pub fn build_iteration(
         for (kind, frac) in &post_fracs {
             post.push(collectives.len() as u32);
             collectives.push(CollectiveSpec {
-                kind: *kind,
+                kind: upgrade_kind(*kind, &devices),
                 devices: devices.clone(),
                 bytes: (param_bytes as f64 * frac) as u64,
                 channels: 1,
@@ -849,6 +880,59 @@ mod tests {
             .all(|c| c.kind == CollKind::AllReduce));
         // One collective per DP group (p·t = 2).
         assert_eq!(spec.collectives.len(), 2);
+    }
+
+    #[test]
+    fn spanning_dp_group_upgrades_to_hierarchical_allreduce() {
+        // p = 1 → one DP group over all 32 devices, straddling the two
+        // clusters → the flat all-reduce upgrades to the hierarchical
+        // algorithm (unless disabled or the transport is TCP-only).
+        let topo = presets::same_nic_two_clusters(NicType::InfiniBand, 2);
+        let group = ParameterGroup::table2(1);
+        let degrees = ParallelDegrees::infer_data(1, 1, topo.device_count()).unwrap();
+        let layout = GroupLayout::new(degrees);
+        let assignment = HolmesScheduler.assign(&topo, &layout);
+        let layers = UniformPartition.partition(group.config.num_layers, &[1.0]);
+        let plan = ParallelPlan::new(layout, assignment, layers, true);
+        let job = group.job();
+        let build = |cfg: EngineConfig| build_iteration(&topo, &plan, &job, &cfg).unwrap();
+
+        let cfg = EngineConfig {
+            dp_sync: DpSyncStrategy::AllReduce,
+            ..EngineConfig::default()
+        };
+        let spec = build(cfg);
+        assert!(spec
+            .collectives
+            .iter()
+            .all(|c| c.kind == CollKind::HierarchicalAllReduce));
+
+        let spec = build(EngineConfig {
+            hierarchical_cross_cluster: false,
+            ..cfg
+        });
+        assert!(spec
+            .collectives
+            .iter()
+            .all(|c| c.kind == CollKind::AllReduce));
+
+        let spec = build(EngineConfig {
+            transport: TransportPolicy::ForceTcpInterNode,
+            ..cfg
+        });
+        assert!(spec
+            .collectives
+            .iter()
+            .all(|c| c.kind == CollKind::AllReduce));
+
+        // Non-spanning groups never upgrade, whatever the config says.
+        let topo = presets::homogeneous(NicType::InfiniBand, 4);
+        let (plan, job) = plan_for(&topo, 1, &UniformPartition, &[1.0, 1.0]);
+        let spec = build_iteration(&topo, &plan, &job, &cfg).unwrap();
+        assert!(spec
+            .collectives
+            .iter()
+            .all(|c| c.kind == CollKind::AllReduce));
     }
 
     #[test]

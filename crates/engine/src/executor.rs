@@ -1,77 +1,23 @@
 //! Event-driven execution of device programs over the network simulator.
+//!
+//! Collectives are not hand-rolled here: every algorithm's round/chunk
+//! structure comes from the shared [`holmes_netsim::algo`] IR. The
+//! executor builds one [`CollSchedule`] per collective instance (per
+//! channel) and replays it flow-by-flow — round `r+1` launches when the
+//! last flow of round `r` lands, so the replay inherits full max-min
+//! contention fidelity from the simulator while the *algorithm* stays
+//! single-sourced with the analytic layers.
 
 use std::collections::HashMap;
 
+use holmes_netsim::algo::CollSchedule;
 use holmes_netsim::{Completion, Fabric, FlowSpec, NetSim, SimDuration};
 use holmes_topology::{Rank, Topology};
 
 use crate::ops::{ComputeLabel, MsgKey, Op};
 use crate::timeline::{Span, SpanKind, Timeline};
 
-/// Collective algorithm kinds executed flow-by-flow by the executor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum CollKind {
-    /// Ring all-reduce: `2(n−1)` rounds of `V/n` chunks. Bandwidth-optimal.
-    AllReduce,
-    /// Binary-tree all-reduce: `2·⌈log₂n⌉` rounds of full-buffer hops.
-    /// Latency-optimal — NCCL's choice for small messages.
-    TreeAllReduce,
-    /// Ring reduce-scatter: `n−1` rounds of `V/n` chunks.
-    ReduceScatter,
-    /// Ring all-gather: `n−1` rounds of `V/n` chunks.
-    AllGather,
-    /// Pipelined ring broadcast: `n−1` rounds of `V/(n−1)` chunks.
-    Broadcast,
-}
-
-impl CollKind {
-    fn rounds(self, n: u32) -> u32 {
-        match self {
-            CollKind::AllReduce => 2 * (n - 1),
-            CollKind::TreeAllReduce => 2 * tree_depth(n),
-            CollKind::ReduceScatter | CollKind::AllGather | CollKind::Broadcast => n - 1,
-        }
-    }
-
-    fn chunk_bytes(self, n: u32, bytes: u64) -> u64 {
-        match self {
-            CollKind::Broadcast => bytes / u64::from((n - 1).max(1)),
-            CollKind::TreeAllReduce => bytes,
-            _ => bytes / u64::from(n),
-        }
-    }
-}
-
-/// Depth of a binary tree over `n` ranks (root at depth 0).
-fn tree_depth(n: u32) -> u32 {
-    debug_assert!(n >= 2);
-    u32::BITS - (n - 1).leading_zeros()
-}
-
-/// Sender→receiver pairs for round `r` of a binary-tree all-reduce:
-/// reduce rounds climb from the deepest level to the root, broadcast
-/// rounds descend back.
-fn tree_round_pairs(devices: &[Rank], round: u32) -> Vec<(Rank, Rank)> {
-    let n = devices.len() as u32;
-    let depth = tree_depth(n);
-    let level_of = |i: u32| (i + 1).ilog2();
-    let (level, upward) = if round < depth {
-        (depth - round, true) // reduce: deepest level first
-    } else {
-        (round - depth + 1, false) // broadcast: shallow levels first
-    };
-    (1..n)
-        .filter(|&i| level_of(i) == level)
-        .map(|i| {
-            let parent = (i - 1) / 2;
-            if upward {
-                (devices[i as usize], devices[parent as usize])
-            } else {
-                (devices[parent as usize], devices[i as usize])
-            }
-        })
-        .collect()
-}
+pub use holmes_netsim::algo::CollKind;
 
 /// A collective instance shared by a device group.
 #[derive(Debug, Clone)]
@@ -272,8 +218,10 @@ struct DevState {
 struct CollState {
     kind: CollKind,
     devices: Vec<Rank>,
-    chunk: u64,
-    rounds_total: u32,
+    /// The IR round schedule replayed by every channel (each channel
+    /// carries `bytes / channels` of the buffer, so one schedule serves
+    /// all of them).
+    schedule: CollSchedule,
     /// Per-channel current round.
     round: Vec<u32>,
     arrived: u32,
@@ -362,22 +310,25 @@ pub fn execute(topo: &Topology, spec: ExecutionSpec) -> Result<IterationReport, 
         .collectives
         .into_iter()
         .map(|c| {
-            let n = c.devices.len() as u32;
-            assert!(n >= 1, "collective needs at least one member");
+            assert!(
+                !c.devices.is_empty(),
+                "collective needs at least one member"
+            );
             let channels = c.channels.max(1);
-            let (rounds_total, chunk) = if n == 1 {
-                (0, 0)
-            } else {
-                (
-                    c.kind.rounds(n),
-                    c.kind.chunk_bytes(n, c.bytes / u64::from(channels)),
-                )
-            };
+            // One IR schedule per instance; degenerate groups (n ≤ 1)
+            // yield an empty schedule and complete instantly on launch.
+            let schedule = c
+                .kind
+                .schedule(&c.devices, c.bytes / u64::from(channels), |r| {
+                    topo.coord(r)
+                        .expect("collective rank belongs to the topology")
+                        .cluster
+                        .0
+                });
             CollState {
                 kind: c.kind,
                 devices: c.devices,
-                chunk,
-                rounds_total,
+                schedule,
                 round: vec![0; channels as usize],
                 arrived: 0,
                 outstanding: vec![0; channels as usize],
@@ -551,7 +502,7 @@ impl<'t> Executor<'t> {
 
     fn launch_collective(&mut self, id: usize) {
         self.colls[id].launch_time = self.sim.now().as_secs_f64();
-        if self.colls[id].rounds_total == 0 {
+        if self.colls[id].schedule.is_empty() {
             self.complete_collective(id);
             return;
         }
@@ -562,22 +513,13 @@ impl<'t> Executor<'t> {
 
     fn launch_round(&mut self, id: usize, channel: u32) {
         let coll = &self.colls[id];
-        let round = coll.round[channel as usize];
-        let pairs: Vec<(Rank, Rank)> = match coll.kind {
-            CollKind::TreeAllReduce => tree_round_pairs(&coll.devices, round),
-            _ => {
-                let n = coll.devices.len();
-                (0..n)
-                    .map(|i| (coll.devices[i], coll.devices[(i + 1) % n]))
-                    .collect()
-            }
-        };
-        debug_assert!(!pairs.is_empty(), "round must have flows");
-        self.colls[id].outstanding[channel as usize] = pairs.len() as u32;
-        let chunk = self.colls[id].chunk;
-        for (from, to) in pairs {
+        let round = coll.round[channel as usize] as usize;
+        let transfers = coll.schedule.rounds()[round].transfers().to_vec();
+        debug_assert!(!transfers.is_empty(), "round must have flows");
+        self.colls[id].outstanding[channel as usize] = transfers.len() as u32;
+        for t in transfers {
             let token = self.token(Token::CollFlow { coll: id, channel });
-            self.route_flow(from, to, chunk, token);
+            self.route_flow(t.from, t.to, t.bytes, token);
         }
     }
 
@@ -588,7 +530,7 @@ impl<'t> Executor<'t> {
             return;
         }
         self.colls[id].round[c] += 1;
-        if self.colls[id].round[c] < self.colls[id].rounds_total {
+        if self.colls[id].round[c] < self.colls[id].schedule.round_count() {
             self.launch_round(id, channel);
         } else {
             self.colls[id].channels_done += 1;
@@ -700,7 +642,7 @@ impl<'t> Executor<'t> {
             });
         }
         for c in &self.colls {
-            if c.done && c.rounds_total > 0 {
+            if c.done && !c.schedule.is_empty() {
                 report
                     .collective_wall_seconds
                     .entry(c.kind)
@@ -906,6 +848,96 @@ mod tests {
         };
         let r = execute(&topo, spec).unwrap();
         assert_eq!(r.total_seconds, 0.0);
+    }
+
+    #[test]
+    fn degenerate_collectives_are_noops_for_every_kind() {
+        // n == 1 used to hit `debug_assert!(n >= 2)` in the executor's
+        // private tree_depth for trees; with the shared IR every kind
+        // yields an empty schedule and completes instantly.
+        let topo = topo2();
+        for kind in [
+            CollKind::AllReduce,
+            CollKind::TreeAllReduce,
+            CollKind::ReduceScatter,
+            CollKind::AllGather,
+            CollKind::Broadcast,
+            CollKind::HierarchicalAllReduce,
+        ] {
+            let spec = ExecutionSpec {
+                programs: vec![(
+                    Rank(0),
+                    vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }],
+                )],
+                collectives: vec![CollectiveSpec::new(kind, vec![Rank(0)], 1 << 30)],
+                transport: TransportPolicy::Auto,
+            };
+            let r = execute(&topo, spec).unwrap();
+            assert_eq!(r.total_seconds, 0.0, "{kind:?} over 1 rank");
+            assert!(r.collective_wall_seconds.is_empty(), "{kind:?}");
+        }
+        // n == 2 is a working 2-round tree, not a degenerate case.
+        let devices = vec![Rank(0), Rank(1)];
+        let programs = devices
+            .iter()
+            .map(|&d| (d, vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }]))
+            .collect();
+        let spec = ExecutionSpec {
+            programs,
+            collectives: vec![CollectiveSpec::new(
+                CollKind::TreeAllReduce,
+                devices,
+                1 << 30,
+            )],
+            transport: TransportPolicy::Auto,
+        };
+        let r = execute(&topo, spec).unwrap();
+        assert!(r.total_seconds > 0.0);
+        assert_eq!(r.collective_wall_seconds[&CollKind::TreeAllReduce].len(), 1);
+    }
+
+    #[test]
+    fn hierarchical_allreduce_beats_flat_ring_across_clusters() {
+        // Figure 4 Case 2 shape: two IB clusters joined only by Ethernet.
+        // The flat ring drags every round through the slow cross-cluster
+        // hops; the hierarchical schedule crosses them just twice.
+        let topo = presets::same_nic_two_clusters(NicType::InfiniBand, 2);
+        let run = |kind| {
+            let devices: Vec<Rank> = (0..32).map(Rank).collect();
+            let programs = devices
+                .iter()
+                .map(|&d| (d, vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }]))
+                .collect();
+            let spec = ExecutionSpec {
+                programs,
+                collectives: vec![CollectiveSpec::new(kind, devices, 1 << 30)],
+                transport: TransportPolicy::Auto,
+            };
+            execute(&topo, spec).unwrap().total_seconds
+        };
+        let flat = run(CollKind::AllReduce);
+        let hier = run(CollKind::HierarchicalAllReduce);
+        assert!(hier < 0.6 * flat, "hier {hier} vs flat {flat}");
+        // On a single-cluster topology the hierarchical schedule falls
+        // back to the flat ring exactly.
+        let topo = topo2();
+        let run_one = |kind| {
+            let devices: Vec<Rank> = (0..16).map(Rank).collect();
+            let programs = devices
+                .iter()
+                .map(|&d| (d, vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }]))
+                .collect();
+            let spec = ExecutionSpec {
+                programs,
+                collectives: vec![CollectiveSpec::new(kind, devices, 1 << 28)],
+                transport: TransportPolicy::Auto,
+            };
+            execute(&topo, spec).unwrap().total_seconds
+        };
+        assert_eq!(
+            run_one(CollKind::HierarchicalAllReduce),
+            run_one(CollKind::AllReduce)
+        );
     }
 
     #[test]

@@ -25,7 +25,16 @@
 //!   Optimizer* that interleaves bucketed reduce-scatter with the final
 //!   backward (§3.2, adopted from Megatron-LLaMA).
 //! * [`executor`] — the event-driven interpreter + [`IterationReport`].
-//! * [`builder`] — assembles the above into a runnable [`ExecutionSpec`].
+//!   Collectives are not hand-rolled here: every [`CollKind`] (rings,
+//!   binary tree, and the two-level hierarchical cross-cluster
+//!   all-reduce) expands through the shared IR in
+//!   [`holmes_netsim::algo`] and is replayed flow-by-flow — the same
+//!   schedules the planner's closed forms and topology folds are derived
+//!   from, so measurement and scoring cannot drift.
+//! * [`builder`] — assembles the above into a runnable [`ExecutionSpec`];
+//!   upgrades flat all-reduces to [`CollKind::HierarchicalAllReduce`] for
+//!   data-parallel groups that straddle clusters (see
+//!   [`EngineConfig::hierarchical_cross_cluster`]).
 //! * [`metrics`] — TFLOPS (Eq. 6) and samples/second from a report.
 
 #![forbid(unsafe_code)]

@@ -37,6 +37,7 @@ impl SpanKind {
             SpanKind::CollWait(CollKind::ReduceScatter) => "reduce-scatter-wait".to_owned(),
             SpanKind::CollWait(CollKind::AllGather) => "all-gather-wait".to_owned(),
             SpanKind::CollWait(CollKind::Broadcast) => "broadcast-wait".to_owned(),
+            SpanKind::CollWait(CollKind::HierarchicalAllReduce) => "hier-allreduce-wait".to_owned(),
         }
     }
 

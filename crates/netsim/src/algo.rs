@@ -1,0 +1,726 @@
+//! Collective algorithm IR: the single source of truth for every
+//! collective algorithm in the stack.
+//!
+//! A collective is described once, as data: an ordered list of
+//! [`Round`]s, each a set of [`Transfer`]s `(sender, receiver, bytes)`
+//! that move concurrently. Rounds are barriers — round `r+1` starts only
+//! when every transfer of round `r` has landed, exactly like the
+//! synchronous ring/tree steps of NCCL's algorithms.
+//!
+//! Three layers consume one schedule:
+//!
+//! 1. the **engine executor** replays it flow-by-flow on [`crate::NetSim`]
+//!    for full contention fidelity;
+//! 2. the **analytic layer** folds it over a per-link cost model
+//!    ([`CollSchedule::seconds_on`] / [`estimate_on_topology`]) — the
+//!    closed forms in [`crate::collective`] are the algebraic result of
+//!    that fold on a uniform fabric, and the property-test suite keeps
+//!    them equal to the fold for every algorithm;
+//! 3. the **planner** (`holmes-parallel`'s NIC selection and placement
+//!    search, `holmes`'s estimator) scores candidate plans with the
+//!    derived costs.
+//!
+//! Algorithms: ring reduce-scatter / all-gather / all-reduce, binary-tree
+//! all-reduce, pipelined ring broadcast, and the two-level
+//! [`hierarchical_all_reduce`] for data-parallel groups that straddle
+//! clusters (intra-cluster reduce-scatter on RDMA → inter-cluster
+//! exchange over the Ethernet trunk → intra-cluster all-gather).
+
+use std::collections::HashMap;
+
+use holmes_topology::{Rank, Topology};
+
+/// Collective algorithm kinds understood by every layer of the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollKind {
+    /// Ring all-reduce: `2(n−1)` rounds of `V/n` chunks. Bandwidth-optimal.
+    AllReduce,
+    /// Binary-tree all-reduce: `2·⌊log₂n⌋` rounds of full-buffer hops
+    /// over a binary heap. Latency-optimal — NCCL's choice for small
+    /// messages.
+    TreeAllReduce,
+    /// Ring reduce-scatter: `n−1` rounds of `V/n` chunks.
+    ReduceScatter,
+    /// Ring all-gather: `n−1` rounds of `V/n` chunks.
+    AllGather,
+    /// Pipelined ring broadcast: `n−1` rounds of `V/(n−1)` chunks.
+    Broadcast,
+    /// Two-level all-reduce for groups spanning clusters: per-cluster ring
+    /// reduce-scatter, slot-ring exchange across clusters, per-cluster
+    /// ring all-gather. Keeps the bulk of the traffic on intra-cluster
+    /// RDMA and spreads the cross-cluster residue over every node's
+    /// Ethernet uplink instead of serializing it through one flat ring.
+    HierarchicalAllReduce,
+}
+
+impl CollKind {
+    /// Build the round schedule for this algorithm over `devices` (in ring
+    /// order) moving a `bytes`-sized buffer.
+    ///
+    /// `cluster_of` maps a rank to its cluster id; only
+    /// [`CollKind::HierarchicalAllReduce`] consults it (pass `|_| 0` when
+    /// the caller has no cluster structure — the hierarchical schedule
+    /// then degenerates to a flat ring).
+    pub fn schedule(
+        self,
+        devices: &[Rank],
+        bytes: u64,
+        cluster_of: impl Fn(Rank) -> u32,
+    ) -> CollSchedule {
+        match self {
+            CollKind::AllReduce => ring_all_reduce(devices, bytes),
+            CollKind::TreeAllReduce => tree_all_reduce(devices, bytes),
+            CollKind::ReduceScatter => ring_reduce_scatter(devices, bytes),
+            CollKind::AllGather => ring_all_gather(devices, bytes),
+            CollKind::Broadcast => ring_broadcast(devices, bytes),
+            CollKind::HierarchicalAllReduce => {
+                let groups = partition_by_cluster(devices, cluster_of);
+                hierarchical_all_reduce(&groups, bytes)
+            }
+        }
+    }
+}
+
+/// One point-to-point transfer inside a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Sending rank.
+    pub from: Rank,
+    /// Receiving rank.
+    pub to: Rank,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// One synchronous step: all transfers move concurrently; the round ends
+/// when the slowest lands.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Round {
+    transfers: Vec<Transfer>,
+}
+
+impl Round {
+    /// The round's transfers.
+    #[inline]
+    pub fn transfers(&self) -> &[Transfer] {
+        &self.transfers
+    }
+}
+
+/// An ordered list of rounds — the complete description of one collective
+/// algorithm instance.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CollSchedule {
+    rounds: Vec<Round>,
+}
+
+impl CollSchedule {
+    /// The empty schedule (degenerate groups: nothing to move).
+    pub fn empty() -> Self {
+        CollSchedule { rounds: Vec::new() }
+    }
+
+    /// The rounds, in execution order.
+    #[inline]
+    pub fn rounds(&self) -> &[Round] {
+        &self.rounds
+    }
+
+    /// Number of rounds.
+    #[inline]
+    pub fn round_count(&self) -> u32 {
+        self.rounds.len() as u32
+    }
+
+    /// True when there is nothing to do (n ≤ 1 groups).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Total bytes moved across all rounds and transfers.
+    pub fn total_bytes(&self) -> u64 {
+        self.rounds
+            .iter()
+            .flat_map(|r| &r.transfers)
+            .map(|t| t.bytes)
+            .sum()
+    }
+
+    /// Fold the schedule over a per-transfer cost model: each round costs
+    /// the maximum of its transfer costs (they move concurrently), rounds
+    /// serialize. This is the generic analytic evaluation of the IR.
+    pub fn seconds_on(&self, mut transfer_cost: impl FnMut(&Transfer) -> f64) -> f64 {
+        self.rounds
+            .iter()
+            .map(|round| {
+                round
+                    .transfers
+                    .iter()
+                    .map(&mut transfer_cost)
+                    .fold(0.0, f64::max)
+            })
+            .sum()
+    }
+
+    /// [`CollSchedule::seconds_on`] with a uniform `latency + bytes/bw`
+    /// link model — the fold the closed forms in [`crate::collective`]
+    /// are derived from.
+    pub fn seconds_uniform(&self, bandwidth_bytes_per_sec: f64, latency_s: f64) -> f64 {
+        self.seconds_on(|t| latency_s + t.bytes as f64 / bandwidth_bytes_per_sec)
+    }
+}
+
+/// Depth of the binary heap over `n` ranks (root at depth 0):
+/// `⌊log₂n⌋`, `0` for the degenerate `n ≤ 1`. Shared by the schedule
+/// constructor and the closed forms — the single definition in the
+/// workspace (it used to exist twice, once per layer, and the copies had
+/// drifted: the closed form said `⌈log₂n⌉` while the executor's heap
+/// layout has no rank at that level for non-powers-of-two, leaving its
+/// deepest round empty).
+pub fn tree_depth(n: u32) -> u32 {
+    if n <= 1 {
+        return 0;
+    }
+    n.ilog2()
+}
+
+/// Group `devices` by cluster id, preserving first-seen cluster order and
+/// per-cluster device order (so each group keeps the caller's ring order).
+pub fn partition_by_cluster(devices: &[Rank], cluster_of: impl Fn(Rank) -> u32) -> Vec<Vec<Rank>> {
+    let mut ids: Vec<u32> = Vec::new();
+    let mut groups: Vec<Vec<Rank>> = Vec::new();
+    for &d in devices {
+        let c = cluster_of(d);
+        match ids.iter().position(|&known| known == c) {
+            Some(i) => groups[i].push(d),
+            None => {
+                ids.push(c);
+                groups.push(vec![d]);
+            }
+        }
+    }
+    groups
+}
+
+/// `count` rounds in which every rank sends `chunk` bytes to its ring
+/// successor — the skeleton of all ring collectives.
+fn ring_rounds(devices: &[Rank], count: u32, chunk: u64) -> Vec<Round> {
+    let n = devices.len();
+    (0..count)
+        .map(|_| Round {
+            transfers: (0..n)
+                .map(|i| Transfer {
+                    from: devices[i],
+                    to: devices[(i + 1) % n],
+                    bytes: chunk,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Ring reduce-scatter: `n−1` rounds of `V/n` chunks.
+pub fn ring_reduce_scatter(devices: &[Rank], bytes: u64) -> CollSchedule {
+    let n = devices.len() as u64;
+    if n <= 1 {
+        return CollSchedule::empty();
+    }
+    CollSchedule {
+        rounds: ring_rounds(devices, n as u32 - 1, bytes / n),
+    }
+}
+
+/// Ring all-gather: `n−1` rounds of `V/n` chunks (the mirror image of
+/// reduce-scatter — identical round structure).
+pub fn ring_all_gather(devices: &[Rank], bytes: u64) -> CollSchedule {
+    ring_reduce_scatter(devices, bytes)
+}
+
+/// Ring all-reduce = reduce-scatter + all-gather: `2(n−1)` rounds of
+/// `V/n` chunks.
+pub fn ring_all_reduce(devices: &[Rank], bytes: u64) -> CollSchedule {
+    let n = devices.len() as u64;
+    if n <= 1 {
+        return CollSchedule::empty();
+    }
+    CollSchedule {
+        rounds: ring_rounds(devices, 2 * (n as u32 - 1), bytes / n),
+    }
+}
+
+/// Pipelined ring broadcast: `n−1` rounds of `V/(n−1)` chunks.
+pub fn ring_broadcast(devices: &[Rank], bytes: u64) -> CollSchedule {
+    let n = devices.len() as u32;
+    if n <= 1 {
+        return CollSchedule::empty();
+    }
+    CollSchedule {
+        rounds: ring_rounds(devices, n - 1, bytes / u64::from(n - 1)),
+    }
+}
+
+/// Binary-tree all-reduce over the binary-heap layout of `devices`:
+/// `⌊log₂n⌋` reduce rounds climbing from the deepest level to the root,
+/// then `⌊log₂n⌋` broadcast rounds descending back, each hop carrying the
+/// full buffer. Every round is non-empty (heap level `l` always contains
+/// index `2^l − 1`).
+pub fn tree_all_reduce(devices: &[Rank], bytes: u64) -> CollSchedule {
+    let n = devices.len() as u32;
+    if n <= 1 {
+        return CollSchedule::empty();
+    }
+    let depth = tree_depth(n);
+    let level_of = |i: u32| (i + 1).ilog2();
+    let rounds = (0..2 * depth)
+        .map(|round| {
+            let (level, upward) = if round < depth {
+                (depth - round, true) // reduce: deepest level first
+            } else {
+                (round - depth + 1, false) // broadcast: shallow levels first
+            };
+            Round {
+                transfers: (1..n)
+                    .filter(|&i| level_of(i) == level)
+                    .map(|i| {
+                        let parent = (i - 1) / 2;
+                        let (from, to) = if upward {
+                            (devices[i as usize], devices[parent as usize])
+                        } else {
+                            (devices[parent as usize], devices[i as usize])
+                        };
+                        Transfer { from, to, bytes }
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    CollSchedule { rounds }
+}
+
+/// Two-level hierarchical all-reduce over per-cluster groups (each group
+/// in ring order; empty groups are skipped):
+///
+/// 1. **intra-cluster reduce-scatter** — every cluster runs its own ring
+///    reduce-scatter (`n_c − 1` rounds of `V/n_c`), all clusters in
+///    lockstep, entirely on intra-cluster links (RDMA where available);
+/// 2. **inter-cluster exchange** — `s_max = max n_c` counterpart slot
+///    rings across the `k` clusters all-reduce the scattered shards:
+///    `2(k−1)` rounds of `V/(s_max·k)` per slot, the only traffic that
+///    crosses the slow Ethernet trunk, spread over every node's uplink;
+/// 3. **intra-cluster all-gather** — mirror of phase 1.
+///
+/// With one (non-empty) cluster this degenerates to the flat ring
+/// all-reduce; with ≤ 1 total ranks the schedule is empty.
+pub fn hierarchical_all_reduce(groups: &[Vec<Rank>], bytes: u64) -> CollSchedule {
+    let groups: Vec<&[Rank]> = groups
+        .iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| g.as_slice())
+        .collect();
+    let total: usize = groups.iter().map(|g| g.len()).sum();
+    if total <= 1 {
+        return CollSchedule::empty();
+    }
+    if groups.len() == 1 {
+        return ring_all_reduce(groups[0], bytes);
+    }
+    let k = groups.len();
+    let s_max = groups.iter().map(|g| g.len()).max().expect("k >= 2 groups");
+    let mut rounds = Vec::new();
+
+    // Phase 1/3 skeleton: one lockstep intra-cluster ring pass; cluster c
+    // is active while `r < n_c − 1`.
+    let intra_pass = |rounds: &mut Vec<Round>| {
+        for r in 0..s_max.saturating_sub(1) {
+            let transfers: Vec<Transfer> = groups
+                .iter()
+                .filter(|g| r + 1 < g.len())
+                .flat_map(|g| {
+                    let n = g.len();
+                    let chunk = bytes / n as u64;
+                    (0..n).map(move |i| Transfer {
+                        from: g[i],
+                        to: g[(i + 1) % n],
+                        bytes: chunk,
+                    })
+                })
+                .collect();
+            if !transfers.is_empty() {
+                rounds.push(Round { transfers });
+            }
+        }
+    };
+
+    intra_pass(&mut rounds);
+
+    // Phase 2: slot rings. Slot `i` all-reduces a `V/s_max` shard across
+    // one representative per cluster (`g_c[i mod n_c]`), as a ring
+    // all-reduce of k participants: `2(k−1)` rounds of `V/(s_max·k)`.
+    let chunk = bytes / (s_max as u64 * k as u64);
+    for _ in 0..2 * (k - 1) {
+        let transfers: Vec<Transfer> = (0..s_max)
+            .flat_map(|slot| {
+                let groups = &groups;
+                (0..k).map(move |c| Transfer {
+                    from: groups[c][slot % groups[c].len()],
+                    to: groups[(c + 1) % k][slot % groups[(c + 1) % k].len()],
+                    bytes: chunk,
+                })
+            })
+            .collect();
+        rounds.push(Round { transfers });
+    }
+
+    intra_pass(&mut rounds);
+    CollSchedule { rounds }
+}
+
+/// Evaluate a schedule against a concrete [`Topology`]'s per-link cost
+/// model, including node-level contention: transfers of one round that
+/// leave (or enter) the same node over the same transport share that
+/// node's aggregate uplink (downlink), and RDMA traffic through an
+/// oversubscribed cluster switch shares its bisection — mirroring how
+/// [`crate::Fabric`] registers links for the flow-level simulator.
+///
+/// On an uncontended fabric this reduces to
+/// [`CollSchedule::seconds_uniform`] at the bottleneck link's rate; under
+/// contention it stays a close analytic proxy for the executor's
+/// max-min-fair replay (the cross-validation tests bound the gap).
+pub fn estimate_on_topology(topo: &Topology, schedule: &CollSchedule) -> f64 {
+    let gpus_per_node = topo.gpus_per_node().max(1);
+    let node_of = |r: Rank| r.0 / gpus_per_node;
+    let mut src: HashMap<(u32, bool), u32> = HashMap::new();
+    let mut dst: HashMap<(u32, bool), u32> = HashMap::new();
+    let mut switch_flows: HashMap<u32, u32> = HashMap::new();
+    let mut total = 0.0f64;
+    for round in schedule.rounds() {
+        src.clear();
+        dst.clear();
+        switch_flows.clear();
+        // First pass: how many concurrent flows share each node-level link.
+        for t in round.transfers() {
+            let profile = topo
+                .link_between(t.from, t.to)
+                .expect("schedule ranks belong to the topology");
+            if profile.kind.is_intra_node() {
+                continue;
+            }
+            let rdma = profile.kind.is_rdma();
+            *src.entry((node_of(t.from), rdma)).or_insert(0) += 1;
+            *dst.entry((node_of(t.to), rdma)).or_insert(0) += 1;
+            if rdma {
+                let cluster = topo.coord(t.from).expect("rank in range").cluster.0;
+                *switch_flows.entry(cluster).or_insert(0) += 1;
+            }
+        }
+        // Second pass: per-transfer cost under fair sharing; the slowest
+        // transfer bounds the round.
+        let mut round_s = 0.0f64;
+        for t in round.transfers() {
+            let profile = topo
+                .link_between(t.from, t.to)
+                .expect("schedule ranks belong to the topology");
+            let lat = profile.latency_ns as f64 * 1e-9;
+            let mut bw = profile.bandwidth_bytes_per_sec;
+            if !profile.kind.is_intra_node() {
+                let rdma = profile.kind.is_rdma();
+                let ca = topo.coord(t.from).expect("rank in range");
+                let cb = topo.coord(t.to).expect("rank in range");
+                let na = &topo.clusters()[ca.cluster.0 as usize].nodes[ca.node.0 as usize];
+                let nb = &topo.clusters()[cb.cluster.0 as usize].nodes[cb.node.0 as usize];
+                let (up, down) = if rdma {
+                    (
+                        na.nic.node_uplink_bytes_per_sec(),
+                        nb.nic.node_uplink_bytes_per_sec(),
+                    )
+                } else {
+                    (
+                        na.ethernet.node_uplink_bytes_per_sec(),
+                        nb.ethernet.node_uplink_bytes_per_sec(),
+                    )
+                };
+                let s = f64::from(src[&(node_of(t.from), rdma)]);
+                let d = f64::from(dst[&(node_of(t.to), rdma)]);
+                bw = bw.min(up / s).min(down / d);
+                if rdma {
+                    let cluster = &topo.clusters()[ca.cluster.0 as usize];
+                    if cluster.oversubscription > 1.0 {
+                        let flows = f64::from(switch_flows[&ca.cluster.0]);
+                        bw = bw.min(cluster.switch_bisection_bytes_per_sec() / flows);
+                    }
+                }
+            }
+            round_s = round_s.max(lat + t.bytes as f64 / bw);
+        }
+        total += round_s;
+    }
+    total
+}
+
+/// [`estimate_on_topology`] for a [`CollKind`] over `devices`, deriving
+/// the cluster partition from the topology — the planner-facing helper
+/// behind NIC-selection scoring and the core estimator.
+pub fn estimate_collective(topo: &Topology, kind: CollKind, devices: &[Rank], bytes: u64) -> f64 {
+    let schedule = kind.schedule(devices, bytes, |r| {
+        topo.coord(r)
+            .expect("devices belong to the topology")
+            .cluster
+            .0
+    });
+    estimate_on_topology(topo, &schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranks(n: u32) -> Vec<Rank> {
+        (0..n).map(Rank).collect()
+    }
+
+    const V: u64 = 1 << 28; // 256 MiB
+    const BW: f64 = 1e9;
+    const LAT: f64 = 1e-5;
+
+    #[test]
+    fn tree_depth_is_total_and_matches_the_heap() {
+        assert_eq!(tree_depth(0), 0);
+        assert_eq!(tree_depth(1), 0);
+        assert_eq!(tree_depth(2), 1);
+        assert_eq!(tree_depth(8), 3);
+        assert_eq!(tree_depth(9), 3);
+        assert_eq!(tree_depth(16), 4);
+        assert_eq!(tree_depth(17), 4);
+        // The depth must equal the deepest occupied heap level, so no
+        // round of the tree schedule is ever empty (the old ⌈log₂n⌉
+        // closed form over-counted by one for every non-power-of-two).
+        for n in 2u32..200 {
+            let deepest = (1..n).map(|i| (i + 1).ilog2()).max().unwrap();
+            assert_eq!(tree_depth(n), deepest, "n = {n}");
+            let s = tree_all_reduce(&ranks(n), V);
+            assert_eq!(s.round_count(), 2 * tree_depth(n));
+            assert!(
+                s.rounds().iter().all(|r| !r.transfers().is_empty()),
+                "empty round at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_groups_yield_empty_schedules() {
+        for kind in [
+            CollKind::AllReduce,
+            CollKind::TreeAllReduce,
+            CollKind::ReduceScatter,
+            CollKind::AllGather,
+            CollKind::Broadcast,
+            CollKind::HierarchicalAllReduce,
+        ] {
+            for n in [0, 1] {
+                let s = kind.schedule(&ranks(n), V, |_| 0);
+                assert!(s.is_empty(), "{kind:?} over {n} ranks");
+                assert_eq!(s.seconds_uniform(BW, LAT), 0.0);
+            }
+        }
+        // n = 2 is a *working* tree (1 up + 1 down round), not a panic.
+        let tree = tree_all_reduce(&ranks(2), V);
+        assert_eq!(tree.round_count(), 2);
+    }
+
+    #[test]
+    fn ring_schedules_have_the_documented_shape() {
+        let n = 8u32;
+        let rs = ring_reduce_scatter(&ranks(n), V);
+        assert_eq!(rs.round_count(), n - 1);
+        for round in rs.rounds() {
+            assert_eq!(round.transfers().len(), n as usize);
+            for t in round.transfers() {
+                assert_eq!(t.bytes, V / u64::from(n));
+                assert_eq!(t.to.0, (t.from.0 + 1) % n);
+            }
+        }
+        assert_eq!(ring_all_reduce(&ranks(n), V).round_count(), 2 * (n - 1));
+        assert_eq!(ring_broadcast(&ranks(n), V).round_count(), n - 1);
+        assert_eq!(
+            ring_broadcast(&ranks(n), V).rounds()[0].transfers()[0].bytes,
+            V / u64::from(n - 1)
+        );
+    }
+
+    #[test]
+    fn tree_schedule_reduces_then_broadcasts() {
+        let n = 8u32;
+        let s = tree_all_reduce(&ranks(n), V);
+        assert_eq!(s.round_count(), 2 * tree_depth(n));
+        // Every non-root rank sends to its parent exactly once (reduce) and
+        // receives from it exactly once (broadcast), full buffer each time.
+        let mut up = vec![0u32; n as usize];
+        let mut down = vec![0u32; n as usize];
+        for round in s.rounds() {
+            for t in round.transfers() {
+                assert_eq!(t.bytes, V);
+                // Heap parents have smaller indices than their children.
+                if t.from.0 > t.to.0 {
+                    assert_eq!(t.to.0, (t.from.0 - 1) / 2);
+                    up[t.from.0 as usize] += 1;
+                } else {
+                    assert_eq!(t.from.0, (t.to.0 - 1) / 2);
+                    down[t.to.0 as usize] += 1;
+                }
+            }
+        }
+        assert_eq!(&up[1..], &[1; 7]);
+        assert_eq!(&down[1..], &[1; 7]);
+        assert_eq!(up[0] + down[0], 0);
+    }
+
+    #[test]
+    fn hierarchical_phases_have_the_documented_shape() {
+        let groups = vec![ranks(4), (4..8).map(Rank).collect()];
+        let s = hierarchical_all_reduce(&groups, V);
+        // 3 intra RS rounds + 2 inter rounds + 3 intra AG rounds.
+        assert_eq!(s.round_count(), 3 + 2 + 3);
+        // Inter rounds (indices 3, 4) carry V/(s_max·k) chunks across
+        // clusters only; intra rounds never cross.
+        for (i, round) in s.rounds().iter().enumerate() {
+            let inter = i == 3 || i == 4;
+            for t in round.transfers() {
+                let crosses = (t.from.0 < 4) != (t.to.0 < 4);
+                assert_eq!(crosses, inter, "round {i}: {t:?}");
+                if inter {
+                    assert_eq!(t.bytes, V / (4 * 2));
+                } else {
+                    assert_eq!(t.bytes, V / 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_handles_unequal_and_singleton_clusters() {
+        // Unequal: 4 + 2 ranks. s_max = 4, so group 1's members cover two
+        // slots each; volumes stay consistent per slot.
+        let s = hierarchical_all_reduce(&[ranks(4), vec![Rank(4), Rank(5)]], V);
+        assert!(!s.is_empty());
+        for round in s.rounds() {
+            for t in round.transfers() {
+                assert_ne!(t.from, t.to, "no self-transfers");
+            }
+        }
+        // A singleton cluster skips the intra phases but joins every slot
+        // ring of the exchange.
+        let s = hierarchical_all_reduce(&[ranks(4), vec![Rank(9)]], V);
+        let exchanged: u64 = s
+            .rounds()
+            .iter()
+            .flat_map(|r| r.transfers())
+            .filter(|t| t.from == Rank(9))
+            .map(|t| t.bytes)
+            .sum();
+        // Rank 9 sends its whole buffer's worth across: 4 slots × 2 rounds
+        // × V/8 = V.
+        assert_eq!(exchanged, V);
+        // One cluster only → flat ring fallback.
+        let flat = hierarchical_all_reduce(&[ranks(4)], V);
+        assert_eq!(flat, ring_all_reduce(&ranks(4), V));
+    }
+
+    #[test]
+    fn uniform_fold_matches_closed_forms() {
+        // The crate::collective formulas must be the algebraic evaluation
+        // of these schedules — checked here for a spread of sizes and
+        // again property-based in tests/properties.rs.
+        use crate::collective;
+        for n in [2u32, 3, 5, 8, 17, 32] {
+            let devices = ranks(n);
+            // The IR truncates chunk sizes to whole bytes (`V / n`), the
+            // closed forms divide in ℝ — allow the ≤ n-bytes-per-round gap.
+            let close = |a: f64, b: f64| (a - b).abs() < 1e-6 * b.max(1.0);
+            assert!(close(
+                ring_reduce_scatter(&devices, V).seconds_uniform(BW, LAT),
+                collective::reduce_scatter_seconds(n, V, BW, LAT)
+            ));
+            assert!(close(
+                ring_all_gather(&devices, V).seconds_uniform(BW, LAT),
+                collective::all_gather_seconds(n, V, BW, LAT)
+            ));
+            assert!(close(
+                ring_all_reduce(&devices, V).seconds_uniform(BW, LAT),
+                collective::ring_allreduce_seconds(n, V, BW, LAT)
+            ));
+            assert!(close(
+                tree_all_reduce(&devices, V).seconds_uniform(BW, LAT),
+                collective::tree_allreduce_seconds(n, V, BW, LAT)
+            ));
+            assert!(close(
+                ring_broadcast(&devices, V).seconds_uniform(BW, LAT),
+                collective::broadcast_seconds(n, V, BW, LAT)
+            ));
+        }
+    }
+
+    #[test]
+    fn schedule_dispatch_matches_constructors() {
+        let d = ranks(6);
+        assert_eq!(
+            CollKind::AllReduce.schedule(&d, V, |_| 0),
+            ring_all_reduce(&d, V)
+        );
+        assert_eq!(
+            CollKind::TreeAllReduce.schedule(&d, V, |_| 0),
+            tree_all_reduce(&d, V)
+        );
+        assert_eq!(
+            CollKind::Broadcast.schedule(&d, V, |_| 0),
+            ring_broadcast(&d, V)
+        );
+        // Hierarchical with a real cluster map partitions; with a constant
+        // map it falls back to the flat ring.
+        assert_eq!(
+            CollKind::HierarchicalAllReduce.schedule(&d, V, |_| 0),
+            ring_all_reduce(&d, V)
+        );
+        let split = CollKind::HierarchicalAllReduce.schedule(&d, V, |r| r.0 / 3);
+        assert_eq!(
+            split,
+            hierarchical_all_reduce(&[ranks(3), (3..6).map(Rank).collect()], V)
+        );
+    }
+
+    #[test]
+    fn partition_preserves_order() {
+        let devices: Vec<Rank> = vec![Rank(5), Rank(0), Rank(6), Rank(1)];
+        let groups = partition_by_cluster(&devices, |r| r.0 / 4);
+        assert_eq!(groups, vec![vec![Rank(5), Rank(6)], vec![Rank(0), Rank(1)]]);
+    }
+
+    #[test]
+    fn estimate_on_topology_matches_uniform_fold_when_uncontended() {
+        use holmes_topology::{presets, NicType};
+        // A 2-rank cross-node ring: one flow per node uplink per round —
+        // no contention, so the topology estimate equals the uniform fold
+        // at the pairwise link rate.
+        let topo = presets::homogeneous(NicType::InfiniBand, 2);
+        let devices = vec![Rank(0), Rank(8)];
+        let link = topo.link_between(Rank(0), Rank(8)).unwrap();
+        let s = ring_all_reduce(&devices, V);
+        let est = estimate_on_topology(&topo, &s);
+        let uniform =
+            s.seconds_uniform(link.bandwidth_bytes_per_sec, link.latency_ns as f64 * 1e-9);
+        assert!((est - uniform).abs() < 1e-12 * uniform.max(1.0));
+    }
+
+    #[test]
+    fn estimate_accounts_for_uplink_contention() {
+        use holmes_topology::{presets, NicType};
+        // 16 ranks across two clusters, flat ring: every round pushes the
+        // boundary chunks through Ethernet. The hierarchical schedule must
+        // score much cheaper on the same topology.
+        let topo = presets::same_nic_two_clusters(NicType::InfiniBand, 2);
+        let devices: Vec<Rank> = (0..32).map(Rank).collect();
+        let flat = estimate_collective(&topo, CollKind::AllReduce, &devices, 1 << 30);
+        let hier = estimate_collective(&topo, CollKind::HierarchicalAllReduce, &devices, 1 << 30);
+        assert!(hier < 0.6 * flat, "hier {hier} vs flat {flat}");
+    }
+}

@@ -1,22 +1,67 @@
-//! Closed-form cost models for ring-based collectives.
+//! Closed-form collective costs, derived from the [`crate::algo`] IR.
 //!
-//! These mirror the standard bandwidth-optimal ring algorithms NCCL uses
-//! for large messages (Patarasuk & Yuan, the paper's \[26\], and the
-//! Ring-AllReduce the paper describes in §3.2):
+//! Each formula here is the algebraic result of folding the corresponding
+//! [`crate::algo`] round schedule over a **uniform** link model
+//! ([`crate::algo::CollSchedule::seconds_uniform`]): every round costs
+//! `latency + chunk/bandwidth` (its transfers move concurrently and carry
+//! equal chunks), and rounds serialize. For the standard bandwidth-optimal
+//! ring algorithms (Patarasuk & Yuan, the paper's \[26\], and the
+//! Ring-AllReduce the paper describes in §3.2) that fold collapses to:
 //!
-//! * **reduce-scatter** — `n−1` steps, each moving `V/n` bytes;
-//! * **all-gather** — `n−1` steps, each moving `V/n` bytes;
-//! * **all-reduce** — reduce-scatter followed by all-gather:
-//!   `2(n−1)` steps, total traffic `2·V·(n−1)/n` per rank.
+//! * **reduce-scatter** — `n−1` rounds of `V/n`: `(n−1)·(lat + V/(n·bw))`;
+//! * **all-gather** — identical round structure;
+//! * **all-reduce** — reduce-scatter followed by all-gather;
+//! * **tree all-reduce** — `2·⌊log₂n⌋` full-buffer rounds (the heap
+//!   depth, [`crate::algo::tree_depth`]);
+//! * **broadcast** — `n−1` rounds of `V/(n−1)`: `(n−1)·lat + V/bw`.
 //!
-//! The models are used by the Holmes planner to *score* candidate
-//! placements cheaply; the engine simulates the same algorithms flow-by-flow
-//! on the fabric for full contention fidelity, and the two agree on
-//! uncontended fabrics (see the cross-validation tests in the engine crate).
+//! The formulas are kept in O(1) form because planner scoring evaluates
+//! them in hot search loops; the equality `closed form == schedule fold ==
+//! flow-level replay` is enforced for every algorithm by the property
+//! tests in `tests/properties.rs` and the module tests of [`crate::algo`].
+//! [`hierarchical_allreduce_seconds`] has no tidy closed form (it depends
+//! on the cluster-size vector), so it *is* a fold of the IR.
 
 /// Time for a point-to-point transfer: latency plus serialization.
 pub fn p2p_seconds(bytes: u64, bandwidth_bytes_per_sec: f64, latency_s: f64) -> f64 {
     latency_s + bytes as f64 / bandwidth_bytes_per_sec
+}
+
+/// Two-level hierarchical all-reduce cost over clusters of the given
+/// sizes: intra-cluster rounds priced at `(intra_bw, intra_lat)`,
+/// cross-cluster exchange rounds at `(inter_bw, inter_lat)`.
+///
+/// Unlike the ring formulas above, this depends on the whole cluster-size
+/// vector, so it is computed by directly folding the
+/// [`crate::algo::hierarchical_all_reduce`] schedule over the two-tier
+/// link model — the IR *is* the formula. Used for trunk-limited scoring
+/// where no per-node [`holmes_topology::Topology`] is at hand; planners
+/// with a topology should prefer [`crate::algo::estimate_collective`],
+/// which also models per-node uplink contention.
+pub fn hierarchical_allreduce_seconds(
+    cluster_sizes: &[u32],
+    bytes: u64,
+    intra_bw: f64,
+    intra_lat: f64,
+    inter_bw: f64,
+    inter_lat: f64,
+) -> f64 {
+    use holmes_topology::Rank;
+    // Synthetic ranks: cluster c owns a consecutive id block.
+    let mut groups = Vec::with_capacity(cluster_sizes.len());
+    let mut cluster_of = Vec::new();
+    for (c, &size) in cluster_sizes.iter().enumerate() {
+        let base = cluster_of.len() as u32;
+        groups.push((base..base + size).map(Rank).collect::<Vec<_>>());
+        cluster_of.extend(std::iter::repeat_n(c, size as usize));
+    }
+    crate::algo::hierarchical_all_reduce(&groups, bytes).seconds_on(|t| {
+        if cluster_of[t.from.0 as usize] == cluster_of[t.to.0 as usize] {
+            intra_lat + t.bytes as f64 / intra_bw
+        } else {
+            inter_lat + t.bytes as f64 / inter_bw
+        }
+    })
 }
 
 /// Ring reduce-scatter over `n` ranks of a `bytes`-sized buffer.
@@ -51,9 +96,11 @@ pub fn ring_allreduce_seconds(
         + all_gather_seconds(n, bytes, bandwidth_bytes_per_sec, latency_s)
 }
 
-/// Binary-tree all-reduce over `n` ranks: `2·⌈log₂n⌉` full-buffer hops.
-/// Latency-optimal: beats the ring for small buffers / large rings, which
-/// is why NCCL switches algorithms by message size.
+/// Binary-tree all-reduce over `n` ranks: `2·⌊log₂n⌋` full-buffer hops
+/// (the heap depth — [`crate::algo::tree_depth`], which the replayed
+/// [`crate::algo::tree_all_reduce`] schedule also uses). Latency-optimal:
+/// beats the ring for small buffers / large rings, which is why NCCL
+/// switches algorithms by message size.
 pub fn tree_allreduce_seconds(
     n: u32,
     bytes: u64,
@@ -63,7 +110,7 @@ pub fn tree_allreduce_seconds(
     if n <= 1 {
         return 0.0;
     }
-    let depth = f64::from(u32::BITS - (n - 1).leading_zeros());
+    let depth = f64::from(crate::algo::tree_depth(n));
     2.0 * depth * (latency_s + bytes as f64 / bandwidth_bytes_per_sec)
 }
 
@@ -143,16 +190,38 @@ mod tests {
 
     #[test]
     fn tree_depth_rounds() {
-        // n=2 → depth 1; n=8 → 3; n=9 → 4.
+        // Heap depth: n=2 → 1; n=8 → 3; n=9 → 3 (index 8 sits at level 3);
+        // n=17 → 4.
         assert!((tree_allreduce_seconds(2, 0, BW, 1.0) - 2.0).abs() < 1e-12);
         assert!((tree_allreduce_seconds(8, 0, BW, 1.0) - 6.0).abs() < 1e-12);
-        assert!((tree_allreduce_seconds(9, 0, BW, 1.0) - 8.0).abs() < 1e-12);
+        assert!((tree_allreduce_seconds(9, 0, BW, 1.0) - 6.0).abs() < 1e-12);
+        assert!((tree_allreduce_seconds(17, 0, BW, 1.0) - 8.0).abs() < 1e-12);
         assert_eq!(tree_allreduce_seconds(1, 1 << 20, BW, LAT), 0.0);
     }
 
     #[test]
     fn p2p_cost() {
         assert!((p2p_seconds(GB, BW, LAT) - (1.0 + LAT)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_ring_when_the_trunk_is_slow() {
+        // Two clusters of 16 ranks, fast RDMA inside (23 GB/s), slow
+        // Ethernet across (2.66 GB/s). A flat 32-rank ring pays every one
+        // of its 62 rounds at the Ethernet rate; the hierarchical schedule
+        // crosses Ethernet only in its 2 exchange rounds.
+        let (intra, inter) = (23e9, 2.66e9);
+        let flat = ring_allreduce_seconds(32, GB, inter, 1e-5);
+        let hier = hierarchical_allreduce_seconds(&[16, 16], GB, intra, 2e-6, inter, 3e-5);
+        assert!(hier < 0.25 * flat, "hier {hier} vs flat {flat}");
+        // Degenerate shapes stay total: one cluster ≡ flat intra ring,
+        // single rank ≡ free.
+        let one = hierarchical_allreduce_seconds(&[8], GB, intra, 1e-6, inter, 3e-5);
+        assert!((one - ring_allreduce_seconds(8, GB, intra, 1e-6)).abs() < 1e-12);
+        assert_eq!(
+            hierarchical_allreduce_seconds(&[1], GB, intra, 1e-6, inter, 3e-5),
+            0.0
+        );
     }
 
     #[test]

@@ -21,16 +21,22 @@
 //! * [`Fabric`] — maps a [`holmes_topology::Topology`] onto simulator links
 //!   (per-node RDMA and Ethernet uplinks/downlinks, optional inter-cluster
 //!   trunk) and routes rank-to-rank transfers.
-//! * [`collective`] — closed-form cost models for ring collectives
-//!   (all-reduce, reduce-scatter, all-gather, broadcast), used by the
-//!   planner for cost scoring; the engine simulates collectives flow-by-flow
-//!   for full contention fidelity.
+//! * [`algo`] — the collective algorithm IR: every algorithm (ring
+//!   reduce-scatter / all-gather / all-reduce, tree all-reduce, pipelined
+//!   broadcast, hierarchical cross-cluster all-reduce) is defined **once**
+//!   as a round schedule of `(sender, receiver, bytes)` transfers. The
+//!   engine replays schedules flow-by-flow; the analytic layers fold the
+//!   same schedules over per-link cost models.
+//! * [`collective`] — the closed-form costs that folding [`algo`]
+//!   schedules over a uniform link yields, kept in O(1) algebraic form for
+//!   hot planner scoring (their equality to the fold is property-tested).
 //! * [`Communicator`] — an NCCL-like handle binding a rank set to the
 //!   fabric, exposing ring-neighbour routes and analytic collective costs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod algo;
 pub mod collective;
 mod communicator;
 mod fabric;

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use holmes_netsim::{Completion, FlowSpec, LinkCapacity, NetSim, SimDuration};
+use holmes_netsim::algo::{self, CollSchedule};
+use holmes_netsim::{collective, Completion, FlowSpec, LinkCapacity, NetSim, SimDuration};
+use holmes_topology::Rank;
 
 /// Drain a simulator, returning (completion order tokens, final time).
 fn drain(sim: &mut NetSim) -> (Vec<u64>, f64) {
@@ -163,6 +165,97 @@ proptest! {
         let (_, finish) = drain(&mut sim);
         let ideal = bytes as f64 / cap;
         prop_assert!((finish - ideal).abs() / ideal < 1e-3, "{finish} vs {ideal}");
+    }
+
+    /// Single source of truth: for every algorithm in the IR, the derived
+    /// closed-form cost equals the uniform fold of its round schedule,
+    /// which equals a flow-level replay on an uncontended fabric. This is
+    /// what makes the O(1) formulas in `collective` an *evaluation* of the
+    /// IR rather than a parallel implementation that can drift.
+    #[test]
+    fn closed_form_equals_fold_equals_simulation(
+        n in 2u32..33,
+        mb in 1u64..512,
+        lat_us in 0u64..100,
+    ) {
+        let bytes = mb << 20;
+        let bw = 1e9;
+        let lat_s = lat_us as f64 * 1e-6;
+        let devices: Vec<Rank> = (0..n).map(Rank).collect();
+        let cases: Vec<(CollSchedule, f64)> = vec![
+            (
+                algo::ring_reduce_scatter(&devices, bytes),
+                collective::reduce_scatter_seconds(n, bytes, bw, lat_s),
+            ),
+            (
+                algo::ring_all_gather(&devices, bytes),
+                collective::all_gather_seconds(n, bytes, bw, lat_s),
+            ),
+            (
+                algo::ring_all_reduce(&devices, bytes),
+                collective::ring_allreduce_seconds(n, bytes, bw, lat_s),
+            ),
+            (
+                algo::tree_all_reduce(&devices, bytes),
+                collective::tree_allreduce_seconds(n, bytes, bw, lat_s),
+            ),
+            (
+                algo::ring_broadcast(&devices, bytes),
+                collective::broadcast_seconds(n, bytes, bw, lat_s),
+            ),
+            {
+                // Hierarchical over a two-way split; with identical intra
+                // and inter link parameters the two-tier closed form must
+                // still agree with the fold and the replay.
+                let split = (n / 2).max(1);
+                let groups: Vec<Vec<Rank>> = vec![
+                    devices[..split as usize].to_vec(),
+                    devices[split as usize..].to_vec(),
+                ];
+                (
+                    algo::hierarchical_all_reduce(&groups, bytes),
+                    collective::hierarchical_allreduce_seconds(
+                        &[split, n - split],
+                        bytes,
+                        bw,
+                        lat_s,
+                        bw,
+                        lat_s,
+                    ),
+                )
+            },
+        ];
+        for (schedule, closed_form) in cases {
+            let fold = schedule.seconds_uniform(bw, lat_s);
+            // Closed forms divide volumes in ℝ; the IR truncates chunks to
+            // whole bytes — ≤ n bytes per round of drift.
+            prop_assert!(
+                (fold - closed_form).abs() < 1e-5 * closed_form.max(1e-9),
+                "fold {fold} vs closed form {closed_form}"
+            );
+            // Flow-level replay on an uncontended fabric: every transfer
+            // rides its own capped pathless flow; rounds are barriers.
+            let mut sim = NetSim::new();
+            let mut token = 0u64;
+            for round in schedule.rounds() {
+                for t in round.transfers() {
+                    sim.start_flow(FlowSpec {
+                        path: vec![],
+                        bytes: t.bytes,
+                        latency: SimDuration::from_micros(lat_us),
+                        rate_cap: bw,
+                        token,
+                    });
+                    token += 1;
+                }
+                while sim.next().is_some() {}
+            }
+            let simulated = sim.now().as_secs_f64();
+            prop_assert!(
+                (simulated - fold).abs() < 1e-4 * fold.max(1e-9),
+                "simulated {simulated} vs fold {fold}"
+            );
+        }
     }
 
     /// Analytic collective costs scale linearly in volume at zero latency.

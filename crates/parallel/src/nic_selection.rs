@@ -12,6 +12,22 @@ use holmes_topology::{NicType, Rank, Topology};
 use crate::groups::GroupLayout;
 use crate::scheduler::DeviceAssignment;
 
+/// Which all-reduce algorithm a data-parallel group should run — derived
+/// from the group's NIC classification and cluster span, and matching the
+/// upgrade rule the engine's builder applies when it emits collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DpCollectiveAlgo {
+    /// Flat ring entirely on one cluster's RDMA fabric.
+    RingRdma,
+    /// Flat ring over Ethernet (single cluster, no RDMA reachable).
+    RingEthernet,
+    /// Two-level hierarchical all-reduce
+    /// ([`holmes_netsim::algo::hierarchical_all_reduce`]): the group
+    /// straddles clusters, so intra-cluster phases ride RDMA and only the
+    /// exchange phase crosses the slow trunk.
+    HierarchicalTwoLevel,
+}
+
 /// Classification of one data-parallel group.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DpGroupNic {
@@ -23,6 +39,8 @@ pub struct DpGroupNic {
     /// cluster (so RDMA is actually reachable); `None` when the group is
     /// forced down to Ethernet.
     pub rdma_nic: Option<NicType>,
+    /// The collective algorithm selected for the group's gradient sync.
+    pub algo: DpCollectiveAlgo,
 }
 
 /// Plan-wide Automatic NIC Selection report.
@@ -47,10 +65,18 @@ impl NicSelectionReport {
             if rdma_nic.is_some() {
                 rdma += 1;
             }
+            let algo = if Self::spans_clusters(topo, &devices) {
+                DpCollectiveAlgo::HierarchicalTwoLevel
+            } else if rdma_nic.is_some() {
+                DpCollectiveAlgo::RingRdma
+            } else {
+                DpCollectiveAlgo::RingEthernet
+            };
             groups.push(DpGroupNic {
                 group: i,
                 devices,
                 rdma_nic,
+                algo,
             });
         }
         let total = groups.len() as u32;
@@ -81,6 +107,14 @@ impl NicSelectionReport {
         Some(nic)
     }
 
+    /// True when the group's members live in more than one cluster.
+    fn spans_clusters(topo: &Topology, devices: &[Rank]) -> bool {
+        devices.split_first().is_some_and(|(&first, rest)| {
+            let cluster = |r| topo.coord(r).map(|c| c.cluster).ok();
+            rest.iter().any(|&r| cluster(r) != cluster(first))
+        })
+    }
+
     /// Fraction of groups able to use RDMA (1.0 = perfect selection).
     pub fn rdma_fraction(&self) -> f64 {
         let total = self.groups.len();
@@ -92,8 +126,11 @@ impl NicSelectionReport {
 
     /// Analytic per-iteration data-parallel synchronization cost in
     /// seconds, for `gradient_bytes` of gradients per rank: the max over
-    /// groups of a ring all-reduce at the group's bottleneck pairwise
-    /// bandwidth. Used by the planner to compare assignments cheaply.
+    /// groups of the cost of the algorithm selected for each group — a
+    /// ring all-reduce at the group's bottleneck pairwise bandwidth, or
+    /// the hierarchical schedule's topology-aware fold when the group
+    /// straddles clusters. Used by the planner to compare assignments
+    /// cheaply.
     pub fn dp_sync_cost_seconds(&self, topo: &Topology, gradient_bytes: u64) -> f64 {
         let mut worst: f64 = 0.0;
         for g in &self.groups {
@@ -101,18 +138,29 @@ impl NicSelectionReport {
             if n <= 1 {
                 continue;
             }
-            // Ring over the group's device order: bottleneck hop binds.
-            let mut bw = f64::INFINITY;
-            let mut lat: f64 = 0.0;
-            for (i, &a) in g.devices.iter().enumerate() {
-                let b = g.devices[(i + 1) % g.devices.len()];
-                let link = topo.link_between(a, b).expect("devices in topology");
-                bw = bw.min(link.bandwidth_bytes_per_sec);
-                lat = lat.max(link.latency_ns as f64 * 1e-9);
-            }
-            let steps = f64::from(2 * (n - 1));
-            let chunk = gradient_bytes as f64 / f64::from(n);
-            worst = worst.max(steps * (lat + chunk / bw));
+            let cost = match g.algo {
+                DpCollectiveAlgo::HierarchicalTwoLevel => holmes_netsim::algo::estimate_collective(
+                    topo,
+                    holmes_netsim::algo::CollKind::HierarchicalAllReduce,
+                    &g.devices,
+                    gradient_bytes,
+                ),
+                DpCollectiveAlgo::RingRdma | DpCollectiveAlgo::RingEthernet => {
+                    // Ring over the group's device order: bottleneck hop
+                    // binds — the uniform fold of the ring IR collapsed to
+                    // its closed form.
+                    let mut bw = f64::INFINITY;
+                    let mut lat: f64 = 0.0;
+                    for (i, &a) in g.devices.iter().enumerate() {
+                        let b = g.devices[(i + 1) % g.devices.len()];
+                        let link = topo.link_between(a, b).expect("devices in topology");
+                        bw = bw.min(link.bandwidth_bytes_per_sec);
+                        lat = lat.max(link.latency_ns as f64 * 1e-9);
+                    }
+                    holmes_netsim::collective::ring_allreduce_seconds(n, gradient_bytes, bw, lat)
+                }
+            };
+            worst = worst.max(cost);
         }
         worst
     }
@@ -193,6 +241,58 @@ mod tests {
         let c_h = holmes.dp_sync_cost_seconds(&topo, grad);
         let c_i = inter.dp_sync_cost_seconds(&topo, grad);
         assert!(c_h < c_i, "holmes {c_h} vs interleaved {c_i}");
+    }
+
+    #[test]
+    fn single_cluster_groups_select_flat_rings() {
+        let topo = presets::homogeneous(NicType::InfiniBand, 4);
+        let layout = layout_for(&topo, 1, 2);
+        let a = HolmesScheduler.assign(&topo, &layout);
+        let report = NicSelectionReport::analyze(&topo, &layout, &a);
+        assert!(report
+            .groups
+            .iter()
+            .all(|g| g.algo == DpCollectiveAlgo::RingRdma));
+        let topo = presets::homogeneous(NicType::Ethernet, 4);
+        let a = HolmesScheduler.assign(&topo, &layout_for(&topo, 1, 2));
+        let report = NicSelectionReport::analyze(&topo, &layout_for(&topo, 1, 2), &a);
+        assert!(report
+            .groups
+            .iter()
+            .all(|g| g.algo == DpCollectiveAlgo::RingEthernet));
+    }
+
+    #[test]
+    fn spanning_groups_select_hierarchical_and_score_below_flat_ring() {
+        // p = 1 → every DP group covers all 32 devices of both clusters.
+        let topo = presets::same_nic_two_clusters(NicType::InfiniBand, 2);
+        let layout = layout_for(&topo, 1, 1);
+        let a = HolmesScheduler.assign(&topo, &layout);
+        let report = NicSelectionReport::analyze(&topo, &layout, &a);
+        assert!(report
+            .groups
+            .iter()
+            .all(|g| g.algo == DpCollectiveAlgo::HierarchicalTwoLevel));
+        // The hierarchical score must beat the flat ring the old scorer
+        // would have priced over the same (Ethernet-crossing) ring.
+        let grad = 1u64 << 30;
+        let hier = report.dp_sync_cost_seconds(&topo, grad);
+        let g = &report.groups[0];
+        let mut bw = f64::INFINITY;
+        let mut lat: f64 = 0.0;
+        for (i, &a) in g.devices.iter().enumerate() {
+            let b = g.devices[(i + 1) % g.devices.len()];
+            let link = topo.link_between(a, b).unwrap();
+            bw = bw.min(link.bandwidth_bytes_per_sec);
+            lat = lat.max(link.latency_ns as f64 * 1e-9);
+        }
+        let flat = holmes_netsim::collective::ring_allreduce_seconds(
+            g.devices.len() as u32,
+            grad,
+            bw,
+            lat,
+        );
+        assert!(hier < flat, "hier {hier} vs flat {flat}");
     }
 
     #[test]

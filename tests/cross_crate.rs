@@ -53,6 +53,70 @@ fn simulated_collective_matches_analytic_model() {
     }
 }
 
+/// End-to-end path for the hierarchical cross-cluster all-reduce: NIC
+/// selection flags the spanning DP group for the two-level algorithm, the
+/// builder upgrades the emitted collective, and the simulated iteration
+/// beats the flat-ring baseline (same plan, upgrade disabled).
+#[test]
+fn hierarchical_allreduce_wins_for_spanning_dp_groups() {
+    use holmes_repro::engine::{simulate_iteration, DpSyncStrategy, EngineConfig};
+    use holmes_repro::model::ParameterGroup;
+    use holmes_repro::parallel::{
+        DpCollectiveAlgo, NicSelectionReport, ParallelPlan, PartitionStrategy, UniformPartition,
+    };
+    let topo = presets::same_nic_two_clusters(NicType::InfiniBand, 2);
+    let pg = ParameterGroup::table2(1);
+    let degrees = ParallelDegrees::infer_data(1, 1, topo.device_count()).unwrap();
+    let layout = GroupLayout::new(degrees);
+    let assignment = HolmesScheduler.assign(&topo, &layout);
+
+    // The planner-side analysis picks the two-level algorithm for the
+    // single DP group, which spans both clusters.
+    let nic_report = NicSelectionReport::analyze(&topo, &layout, &assignment);
+    assert!(nic_report
+        .groups
+        .iter()
+        .all(|g| g.algo == DpCollectiveAlgo::HierarchicalTwoLevel));
+
+    let layers = UniformPartition.partition(pg.job().config.num_layers, &[1.0]);
+    let plan = ParallelPlan::new(layout, assignment, layers, true);
+    let run = |hierarchical: bool| {
+        let cfg = EngineConfig {
+            dp_sync: DpSyncStrategy::AllReduce,
+            hierarchical_cross_cluster: hierarchical,
+            ..EngineConfig::default()
+        };
+        simulate_iteration(&topo, &plan, &pg.job(), &cfg).unwrap().0
+    };
+    let hier = run(true);
+    let flat = run(false);
+    // The builder emitted the upgraded kind (and only when enabled).
+    let hier_wall: f64 = hier.collective_wall_seconds[&CollKind::HierarchicalAllReduce]
+        .iter()
+        .sum();
+    let flat_wall: f64 = flat.collective_wall_seconds[&CollKind::AllReduce]
+        .iter()
+        .sum();
+    assert!(!hier
+        .collective_wall_seconds
+        .contains_key(&CollKind::AllReduce));
+    assert!(!flat
+        .collective_wall_seconds
+        .contains_key(&CollKind::HierarchicalAllReduce));
+    // Keeping ring traffic intra-cluster must pay off through the full
+    // simulated iteration, not just in isolation.
+    assert!(
+        hier_wall < 0.6 * flat_wall,
+        "hierarchical wall {hier_wall} vs flat {flat_wall}"
+    );
+    assert!(
+        hier.total_seconds < flat.total_seconds,
+        "hierarchical iteration {} vs flat {}",
+        hier.total_seconds,
+        flat.total_seconds
+    );
+}
+
 /// The NIC-selection analytic DP cost must rank environments the same way
 /// the full simulation does.
 #[test]

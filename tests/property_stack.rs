@@ -180,6 +180,60 @@ proptest! {
         prop_assert!((f - rebuilt).abs() / f < 1e-9);
     }
 
+    /// Cross-layer consistency of the shared collective IR: the engine's
+    /// flow-level replay of a schedule and the planner's static topology
+    /// fold (`algo::estimate_collective`) price the same algorithm within
+    /// a few percent, for every algorithm kind, on both single- and
+    /// two-cluster fabrics.
+    #[test]
+    fn executor_replay_matches_topology_fold(
+        nic in nic_strategy(),
+        kind_idx in 0usize..6,
+        two_clusters in prop::sample::select(vec![false, true]),
+        mb in 16u64..256,
+    ) {
+        use holmes_repro::engine::{
+            execute, CollKind, CollectiveSpec, ExecutionSpec, Op, TransportPolicy,
+        };
+        use holmes_repro::netsim::algo;
+        let kinds = [
+            CollKind::AllReduce,
+            CollKind::TreeAllReduce,
+            CollKind::ReduceScatter,
+            CollKind::AllGather,
+            CollKind::Broadcast,
+            CollKind::HierarchicalAllReduce,
+        ];
+        let kind = kinds[kind_idx];
+        let topo = if two_clusters {
+            presets::same_nic_two_clusters(nic, 1)
+        } else {
+            presets::homogeneous(nic, 2)
+        };
+        let bytes = mb << 20;
+        let devices: Vec<Rank> = (0..topo.device_count()).map(Rank).collect();
+        let est = algo::estimate_collective(&topo, kind, &devices, bytes);
+        let programs = devices
+            .iter()
+            .map(|&d| (d, vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }]))
+            .collect();
+        let report = execute(
+            &topo,
+            ExecutionSpec {
+                programs,
+                collectives: vec![CollectiveSpec::new(kind, devices, bytes)],
+                transport: TransportPolicy::Auto,
+            },
+        )
+        .unwrap();
+        let rel = (report.total_seconds - est).abs() / est;
+        prop_assert!(
+            rel < 0.05,
+            "{nic} {kind:?}: simulated {} vs fold {est} (rel {rel:.4})",
+            report.total_seconds
+        );
+    }
+
     /// Full-stack smoke property: any feasible (t, p) on a random
     /// environment simulates successfully with physically sane metrics.
     #[test]

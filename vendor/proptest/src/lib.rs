@@ -210,7 +210,7 @@ pub mod prop {
         use crate::strategy::Strategy;
         use crate::TestRng;
 
-        /// Anything usable as a size range for [`vec`].
+        /// Anything usable as a size range for [`vec()`].
         pub trait SizeRange {
             /// Inclusive bounds `(min, max)`.
             fn bounds(&self) -> (usize, usize);
