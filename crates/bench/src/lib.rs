@@ -17,6 +17,7 @@
 //! | `fig6`   | Figure 6 — Holmes vs mainstream frameworks |
 //! | `fig7`   | Figure 7 — speedup ratio vs node count (PG7/PG8) |
 //! | `all_experiments` | everything above, in EXPERIMENTS.md format |
+//! | `resilience` | fault-injection family — clean vs flaky-trunk vs dying-NIC, written to `BENCH_resilience.json` |
 //!
 //! Criterion micro-benchmarks (`cargo bench`) cover the substrate itself:
 //! group-formation algebra, netsim event throughput, collective execution,
@@ -26,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod resilience;
 pub mod suites;
 
 pub use experiments::{all_experiment_sections, ExperimentSection};

@@ -1,0 +1,131 @@
+//! The `resilience` experiment family: clean vs flaky-trunk vs dying-NIC
+//! runs of the same planned iteration, reported as `BENCH_resilience.json`.
+//!
+//! Each row compares a faulted execution against its clean baseline on an
+//! identical fabric, recording the wall-clock stretch, retry/fallback
+//! counters, and (for NIC loss) the parallel layer's downgrade pass. All
+//! rows are deterministic in the fixed seed, so the JSON snapshot is
+//! byte-stable across runs and machines.
+
+use std::fmt::Write as _;
+
+use holmes::{run_resilient, FaultPreset, ResilienceReport};
+use holmes_topology::{presets, Topology};
+
+/// Seed shared by every row: the snapshot is a regression artifact, not a
+/// statistical sample.
+pub const SEED: u64 = 42;
+
+/// One (environment × preset) cell of the family.
+#[derive(Debug, Clone)]
+pub struct ResilienceRow {
+    /// Environment label.
+    pub env: &'static str,
+    /// Scenario outcome.
+    pub report: ResilienceReport,
+}
+
+fn environments(quick: bool) -> Vec<(&'static str, Topology, u8)> {
+    let mut envs = vec![("hybrid_two_cluster_2", presets::hybrid_two_cluster(2), 1u8)];
+    if !quick {
+        envs.push(("hybrid_split_4_4", presets::hybrid_split(4, 4), 3));
+    }
+    envs
+}
+
+/// Run the whole family. `quick` restricts to the small two-cluster
+/// environment (the CI profile); the full profile adds the paper's
+/// Figure 6 hybrid-split fleet.
+pub fn run_family(quick: bool) -> Vec<ResilienceRow> {
+    let mut rows = Vec::new();
+    for (env, topo, pg) in environments(quick) {
+        for preset in FaultPreset::ALL {
+            let report = run_resilient(&topo, pg, preset, SEED)
+                .unwrap_or_else(|e| panic!("resilience {env}/{}: {e}", preset.name()));
+            rows.push(ResilienceRow { env, report });
+        }
+    }
+    rows
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialize the family to the `BENCH_resilience.json` snapshot format.
+pub fn to_json(rows: &[ResilienceRow], profile: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"profile\": \"{profile}\",");
+    let _ = writeln!(out, "  \"seed\": {SEED},");
+    out.push_str("  \"scenarios\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let r = &row.report;
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"env\": \"{}\",", row.env);
+        let _ = writeln!(out, "      \"preset\": \"{}\",", r.preset.name());
+        let _ = writeln!(out, "      \"clean_seconds\": {:.6},", r.clean_seconds);
+        let _ = writeln!(out, "      \"faulted_seconds\": {:.6},", r.faulted_seconds);
+        let _ = writeln!(out, "      \"slowdown\": {:.4},", r.slowdown());
+        let _ = writeln!(out, "      \"fault_windows\": {},", r.fault_windows.len());
+        let _ = writeln!(out, "      \"flow_retries\": {},", r.flow_retries);
+        let _ = writeln!(
+            out,
+            "      \"tcp_fallback_flows\": {},",
+            r.tcp_fallback_flows
+        );
+        let _ = writeln!(
+            out,
+            "      \"lost_nics\": {},",
+            r.degraded_conditions
+                .iter()
+                .filter(|c| matches!(c, holmes::engine::DegradedCondition::LostNic { .. }))
+                .count()
+        );
+        match &r.replan {
+            Some(replan) => {
+                let _ = writeln!(
+                    out,
+                    "      \"replan\": {{\"downgraded_groups\": {:?}, \
+                     \"rdma_groups\": {}, \"ethernet_groups\": {}, \"dp_sync_slowdown\": {:.4}}},",
+                    replan.downgraded_groups,
+                    replan.report.rdma_groups,
+                    replan.report.ethernet_groups,
+                    replan.slowdown(),
+                );
+            }
+            None => {
+                let _ = writeln!(out, "      \"replan\": null,");
+            }
+        }
+        out.push_str("      \"event_log\": [");
+        for (j, line) in r.event_log.iter().enumerate() {
+            let c = if j + 1 == r.event_log.len() { "" } else { ", " };
+            let _ = write!(out, "\"{}\"{c}", json_escape(line));
+        }
+        out.push_str("]\n");
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_family_covers_every_preset_and_is_deterministic() {
+        let rows = run_family(true);
+        assert_eq!(rows.len(), FaultPreset::ALL.len());
+        let again = run_family(true);
+        for (a, b) in rows.iter().zip(&again) {
+            assert_eq!(a.report.log_text(), b.report.log_text());
+        }
+        let json = to_json(&rows, "quick");
+        assert!(json.contains("\"preset\": \"dying_nic\""));
+        assert!(json.contains("\"replan\": {"));
+        assert!(json.ends_with("}\n"));
+    }
+}

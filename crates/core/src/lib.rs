@@ -46,6 +46,7 @@ mod framework;
 mod planner;
 pub mod reliability;
 mod report;
+pub mod resilience;
 mod runner;
 pub mod training;
 
@@ -55,8 +56,9 @@ pub use estimate::{estimate_iteration, IterationEstimate};
 pub use framework::FrameworkKind;
 pub use holmes_parallel::EvalMode;
 pub use planner::{plan_for, PlanError, PlanRequest};
-pub use reliability::{CheckpointPlan, ReliabilityModel};
+pub use reliability::{CheckpointPlan, GoodputTrace, ReliabilityModel};
 pub use report::TableBuilder;
+pub use resilience::{run_resilient, FaultPreset, ResilienceReport};
 pub use runner::{run_framework, run_holmes_with, run_scenario, RunError, RunResult, Scenario};
 pub use training::{simulate_training_run, TrainingRunConfig, TrainingRunReport};
 

@@ -118,6 +118,96 @@ impl CheckpointPlan {
     }
 }
 
+/// Result of [`ReliabilityModel::simulated_goodput`]: one seeded replay of
+/// the checkpoint/restart state machine over a training horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoodputTrace {
+    /// Fraction of the horizon spent on surviving (non-recomputed,
+    /// non-checkpoint, non-restart) training work.
+    pub goodput: f64,
+    /// Failures drawn within the horizon.
+    pub failures: u64,
+    /// Checkpoints completed within the horizon.
+    pub checkpoints: u64,
+    /// Useful training seconds that survived.
+    pub useful_seconds: f64,
+    /// Simulated horizon, seconds.
+    pub horizon_seconds: f64,
+}
+
+impl ReliabilityModel {
+    /// Trace-driven goodput: replay the checkpoint/restart state machine
+    /// against seeded exponential failure times and *measure* the
+    /// surviving work fraction, instead of expanding it analytically.
+    ///
+    /// The job alternates `interval_seconds` of work with
+    /// `checkpoint_seconds` of checkpointing (the [`plan`] the analytic
+    /// model prescribes). Failures arrive as a Poisson process at the
+    /// job-level rate; a failure throws away everything since the last
+    /// *completed* checkpoint, pays `restart_overhead_seconds`, and
+    /// resumes. Deterministic in `(seed, topo, cfg, horizon)` — the same
+    /// seed replays the same failure times, making this the analytic
+    /// cross-check for the fault-injection stack (see
+    /// `tests/resilience.rs`): [`plan`]'s first-order `goodput` must
+    /// agree with the measured trace within a few percent when the
+    /// horizon covers many MTBFs.
+    ///
+    /// [`plan`]: ReliabilityModel::plan
+    pub fn simulated_goodput(
+        &self,
+        topo: &Topology,
+        cfg: &GptConfig,
+        seed: u64,
+        horizon_seconds: f64,
+    ) -> GoodputTrace {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        assert!(horizon_seconds > 0.0, "horizon must be positive");
+        let plan = self.plan(topo, cfg);
+        let mtbf = plan.job_mtbf_seconds;
+        let tau = plan.interval_seconds;
+        let delta = plan.checkpoint_seconds;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut exp = |mean: f64| {
+            let u: f64 = rng.random();
+            -mean * (1.0 - u).ln()
+        };
+        let mut t = 0.0f64;
+        let mut next_failure = exp(mtbf);
+        let mut useful = 0.0f64;
+        let mut failures = 0u64;
+        let mut checkpoints = 0u64;
+        while t < horizon_seconds {
+            let segment_end = t + tau + delta;
+            if next_failure < segment_end.min(horizon_seconds) {
+                // Crash mid-segment: work since the last completed
+                // checkpoint is recomputed, so none of it counts.
+                failures += 1;
+                t = next_failure + self.restart_overhead_seconds;
+                next_failure = t + exp(mtbf);
+                continue;
+            }
+            if segment_end > horizon_seconds {
+                // Horizon lands mid-segment: count work done so far this
+                // segment (it is never invalidated within the horizon).
+                useful += (horizon_seconds - t).min(tau).max(0.0);
+                break;
+            }
+            // Segment completes: τ of work survives the checkpoint.
+            useful += tau;
+            checkpoints += 1;
+            t = segment_end;
+        }
+        GoodputTrace {
+            goodput: (useful / horizon_seconds).clamp(0.0, 1.0),
+            failures,
+            checkpoints,
+            useful_seconds: useful.max(0.0),
+            horizon_seconds,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +280,58 @@ mod tests {
         let plan = flaky.plan(&topo, &ParameterGroup::table2(7).config);
         assert!(plan.goodput < 0.9, "{}", plan.goodput);
         assert!(plan.goodput > 0.0);
+    }
+
+    #[test]
+    fn simulated_goodput_is_deterministic_in_the_seed() {
+        let model = ReliabilityModel::default();
+        let topo = presets::hybrid_split(4, 4);
+        let cfg = ParameterGroup::table2(3).config;
+        let horizon = 50.0 * model.job_mtbf_seconds(&topo);
+        let a = model.simulated_goodput(&topo, &cfg, 7, horizon);
+        let b = model.simulated_goodput(&topo, &cfg, 7, horizon);
+        assert_eq!(a, b);
+        let c = model.simulated_goodput(&topo, &cfg, 8, horizon);
+        assert_ne!(a.failures, 0);
+        assert!(a.failures != c.failures || a.goodput != c.goodput);
+    }
+
+    #[test]
+    fn simulated_goodput_tracks_the_analytic_plan() {
+        let model = ReliabilityModel::default();
+        let topo = presets::hybrid_split(4, 4);
+        let cfg = ParameterGroup::table2(3).config;
+        let plan = model.plan(&topo, &cfg);
+        // Long horizon: Poisson sampling noise in the measured goodput
+        // shrinks as 1/√failures; 200 MTBFs keeps it within ±0.02.
+        let horizon = 200.0 * plan.job_mtbf_seconds;
+        let trace = model.simulated_goodput(&topo, &cfg, 42, horizon);
+        assert!(trace.failures > 100, "{}", trace.failures);
+        assert!(trace.checkpoints > trace.failures);
+        assert!(
+            (trace.goodput - plan.goodput).abs() < 0.02,
+            "simulated {} vs analytic {}",
+            trace.goodput,
+            plan.goodput
+        );
+    }
+
+    #[test]
+    fn simulated_goodput_with_reliable_nodes_approaches_checkpoint_bound() {
+        // Near-infinite MTBF: no failures land in the horizon, so the
+        // only overhead is the checkpoint duty cycle δ/(τ+δ).
+        let model = ReliabilityModel {
+            node_mtbf_hours: 1e12,
+            ..ReliabilityModel::default()
+        };
+        let topo = presets::hybrid_split(4, 4);
+        let cfg = ParameterGroup::table2(3).config;
+        let plan = model.plan(&topo, &cfg);
+        let horizon = 10_000.0 * (plan.interval_seconds + plan.checkpoint_seconds);
+        let trace = model.simulated_goodput(&topo, &cfg, 3, horizon);
+        assert_eq!(trace.failures, 0);
+        let duty = plan.interval_seconds / (plan.interval_seconds + plan.checkpoint_seconds);
+        assert!((trace.goodput - duty).abs() < 1e-3, "{}", trace.goodput);
     }
 
     #[test]

@@ -1,0 +1,335 @@
+//! Resilience experiment family: run a full planned iteration under a
+//! deterministic fault preset and report how the stack degrades and
+//! recovers.
+//!
+//! Each preset compares two executions of the *same* plan on the *same*
+//! fabric: a clean baseline and a faulted run. The faulted run exercises
+//! the whole recovery path — netsim link-health transitions, the engine's
+//! timeout/retry/backoff machinery, TCP fallback on NIC loss, and (when a
+//! NIC is actually lost) the parallel layer's
+//! [`replan_on_nic_loss`](holmes_parallel::NicSelectionReport::replan_on_nic_loss)
+//! downgrade pass. Everything is deterministic in `(topology, parameter
+//! group, preset, seed)`: the same seed reproduces the same fault times
+//! and therefore a byte-identical [`ResilienceReport::event_log`].
+
+use holmes_engine::{
+    simulate_iteration_with_faults, DegradedCondition, DpSyncStrategy, FaultPlan, FaultWindow,
+    TrainingMetrics,
+};
+use holmes_model::CommVolumes;
+use holmes_netsim::{LinkHealth, SimDuration, SimTime};
+use holmes_parallel::ReplanOutcome;
+use holmes_topology::Topology;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::config::HolmesConfig;
+use crate::planner::{plan_for, PlanRequest};
+use crate::runner::RunError;
+
+/// A named fault scenario, placed relative to the clean iteration length
+/// so the fault always lands mid-iteration regardless of workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPreset {
+    /// No faults: the baseline the other presets are measured against.
+    Clean,
+    /// The inter-cluster trunk repeatedly degrades to a small fraction
+    /// of nominal capacity and recovers (a flapping long-haul link).
+    /// The run completes without retries — the timeline just stretches.
+    FlakyTrunk,
+    /// Node 0 loses its RDMA NIC mid-iteration and never gets it back:
+    /// parked flows time out, fall back to TCP over Ethernet, and the
+    /// DP groups touching the node are downgraded by the re-planning
+    /// pass (paper §3.2 fallback, applied at runtime).
+    DyingNic,
+}
+
+impl FaultPreset {
+    /// All presets, in the order the bench reports them.
+    pub const ALL: [FaultPreset; 3] = [
+        FaultPreset::Clean,
+        FaultPreset::FlakyTrunk,
+        FaultPreset::DyingNic,
+    ];
+
+    /// Stable name used in logs and BENCH JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPreset::Clean => "clean",
+            FaultPreset::FlakyTrunk => "flaky_trunk",
+            FaultPreset::DyingNic => "dying_nic",
+        }
+    }
+
+    /// Trunk faults need a trunk link to act on; both the clean and the
+    /// faulted run of a preset share the fabric shape.
+    fn needs_trunk(self) -> bool {
+        matches!(self, FaultPreset::FlakyTrunk)
+    }
+
+    /// Build the fault plan, with fault times seeded and placed relative
+    /// to the measured clean iteration length.
+    fn build_plan(self, seed: u64, clean_seconds: f64, trunk: Option<f64>) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        plan.trunk_bytes_per_sec = trunk;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut uniform = |lo: f64, hi: f64| {
+            let u: f64 = rng.random();
+            lo + (hi - lo) * u
+        };
+        let at = |secs: f64| SimTime::ZERO + SimDuration::from_secs_f64(secs);
+        match self {
+            FaultPreset::Clean => {}
+            FaultPreset::FlakyTrunk => {
+                // Three flaps to 10% capacity, each covering ~15% of the
+                // clean iteration, jittered by the seed.
+                for flap in 0..3u32 {
+                    let base = (0.1 + 0.3 * f64::from(flap)) * clean_seconds;
+                    let start = base + uniform(0.0, 0.05) * clean_seconds;
+                    let len = uniform(0.10, 0.15) * clean_seconds;
+                    plan.degrade_trunk(at(start), at(start + len), 0.1);
+                }
+            }
+            FaultPreset::DyingNic => {
+                let start = uniform(0.1, 0.4) * clean_seconds;
+                plan.kill_nic(at(start), 0);
+            }
+        }
+        plan
+    }
+}
+
+/// Outcome of one resilience scenario: a clean baseline, a faulted run,
+/// and everything the stack did to survive it.
+#[derive(Debug, Clone)]
+pub struct ResilienceReport {
+    /// The preset that was run.
+    pub preset: FaultPreset,
+    /// Seed that placed the fault times.
+    pub seed: u64,
+    /// Clean-iteration wall-clock (same plan, same fabric, no faults).
+    pub clean_seconds: f64,
+    /// Faulted-iteration wall-clock.
+    pub faulted_seconds: f64,
+    /// Metrics of the faulted run.
+    pub metrics: TrainingMetrics,
+    /// Link-level unhealthy windows observed by the executor.
+    pub fault_windows: Vec<FaultWindow>,
+    /// Conditions the executor reacted to (lost NICs, degraded links,
+    /// stragglers).
+    pub degraded_conditions: Vec<DegradedCondition>,
+    /// Flow timeout firings across the faulted run.
+    pub flow_retries: u64,
+    /// Flows rerouted over TCP after a NIC loss.
+    pub tcp_fallback_flows: u64,
+    /// The parallel layer's downgrade pass, when a NIC was actually
+    /// declared lost mid-run.
+    pub replan: Option<ReplanOutcome>,
+    /// Deterministic, line-oriented record of the run — byte-identical
+    /// across runs with the same inputs and seed.
+    pub event_log: Vec<String>,
+}
+
+impl ResilienceReport {
+    /// Wall-clock stretch of the faulted run over the clean baseline.
+    pub fn slowdown(&self) -> f64 {
+        if self.clean_seconds > 0.0 {
+            self.faulted_seconds / self.clean_seconds
+        } else {
+            1.0
+        }
+    }
+
+    /// The event log as one newline-joined string (for byte comparison).
+    pub fn log_text(&self) -> String {
+        let mut s = self.event_log.join("\n");
+        s.push('\n');
+        s
+    }
+}
+
+/// Run one fault preset for a Table 2 parameter group on a topology.
+///
+/// The plan is the full Holmes plan ([`HolmesConfig::full`]); the clean
+/// baseline and the faulted run share it, along with the fabric shape
+/// (including the trunk, for presets that fault it). Fault onsets are
+/// placed relative to the measured clean iteration so they always land
+/// mid-iteration.
+pub fn run_resilient(
+    topo: &Topology,
+    parameter_group: u8,
+    preset: FaultPreset,
+    seed: u64,
+) -> Result<ResilienceReport, RunError> {
+    let cfg = HolmesConfig::full();
+    let request = PlanRequest::parameter_group(parameter_group);
+    let (plan, engine_cfg) = plan_for(topo, &request, &cfg, DpSyncStrategy::DistributedOptimizer)
+        .map_err(RunError::Plan)?;
+
+    let trunk = preset
+        .needs_trunk()
+        .then(|| topo.inter_cluster_profile().effective_bytes_per_sec());
+    let mut clean_plan = FaultPlan::none();
+    clean_plan.trunk_bytes_per_sec = trunk;
+    let (clean_report, _) =
+        simulate_iteration_with_faults(topo, &plan, &request.job, &engine_cfg, &clean_plan)
+            .map_err(RunError::Engine)?;
+
+    let fault_plan = preset.build_plan(seed, clean_report.total_seconds, trunk);
+    let (report, metrics) =
+        simulate_iteration_with_faults(topo, &plan, &request.job, &engine_cfg, &fault_plan)
+            .map_err(RunError::Engine)?;
+
+    // NIC actually lost mid-run → run the parallel layer's downgrade
+    // pass, pricing the next iteration's DP sync on the shrunken fleet.
+    let mut lost_nodes: Vec<u32> = report
+        .degraded_conditions
+        .iter()
+        .filter_map(|c| match c {
+            DegradedCondition::LostNic { node, .. } => Some(*node),
+            _ => None,
+        })
+        .collect();
+    lost_nodes.sort_unstable();
+    lost_nodes.dedup();
+    let replan = (!lost_nodes.is_empty()).then(|| {
+        let degrees = plan.degrees();
+        let stage_params =
+            request.job.config.parameter_count() / u64::from(degrees.pipeline.max(1));
+        let grad_bytes = CommVolumes::dp_gradient_bytes(stage_params, degrees.tensor);
+        plan.nic_report(topo)
+            .replan_on_nic_loss(topo, &lost_nodes, grad_bytes)
+    });
+
+    let mut log = Vec::new();
+    log.push(format!(
+        "preset={} seed={} pg={}",
+        preset.name(),
+        seed,
+        parameter_group
+    ));
+    log.push(format!(
+        "clean_seconds={:?} faulted_seconds={:?}",
+        clean_report.total_seconds, report.total_seconds
+    ));
+    for w in &report.fault_windows {
+        log.push(format!(
+            "window link={} health={} start={:?} end={:?}",
+            w.link.0,
+            health_label(w.health),
+            w.start_seconds,
+            w.end_seconds
+        ));
+    }
+    for c in &report.degraded_conditions {
+        log.push(match c {
+            DegradedCondition::DegradedLink {
+                link,
+                fraction,
+                at_seconds,
+            } => format!(
+                "degraded link={} fraction={:?} at={:?}",
+                link.0, fraction, at_seconds
+            ),
+            DegradedCondition::LostNic { node, at_seconds } => {
+                format!("lost_nic node={node} at={at_seconds:?}")
+            }
+            DegradedCondition::Straggler { rank, slowdown } => {
+                format!("straggler rank={} slowdown={:?}", rank.0, slowdown)
+            }
+        });
+    }
+    log.push(format!(
+        "retries={} tcp_fallback={}",
+        report.flow_retries, report.tcp_fallback_flows
+    ));
+    if let Some(r) = &replan {
+        log.push(format!(
+            "replan downgraded={:?} rdma_groups={} ethernet_groups={} slowdown={:?}",
+            r.downgraded_groups,
+            r.report.rdma_groups,
+            r.report.ethernet_groups,
+            r.slowdown()
+        ));
+    }
+
+    Ok(ResilienceReport {
+        preset,
+        seed,
+        clean_seconds: clean_report.total_seconds,
+        faulted_seconds: report.total_seconds,
+        metrics,
+        fault_windows: report.fault_windows,
+        degraded_conditions: report.degraded_conditions,
+        flow_retries: report.flow_retries,
+        tcp_fallback_flows: report.tcp_fallback_flows,
+        replan,
+        event_log: log,
+    })
+}
+
+fn health_label(h: LinkHealth) -> String {
+    match h {
+        LinkHealth::Healthy => "healthy".to_string(),
+        LinkHealth::Degraded { fraction } => format!("degraded({fraction:?})"),
+        LinkHealth::Down => "down".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holmes_topology::presets;
+
+    #[test]
+    fn clean_preset_has_no_fault_activity() {
+        let topo = presets::hybrid_two_cluster(2);
+        let r = run_resilient(&topo, 1, FaultPreset::Clean, 11).unwrap();
+        assert!(r.fault_windows.is_empty());
+        assert!(r.degraded_conditions.is_empty());
+        assert_eq!(r.flow_retries, 0);
+        assert_eq!(r.tcp_fallback_flows, 0);
+        assert!(r.replan.is_none());
+        assert!((r.slowdown() - 1.0).abs() < 1e-12, "{}", r.slowdown());
+    }
+
+    #[test]
+    fn flaky_trunk_stretches_the_run_without_retries() {
+        let topo = presets::hybrid_two_cluster(2);
+        let r = run_resilient(&topo, 1, FaultPreset::FlakyTrunk, 11).unwrap();
+        assert!(r.slowdown() > 1.0, "{}", r.slowdown());
+        assert!(!r.fault_windows.is_empty());
+        // Degraded (not dead) links never trigger retries or fallback.
+        assert_eq!(r.tcp_fallback_flows, 0);
+        assert!(r.replan.is_none());
+    }
+
+    #[test]
+    fn dying_nic_completes_via_tcp_fallback_and_replans() {
+        let topo = presets::hybrid_two_cluster(2);
+        let r = run_resilient(&topo, 1, FaultPreset::DyingNic, 7).unwrap();
+        // The run completed (no ExecError) despite the permanent NIC
+        // loss, slower than clean, with the loss detected and traffic
+        // moved to TCP.
+        assert!(r.slowdown() > 1.0, "{}", r.slowdown());
+        assert!(r.flow_retries >= 1, "{}", r.flow_retries);
+        assert!(r.tcp_fallback_flows >= 1, "{}", r.tcp_fallback_flows);
+        assert!(r
+            .degraded_conditions
+            .iter()
+            .any(|c| matches!(c, DegradedCondition::LostNic { node: 0, .. })));
+        let replan = r.replan.as_ref().expect("NIC loss triggers a replan");
+        assert!(!replan.downgraded_groups.is_empty());
+        assert!(replan.slowdown() >= 1.0);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_event_log_byte_for_byte() {
+        let topo = presets::hybrid_two_cluster(2);
+        let a = run_resilient(&topo, 1, FaultPreset::FlakyTrunk, 99).unwrap();
+        let b = run_resilient(&topo, 1, FaultPreset::FlakyTrunk, 99).unwrap();
+        assert_eq!(a.log_text(), b.log_text());
+        let c = run_resilient(&topo, 1, FaultPreset::FlakyTrunk, 100).unwrap();
+        assert_ne!(a.log_text(), c.log_text());
+    }
+}

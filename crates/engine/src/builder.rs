@@ -673,6 +673,24 @@ pub fn simulate_iteration(
     Ok((report, metrics))
 }
 
+/// Build and execute one iteration under a deterministic
+/// [`crate::fault::FaultPlan`] (see
+/// [`crate::executor::execute_with_faults`]). An empty plan behaves
+/// exactly like [`simulate_iteration`].
+pub fn simulate_iteration_with_faults(
+    topo: &Topology,
+    plan: &ParallelPlan,
+    job: &TrainJob,
+    cfg: &EngineConfig,
+    faults: &crate::fault::FaultPlan,
+) -> Result<(IterationReport, TrainingMetrics), BuildError> {
+    let spec = build_iteration(topo, plan, job, cfg)?;
+    let report =
+        crate::executor::execute_with_faults(topo, spec, faults).map_err(BuildError::Exec)?;
+    let metrics = TrainingMetrics::from_report(job, plan.degrees().devices(), &report);
+    Ok((report, metrics))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,12 +8,13 @@
 //! contention fidelity from the simulator while the *algorithm* stays
 //! single-sourced with the analytic layers.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use holmes_netsim::algo::CollSchedule;
-use holmes_netsim::{Completion, Fabric, FlowSpec, NetSim, SimDuration};
+use holmes_netsim::{Completion, Fabric, FlowId, FlowSpec, LinkId, NetSim, SimDuration};
 use holmes_topology::{Rank, Topology};
 
+use crate::fault::{DegradedCondition, FaultPlan, FaultTarget, FaultWindow, RetryPolicy};
 use crate::ops::{ComputeLabel, MsgKey, Op};
 use crate::timeline::{Span, SpanKind, Timeline};
 
@@ -72,7 +73,25 @@ pub struct ExecutionSpec {
 }
 
 /// Execution failure.
+///
+/// Marked `#[non_exhaustive]`: the fault taxonomy grows, so downstream
+/// matches must carry a wildcard arm and keep compiling when new
+/// variants appear:
+///
+/// ```
+/// use holmes_engine::ExecError;
+///
+/// fn describe(e: &ExecError) -> &'static str {
+///     match e {
+///         ExecError::Deadlock { .. } => "program structure bug",
+///         ExecError::Degraded { .. } => "unrecovered fault",
+///         ExecError::Unrecoverable { .. } => "retry budget exhausted",
+///         _ => "other failure",
+///     }
+/// }
+/// ```
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ExecError {
     /// The simulation drained with devices still blocked — a deadlock in
     /// the op programs (e.g. a recv whose send never posts).
@@ -89,6 +108,42 @@ pub enum ExecError {
         /// Expected member count.
         expected: u32,
     },
+    /// Execution stalled with traffic parked on faulted links and no
+    /// recovery path: the fault plan left links dead forever and either
+    /// retries were disabled or no TCP fallback existed. Distinct from
+    /// [`ExecError::Deadlock`], which is a *program* bug: here the op
+    /// programs are sound and only the network died under them.
+    ///
+    /// ```
+    /// # use holmes_engine::ExecError;
+    /// let e = ExecError::Degraded { conditions: vec![], parked_flows: 3 };
+    /// assert!(e.to_string().contains("3 flows parked"));
+    /// ```
+    Degraded {
+        /// Degradations the executor observed before stalling.
+        conditions: Vec<crate::fault::DegradedCondition>,
+        /// Flows left parked on dead links when the event queue drained.
+        parked_flows: u64,
+    },
+    /// A transfer exhausted its bounded retry budget
+    /// ([`crate::fault::RetryPolicy::max_retries`]) without completing —
+    /// every relaunch parked again on a dead link with no fallback left
+    /// to try.
+    ///
+    /// ```
+    /// # use holmes_engine::ExecError;
+    /// # use holmes_topology::Rank;
+    /// let e = ExecError::Unrecoverable { from: Rank(0), to: Rank(8), attempts: 5 };
+    /// assert!(e.to_string().contains("abandoned"));
+    /// ```
+    Unrecoverable {
+        /// Sending device of the abandoned transfer.
+        from: Rank,
+        /// Receiving device of the abandoned transfer.
+        to: Rank,
+        /// Total attempts made (first launch + retries).
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -104,6 +159,19 @@ impl std::fmt::Display for ExecError {
             } => write!(
                 f,
                 "collective {id} incomplete: {arrived}/{expected} members arrived"
+            ),
+            ExecError::Degraded {
+                conditions,
+                parked_flows,
+            } => write!(
+                f,
+                "execution degraded beyond recovery: {parked_flows} flows parked \
+                 on dead links ({} conditions observed)",
+                conditions.len()
+            ),
+            ExecError::Unrecoverable { from, to, attempts } => write!(
+                f,
+                "transfer {from} -> {to} abandoned after {attempts} attempts"
             ),
         }
     }
@@ -154,6 +222,16 @@ pub struct IterationReport {
     pub timeline: Timeline,
     /// Per-node uplink traffic and utilization, in global node order.
     pub node_link_usage: Vec<NodeLinkUsage>,
+    /// Link degradation windows observed during the iteration (empty on
+    /// fault-free runs).
+    pub fault_windows: Vec<FaultWindow>,
+    /// Degradations the executor reacted to, in detection order.
+    pub degraded_conditions: Vec<DegradedCondition>,
+    /// Timed-out transfers that were cancelled and relaunched.
+    pub flow_retries: u64,
+    /// Flows routed over TCP/Ethernet because an endpoint lost its RDMA
+    /// NIC mid-iteration.
+    pub tcp_fallback_flows: u64,
 }
 
 impl IterationReport {
@@ -240,6 +318,32 @@ enum Token {
     ComputeDone { dev: usize },
     MsgArrived { msg: usize },
     CollFlow { coll: usize, channel: u32 },
+    FlowTimeout { attempt: usize },
+}
+
+/// Which side of a node's connectivity a fabric link implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinkClass {
+    Rdma,
+    Eth,
+}
+
+/// Retry bookkeeping for one tracked transfer (only allocated when a
+/// fault plan arms timeouts).
+#[derive(Debug)]
+struct AttemptState {
+    from: Rank,
+    to: Rank,
+    bytes: u64,
+    /// The semantic token (`MsgArrived` / `CollFlow`) dispatched when
+    /// any attempt of this transfer completes.
+    semantic: u64,
+    flow: FlowId,
+    path: Vec<LinkId>,
+    retries_left: u32,
+    timeout_seconds: f64,
+    forced_tcp: bool,
+    done: bool,
 }
 
 struct Executor<'t> {
@@ -257,6 +361,23 @@ struct Executor<'t> {
     msg_waiter: Vec<Option<usize>>,
     dev_of_rank: HashMap<Rank, usize>,
     timeline: Timeline,
+    /// Armed only when the fault plan carries link faults, so the
+    /// fault-free path stays byte-identical.
+    retry: Option<RetryPolicy>,
+    attempts: Vec<AttemptState>,
+    attempt_of_flow: HashMap<FlowId, usize>,
+    /// Nodes whose RDMA NIC was declared lost: their traffic routes TCP.
+    lost_rdma: HashSet<usize>,
+    /// Compute-time multiplier per straggling rank.
+    straggler_of_rank: HashMap<Rank, f64>,
+    /// Fabric link → owning node and class, for NIC-loss attribution.
+    link_owner: HashMap<LinkId, (usize, LinkClass)>,
+    /// Currently open non-healthy windows: link → (start, health).
+    open_faults: HashMap<LinkId, (f64, holmes_netsim::LinkHealth)>,
+    fault_windows: Vec<FaultWindow>,
+    conditions: Vec<DegradedCondition>,
+    flow_retries: u64,
+    tcp_fallback_flows: u64,
 }
 
 /// Execute a spec on a topology. See [`IterationReport`].
@@ -265,6 +386,32 @@ struct Executor<'t> {
 /// ([`crate::validate::validate_spec`]); a structurally broken spec
 /// panics with the defect list instead of deadlocking mid-simulation.
 pub fn execute(topo: &Topology, spec: ExecutionSpec) -> Result<IterationReport, ExecError> {
+    execute_inner(topo, spec, None)
+}
+
+/// Execute a spec under a deterministic [`FaultPlan`].
+///
+/// Link faults are translated onto fabric links and injected as
+/// first-class simulator events; every inter-node flow is armed with a
+/// timeout per [`crate::fault::RetryPolicy`], and parked flows are
+/// retried with exponential backoff — falling back to TCP when a down
+/// RDMA link is to blame. The report's
+/// [`IterationReport::fault_windows`] and
+/// [`IterationReport::degraded_conditions`] record what happened; an
+/// empty plan behaves exactly like [`execute`].
+pub fn execute_with_faults(
+    topo: &Topology,
+    spec: ExecutionSpec,
+    plan: &FaultPlan,
+) -> Result<IterationReport, ExecError> {
+    execute_inner(topo, spec, Some(plan))
+}
+
+fn execute_inner(
+    topo: &Topology,
+    spec: ExecutionSpec,
+    plan: Option<&FaultPlan>,
+) -> Result<IterationReport, ExecError> {
     #[cfg(debug_assertions)]
     {
         let defects = crate::validate::validate_spec(&spec);
@@ -283,7 +430,17 @@ pub fn execute(topo: &Topology, spec: ExecutionSpec) -> Result<IterationReport, 
         assert!(hard.is_empty(), "structurally invalid spec: {hard:?}");
     }
     let mut sim = NetSim::new();
-    let fabric = Fabric::build(topo, &mut sim);
+    let fabric = match plan.and_then(|p| p.trunk_bytes_per_sec) {
+        Some(bw) => Fabric::build_with_trunk(topo, &mut sim, bw),
+        None => Fabric::build(topo, &mut sim),
+    };
+    if let Some(plan) = plan {
+        for f in &plan.link_faults {
+            for link in resolve_fault_target(&fabric, f.target) {
+                sim.schedule_fault_at(f.at, link, f.health);
+            }
+        }
+    }
     let n = spec.programs.len();
     let mut devs = Vec::with_capacity(n);
     let mut programs = Vec::with_capacity(n);
@@ -341,6 +498,28 @@ pub fn execute(topo: &Topology, spec: ExecutionSpec) -> Result<IterationReport, 
         })
         .collect();
 
+    let retry = plan.and_then(|p| (!p.link_faults.is_empty()).then_some(p.retry));
+    let mut link_owner = HashMap::new();
+    let mut straggler_of_rank = HashMap::new();
+    let mut conditions = Vec::new();
+    if plan.is_some() {
+        for node in 0..fabric.node_count() {
+            let (rdma_up, rdma_down, eth_up, eth_down) = fabric.node_link_ids(node);
+            link_owner.insert(rdma_up, (node, LinkClass::Rdma));
+            link_owner.insert(rdma_down, (node, LinkClass::Rdma));
+            link_owner.insert(eth_up, (node, LinkClass::Eth));
+            link_owner.insert(eth_down, (node, LinkClass::Eth));
+        }
+    }
+    if let Some(plan) = plan {
+        for s in &plan.stragglers {
+            straggler_of_rank.insert(s.rank, s.slowdown);
+            conditions.push(DegradedCondition::Straggler {
+                rank: s.rank,
+                slowdown: s.slowdown,
+            });
+        }
+    }
     let mut exec = Executor {
         topo,
         sim,
@@ -355,8 +534,39 @@ pub fn execute(topo: &Topology, spec: ExecutionSpec) -> Result<IterationReport, 
         msg_waiter: Vec::new(),
         dev_of_rank,
         timeline: Timeline::default(),
+        retry,
+        attempts: Vec::new(),
+        attempt_of_flow: HashMap::new(),
+        lost_rdma: HashSet::new(),
+        straggler_of_rank,
+        link_owner,
+        open_faults: HashMap::new(),
+        fault_windows: Vec::new(),
+        conditions,
+        flow_retries: 0,
+        tcp_fallback_flows: 0,
     };
     exec.run()
+}
+
+/// Expand a topology-level fault target into the fabric links it covers.
+fn resolve_fault_target(fabric: &Fabric, target: FaultTarget) -> Vec<LinkId> {
+    match target {
+        FaultTarget::NodeRdma(node) => {
+            let (up, down, _, _) = fabric.node_link_ids(node as usize);
+            vec![up, down]
+        }
+        FaultTarget::NodeEth(node) => {
+            let (_, _, up, down) = fabric.node_link_ids(node as usize);
+            vec![up, down]
+        }
+        FaultTarget::Trunk => {
+            let trunk = fabric
+                .trunk()
+                .expect("FaultTarget::Trunk on a topology without an inter-cluster trunk");
+            vec![trunk]
+        }
+    }
 }
 
 impl<'t> Executor<'t> {
@@ -365,30 +575,163 @@ impl<'t> Executor<'t> {
             self.advance(dev);
         }
         while let Some(completion) = self.sim.next() {
-            let token = match completion {
-                Completion::Flow { token, .. } | Completion::Timer { token } => token,
-            };
-            match self.tokens[token as usize] {
-                Token::ComputeDone { dev } => {
+            match completion {
+                Completion::Flow { id, token } => {
+                    if self.retry.is_some() {
+                        if let Some(&a) = self.attempt_of_flow.get(&id) {
+                            self.attempts[a].done = true;
+                        }
+                    }
+                    self.dispatch(token)?;
+                }
+                Completion::Timer { token } => self.dispatch(token)?,
+                Completion::Fault { link, health } => self.on_fault(link, health),
+            }
+        }
+        if self.sim.stalled() {
+            // Traffic is parked on dead links and nothing left in the
+            // queue can revive it: the faults won, not the programs.
+            return Err(ExecError::Degraded {
+                conditions: self.conditions.clone(),
+                parked_flows: self.sim.parked_flow_tokens().len() as u64,
+            });
+        }
+        self.finish_report()
+    }
+
+    fn dispatch(&mut self, token: u64) -> Result<(), ExecError> {
+        match self.tokens[token as usize] {
+            Token::ComputeDone { dev } => {
+                self.devs[dev].pc += 1;
+                self.devs[dev].status = DevStatus::Runnable;
+                self.advance(dev);
+            }
+            Token::MsgArrived { msg } => {
+                self.msg_arrived[msg] = true;
+                if let Some(dev) = self.msg_waiter[msg].take() {
+                    self.end_wait_span(dev, SpanKind::RecvWait);
                     self.devs[dev].pc += 1;
                     self.devs[dev].status = DevStatus::Runnable;
                     self.advance(dev);
                 }
-                Token::MsgArrived { msg } => {
-                    self.msg_arrived[msg] = true;
-                    if let Some(dev) = self.msg_waiter[msg].take() {
-                        self.end_wait_span(dev, SpanKind::RecvWait);
-                        self.devs[dev].pc += 1;
-                        self.devs[dev].status = DevStatus::Runnable;
-                        self.advance(dev);
-                    }
+            }
+            Token::CollFlow { coll, channel } => {
+                self.coll_flow_done(coll, channel);
+            }
+            Token::FlowTimeout { attempt } => self.handle_timeout(attempt)?,
+        }
+        Ok(())
+    }
+
+    /// Record a link-health transition arriving from the simulator.
+    fn on_fault(&mut self, link: LinkId, health: holmes_netsim::LinkHealth) {
+        let now = self.sim.now().as_secs_f64();
+        if let Some((start, h)) = self.open_faults.remove(&link) {
+            self.fault_windows.push(FaultWindow {
+                link,
+                health: h,
+                start_seconds: start,
+                end_seconds: now,
+            });
+        }
+        if !health.is_healthy() {
+            self.open_faults.insert(link, (now, health));
+            if let holmes_netsim::LinkHealth::Degraded { fraction } = health {
+                self.conditions.push(DegradedCondition::DegradedLink {
+                    link,
+                    fraction,
+                    at_seconds: now,
+                });
+            }
+        }
+    }
+
+    /// React to an armed flow timeout: ignore if the transfer landed,
+    /// extend the deadline if it is merely slow, cancel + relaunch (with
+    /// TCP fallback on NIC death) if it is parked on a dead link.
+    fn handle_timeout(&mut self, a: usize) -> Result<(), ExecError> {
+        if self.attempts[a].done {
+            return Ok(());
+        }
+        let policy = self.retry.expect("timeout armed without a retry policy");
+        self.attempts[a].timeout_seconds *= policy.backoff_multiplier;
+        let parked = self
+            .sim
+            .parked_flow_tokens()
+            .contains(&self.attempts[a].semantic);
+        if !parked {
+            // Slow but moving (degraded or contended): surfacing happens
+            // via `on_fault`; here we only push the deadline out.
+            let next = self.attempts[a].timeout_seconds;
+            let t = self.token(Token::FlowTimeout { attempt: a });
+            self.sim.set_timer(SimDuration::from_secs_f64(next), t);
+            return Ok(());
+        }
+        if self.attempts[a].retries_left == 0 {
+            return Err(ExecError::Unrecoverable {
+                from: self.attempts[a].from,
+                to: self.attempts[a].to,
+                attempts: policy.max_retries + 1,
+            });
+        }
+        self.attempts[a].retries_left -= 1;
+        self.flow_retries += 1;
+        let old_flow = self.attempts[a].flow;
+        self.sim.cancel_flow(old_flow);
+        self.attempt_of_flow.remove(&old_flow);
+        // Attribute the park: a down RDMA link means the owning node's
+        // NIC is lost — declare it and fall back to TCP for this and all
+        // future traffic touching the node (paper §3.2 fallback).
+        let now = self.sim.now().as_secs_f64();
+        let mut fallback = self.attempts[a].forced_tcp;
+        if !fallback {
+            for i in 0..self.attempts[a].path.len() {
+                let link = self.attempts[a].path[i];
+                let down = self.sim.link_health(link).is_some_and(|h| h.is_down());
+                if !down {
+                    continue;
                 }
-                Token::CollFlow { coll, channel } => {
-                    self.coll_flow_done(coll, channel);
+                if let Some(&(node, LinkClass::Rdma)) = self.link_owner.get(&link) {
+                    if self.lost_rdma.insert(node) {
+                        self.conditions.push(DegradedCondition::LostNic {
+                            node: node as u32,
+                            at_seconds: now,
+                        });
+                    }
+                    fallback = true;
                 }
             }
         }
-        self.finish_report()
+        let (from, to, bytes, semantic) = (
+            self.attempts[a].from,
+            self.attempts[a].to,
+            self.attempts[a].bytes,
+            self.attempts[a].semantic,
+        );
+        let route = if fallback
+            || self.lost_rdma.contains(&self.fabric.node_of(from))
+            || self.lost_rdma.contains(&self.fabric.node_of(to))
+        {
+            self.tcp_fallback_flows += 1;
+            self.fabric.route_forced_tcp(self.topo, from, to)
+        } else {
+            self.fabric.route(self.topo, from, to)
+        };
+        let id = self.sim.start_flow(FlowSpec {
+            path: route.path.clone(),
+            bytes,
+            latency: route.latency,
+            rate_cap: route.rate_cap,
+            token: semantic,
+        });
+        self.attempts[a].flow = id;
+        self.attempts[a].path = route.path;
+        self.attempts[a].forced_tcp = fallback;
+        self.attempt_of_flow.insert(id, a);
+        let next = self.attempts[a].timeout_seconds;
+        let t = self.token(Token::FlowTimeout { attempt: a });
+        self.sim.set_timer(SimDuration::from_secs_f64(next), t);
+        Ok(())
     }
 
     fn token(&mut self, t: Token) -> u64 {
@@ -408,17 +751,51 @@ impl<'t> Executor<'t> {
     }
 
     fn route_flow(&mut self, from: Rank, to: Rank, bytes: u64, token: u64) {
+        let lost_endpoint = !self.lost_rdma.is_empty()
+            && (self.lost_rdma.contains(&self.fabric.node_of(from))
+                || self.lost_rdma.contains(&self.fabric.node_of(to)));
         let route = match self.transport {
+            TransportPolicy::Auto if lost_endpoint => {
+                self.tcp_fallback_flows += 1;
+                self.fabric.route_forced_tcp(self.topo, from, to)
+            }
             TransportPolicy::Auto => self.fabric.route(self.topo, from, to),
             TransportPolicy::ForceTcpInterNode => self.fabric.route_forced_tcp(self.topo, from, to),
         };
-        self.sim.start_flow(FlowSpec {
-            path: route.path,
+        let arm_timeout = self.retry.is_some() && !route.path.is_empty();
+        let id = self.sim.start_flow(FlowSpec {
+            path: route.path.clone(),
             bytes,
             latency: route.latency,
             rate_cap: route.rate_cap,
             token,
         });
+        if arm_timeout {
+            let policy = self.retry.expect("checked above");
+            let est = route.latency.as_secs_f64()
+                + if route.rate_cap.is_finite() && route.rate_cap > 0.0 {
+                    bytes as f64 / route.rate_cap
+                } else {
+                    0.0
+                };
+            let timeout = (est * policy.timeout_factor).max(policy.min_timeout_seconds);
+            let a = self.attempts.len();
+            self.attempts.push(AttemptState {
+                from,
+                to,
+                bytes,
+                semantic: token,
+                flow: id,
+                path: route.path,
+                retries_left: policy.max_retries,
+                timeout_seconds: timeout,
+                forced_tcp: lost_endpoint || self.transport == TransportPolicy::ForceTcpInterNode,
+                done: false,
+            });
+            self.attempt_of_flow.insert(id, a);
+            let t = self.token(Token::FlowTimeout { attempt: a });
+            self.sim.set_timer(SimDuration::from_secs_f64(timeout), t);
+        }
     }
 
     /// Execute ops for `dev` until it blocks or finishes.
@@ -433,6 +810,12 @@ impl<'t> Executor<'t> {
             let op = self.programs[dev][pc];
             match op {
                 Op::Compute { label, seconds } => {
+                    let seconds = seconds
+                        * self
+                            .straggler_of_rank
+                            .get(&self.devs[dev].rank)
+                            .copied()
+                            .unwrap_or(1.0);
                     let start = self.sim.now().as_secs_f64();
                     self.timeline.spans.push(Span {
                         device: self.devs[dev].rank,
@@ -623,7 +1006,29 @@ impl<'t> Executor<'t> {
             flows: self.sim.flows_completed(),
             timeline: std::mem::take(&mut self.timeline),
             node_link_usage: Vec::new(),
+            fault_windows: std::mem::take(&mut self.fault_windows),
+            degraded_conditions: std::mem::take(&mut self.conditions),
+            flow_retries: self.flow_retries,
+            tcp_fallback_flows: self.tcp_fallback_flows,
         };
+        // Close windows the schedule never restored at the iteration end
+        // (leftover retry timers can drain the simulator clock past the
+        // last device finish; that tail is not part of the iteration).
+        let end = self.sim.now().as_secs_f64().min(report.total_seconds);
+        for (link, (start, health)) in std::mem::take(&mut self.open_faults) {
+            report.fault_windows.push(FaultWindow {
+                link,
+                health,
+                start_seconds: start,
+                end_seconds: end.max(start),
+            });
+        }
+        report.fault_windows.sort_by(|a, b| {
+            a.start_seconds
+                .partial_cmp(&b.start_seconds)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.link.0.cmp(&b.link.0))
+        });
         let horizon = report.total_seconds;
         for node in 0..self.fabric.node_count() {
             let (rdma_up, rdma_down, eth_up, eth_down) = self.fabric.node_link_ids(node);
@@ -1097,6 +1502,231 @@ mod tests {
         // the node uplink saturates at 2 ports.
         let four = run(4);
         assert!(four > 0.4 * two, "4 channels {four} vs 2 channels {two}");
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_execute() {
+        let topo = topo2();
+        let devices: Vec<Rank> = (0..16).map(Rank).collect();
+        let build = || ExecutionSpec {
+            programs: devices
+                .iter()
+                .map(|&d| (d, vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }]))
+                .collect(),
+            collectives: vec![CollectiveSpec::new(
+                CollKind::AllReduce,
+                devices.clone(),
+                1 << 28,
+            )],
+            transport: TransportPolicy::Auto,
+        };
+        let clean = execute(&topo, build()).unwrap();
+        let faulted = execute_with_faults(&topo, build(), &FaultPlan::none()).unwrap();
+        assert_eq!(
+            clean.total_seconds.to_bits(),
+            faulted.total_seconds.to_bits()
+        );
+        assert_eq!(clean.events, faulted.events);
+        assert_eq!(clean.flows, faulted.flows);
+        assert!(faulted.fault_windows.is_empty());
+        assert!(faulted.degraded_conditions.is_empty());
+        assert_eq!(faulted.flow_retries, 0);
+    }
+
+    #[test]
+    fn trunk_degradation_stretches_the_run_and_reports_the_window() {
+        use holmes_netsim::SimTime;
+        let topo = presets::same_nic_two_clusters(NicType::InfiniBand, 2);
+        let devices: Vec<Rank> = (0..32).map(Rank).collect();
+        let build = || ExecutionSpec {
+            programs: devices
+                .iter()
+                .map(|&d| (d, vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }]))
+                .collect(),
+            collectives: vec![CollectiveSpec::new(
+                CollKind::HierarchicalAllReduce,
+                devices.clone(),
+                1 << 30,
+            )],
+            transport: TransportPolicy::Auto,
+        };
+        // Both runs share a 12.5 GB/s trunk; only one degrades it.
+        let mut base = FaultPlan::none();
+        base.trunk_bytes_per_sec = Some(12.5e9);
+        let clean = execute_with_faults(&topo, build(), &base).unwrap();
+        let mut plan = base.clone();
+        // Degrade the trunk to 10% for most of the iteration.
+        plan.degrade_trunk(SimTime(1_000_000), SimTime(10_000_000_000), 0.1);
+        let faulted = execute_with_faults(&topo, build(), &plan).unwrap();
+        assert!(
+            faulted.total_seconds > 1.5 * clean.total_seconds,
+            "degraded {} vs clean {}",
+            faulted.total_seconds,
+            clean.total_seconds
+        );
+        assert!(!faulted.fault_windows.is_empty());
+        let w = faulted.fault_windows[0];
+        assert!(w.start_seconds < faulted.total_seconds);
+        assert!(w.end_seconds > w.start_seconds);
+        assert!(faulted
+            .degraded_conditions
+            .iter()
+            .any(|c| matches!(c, DegradedCondition::DegradedLink { .. })));
+    }
+
+    #[test]
+    fn nic_death_falls_back_to_tcp_and_completes() {
+        use holmes_netsim::SimTime;
+        let topo = topo2();
+        let key = MsgKey {
+            from: Rank(0),
+            to: Rank(8),
+            channel: Channel::Activation,
+            microbatch: 0,
+            chunk: 0,
+        };
+        // ~1 s of RDMA traffic; the sender's NIC dies at 0.2 s and never
+        // recovers. The timeout machinery must detect the parked flow,
+        // declare the NIC lost and complete the transfer over Ethernet.
+        let spec = ExecutionSpec {
+            programs: vec![
+                (
+                    Rank(0),
+                    vec![Op::Send {
+                        key,
+                        bytes: 23_000_000_000,
+                    }],
+                ),
+                (Rank(8), vec![Op::Recv { key }]),
+            ],
+            collectives: vec![],
+            transport: TransportPolicy::Auto,
+        };
+        let mut plan = FaultPlan::none();
+        plan.kill_nic(SimTime(200_000_000), 0);
+        let r = execute_with_faults(&topo, spec, &plan).unwrap();
+        assert!(r.flow_retries >= 1, "parked flow must be retried");
+        assert!(r.tcp_fallback_flows >= 1, "retry must fall back to TCP");
+        assert!(
+            r.degraded_conditions
+                .iter()
+                .any(|c| matches!(c, DegradedCondition::LostNic { node: 0, .. })),
+            "{:?}",
+            r.degraded_conditions
+        );
+        // Ethernet is ~10x slower than one IB port; the transfer still
+        // lands, late.
+        assert!(r.total_seconds > 1.0, "{}", r.total_seconds);
+        // Traffic after the fallback is on Ethernet.
+        assert!(r.node_link_usage[0].eth_bytes > 0.0);
+    }
+
+    #[test]
+    fn permanent_eth_and_rdma_death_is_unrecoverable() {
+        use holmes_netsim::SimTime;
+        let topo = topo2();
+        let key = MsgKey {
+            from: Rank(0),
+            to: Rank(8),
+            channel: Channel::Activation,
+            microbatch: 0,
+            chunk: 0,
+        };
+        let spec = ExecutionSpec {
+            programs: vec![
+                (
+                    Rank(0),
+                    vec![Op::Send {
+                        key,
+                        bytes: 23_000_000_000,
+                    }],
+                ),
+                (Rank(8), vec![Op::Recv { key }]),
+            ],
+            collectives: vec![],
+            transport: TransportPolicy::Auto,
+        };
+        let mut plan = FaultPlan::none();
+        plan.kill_nic(SimTime(100_000_000), 0);
+        plan.push(
+            SimTime(100_000_000),
+            FaultTarget::NodeEth(0),
+            holmes_netsim::LinkHealth::Down,
+        );
+        match execute_with_faults(&topo, spec, &plan) {
+            Err(ExecError::Unrecoverable { from, to, attempts }) => {
+                assert_eq!(from, Rank(0));
+                assert_eq!(to, Rank(8));
+                assert!(attempts >= 2);
+            }
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn link_flap_recovers_without_fallback() {
+        use holmes_netsim::SimTime;
+        let topo = topo2();
+        let key = MsgKey {
+            from: Rank(0),
+            to: Rank(8),
+            channel: Channel::Activation,
+            microbatch: 0,
+            chunk: 0,
+        };
+        let spec = ExecutionSpec {
+            programs: vec![
+                (
+                    Rank(0),
+                    vec![Op::Send {
+                        key,
+                        bytes: 23_000_000_000,
+                    }],
+                ),
+                (Rank(8), vec![Op::Recv { key }]),
+            ],
+            collectives: vec![],
+            transport: TransportPolicy::Auto,
+        };
+        // Ethernet flaps down and back up while unused; RDMA stays
+        // healthy, so the run completes with no retries at ~1 s.
+        let mut plan = FaultPlan::none();
+        plan.push(
+            SimTime(100_000_000),
+            FaultTarget::NodeEth(1),
+            holmes_netsim::LinkHealth::Down,
+        );
+        plan.push(
+            SimTime(300_000_000),
+            FaultTarget::NodeEth(1),
+            holmes_netsim::LinkHealth::Healthy,
+        );
+        let r = execute_with_faults(&topo, spec, &plan).unwrap();
+        assert!((r.total_seconds - 1.0).abs() < 0.05, "{}", r.total_seconds);
+        assert_eq!(r.tcp_fallback_flows, 0);
+        assert_eq!(r.fault_windows.len(), 2, "{:?}", r.fault_windows);
+        assert!(r.fault_windows.iter().all(|w| {
+            (w.start_seconds - 0.1).abs() < 1e-6 && (w.end_seconds - 0.3).abs() < 1e-6
+        }));
+    }
+
+    #[test]
+    fn stragglers_slow_their_device_and_are_reported() {
+        let topo = topo2();
+        let build = || ExecutionSpec {
+            programs: vec![(Rank(0), vec![fwd(0, 0.5)]), (Rank(1), vec![fwd(0, 0.5)])],
+            collectives: vec![],
+            transport: TransportPolicy::Auto,
+        };
+        let mut plan = FaultPlan::none();
+        plan.straggler(Rank(1), 3.0);
+        let r = execute_with_faults(&topo, build(), &plan).unwrap();
+        assert!((r.device_finish_seconds[0] - 0.5).abs() < 1e-9);
+        assert!((r.device_finish_seconds[1] - 1.5).abs() < 1e-9);
+        assert!(matches!(
+            r.degraded_conditions[0],
+            DegradedCondition::Straggler { rank: Rank(1), .. }
+        ));
     }
 
     #[test]

@@ -44,18 +44,25 @@ pub mod builder;
 pub mod compute;
 pub mod dp_sync;
 pub mod executor;
+pub mod fault;
 pub mod metrics;
 pub mod ops;
 pub mod schedule;
 pub mod timeline;
 pub mod validate;
 
-pub use builder::{build_iteration, simulate_iteration, BuildError, EngineConfig, ScheduleKind};
+pub use builder::{
+    build_iteration, simulate_iteration, simulate_iteration_with_faults, BuildError, EngineConfig,
+    ScheduleKind,
+};
 pub use compute::{ComputeModel, StageCost};
 pub use dp_sync::DpSyncStrategy;
 pub use executor::{
-    execute, CollKind, CollectiveSpec, ExecError, ExecutionSpec, IterationReport, NodeLinkUsage,
-    TransportPolicy,
+    execute, execute_with_faults, CollKind, CollectiveSpec, ExecError, ExecutionSpec,
+    IterationReport, NodeLinkUsage, TransportPolicy,
+};
+pub use fault::{
+    DegradedCondition, FaultPlan, FaultTarget, FaultWindow, LinkFault, RetryPolicy, Straggler,
 };
 pub use metrics::TrainingMetrics;
 pub use ops::{Channel, ComputeLabel, MsgKey, Op};

@@ -1,0 +1,206 @@
+//! Deterministic fault schedules: seeded timelines of link-health events.
+//!
+//! The Holmes paper defers fault handling to future work (§1); the
+//! reproduction closes that gap with *injection*: a [`FaultSchedule`] is
+//! an ordered timeline of [`FaultEvent`]s (degrade a link to a fraction of
+//! nominal capacity, take it down, bring it back up) that a [`NetSim`]
+//! consumes as first-class events — each one drives the per-link health
+//! state machine ([`LinkHealth`]) through the same settle/recompute path
+//! as a capacity change, so fault timing composes exactly with flow
+//! completions.
+//!
+//! Determinism is the whole point: schedules are either hand-built or
+//! derived from a seed ([`FaultSchedule::poisson`]), and the simulator's
+//! tie-breaking guarantees that identical seed + identical schedule
+//! reproduce byte-identical event logs (property-tested in
+//! `crates/netsim/tests/properties.rs`).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::link::{LinkHealth, LinkId};
+use crate::sim::NetSim;
+use crate::time::SimTime;
+
+/// One scheduled health transition of one link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Absolute simulated time at which the transition takes effect.
+    pub at: SimTime,
+    /// Affected link.
+    pub link: LinkId,
+    /// Health state the link enters at `at`.
+    pub health: LinkHealth,
+}
+
+/// An ordered, replayable timeline of fault events.
+///
+/// Events are applied in `(at, insertion-order)` order — the same
+/// tie-breaking the simulator uses for every other event — so a schedule
+/// replays identically however it was built.
+///
+/// ```
+/// use holmes_netsim::{FaultSchedule, LinkHealth, LinkId, SimTime};
+///
+/// let mut faults = FaultSchedule::new();
+/// faults
+///     .degrade(SimTime(1_000_000), LinkId(0), 0.1)
+///     .restore(SimTime(5_000_000), LinkId(0))
+///     .down(SimTime(9_000_000), LinkId(1));
+/// assert_eq!(faults.events().len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (injecting it is a no-op).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All events, in application order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True when the schedule carries no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Append an arbitrary health transition.
+    pub fn push(&mut self, at: SimTime, link: LinkId, health: LinkHealth) -> &mut Self {
+        self.events.push(FaultEvent { at, link, health });
+        self
+    }
+
+    /// Degrade `link` to `fraction` of nominal capacity at `at`.
+    pub fn degrade(&mut self, at: SimTime, link: LinkId, fraction: f64) -> &mut Self {
+        self.push(at, link, LinkHealth::Degraded { fraction })
+    }
+
+    /// Take `link` fully down at `at`.
+    pub fn down(&mut self, at: SimTime, link: LinkId) -> &mut Self {
+        self.push(at, link, LinkHealth::Down)
+    }
+
+    /// Restore `link` to full health at `at`.
+    pub fn restore(&mut self, at: SimTime, link: LinkId) -> &mut Self {
+        self.push(at, link, LinkHealth::Healthy)
+    }
+
+    /// A down/up flap: `link` fails at `down_at` and recovers at `up_at`.
+    pub fn flap(&mut self, link: LinkId, down_at: SimTime, up_at: SimTime) -> &mut Self {
+        self.down(down_at, link).restore(up_at, link)
+    }
+
+    /// Seeded Poisson-ish flap process over a set of links.
+    ///
+    /// Each link independently alternates healthy/outage periods:
+    /// exponential healthy intervals with mean `mean_up_seconds`,
+    /// exponential outages with mean `mean_down_seconds`, during which the
+    /// link sits in `outage` (typically [`LinkHealth::Down`] or a
+    /// [`LinkHealth::Degraded`] fraction). Events are generated within
+    /// `[0, horizon_seconds)`; an outage cut off by the horizon still gets
+    /// its restore event so the schedule leaves every link healthy.
+    ///
+    /// Fully deterministic in `(seed, links, horizon, means, outage)`.
+    pub fn poisson(
+        seed: u64,
+        links: &[LinkId],
+        horizon_seconds: f64,
+        mean_up_seconds: f64,
+        mean_down_seconds: f64,
+        outage: LinkHealth,
+    ) -> Self {
+        assert!(mean_up_seconds > 0.0, "mean up-time must be positive");
+        assert!(mean_down_seconds > 0.0, "mean outage must be positive");
+        let mut schedule = FaultSchedule::new();
+        for (i, &link) in links.iter().enumerate() {
+            // Per-link stream: decoupled from link-list order re-draws.
+            let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9 + i as u64));
+            let mut t = 0.0f64;
+            loop {
+                t += exponential(&mut rng, mean_up_seconds);
+                if t >= horizon_seconds {
+                    break;
+                }
+                let fail_at = SimTime((t * 1e9) as u64);
+                t += exponential(&mut rng, mean_down_seconds);
+                let restore_at = SimTime((t.min(horizon_seconds) * 1e9) as u64);
+                schedule.push(fail_at, link, outage);
+                schedule.restore(restore_at.max(fail_at + crate::time::SimDuration(1)), link);
+            }
+        }
+        schedule
+    }
+
+    /// Inject every event into `sim` (equivalent to
+    /// [`NetSim::inject_faults`]).
+    pub fn apply_to(&self, sim: &mut NetSim) {
+        sim.inject_faults(self);
+    }
+}
+
+/// Exponential draw with the given mean (inverse-CDF of a uniform draw).
+fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.random();
+    // u ∈ [0, 1): 1 − u ∈ (0, 1], so ln is finite and non-positive.
+    -mean * (1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_orders_by_insertion() {
+        let mut s = FaultSchedule::new();
+        s.down(SimTime(5), LinkId(1))
+            .degrade(SimTime(2), LinkId(0), 0.5)
+            .restore(SimTime(9), LinkId(1));
+        assert_eq!(s.events().len(), 3);
+        assert_eq!(s.events()[0].at, SimTime(5));
+        assert_eq!(s.events()[1].health, LinkHealth::Degraded { fraction: 0.5 });
+        assert!(!s.is_empty());
+        assert!(FaultSchedule::new().is_empty());
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let links = [LinkId(0), LinkId(1), LinkId(2)];
+        let a = FaultSchedule::poisson(7, &links, 100.0, 10.0, 1.0, LinkHealth::Down);
+        let b = FaultSchedule::poisson(7, &links, 100.0, 10.0, 1.0, LinkHealth::Down);
+        assert_eq!(a, b);
+        let c = FaultSchedule::poisson(8, &links, 100.0, 10.0, 1.0, LinkHealth::Down);
+        assert_ne!(a, c);
+        assert!(!a.is_empty(), "100 s horizon at 10 s MTBF must flap");
+    }
+
+    #[test]
+    fn poisson_pairs_every_outage_with_a_restore() {
+        let links = [LinkId(0), LinkId(4)];
+        let s = FaultSchedule::poisson(3, &links, 50.0, 5.0, 0.5, LinkHealth::Down);
+        let mut down = 0i32;
+        for ev in s.events() {
+            match ev.health {
+                LinkHealth::Down => down += 1,
+                LinkHealth::Healthy => down -= 1,
+                _ => panic!("unexpected health"),
+            }
+            assert!(ev.at <= SimTime(50_000_000_000));
+        }
+        assert_eq!(down, 0, "every outage must be restored by the horizon");
+    }
+
+    #[test]
+    fn poisson_restores_strictly_after_failures() {
+        let s = FaultSchedule::poisson(11, &[LinkId(0)], 200.0, 3.0, 2.0, LinkHealth::Down);
+        let evs = s.events();
+        for pair in evs.chunks(2) {
+            assert!(pair[1].at > pair[0].at, "{pair:?}");
+        }
+    }
+}

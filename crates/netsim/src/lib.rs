@@ -40,6 +40,7 @@ pub mod algo;
 pub mod collective;
 mod communicator;
 mod fabric;
+pub mod fault;
 mod flow;
 mod link;
 mod sim;
@@ -47,7 +48,8 @@ mod time;
 
 pub use communicator::Communicator;
 pub use fabric::{Fabric, Route};
+pub use fault::{FaultEvent, FaultSchedule};
 pub use flow::{FlowId, FlowSpec};
-pub use link::{LinkCapacity, LinkId, LinkStats};
+pub use link::{LinkCapacity, LinkHealth, LinkId, LinkStats};
 pub use sim::{Completion, NetSim};
 pub use time::{SimDuration, SimTime};

@@ -16,12 +16,80 @@ pub struct LinkCapacity {
 }
 
 impl LinkCapacity {
-    /// Construct, clamping to a tiny positive floor so that a "dead" link
-    /// stalls flows instead of producing divisions by zero.
+    /// Capacity below which a link counts as dead: flows crossing it are
+    /// *parked* (rate zero, no completion scheduled) instead of being
+    /// assigned an absurd-but-finite finish time. One millibyte per
+    /// second is far below any physically meaningful rate.
+    pub const DEAD_FLOOR: f64 = 1e-3;
+
+    /// Construct. Negative inputs clamp to zero; zero and near-zero
+    /// capacities are legal and mean the link is dead (see
+    /// [`LinkCapacity::is_dead`]) — flows crossing it stall until the
+    /// capacity is restored rather than finishing at a bogus time.
     pub fn new(bytes_per_sec: f64) -> Self {
         LinkCapacity {
-            bytes_per_sec: bytes_per_sec.max(1e-3),
+            bytes_per_sec: bytes_per_sec.max(0.0),
         }
+    }
+
+    /// A fully failed link (zero capacity).
+    pub fn down() -> Self {
+        LinkCapacity { bytes_per_sec: 0.0 }
+    }
+
+    /// True when the link cannot move traffic at any meaningful rate.
+    pub fn is_dead(self) -> bool {
+        self.bytes_per_sec < Self::DEAD_FLOOR
+    }
+}
+
+/// Operational health of a link — the per-link fault state machine.
+///
+/// Transitions are driven by [`crate::NetSim::set_link_health`], either
+/// directly or via a scheduled [`crate::fault::FaultSchedule`]. Health
+/// scales the link's *nominal* capacity (set at registration or by
+/// [`crate::NetSim::set_link_capacity`]) into its effective capacity:
+///
+/// ```text
+///            degrade(f)                down
+///  Healthy ───────────▶ Degraded{f} ─────────▶ Down
+///     ▲                      │                   │
+///     └──────── restore ─────┴───── restore ─────┘
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LinkHealth {
+    /// Full nominal capacity.
+    #[default]
+    Healthy,
+    /// Operating at a fraction of nominal capacity (congestion collapse,
+    /// port flaps eating goodput, partial lane failure).
+    Degraded {
+        /// Fraction of nominal capacity still available, clamped to
+        /// `[0, 1]` when applied.
+        fraction: f64,
+    },
+    /// No capacity at all: flows crossing the link park until restored.
+    Down,
+}
+
+impl LinkHealth {
+    /// Multiplier applied to nominal capacity.
+    pub fn capacity_factor(self) -> f64 {
+        match self {
+            LinkHealth::Healthy => 1.0,
+            LinkHealth::Degraded { fraction } => fraction.clamp(0.0, 1.0),
+            LinkHealth::Down => 0.0,
+        }
+    }
+
+    /// True for [`LinkHealth::Down`].
+    pub fn is_down(self) -> bool {
+        matches!(self, LinkHealth::Down)
+    }
+
+    /// True for [`LinkHealth::Healthy`].
+    pub fn is_healthy(self) -> bool {
+        matches!(self, LinkHealth::Healthy)
     }
 }
 
@@ -50,9 +118,33 @@ mod tests {
     use super::*;
 
     #[test]
-    fn zero_capacity_clamps_to_floor() {
-        assert!(LinkCapacity::new(0.0).bytes_per_sec > 0.0);
-        assert!(LinkCapacity::new(-5.0).bytes_per_sec > 0.0);
+    fn zero_capacity_is_dead_not_negative() {
+        assert_eq!(LinkCapacity::new(0.0).bytes_per_sec, 0.0);
+        assert_eq!(LinkCapacity::new(-5.0).bytes_per_sec, 0.0);
+        assert!(LinkCapacity::new(0.0).is_dead());
+        assert!(LinkCapacity::down().is_dead());
+        assert!(!LinkCapacity::new(1e9).is_dead());
+    }
+
+    #[test]
+    fn health_capacity_factors() {
+        assert_eq!(LinkHealth::Healthy.capacity_factor(), 1.0);
+        assert_eq!(LinkHealth::Down.capacity_factor(), 0.0);
+        assert_eq!(
+            LinkHealth::Degraded { fraction: 0.25 }.capacity_factor(),
+            0.25
+        );
+        // Out-of-range fractions clamp instead of inverting the fault.
+        assert_eq!(
+            LinkHealth::Degraded { fraction: 7.0 }.capacity_factor(),
+            1.0
+        );
+        assert_eq!(
+            LinkHealth::Degraded { fraction: -1.0 }.capacity_factor(),
+            0.0
+        );
+        assert!(LinkHealth::Down.is_down());
+        assert!(LinkHealth::Healthy.is_healthy());
     }
 
     #[test]

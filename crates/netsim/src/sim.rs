@@ -1,14 +1,15 @@
 //! The discrete-event simulator core.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashSet, VecDeque};
 
+use crate::fault::FaultSchedule;
 use crate::flow::{FlowId, FlowSpec};
-use crate::link::{LinkCapacity, LinkId, LinkStats};
+use crate::link::{LinkCapacity, LinkHealth, LinkId, LinkStats};
 use crate::time::{SimDuration, SimTime};
 
 /// A completion delivered by [`NetSim::next`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Completion {
     /// A flow finished transferring all of its bytes.
     Flow {
@@ -22,6 +23,15 @@ pub enum Completion {
         /// The caller token.
         token: u64,
     },
+    /// A scheduled fault event ([`NetSim::schedule_fault_at`] /
+    /// [`NetSim::inject_faults`]) took effect. The new health is already
+    /// applied when the completion is delivered.
+    Fault {
+        /// Affected link.
+        link: LinkId,
+        /// Health state the link just entered.
+        health: LinkHealth,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +42,8 @@ enum Payload {
     RatesCheck(u64),
     /// User timer.
     Timer(u64),
+    /// Scheduled link-health transition (index into the fault table).
+    Fault(u32),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,7 +109,18 @@ const DONE_EPS: f64 = 0.5;
 #[derive(Debug, Default)]
 pub struct NetSim {
     now: SimTime,
+    /// Effective per-link capacity: nominal × health factor. This is what
+    /// the water-filling pass shares among flows.
     links: Vec<LinkCapacity>,
+    /// Nominal (fault-free) per-link capacity.
+    nominal: Vec<LinkCapacity>,
+    /// Per-link health state machine driven by fault events.
+    health: Vec<LinkHealth>,
+    /// Scheduled fault transitions, referenced by `Payload::Fault` index.
+    fault_table: Vec<(LinkId, LinkHealth)>,
+    /// Flows cancelled while still in their latency phase: their queued
+    /// `FlowStart` becomes a no-op.
+    cancelled_pending: HashSet<FlowId>,
     /// Per-link accumulated traffic and busy time.
     link_stats: Vec<LinkStats>,
     /// Slab of flows past their latency phase. `None` slots are free and
@@ -161,6 +184,8 @@ impl NetSim {
     pub fn add_link(&mut self, capacity: LinkCapacity) -> LinkId {
         let id = LinkId(self.links.len() as u32);
         self.links.push(capacity);
+        self.nominal.push(capacity);
+        self.health.push(LinkHealth::Healthy);
         self.link_stats.push(LinkStats::default());
         self.link_nflows.push(0);
         id
@@ -171,21 +196,121 @@ impl NetSim {
         self.link_stats.get(id.0 as usize).copied()
     }
 
-    /// Capacity of a registered link.
+    /// Current *effective* capacity of a registered link (nominal scaled
+    /// by health).
     pub fn link_capacity(&self, id: LinkId) -> Option<LinkCapacity> {
         self.links.get(id.0 as usize).copied()
     }
 
-    /// Re-set a link's capacity (used by failure-injection tests). Takes
-    /// effect at the next rate recomputation.
+    /// Nominal (fault-free) capacity of a registered link.
+    pub fn link_nominal_capacity(&self, id: LinkId) -> Option<LinkCapacity> {
+        self.nominal.get(id.0 as usize).copied()
+    }
+
+    /// Current health state of a registered link.
+    pub fn link_health(&self, id: LinkId) -> Option<LinkHealth> {
+        self.health.get(id.0 as usize).copied()
+    }
+
+    /// Re-set a link's *nominal* capacity. The link's health factor is
+    /// re-applied, and the change takes effect at the next rate
+    /// recomputation.
     pub fn set_link_capacity(&mut self, id: LinkId, capacity: LinkCapacity) {
-        if let Some(slot) = self.links.get_mut(id.0 as usize) {
-            *slot = capacity;
+        let i = id.0 as usize;
+        if i < self.links.len() {
+            self.nominal[i] = capacity;
+            self.links[i] =
+                LinkCapacity::new(capacity.bytes_per_sec * self.health[i].capacity_factor());
             // Force re-fair-sharing for flows already in flight.
             self.settle_progress();
             self.recompute_rates();
             self.schedule_rates_check();
         }
+    }
+
+    /// Drive the link's health state machine: effective capacity becomes
+    /// `nominal × health factor`. [`LinkHealth::Down`] parks affected
+    /// flows (rate zero, no completion scheduled) until a later transition
+    /// restores capacity.
+    pub fn set_link_health(&mut self, id: LinkId, health: LinkHealth) {
+        let i = id.0 as usize;
+        if i < self.links.len() {
+            self.health[i] = health;
+            self.links[i] =
+                LinkCapacity::new(self.nominal[i].bytes_per_sec * health.capacity_factor());
+            self.settle_progress();
+            self.recompute_rates();
+            self.schedule_rates_check();
+        }
+    }
+
+    /// Schedule a health transition to take effect at absolute time `at`
+    /// (clamped to now). The transition is delivered through the normal
+    /// event stream as a [`Completion::Fault`], after being applied.
+    ///
+    /// # Panics
+    /// Panics if the link is unregistered.
+    pub fn schedule_fault_at(&mut self, at: SimTime, link: LinkId, health: LinkHealth) {
+        assert!(
+            (link.0 as usize) < self.links.len(),
+            "fault references unregistered link {link:?}"
+        );
+        let idx = self.fault_table.len() as u32;
+        self.fault_table.push((link, health));
+        let at = at.max(self.now);
+        self.push_event(at, Payload::Fault(idx));
+    }
+
+    /// Inject a whole [`FaultSchedule`]. Injecting an empty schedule is a
+    /// no-op: the event timeline is byte-identical to a fault-free run
+    /// (property-tested).
+    pub fn inject_faults(&mut self, schedule: &FaultSchedule) {
+        for ev in schedule.events() {
+            self.schedule_fault_at(ev.at, ev.link, ev.health);
+        }
+    }
+
+    /// Cancel an in-flight flow (either still in its latency phase or
+    /// actively transferring). Returns `false` when the flow already
+    /// completed or never existed. Bytes moved before cancellation stay
+    /// attributed to link statistics; no completion is delivered.
+    pub fn cancel_flow(&mut self, id: FlowId) -> bool {
+        if self.pending.remove(&id).is_some() {
+            // Its FlowStart event is still queued; tombstone it.
+            self.cancelled_pending.insert(id);
+            return true;
+        }
+        let Some(pos) = self.active_order.iter().position(|&(fid, _)| fid == id) else {
+            return false;
+        };
+        self.settle_progress();
+        let (_, slot) = self.active_order.remove(pos);
+        let flow = self.slab[slot as usize].take().expect("live slot");
+        for l in &flow.path {
+            self.link_nflows[l.0 as usize] -= 1;
+        }
+        self.free_slots.push(slot);
+        self.recompute_rates();
+        self.schedule_rates_check();
+        true
+    }
+
+    /// True when the simulation can make no further progress on its own
+    /// while flows are still unfinished — every remaining flow is parked
+    /// on dead links and no event (timer, fault, flow start) is queued.
+    pub fn stalled(&self) -> bool {
+        self.queue.is_empty() && self.backlog.is_empty() && !self.active_order.is_empty()
+    }
+
+    /// Tokens of flows currently parked at rate zero (in flow-id order).
+    pub fn parked_flow_tokens(&self) -> Vec<u64> {
+        self.active_order
+            .iter()
+            .filter_map(|&(_, slot)| {
+                let flow = self.slab[slot as usize].as_ref().expect("live slot");
+                (flow.rate <= 0.0).then_some(flow.token)
+            })
+            .collect()
     }
 
     /// Number of currently in-flight flows (latency phase included).
@@ -232,6 +357,14 @@ impl NetSim {
             }
             let ev = self.queue.pop()?;
             self.events_processed += 1;
+            if let Payload::RatesCheck(version) = ev.payload {
+                if version != self.rates_version {
+                    // Superseded prediction: discard without touching the
+                    // clock, so a stale check left behind by a parked flow
+                    // cannot advance time past a stall.
+                    continue;
+                }
+            }
             debug_assert!(ev.time >= self.now, "time must be monotone");
             self.now = ev.time;
             match ev.payload {
@@ -257,14 +390,23 @@ impl NetSim {
                     self.recompute_rates();
                     self.schedule_rates_check();
                 }
-                Payload::RatesCheck(version) => {
-                    if version != self.rates_version {
-                        continue; // superseded prediction
-                    }
+                Payload::RatesCheck(_) => {
                     self.settle_progress();
                     self.harvest_finished();
                     self.recompute_rates();
                     self.schedule_rates_check();
+                }
+                Payload::Fault(idx) => {
+                    let (link, health) = self.fault_table[idx as usize];
+                    self.settle_progress();
+                    let i = link.0 as usize;
+                    self.health[i] = health;
+                    self.links[i] =
+                        LinkCapacity::new(self.nominal[i].bytes_per_sec * health.capacity_factor());
+                    self.harvest_finished();
+                    self.recompute_rates();
+                    self.schedule_rates_check();
+                    return Some(Completion::Fault { link, health });
                 }
             }
         }
@@ -286,10 +428,15 @@ impl NetSim {
     }
 
     fn activate(&mut self, id: FlowId) {
-        let spec = self
-            .pending
-            .remove(&id)
-            .expect("FlowStart for unknown pending flow");
+        let Some(spec) = self.pending.remove(&id) else {
+            // Cancelled during its latency phase: the queued FlowStart is
+            // a tombstoned no-op.
+            assert!(
+                self.cancelled_pending.remove(&id),
+                "FlowStart for unknown pending flow"
+            );
+            return;
+        };
         // Convert to bytes-per-nanosecond internally.
         let cap = if spec.rate_cap.is_finite() {
             (spec.rate_cap * 1e-9).max(1e-12)
@@ -410,6 +557,31 @@ impl NetSim {
         // Water-fill in id order (same as the old BTreeMap iteration).
         unfixed.clear();
         unfixed.extend(self.active_order.iter().map(|&(_, slot)| slot));
+
+        // Park flows crossing dead links at rate zero before water-filling:
+        // they consume no capacity and get no completion scheduled, so they
+        // stall (instead of receiving a bogus near-infinite finish time)
+        // until a health/capacity change revives them. The pre-pass only
+        // runs when a dead link exists, so fault-free runs keep the exact
+        // historical float behaviour.
+        if self.links.iter().any(|l| l.is_dead()) {
+            let links = &self.links;
+            let mut w = 0;
+            for r in 0..unfixed.len() {
+                let slot = unfixed[r];
+                let flow = slab[slot as usize].as_mut().expect("live slot");
+                if flow.path.iter().any(|l| links[l.0 as usize].is_dead()) {
+                    flow.rate = 0.0;
+                    for l in &flow.path {
+                        n_unfixed[l.0 as usize] -= 1;
+                    }
+                } else {
+                    unfixed[w] = slot;
+                    w += 1;
+                }
+            }
+            unfixed.truncate(w);
+        }
 
         while !unfixed.is_empty() {
             // Tightest link share.
@@ -764,6 +936,150 @@ mod tests {
         sim.next().unwrap();
         // 500 MB left at 0.5 GB/s → one more second: total 1.5 s.
         assert!((sim.now().as_secs_f64() - 1.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dead_link_parks_flows_instead_of_bogus_finish_times() {
+        // Regression: a zero (or near-zero) capacity used to clamp to a
+        // 1 mB/s floor, producing a "completion" ~30 simulated years out.
+        // Now the flow parks: no completion event, no NaN/infinite time.
+        let (mut sim, link) = sim_with_link(1e9);
+        sim.start_flow(flow_on(link, 1_000_000_000, 1));
+        sim.set_timer(SimDuration::from_secs_f64(0.25), 0);
+        assert_eq!(sim.next(), Some(Completion::Timer { token: 0 }));
+        sim.set_link_health(link, LinkHealth::Down);
+        assert_eq!(sim.next(), None, "parked flow must not complete");
+        assert!(sim.stalled());
+        assert_eq!(sim.parked_flow_tokens(), vec![1]);
+        assert_eq!(sim.now(), SimTime(250_000_000), "time must not advance");
+        // Revival: restoring health lets the remaining 750 MB finish at
+        // the nominal rate. (The caller re-polls after reviving.)
+        sim.set_link_health(link, LinkHealth::Healthy);
+        assert!(!sim.stalled());
+        let c = sim.next().unwrap();
+        assert_eq!(
+            c,
+            Completion::Flow {
+                id: FlowId(0),
+                token: 1
+            }
+        );
+        assert!(
+            (sim.now().as_secs_f64() - 1.0).abs() < 1e-3,
+            "{}",
+            sim.now()
+        );
+    }
+
+    #[test]
+    fn near_zero_capacity_counts_as_dead() {
+        let (mut sim, link) = sim_with_link(1e9);
+        sim.start_flow(flow_on(link, 1_000, 5));
+        sim.set_link_capacity(link, LinkCapacity::new(1e-6));
+        assert_eq!(sim.next(), None);
+        assert!(sim.stalled());
+        let t = sim.now().as_secs_f64();
+        assert!(t.is_finite() && t == 0.0, "t = {t}");
+    }
+
+    #[test]
+    fn degraded_health_scales_nominal_capacity() {
+        let (mut sim, link) = sim_with_link(1e9);
+        sim.set_link_health(link, LinkHealth::Degraded { fraction: 0.5 });
+        assert_eq!(sim.link_capacity(link).unwrap().bytes_per_sec, 0.5e9);
+        assert_eq!(sim.link_nominal_capacity(link).unwrap().bytes_per_sec, 1e9);
+        sim.start_flow(flow_on(link, 500_000_000, 1));
+        sim.next().unwrap();
+        assert!((sim.now().as_secs_f64() - 1.0).abs() < 1e-6);
+        // Nominal updates re-apply the health factor.
+        sim.set_link_capacity(link, LinkCapacity::new(2e9));
+        assert_eq!(sim.link_capacity(link).unwrap().bytes_per_sec, 1e9);
+        sim.set_link_health(link, LinkHealth::Healthy);
+        assert_eq!(sim.link_capacity(link).unwrap().bytes_per_sec, 2e9);
+    }
+
+    #[test]
+    fn scheduled_faults_arrive_as_completions_in_order() {
+        let (mut sim, link) = sim_with_link(1e9);
+        // 1 GB flow; at 0.5 s the link halves; at 1.5 s it recovers.
+        // Phase 1: 500 MB done. Phase 2 (0.5→1.5 s): 500 MB at 0.5 GB/s
+        // → done exactly at 1.5 s. The recovery fault was enqueued before
+        // the completion's rates check, so it pops first at the tie and
+        // the harvested completion follows from the backlog.
+        sim.start_flow(flow_on(link, 1_000_000_000, 7));
+        sim.schedule_fault_at(
+            SimTime(500_000_000),
+            link,
+            LinkHealth::Degraded { fraction: 0.5 },
+        );
+        sim.schedule_fault_at(SimTime(1_500_000_000), link, LinkHealth::Healthy);
+        let log = sim.drain();
+        assert_eq!(log.len(), 3);
+        assert_eq!(
+            log[0],
+            Completion::Fault {
+                link,
+                health: LinkHealth::Degraded { fraction: 0.5 }
+            }
+        );
+        assert_eq!(
+            log[1],
+            Completion::Fault {
+                link,
+                health: LinkHealth::Healthy
+            }
+        );
+        assert!(matches!(log[2], Completion::Flow { token: 7, .. }));
+        assert_eq!(sim.link_health(link), Some(LinkHealth::Healthy));
+    }
+
+    #[test]
+    fn flap_parks_then_revives_through_the_event_stream() {
+        let (mut sim, link) = sim_with_link(1e9);
+        sim.start_flow(flow_on(link, 1_000_000_000, 1));
+        let mut faults = crate::fault::FaultSchedule::new();
+        faults.flap(link, SimTime(500_000_000), SimTime(2_500_000_000));
+        sim.inject_faults(&faults);
+        let log = sim.drain();
+        // down, up, flow — the parked 500 MB resumes at 2.5 s, +0.5 s.
+        assert_eq!(log.len(), 3);
+        assert!(matches!(log[2], Completion::Flow { token: 1, .. }));
+        assert!(
+            (sim.now().as_secs_f64() - 3.0).abs() < 1e-6,
+            "{}",
+            sim.now()
+        );
+        assert!(!sim.stalled());
+        assert_eq!(sim.inflight_flows(), 0);
+    }
+
+    #[test]
+    fn cancel_active_flow_releases_bandwidth() {
+        let (mut sim, link) = sim_with_link(1e9);
+        let a = sim.start_flow(flow_on(link, 1_000_000_000, 1));
+        sim.start_flow(flow_on(link, 500_000_000, 2));
+        sim.set_timer(SimDuration::from_secs_f64(0.2), 9);
+        assert_eq!(sim.next(), Some(Completion::Timer { token: 9 }));
+        assert!(sim.cancel_flow(a));
+        assert!(!sim.cancel_flow(a), "double-cancel is a no-op");
+        // Flow 2 had 400 MB left at 0.2 s; alone it finishes at 0.6 s.
+        let c = sim.next().unwrap();
+        assert!(matches!(c, Completion::Flow { token: 2, .. }));
+        assert!((sim.now().as_secs_f64() - 0.6).abs() < 1e-3);
+        assert_eq!(sim.next(), None);
+        assert_eq!(sim.link_nflows, vec![0]);
+    }
+
+    #[test]
+    fn cancel_pending_flow_tombstones_its_start() {
+        let (mut sim, link) = sim_with_link(1e9);
+        let mut f = flow_on(link, 1_000_000, 1);
+        f.latency = SimDuration::from_micros(10);
+        let id = sim.start_flow(f);
+        assert!(sim.cancel_flow(id));
+        assert_eq!(sim.next(), None);
+        assert_eq!(sim.inflight_flows(), 0);
+        assert_eq!(sim.flows_completed(), 0);
     }
 
     #[test]

@@ -34,7 +34,7 @@ mod search;
 
 pub use degrees::{DegreeError, ParallelDegrees};
 pub use groups::GroupLayout;
-pub use nic_selection::{DpCollectiveAlgo, DpGroupNic, NicSelectionReport};
+pub use nic_selection::{DpCollectiveAlgo, DpGroupNic, NicSelectionReport, ReplanOutcome};
 pub use partition::{PartitionStrategy, SelfAdaptingPartition, UniformPartition};
 pub use plan::ParallelPlan;
 pub use scheduler::{

@@ -41,6 +41,11 @@ pub struct DpGroupNic {
     pub rdma_nic: Option<NicType>,
     /// The collective algorithm selected for the group's gradient sync.
     pub algo: DpCollectiveAlgo,
+    /// True when the group was downgraded to TCP by a re-planning pass
+    /// ([`NicSelectionReport::replan_on_nic_loss`]): its members' NICs
+    /// may still be mutually RDMA-compatible, but a failed NIC forces the
+    /// whole group through the Ethernet fallback (paper §3.2).
+    pub forced_tcp: bool,
 }
 
 /// Plan-wide Automatic NIC Selection report.
@@ -77,6 +82,7 @@ impl NicSelectionReport {
                 devices,
                 rdma_nic,
                 algo,
+                forced_tcp: false,
             });
         }
         let total = groups.len() as u32;
@@ -148,12 +154,18 @@ impl NicSelectionReport {
                 DpCollectiveAlgo::RingRdma | DpCollectiveAlgo::RingEthernet => {
                     // Ring over the group's device order: bottleneck hop
                     // binds — the uniform fold of the ring IR collapsed to
-                    // its closed form.
+                    // its closed form. Downgraded groups price every hop
+                    // over the Ethernet fallback even where the NICs are
+                    // still nominally RDMA-compatible.
                     let mut bw = f64::INFINITY;
                     let mut lat: f64 = 0.0;
                     for (i, &a) in g.devices.iter().enumerate() {
                         let b = g.devices[(i + 1) % g.devices.len()];
-                        let link = topo.link_between(a, b).expect("devices in topology");
+                        let link = if g.forced_tcp {
+                            topo.tcp_link_between(a, b).expect("devices in topology")
+                        } else {
+                            topo.link_between(a, b).expect("devices in topology")
+                        };
                         bw = bw.min(link.bandwidth_bytes_per_sec);
                         lat = lat.max(link.latency_ns as f64 * 1e-9);
                     }
@@ -163,6 +175,83 @@ impl NicSelectionReport {
             worst = worst.max(cost);
         }
         worst
+    }
+
+    /// Re-plan after NIC loss: re-run NIC selection on the *degraded*
+    /// topology — every node in `lost_nodes` (global node index,
+    /// `rank / gpus_per_node`) is treated as RDMA-incapable — and
+    /// downgrade every data-parallel group touching such a node to the
+    /// TCP fallback (paper §3.2), instead of failing the run.
+    ///
+    /// Untouched groups keep their original classification (and cost)
+    /// bit-for-bit; an empty `lost_nodes` returns the report unchanged.
+    pub fn replan_on_nic_loss(
+        &self,
+        topo: &Topology,
+        lost_nodes: &[u32],
+        gradient_bytes: u64,
+    ) -> ReplanOutcome {
+        let gpus_per_node = topo.gpus_per_node().max(1);
+        let node_of = |r: Rank| r.0 / gpus_per_node;
+        let lost: std::collections::HashSet<u32> = lost_nodes.iter().copied().collect();
+        let cost_before_seconds = self.dp_sync_cost_seconds(topo, gradient_bytes);
+        let mut groups = Vec::with_capacity(self.groups.len());
+        let mut downgraded_groups = Vec::new();
+        let mut rdma = 0u32;
+        for g in &self.groups {
+            let mut ng = g.clone();
+            let touched = g.devices.iter().any(|&r| lost.contains(&node_of(r)));
+            if touched && !g.forced_tcp {
+                // A spanning group loses its hierarchical schedule too:
+                // the intra-cluster phases assumed homogeneous RDMA.
+                ng.rdma_nic = None;
+                ng.algo = DpCollectiveAlgo::RingEthernet;
+                ng.forced_tcp = true;
+                downgraded_groups.push(g.group);
+            }
+            if ng.rdma_nic.is_some() {
+                rdma += 1;
+            }
+            groups.push(ng);
+        }
+        let total = groups.len() as u32;
+        let report = NicSelectionReport {
+            groups,
+            rdma_groups: rdma,
+            ethernet_groups: total - rdma,
+        };
+        let cost_after_seconds = report.dp_sync_cost_seconds(topo, gradient_bytes);
+        ReplanOutcome {
+            report,
+            downgraded_groups,
+            cost_before_seconds,
+            cost_after_seconds,
+        }
+    }
+}
+
+/// Result of [`NicSelectionReport::replan_on_nic_loss`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplanOutcome {
+    /// The re-classified report on the degraded topology.
+    pub report: NicSelectionReport,
+    /// Groups downgraded from RDMA (or hierarchical) to the TCP
+    /// fallback, in group order.
+    pub downgraded_groups: Vec<u32>,
+    /// Analytic DP sync cost before the loss, seconds.
+    pub cost_before_seconds: f64,
+    /// Analytic DP sync cost after the downgrade, seconds.
+    pub cost_after_seconds: f64,
+}
+
+impl ReplanOutcome {
+    /// Relative slowdown of data-parallel sync caused by the loss
+    /// (1.0 = unchanged).
+    pub fn slowdown(&self) -> f64 {
+        if self.cost_before_seconds <= 0.0 {
+            return 1.0;
+        }
+        self.cost_after_seconds / self.cost_before_seconds
     }
 }
 
@@ -293,6 +382,73 @@ mod tests {
             lat,
         );
         assert!(hier < flat, "hier {hier} vs flat {flat}");
+    }
+
+    #[test]
+    fn replan_downgrades_only_groups_touching_the_lost_nic() {
+        let topo = presets::hybrid_two_cluster(2);
+        let layout = layout_for(&topo, 1, 2);
+        let a = HolmesScheduler.assign(&topo, &layout);
+        let report = NicSelectionReport::analyze(&topo, &layout, &a);
+        assert_eq!(report.ethernet_groups, 0);
+        let grad = 1u64 << 30;
+        // Node 0 dies. Groups containing its ranks fall back to TCP.
+        let outcome = report.replan_on_nic_loss(&topo, &[0], grad);
+        assert!(!outcome.downgraded_groups.is_empty());
+        let g0 = topo.gpus_per_node();
+        for g in &outcome.report.groups {
+            let touched = g.devices.iter().any(|&r| r.0 / g0 == 0);
+            assert_eq!(g.forced_tcp, touched, "group {}", g.group);
+            if touched {
+                assert_eq!(g.algo, DpCollectiveAlgo::RingEthernet);
+                assert_eq!(g.rdma_nic, None);
+            }
+        }
+        // Some groups survive untouched on this layout.
+        assert!(outcome.report.rdma_groups > 0);
+        assert!(
+            outcome.report.rdma_groups < report.rdma_groups,
+            "loss must cost some groups their RDMA"
+        );
+        // TCP pricing makes the degraded plan strictly slower.
+        assert!(
+            outcome.cost_after_seconds > outcome.cost_before_seconds,
+            "after {} vs before {}",
+            outcome.cost_after_seconds,
+            outcome.cost_before_seconds
+        );
+        assert!(outcome.slowdown() > 1.0);
+    }
+
+    #[test]
+    fn replan_with_no_losses_is_identity() {
+        let topo = presets::homogeneous(NicType::InfiniBand, 4);
+        let layout = layout_for(&topo, 1, 2);
+        let a = HolmesScheduler.assign(&topo, &layout);
+        let report = NicSelectionReport::analyze(&topo, &layout, &a);
+        let outcome = report.replan_on_nic_loss(&topo, &[], 1 << 30);
+        assert_eq!(outcome.report, report);
+        assert!(outcome.downgraded_groups.is_empty());
+        assert_eq!(outcome.slowdown(), 1.0);
+    }
+
+    #[test]
+    fn replan_downgrades_spanning_groups_to_flat_ethernet() {
+        let topo = presets::same_nic_two_clusters(NicType::InfiniBand, 2);
+        let layout = layout_for(&topo, 1, 1);
+        let a = HolmesScheduler.assign(&topo, &layout);
+        let report = NicSelectionReport::analyze(&topo, &layout, &a);
+        assert!(report
+            .groups
+            .iter()
+            .all(|g| g.algo == DpCollectiveAlgo::HierarchicalTwoLevel));
+        let outcome = report.replan_on_nic_loss(&topo, &[1], 1 << 30);
+        assert!(outcome
+            .report
+            .groups
+            .iter()
+            .all(|g| g.algo == DpCollectiveAlgo::RingEthernet && g.forced_tcp));
+        assert!(outcome.cost_after_seconds > outcome.cost_before_seconds);
     }
 
     #[test]

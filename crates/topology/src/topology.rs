@@ -278,6 +278,42 @@ impl Topology {
         })
     }
 
+    /// Resolve the transport between two distinct devices with RDMA
+    /// *excluded* — the path traffic takes after a NIC failure forces the
+    /// pair down to TCP. Same-node pairs still ride NVLink (a NIC loss
+    /// does not affect the intra-node fabric); everything else rides the
+    /// Ethernet fallback exactly as [`Topology::link_between`] prices it
+    /// for RDMA-incompatible pairs.
+    pub fn tcp_link_between(&self, a: Rank, b: Rank) -> Result<LinkProfile, TopologyError> {
+        let ca = self.coord(a)?;
+        let cb = self.coord(b)?;
+        let node_a = &self.clusters[ca.cluster.0 as usize].nodes[ca.node.0 as usize];
+        let node_b = &self.clusters[cb.cluster.0 as usize].nodes[cb.node.0 as usize];
+
+        if ca.cluster == cb.cluster && ca.node == cb.node {
+            return Ok(node_a.intra_link);
+        }
+        if ca.cluster == cb.cluster {
+            let eth = if node_a.ethernet.effective_bytes_per_sec()
+                <= node_b.ethernet.effective_bytes_per_sec()
+            {
+                &node_a.ethernet
+            } else {
+                &node_b.ethernet
+            };
+            return Ok(LinkProfile {
+                kind: LinkKind::Tcp,
+                bandwidth_bytes_per_sec: eth.effective_bytes_per_sec(),
+                latency_ns: eth.latency_ns(),
+            });
+        }
+        Ok(LinkProfile {
+            kind: LinkKind::Tcp,
+            bandwidth_bytes_per_sec: self.inter_cluster.effective_bytes_per_sec(),
+            latency_ns: self.inter_cluster.latency_ns(),
+        })
+    }
+
     /// True when every device in the topology sits behind the same NIC
     /// technology and a single cluster — the paper's "homogeneous" Case 1.
     pub fn is_homogeneous(&self) -> bool {

@@ -74,23 +74,24 @@ fn mid_flight_degradation_completes() {
     assert!(t > 50.0 && t < 120.0, "t = {t}");
 }
 
-/// A near-dead link stalls progress without dividing by zero or spinning.
+/// A dead link parks its flows: the simulator terminates immediately
+/// (no completion, no division by zero, no spinning) and reports the
+/// stall so the engine's recovery layer can react.
 #[test]
 fn near_dead_link_stalls_but_terminates() {
     let mut sim = NetSim::new();
-    let link = sim.add_link(LinkCapacity::new(0.0)); // clamped to a floor
+    let link = sim.add_link(LinkCapacity::new(0.0)); // below the dead floor
     sim.start_flow(FlowSpec {
         path: vec![link],
         bytes: 10,
         latency: SimDuration::ZERO,
         rate_cap: f64::INFINITY,
-        token: 0,
+        token: 7,
     });
     let c = sim.next();
-    assert!(
-        c.is_some(),
-        "flow eventually completes at the capacity floor"
-    );
+    assert!(c.is_none(), "a parked flow never completes: {c:?}");
+    assert!(sim.stalled(), "the stall is observable");
+    assert_eq!(sim.parked_flow_tokens(), vec![7]);
 }
 
 /// Training on a cluster whose switch died (RDMA unreachable) still runs,
