@@ -1,0 +1,67 @@
+//! `holmes-lint` — run the determinism lint over the workspace.
+//!
+//! Usage: `holmes-lint [WORKSPACE_ROOT]`. Without an argument the tool
+//! walks up from the current directory to the first `Cargo.toml` that
+//! declares `[workspace]`. Exit status 0 when the tree is clean (no
+//! findings, allowlist fully justified and non-stale), 1 otherwise, 2 on
+//! I/O errors — so CI can gate on it directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use holmes_analysis::lint_workspace;
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1).map(PathBuf::from) {
+        Some(p) => p,
+        None => match find_workspace_root() {
+            Some(p) => p,
+            None => {
+                eprintln!("holmes-lint: no workspace root found (pass it as the first argument)");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let outcome = match lint_workspace(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("holmes-lint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for f in &outcome.findings {
+        println!("{f}");
+    }
+    for p in &outcome.allowlist_problems {
+        println!("{p}");
+    }
+    println!(
+        "holmes-lint: {} file(s) scanned, {} finding(s), {} suppressed by allowlist, {} allowlist problem(s)",
+        outcome.files_scanned,
+        outcome.findings.len(),
+        outcome.suppressed,
+        outcome.allowlist_problems.len()
+    );
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

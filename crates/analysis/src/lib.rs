@@ -1,0 +1,28 @@
+//! Static verification for the Holmes reproduction.
+//!
+//! Two layers, both pure and dependency-free:
+//!
+//! * [`verify`] — the **artifact verifier**: structural checks over the
+//!   things the stack *generates* (collective-IR schedules, parallel
+//!   plans, pipeline partitions, NIC-selection reports) against the
+//!   topology they target. The engine executor debug-asserts these next
+//!   to its spec validator; the workspace property suite uses them as an
+//!   oracle; the mutation tests prove every error variant is reachable.
+//! * [`lint`] — the **determinism lint** behind the `holmes-lint` binary:
+//!   a line/token source scanner enforcing repo-specific rules clippy
+//!   cannot (no unordered-map iteration in event-ordered paths, no
+//!   wall-clock reads in simulation logic, no undocumented panics in hot
+//!   paths, no bare float equality, no lossy quantity casts), with an
+//!   audited allowlist. Runs as a CI job and as a `cargo test`
+//!   integration test.
+
+#![warn(missing_docs)]
+
+pub mod lint;
+pub mod verify;
+
+pub use lint::{lint_workspace, Finding, LintOutcome, Rule};
+pub use verify::{
+    expected_totals, verify_collective, verify_dp_groups, verify_partition, verify_plan,
+    verify_schedule_structure, VerifyError,
+};

@@ -1,0 +1,633 @@
+//! Static artifact verifier for generated schedules and plans.
+//!
+//! Everything Holmes *generates* — [`CollSchedule`] IRs, pipeline
+//! partitions (paper Eq. 2), NIC-homogeneous DP groups (paper §3.2) — can
+//! be checked structurally before a single simulated flow is launched.
+//! The checks here are pure functions over the artifacts plus the
+//! [`Topology`] they will run on; the engine executor debug-asserts them
+//! next to its `validate_spec` pass, the mutation tests exercise every
+//! error variant, and the workspace property suite uses them as an oracle
+//! for every schedule and plan the stack can produce.
+//!
+//! Invariants checked per collective schedule:
+//!
+//! * **byte conservation** — the schedule moves *exactly* the closed-form
+//!   byte count of its algorithm (same integer truncation as the IR
+//!   constructors), so no shard is dropped or duplicated;
+//! * **rank coverage** — every member of a non-degenerate group both
+//!   sends and receives (a silent non-participant means its shard never
+//!   circulates);
+//! * **no self-transfers** and **no empty rounds** (the executor turns
+//!   each round into a barrier; an empty round would never complete);
+//! * **deadlock freedom** — the transfer dependency order induced by the
+//!   round barriers forms a DAG;
+//! * **link existence** — every transfer maps to a real link of the
+//!   topology the schedule will be replayed on;
+//! * **shape** — the schedule matches the canonical IR constructor for
+//!   its `CollKind` round by round (order within a round is immaterial:
+//!   transfers of one round move concurrently).
+
+use std::collections::BTreeSet;
+
+use holmes_netsim::algo::{partition_by_cluster, CollKind, CollSchedule, Transfer};
+use holmes_parallel::{DpCollectiveAlgo, DpGroupNic, ParallelPlan};
+use holmes_topology::{Rank, Topology};
+
+/// A structural defect in a generated artifact. Each variant names the
+/// invariant it violates; the mutation suite proves every variant is
+/// reachable and specific.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// A round with no transfers: the executor's round barrier would wait
+    /// forever on nothing.
+    EmptyRound {
+        /// Round index.
+        round: usize,
+    },
+    /// A transfer whose sender equals its receiver.
+    SelfTransfer {
+        /// Round index.
+        round: usize,
+        /// The rank talking to itself.
+        rank: Rank,
+    },
+    /// A transfer endpoint outside the topology.
+    UnknownRank {
+        /// Round index.
+        round: usize,
+        /// The out-of-range rank.
+        rank: Rank,
+    },
+    /// A transfer between ranks with no link in the topology.
+    MissingLink {
+        /// Round index.
+        round: usize,
+        /// Sender.
+        from: Rank,
+        /// Receiver.
+        to: Rank,
+    },
+    /// A transfer endpoint that is not a member of the collective group.
+    ForeignRank {
+        /// Round index.
+        round: usize,
+        /// The non-member rank.
+        rank: Rank,
+    },
+    /// A rank listed twice in the member set.
+    DuplicateMember {
+        /// The repeated rank.
+        rank: Rank,
+    },
+    /// A member of a non-degenerate group that never sends.
+    MemberNeverSends {
+        /// The silent member.
+        rank: Rank,
+    },
+    /// A member of a non-degenerate group that never receives.
+    MemberNeverReceives {
+        /// The deaf member.
+        rank: Rank,
+    },
+    /// The schedule's total bytes differ from the algorithm's closed form.
+    ByteCountMismatch {
+        /// Closed-form total for this kind/group/volume.
+        expected: u64,
+        /// What the schedule actually moves.
+        actual: u64,
+    },
+    /// The schedule's round count differs from the algorithm's closed form.
+    RoundCountMismatch {
+        /// Closed-form round count.
+        expected: u32,
+        /// What the schedule actually has.
+        actual: u32,
+    },
+    /// The barrier-induced dependency order over transfers is not a DAG.
+    CyclicDependency,
+    /// A round whose transfer multiset differs from the canonical IR
+    /// constructor's round at the same index.
+    ShapeMismatch {
+        /// Round index (or the first divergent index).
+        round: usize,
+    },
+    /// A physical device appears in more than one logical slot of a
+    /// plan's assignment.
+    DuplicateDevice {
+        /// The repeated device.
+        device: Rank,
+    },
+    /// A plan references a device outside the topology.
+    DeviceOutOfRange {
+        /// The out-of-range device.
+        device: Rank,
+    },
+    /// The assignment covers a different number of devices than the
+    /// degrees demand.
+    AssignmentSizeMismatch {
+        /// `t·p·d` from the layout degrees.
+        expected: u32,
+        /// The assignment's length.
+        actual: u32,
+    },
+    /// `stage_layers.len()` differs from the pipeline degree.
+    StageCountMismatch {
+        /// Pipeline degree.
+        expected: u32,
+        /// Stages in the partition.
+        actual: u32,
+    },
+    /// The stage layer counts do not sum to the model's layer total.
+    LayerSumMismatch {
+        /// Model layer count.
+        expected: u32,
+        /// Sum over stages.
+        actual: u32,
+    },
+    /// A stage with zero layers although the model has at least one layer
+    /// per stage available.
+    EmptyStage {
+        /// Stage index.
+        stage: u32,
+    },
+    /// Eq. 2 monotonicity violated: a strictly faster stage got fewer
+    /// layers than a strictly slower one.
+    NonMonotoneStages {
+        /// Index of the faster stage (fewer layers — wrong).
+        fast: u32,
+        /// Index of the slower stage (more layers — wrong).
+        slow: u32,
+    },
+    /// A DP group claims end-to-end RDMA (`rdma_nic = Some`) but its
+    /// members do not share one RDMA NIC technology in one switched
+    /// cluster (paper §3.2), or claims `RingRdma` without naming a NIC.
+    DpGroupNotHomogeneous {
+        /// Group index.
+        group: u32,
+    },
+    /// A DP group straddles clusters without being flagged for it: its
+    /// algorithm is neither the hierarchical two-level all-reduce nor an
+    /// explicit TCP/Ethernet fallback.
+    DpGroupSpansClustersUnflagged {
+        /// Group index.
+        group: u32,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::EmptyRound { round } => write!(f, "round {round} has no transfers"),
+            VerifyError::SelfTransfer { round, rank } => {
+                write!(f, "round {round}: {rank} transfers to itself")
+            }
+            VerifyError::UnknownRank { round, rank } => {
+                write!(f, "round {round}: {rank} is not in the topology")
+            }
+            VerifyError::MissingLink { round, from, to } => {
+                write!(f, "round {round}: no topology link {from} -> {to}")
+            }
+            VerifyError::ForeignRank { round, rank } => {
+                write!(f, "round {round}: {rank} is not a group member")
+            }
+            VerifyError::DuplicateMember { rank } => {
+                write!(f, "{rank} appears twice in the member set")
+            }
+            VerifyError::MemberNeverSends { rank } => {
+                write!(f, "member {rank} never sends — its shard cannot circulate")
+            }
+            VerifyError::MemberNeverReceives { rank } => {
+                write!(
+                    f,
+                    "member {rank} never receives — it cannot obtain the result"
+                )
+            }
+            VerifyError::ByteCountMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "schedule moves {actual} bytes, closed form says {expected}"
+                )
+            }
+            VerifyError::RoundCountMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "schedule has {actual} rounds, closed form says {expected}"
+                )
+            }
+            VerifyError::CyclicDependency => {
+                write!(f, "transfer dependency order is not a DAG")
+            }
+            VerifyError::ShapeMismatch { round } => {
+                write!(
+                    f,
+                    "round {round} diverges from the canonical IR constructor"
+                )
+            }
+            VerifyError::DuplicateDevice { device } => {
+                write!(f, "device {device} assigned to more than one logical rank")
+            }
+            VerifyError::DeviceOutOfRange { device } => {
+                write!(f, "device {device} is outside the topology")
+            }
+            VerifyError::AssignmentSizeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "assignment covers {actual} devices, degrees demand {expected}"
+                )
+            }
+            VerifyError::StageCountMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "partition has {actual} stages, pipeline degree is {expected}"
+                )
+            }
+            VerifyError::LayerSumMismatch { expected, actual } => {
+                write!(f, "stage layers sum to {actual}, model has {expected}")
+            }
+            VerifyError::EmptyStage { stage } => {
+                write!(f, "stage {stage} received zero layers")
+            }
+            VerifyError::NonMonotoneStages { fast, slow } => {
+                write!(
+                    f,
+                    "stage {fast} is faster than stage {slow} but got fewer layers (Eq. 2)"
+                )
+            }
+            VerifyError::DpGroupNotHomogeneous { group } => {
+                write!(
+                    f,
+                    "DP group {group} claims RDMA but is not NIC-homogeneous (§3.2)"
+                )
+            }
+            VerifyError::DpGroupSpansClustersUnflagged { group } => {
+                write!(
+                    f,
+                    "DP group {group} spans clusters without hierarchical/TCP flagging (§3.2)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Closed-form totals for one collective: `(total_bytes, round_count)`.
+///
+/// `group_sizes` is the per-cluster member partition — `[n]` for the flat
+/// algorithms. Uses the same integer truncation as the IR constructors
+/// (`⌊V/n⌋`-byte chunks), so a conforming schedule matches *exactly*:
+///
+/// * ring RS/AG: `(n−1)·n·⌊V/n⌋` over `n−1` rounds;
+/// * ring AR: `2(n−1)·n·⌊V/n⌋` over `2(n−1)` rounds;
+/// * broadcast: `(n−1)·n·⌊V/(n−1)⌋` over `n−1` rounds;
+/// * tree AR: `2(n−1)·V` over `2·⌊log₂n⌋` rounds;
+/// * hierarchical AR: `2·Σ_c n_c(n_c−1)·⌊V/n_c⌋` intra plus
+///   `2(k−1)·s_max·k·⌊V/(s_max·k)⌋` inter, over
+///   `2(s_max−1) + 2(k−1)` rounds.
+pub fn expected_totals(kind: CollKind, group_sizes: &[u64], bytes: u64) -> (u64, u32) {
+    let n: u64 = group_sizes.iter().sum();
+    if n <= 1 {
+        return (0, 0);
+    }
+    match kind {
+        CollKind::ReduceScatter | CollKind::AllGather => ((n - 1) * n * (bytes / n), n as u32 - 1),
+        CollKind::AllReduce => (2 * (n - 1) * n * (bytes / n), 2 * (n as u32 - 1)),
+        CollKind::Broadcast => ((n - 1) * n * (bytes / (n - 1)), n as u32 - 1),
+        CollKind::TreeAllReduce => {
+            let depth = holmes_netsim::algo::tree_depth(n as u32);
+            (2 * (n - 1) * bytes, 2 * depth)
+        }
+        CollKind::HierarchicalAllReduce => {
+            let sizes: Vec<u64> = group_sizes.iter().copied().filter(|&s| s > 0).collect();
+            let k = sizes.len() as u64;
+            if k <= 1 {
+                return expected_totals(CollKind::AllReduce, &[n], bytes);
+            }
+            let s_max = sizes.iter().copied().max().unwrap_or(0);
+            let intra: u64 = sizes.iter().map(|&nc| nc * (nc - 1) * (bytes / nc)).sum();
+            let inter = 2 * (k - 1) * s_max * k * (bytes / (s_max * k));
+            let rounds = 2 * (s_max as u32 - 1) + 2 * (k as u32 - 1);
+            (2 * intra + inter, rounds)
+        }
+    }
+}
+
+/// Check generic invariants shared by every collective schedule: member
+/// uniqueness, per-round structure (non-empty, no self-transfers, both
+/// endpoints are members with a real topology link), full send/receive
+/// coverage, and barrier-order acyclicity.
+pub fn verify_schedule_structure(
+    topo: &Topology,
+    devices: &[Rank],
+    schedule: &CollSchedule,
+) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+    let mut members: BTreeSet<Rank> = BTreeSet::new();
+    for &d in devices {
+        if !members.insert(d) {
+            errors.push(VerifyError::DuplicateMember { rank: d });
+        }
+    }
+
+    let mut senders: BTreeSet<Rank> = BTreeSet::new();
+    let mut receivers: BTreeSet<Rank> = BTreeSet::new();
+    for (round, r) in schedule.rounds().iter().enumerate() {
+        if r.transfers().is_empty() {
+            errors.push(VerifyError::EmptyRound { round });
+        }
+        for t in r.transfers() {
+            if t.from == t.to {
+                errors.push(VerifyError::SelfTransfer {
+                    round,
+                    rank: t.from,
+                });
+            }
+            for rank in [t.from, t.to] {
+                if topo.coord(rank).is_err() {
+                    errors.push(VerifyError::UnknownRank { round, rank });
+                } else if !members.contains(&rank) {
+                    errors.push(VerifyError::ForeignRank { round, rank });
+                }
+            }
+            if t.from != t.to
+                && topo.coord(t.from).is_ok()
+                && topo.coord(t.to).is_ok()
+                && topo.link_between(t.from, t.to).is_err()
+            {
+                errors.push(VerifyError::MissingLink {
+                    round,
+                    from: t.from,
+                    to: t.to,
+                });
+            }
+            senders.insert(t.from);
+            receivers.insert(t.to);
+        }
+    }
+
+    // Coverage only binds for non-degenerate groups with a real schedule:
+    // every member must both send and receive or its shard never moves.
+    if members.len() >= 2 && !schedule.is_empty() {
+        for &m in &members {
+            if !senders.contains(&m) {
+                errors.push(VerifyError::MemberNeverSends { rank: m });
+            }
+            if !receivers.contains(&m) {
+                errors.push(VerifyError::MemberNeverReceives { rank: m });
+            }
+        }
+    }
+
+    if !rounds_form_dag(schedule) {
+        errors.push(VerifyError::CyclicDependency);
+    }
+    errors
+}
+
+/// Deadlock freedom: the dependency relation "every transfer of round
+/// `r+1` waits on every transfer of round `r`" must admit a topological
+/// order. The IR's list-of-rounds encoding makes the edge set layered, so
+/// this runs Kahn's algorithm over the layers and can only fail if the
+/// encoding itself is broken — but the verifier checks it rather than
+/// assuming it, so any future IR extension (cross-round edges, per-rank
+/// streams) inherits the check instead of silently skipping it.
+fn rounds_form_dag(schedule: &CollSchedule) -> bool {
+    // Node = transfer; edges = complete bipartite graph between adjacent
+    // rounds. Kahn's algorithm, aggregated per layer: every node of round
+    // r shares the in-degree |round r−1|, so one counter per round
+    // suffices.
+    let sizes: Vec<usize> = schedule
+        .rounds()
+        .iter()
+        .map(|r| r.transfers().len())
+        .collect();
+    let total: usize = sizes.iter().sum();
+    let mut indegree: Vec<usize> = (0..sizes.len())
+        .map(|r| if r == 0 { 0 } else { sizes[r - 1] })
+        .collect();
+    let mut frontier: Vec<usize> = (0..sizes.len()).filter(|&r| indegree[r] == 0).collect();
+    let mut done = vec![false; sizes.len()];
+    let mut visited = 0usize;
+    while let Some(r) = frontier.pop() {
+        if std::mem::replace(&mut done[r], true) {
+            continue;
+        }
+        visited += sizes[r];
+        if r + 1 < sizes.len() {
+            indegree[r + 1] -= sizes[r];
+            if indegree[r + 1] == 0 {
+                frontier.push(r + 1);
+            }
+        }
+    }
+    visited == total
+}
+
+/// Verify one collective schedule end to end: structural invariants
+/// ([`verify_schedule_structure`]), closed-form byte and round totals
+/// ([`expected_totals`]), and exact shape against the canonical
+/// constructor for `kind` (per-round transfer multisets must match —
+/// within-round order is immaterial).
+///
+/// `devices` is the member set in ring order and `bytes` the collective's
+/// buffer volume, exactly as passed to [`CollKind::schedule`]. Returns
+/// every defect found; empty means the artifact is sound.
+pub fn verify_collective(
+    topo: &Topology,
+    kind: CollKind,
+    devices: &[Rank],
+    bytes: u64,
+    schedule: &CollSchedule,
+) -> Vec<VerifyError> {
+    let mut errors = verify_schedule_structure(topo, devices, schedule);
+
+    let cluster_of = |r: Rank| topo.coord(r).map(|c| c.cluster.0).unwrap_or(0);
+    let group_sizes: Vec<u64> = if kind == CollKind::HierarchicalAllReduce {
+        partition_by_cluster(devices, cluster_of)
+            .iter()
+            .map(|g| g.len() as u64)
+            .collect()
+    } else {
+        vec![devices.len() as u64]
+    };
+
+    let (want_bytes, want_rounds) = expected_totals(kind, &group_sizes, bytes);
+    let got_bytes = schedule.total_bytes();
+    if got_bytes != want_bytes {
+        errors.push(VerifyError::ByteCountMismatch {
+            expected: want_bytes,
+            actual: got_bytes,
+        });
+    }
+    if schedule.round_count() != want_rounds {
+        errors.push(VerifyError::RoundCountMismatch {
+            expected: want_rounds,
+            actual: schedule.round_count(),
+        });
+    }
+
+    // Shape: regenerate the canonical schedule and compare per-round
+    // transfer multisets. Sorting by (from, to, bytes) gives a canonical
+    // order for the comparison without constraining producers.
+    let canonical = kind.schedule(devices, bytes, cluster_of);
+    for (i, (got, want)) in schedule.rounds().iter().zip(canonical.rounds()).enumerate() {
+        if sorted_transfers(got.transfers()) != sorted_transfers(want.transfers()) {
+            errors.push(VerifyError::ShapeMismatch { round: i });
+        }
+    }
+    errors
+}
+
+fn sorted_transfers(ts: &[Transfer]) -> Vec<(u32, u32, u64)> {
+    let mut v: Vec<(u32, u32, u64)> = ts.iter().map(|t| (t.from.0, t.to.0, t.bytes)).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Verify a pipeline partition against Eq. 2's invariants: the stage
+/// layer counts must sum to `total_layers`, no stage may be empty when
+/// the model has at least one layer per stage, and when per-stage
+/// `speeds` are known (aggregate compute capability `S_i` of paper Eq. 2)
+/// a strictly faster stage must never hold *fewer* layers than a strictly
+/// slower one.
+pub fn verify_partition(
+    total_layers: u32,
+    speeds: Option<&[f64]>,
+    stage_layers: &[u32],
+) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+    let sum: u32 = stage_layers.iter().sum();
+    if sum != total_layers {
+        errors.push(VerifyError::LayerSumMismatch {
+            expected: total_layers,
+            actual: sum,
+        });
+    }
+    if total_layers as usize >= stage_layers.len() {
+        for (i, &l) in stage_layers.iter().enumerate() {
+            if l == 0 {
+                errors.push(VerifyError::EmptyStage { stage: i as u32 });
+            }
+        }
+    }
+    if let Some(speeds) = speeds {
+        if speeds.len() == stage_layers.len() {
+            for i in 0..stage_layers.len() {
+                for j in 0..stage_layers.len() {
+                    if speeds[i] > speeds[j] && stage_layers[i] < stage_layers[j] {
+                        errors.push(VerifyError::NonMonotoneStages {
+                            fast: i as u32,
+                            slow: j as u32,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    errors
+}
+
+/// Verify Automatic NIC Selection classifications (paper §3.2): a group
+/// claiming end-to-end RDMA must actually be NIC-homogeneous inside one
+/// switched cluster, a group selecting the RDMA ring must name its NIC,
+/// and a group spanning clusters must be explicitly flagged for it —
+/// hierarchical two-level algorithm or forced-TCP fallback — never a
+/// silent flat ring across the trunk.
+pub fn verify_dp_groups(topo: &Topology, groups: &[DpGroupNic]) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+    for g in groups {
+        let homogeneous = homogeneous_rdma(topo, &g.devices);
+        match g.rdma_nic {
+            Some(nic) if homogeneous != Some(nic) => {
+                errors.push(VerifyError::DpGroupNotHomogeneous { group: g.group });
+            }
+            None if g.algo == DpCollectiveAlgo::RingRdma => {
+                errors.push(VerifyError::DpGroupNotHomogeneous { group: g.group });
+            }
+            _ => {}
+        }
+        if spans_clusters(topo, &g.devices)
+            && g.algo != DpCollectiveAlgo::HierarchicalTwoLevel
+            && !g.forced_tcp
+        {
+            errors.push(VerifyError::DpGroupSpansClustersUnflagged { group: g.group });
+        }
+    }
+    errors
+}
+
+/// `Some(nic)` when the devices share one RDMA-capable NIC technology in
+/// one switched cluster — the §3.2 precondition for an RDMA DP group.
+/// Mirrors the planner's private classifier, independently reimplemented
+/// so verifier and planner cannot share a bug.
+fn homogeneous_rdma(topo: &Topology, devices: &[Rank]) -> Option<holmes_topology::NicType> {
+    let first = devices.first()?;
+    let nic = topo.nic_type_of(*first).ok()?;
+    if !nic.supports_rdma() {
+        return None;
+    }
+    let cluster = topo.coord(*first).ok()?.cluster;
+    if !topo.clusters()[cluster.0 as usize].has_switch {
+        return None;
+    }
+    for r in &devices[1..] {
+        if topo.nic_type_of(*r).ok()? != nic || topo.coord(*r).ok()?.cluster != cluster {
+            return None;
+        }
+    }
+    Some(nic)
+}
+
+fn spans_clusters(topo: &Topology, devices: &[Rank]) -> bool {
+    let mut clusters = devices.iter().filter_map(|&r| topo.coord(r).ok());
+    match clusters.next() {
+        None => false,
+        Some(first) => clusters.any(|c| c.cluster != first.cluster),
+    }
+}
+
+/// Verify a whole [`ParallelPlan`] against the topology it targets:
+/// assignment bijection (right size, in-range, no duplicate devices),
+/// pipeline partition invariants ([`verify_partition`] — pass the model's
+/// layer count and, when known, per-stage speeds), and §3.2 DP-group
+/// classification ([`verify_dp_groups`] over the plan's own NIC report).
+pub fn verify_plan(
+    topo: &Topology,
+    plan: &ParallelPlan,
+    total_layers: u32,
+    stage_speeds: Option<&[f64]>,
+) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+
+    let expected = plan.layout.degrees().devices();
+    let actual = plan.assignment.len();
+    if actual != expected {
+        errors.push(VerifyError::AssignmentSizeMismatch { expected, actual });
+    }
+    let mut seen: BTreeSet<Rank> = BTreeSet::new();
+    for logical in 0..actual {
+        let device = plan.assignment.device_of(logical);
+        if topo.coord(device).is_err() {
+            errors.push(VerifyError::DeviceOutOfRange { device });
+        }
+        if !seen.insert(device) {
+            errors.push(VerifyError::DuplicateDevice { device });
+        }
+    }
+
+    let p = plan.layout.degrees().pipeline;
+    if plan.stage_layers.len() as u32 != p {
+        errors.push(VerifyError::StageCountMismatch {
+            expected: p,
+            actual: plan.stage_layers.len() as u32,
+        });
+    }
+    errors.extend(verify_partition(
+        total_layers,
+        stage_speeds,
+        &plan.stage_layers,
+    ));
+
+    errors.extend(verify_dp_groups(topo, &plan.nic_report(topo).groups));
+    errors
+}

@@ -1,0 +1,27 @@
+//! The workspace's own source must pass `holmes-lint`: zero findings and
+//! a fully-justified, non-stale allowlist. This is the `cargo test` face
+//! of the CI lint job — a determinism hazard introduced anywhere in the
+//! scanned crates fails the ordinary test run, not just CI.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analysis sits two levels below the workspace root");
+    let outcome = holmes_analysis::lint_workspace(root).expect("workspace sources are readable");
+    assert!(outcome.files_scanned > 0, "scanned no files — wrong root?");
+    assert!(
+        outcome.is_clean(),
+        "holmes-lint found problems:\n{}\n{}",
+        outcome
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n"),
+        outcome.allowlist_problems.join("\n")
+    );
+}

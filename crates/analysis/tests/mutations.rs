@@ -1,0 +1,407 @@
+//! Mutation tests for the artifact verifier: corrupt known-good schedules
+//! and plans one invariant at a time and assert the verifier rejects each
+//! corruption with the *specific* [`VerifyError`] variant — proving the
+//! checks are neither vacuous nor cross-wired.
+
+use holmes_analysis::{
+    verify_collective, verify_dp_groups, verify_partition, verify_plan, verify_schedule_structure,
+    VerifyError,
+};
+use holmes_netsim::algo::{CollKind, CollSchedule, Round, Transfer};
+use holmes_parallel::{
+    DpCollectiveAlgo, DpGroupNic, GroupLayout, HolmesScheduler, ParallelDegrees, ParallelPlan,
+    Scheduler,
+};
+use holmes_topology::{presets, NicType, Rank, Topology};
+
+const V: u64 = 1 << 20;
+
+fn topo() -> Topology {
+    presets::homogeneous(NicType::InfiniBand, 2)
+}
+
+fn devices(n: u32) -> Vec<Rank> {
+    (0..n).map(Rank).collect()
+}
+
+fn cluster_of(topo: &Topology) -> impl Fn(Rank) -> u32 + '_ {
+    |r| topo.coord(r).map(|c| c.cluster.0).unwrap_or(0)
+}
+
+/// Rebuild a schedule with one mutation applied to its transfer matrix.
+fn mutate(s: &CollSchedule, f: impl FnOnce(&mut Vec<Vec<Transfer>>)) -> CollSchedule {
+    let mut rounds: Vec<Vec<Transfer>> =
+        s.rounds().iter().map(|r| r.transfers().to_vec()).collect();
+    f(&mut rounds);
+    CollSchedule::from_rounds(rounds.into_iter().map(Round::new).collect())
+}
+
+fn errors_of(kind: CollKind, schedule: &CollSchedule, devs: &[Rank]) -> Vec<VerifyError> {
+    let topo = topo();
+    verify_collective(&topo, kind, devs, V, schedule)
+}
+
+#[test]
+fn pristine_schedules_pass_for_every_kind() {
+    let topo = topo();
+    let devs = devices(8);
+    for kind in [
+        CollKind::AllReduce,
+        CollKind::TreeAllReduce,
+        CollKind::ReduceScatter,
+        CollKind::AllGather,
+        CollKind::Broadcast,
+        CollKind::HierarchicalAllReduce,
+    ] {
+        let s = kind.schedule(&devs, V, cluster_of(&topo));
+        let errs = verify_collective(&topo, kind, &devs, V, &s);
+        assert!(errs.is_empty(), "{kind:?}: {errs:?}");
+    }
+    // Hierarchical over a genuinely two-cluster group.
+    let topo = presets::same_nic_two_clusters(NicType::InfiniBand, 2);
+    let devs: Vec<Rank> = (0..32).map(Rank).collect();
+    let s = CollKind::HierarchicalAllReduce.schedule(&devs, V, cluster_of(&topo));
+    let errs = verify_collective(&topo, CollKind::HierarchicalAllReduce, &devs, V, &s);
+    assert!(errs.is_empty(), "{errs:?}");
+}
+
+#[test]
+fn dropped_transfer_detected() {
+    let devs = devices(8);
+    let good = CollKind::AllReduce.schedule(&devs, V, |_| 0);
+    let bad = mutate(&good, |rounds| {
+        rounds[0].remove(0);
+    });
+    let errs = errors_of(CollKind::AllReduce, &bad, &devs);
+    let chunk = V / 8;
+    let expected = good.total_bytes();
+    assert!(
+        errs.contains(&VerifyError::ByteCountMismatch {
+            expected,
+            actual: expected - chunk,
+        }),
+        "{errs:?}"
+    );
+    assert!(
+        errs.contains(&VerifyError::ShapeMismatch { round: 0 }),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn silenced_member_detected() {
+    let devs = devices(8);
+    let good = CollKind::AllReduce.schedule(&devs, V, |_| 0);
+    // Remove *every* transfer rank 0 sends: its shard never circulates.
+    let bad = mutate(&good, |rounds| {
+        for r in rounds {
+            r.retain(|t| t.from != Rank(0));
+        }
+    });
+    let errs = errors_of(CollKind::AllReduce, &bad, &devs);
+    assert!(
+        errs.contains(&VerifyError::MemberNeverSends { rank: Rank(0) }),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn fattened_byte_count_detected() {
+    let devs = devices(8);
+    let good = CollKind::ReduceScatter.schedule(&devs, V, |_| 0);
+    let bad = mutate(&good, |rounds| {
+        rounds[0][0].bytes += 7;
+    });
+    let errs = errors_of(CollKind::ReduceScatter, &bad, &devs);
+    let expected = good.total_bytes();
+    assert!(
+        errs.contains(&VerifyError::ByteCountMismatch {
+            expected,
+            actual: expected + 7,
+        }),
+        "{errs:?}"
+    );
+    assert!(
+        errs.contains(&VerifyError::ShapeMismatch { round: 0 }),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn reroute_to_rank_outside_topology_detected() {
+    let devs = devices(8);
+    let good = CollKind::AllReduce.schedule(&devs, V, |_| 0);
+    let bad = mutate(&good, |rounds| {
+        rounds[0][0].to = Rank(9999);
+    });
+    let errs = errors_of(CollKind::AllReduce, &bad, &devs);
+    assert!(
+        errs.contains(&VerifyError::UnknownRank {
+            round: 0,
+            rank: Rank(9999),
+        }),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn reroute_to_non_member_detected() {
+    let devs = devices(8);
+    let good = CollKind::AllReduce.schedule(&devs, V, |_| 0);
+    // Rank 12 exists in the 16-device topology but is not a group member.
+    let bad = mutate(&good, |rounds| {
+        rounds[0][0].to = Rank(12);
+    });
+    let errs = errors_of(CollKind::AllReduce, &bad, &devs);
+    assert!(
+        errs.contains(&VerifyError::ForeignRank {
+            round: 0,
+            rank: Rank(12),
+        }),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn self_transfer_detected() {
+    let devs = devices(8);
+    let good = CollKind::Broadcast.schedule(&devs, V, |_| 0);
+    let bad = mutate(&good, |rounds| {
+        let from = rounds[0][0].from;
+        rounds[0][0].to = from;
+    });
+    let errs = errors_of(CollKind::Broadcast, &bad, &devs);
+    assert!(
+        errs.iter()
+            .any(|e| matches!(e, VerifyError::SelfTransfer { round: 0, .. })),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn empty_round_detected() {
+    let devs = devices(8);
+    let good = CollKind::AllGather.schedule(&devs, V, |_| 0);
+    let bad = mutate(&good, |rounds| {
+        rounds.insert(2, Vec::new());
+    });
+    let errs = errors_of(CollKind::AllGather, &bad, &devs);
+    assert!(
+        errs.contains(&VerifyError::EmptyRound { round: 2 }),
+        "{errs:?}"
+    );
+    assert!(
+        errs.iter()
+            .any(|e| matches!(e, VerifyError::RoundCountMismatch { .. })),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn dropped_round_detected() {
+    let devs = devices(8);
+    let good = CollKind::AllReduce.schedule(&devs, V, |_| 0);
+    let bad = mutate(&good, |rounds| {
+        rounds.pop();
+    });
+    let errs = errors_of(CollKind::AllReduce, &bad, &devs);
+    assert!(
+        errs.contains(&VerifyError::RoundCountMismatch {
+            expected: 14,
+            actual: 13,
+        }),
+        "{errs:?}"
+    );
+    assert!(
+        errs.iter()
+            .any(|e| matches!(e, VerifyError::ByteCountMismatch { .. })),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn duplicate_member_detected() {
+    let topo = topo();
+    let mut devs = devices(8);
+    devs.push(Rank(3));
+    let s = CollKind::AllReduce.schedule(&devices(8), V, |_| 0);
+    let errs = verify_schedule_structure(&topo, &devs, &s);
+    assert!(
+        errs.contains(&VerifyError::DuplicateMember { rank: Rank(3) }),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn hierarchical_mutations_detected() {
+    let topo = presets::same_nic_two_clusters(NicType::InfiniBand, 2);
+    let devs: Vec<Rank> = (0..32).map(Rank).collect();
+    let good = CollKind::HierarchicalAllReduce.schedule(&devs, V, cluster_of(&topo));
+    // Fatten one inter-cluster exchange transfer: byte conservation and
+    // the phase shape both break.
+    let inter_round = good
+        .rounds()
+        .iter()
+        .position(|r| {
+            r.transfers()
+                .iter()
+                .any(|t| cluster_of(&topo)(t.from) != cluster_of(&topo)(t.to))
+        })
+        .expect("hierarchical schedule has an exchange phase");
+    let bad = mutate(&good, |rounds| {
+        rounds[inter_round][0].bytes *= 2;
+    });
+    let errs = verify_collective(&topo, CollKind::HierarchicalAllReduce, &devs, V, &bad);
+    assert!(
+        errs.iter()
+            .any(|e| matches!(e, VerifyError::ByteCountMismatch { .. })),
+        "{errs:?}"
+    );
+    assert!(
+        errs.contains(&VerifyError::ShapeMismatch { round: inter_round }),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn dp_group_split_across_nic_types_detected() {
+    // Cluster 0 is InfiniBand, cluster 1 RoCE; a group claiming
+    // end-to-end IB over members of both violates §3.2 twice: not
+    // NIC-homogeneous, and spanning clusters without flagging.
+    let topo = presets::hybrid_two_cluster(2);
+    let roce_member = topo.cluster_ranks(holmes_topology::ClusterId(1))[0];
+    let group = DpGroupNic {
+        group: 0,
+        devices: vec![Rank(0), roce_member],
+        rdma_nic: Some(NicType::InfiniBand),
+        algo: DpCollectiveAlgo::RingRdma,
+        forced_tcp: false,
+    };
+    let errs = verify_dp_groups(&topo, &[group]);
+    assert!(
+        errs.contains(&VerifyError::DpGroupNotHomogeneous { group: 0 }),
+        "{errs:?}"
+    );
+    assert!(
+        errs.contains(&VerifyError::DpGroupSpansClustersUnflagged { group: 0 }),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn flagged_spanning_and_fallback_groups_pass() {
+    let topo = presets::hybrid_two_cluster(2);
+    let roce_member = topo.cluster_ranks(holmes_topology::ClusterId(1))[0];
+    // Spanning group properly classified as hierarchical: fine.
+    let hierarchical = DpGroupNic {
+        group: 0,
+        devices: vec![Rank(0), roce_member],
+        rdma_nic: None,
+        algo: DpCollectiveAlgo::HierarchicalTwoLevel,
+        forced_tcp: false,
+    };
+    // Spanning group downgraded to TCP by a replan: also fine.
+    let forced = DpGroupNic {
+        group: 1,
+        devices: vec![Rank(1), roce_member],
+        rdma_nic: None,
+        algo: DpCollectiveAlgo::RingEthernet,
+        forced_tcp: true,
+    };
+    let errs = verify_dp_groups(&topo, &[hierarchical, forced]);
+    assert!(errs.is_empty(), "{errs:?}");
+}
+
+#[test]
+fn rdma_ring_without_nic_claim_detected() {
+    let topo = topo();
+    let group = DpGroupNic {
+        group: 2,
+        devices: devices(4),
+        rdma_nic: None,
+        algo: DpCollectiveAlgo::RingRdma,
+        forced_tcp: false,
+    };
+    let errs = verify_dp_groups(&topo, &[group]);
+    assert_eq!(errs, vec![VerifyError::DpGroupNotHomogeneous { group: 2 }]);
+}
+
+#[test]
+fn partition_mutations_detected() {
+    // Pristine Eq. 2 partition: conserved, non-empty, monotone.
+    assert!(verify_partition(30, Some(&[2.0, 1.0]), &[17, 13]).is_empty());
+    // Lost a layer.
+    assert_eq!(
+        verify_partition(30, None, &[17, 12]),
+        vec![VerifyError::LayerSumMismatch {
+            expected: 30,
+            actual: 29,
+        }]
+    );
+    // Starved stage.
+    assert_eq!(
+        verify_partition(30, None, &[30, 0]),
+        vec![VerifyError::EmptyStage { stage: 1 }]
+    );
+    // Faster stage got fewer layers: Eq. 2 monotonicity broken.
+    assert_eq!(
+        verify_partition(30, Some(&[2.0, 1.0]), &[10, 20]),
+        vec![VerifyError::NonMonotoneStages { fast: 0, slow: 1 }]
+    );
+}
+
+fn valid_plan(topo: &Topology) -> ParallelPlan {
+    let degrees = ParallelDegrees::infer_data(1, 2, topo.device_count()).unwrap();
+    let layout = GroupLayout::new(degrees);
+    let assignment = HolmesScheduler.assign(topo, &layout);
+    ParallelPlan::new(layout, assignment, vec![17, 13], true)
+}
+
+#[test]
+fn pristine_plan_passes() {
+    let topo = presets::hybrid_two_cluster(2);
+    let plan = valid_plan(&topo);
+    let errs = verify_plan(&topo, &plan, 30, None);
+    assert!(errs.is_empty(), "{errs:?}");
+}
+
+#[test]
+fn plan_layer_mutations_detected() {
+    let topo = presets::hybrid_two_cluster(2);
+    let mut plan = valid_plan(&topo);
+    plan.stage_layers = vec![17, 14];
+    let errs = verify_plan(&topo, &plan, 30, None);
+    assert!(
+        errs.contains(&VerifyError::LayerSumMismatch {
+            expected: 30,
+            actual: 31,
+        }),
+        "{errs:?}"
+    );
+
+    let mut plan = valid_plan(&topo);
+    plan.stage_layers = vec![10, 10, 10];
+    let errs = verify_plan(&topo, &plan, 30, None);
+    assert!(
+        errs.contains(&VerifyError::StageCountMismatch {
+            expected: 2,
+            actual: 3,
+        }),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn plan_assignment_mutations_detected() {
+    // A plan whose layout wants the whole hybrid topology but whose
+    // assignment covers a bigger, partly nonexistent device range.
+    let topo = presets::hybrid_two_cluster(2);
+    let small = presets::homogeneous(NicType::InfiniBand, 2);
+    let plan = valid_plan(&topo);
+    let errs = verify_plan(&small, &plan, 30, None);
+    assert!(
+        errs.iter()
+            .any(|e| matches!(e, VerifyError::DeviceOutOfRange { .. })),
+        "{errs:?}"
+    );
+}

@@ -63,6 +63,14 @@ pub struct Candidate {
 }
 
 impl Candidate {
+    /// The cached parallel plan behind this candidate, when enumeration
+    /// built one (memory-infeasible degree combinations carry none).
+    /// Exposed so external checkers — `holmes-analysis`' plan verifier in
+    /// particular — can audit exactly what the autotuner scored.
+    pub fn plan(&self) -> Option<&ParallelPlan> {
+        self.plan.as_deref().map(|(plan, _)| plan)
+    }
+
     /// Ranking key: simulated time when available, else the estimate;
     /// memory-infeasible candidates sort last.
     fn score(&self) -> f64 {

@@ -8,7 +8,7 @@
 //! contention fidelity from the simulator while the *algorithm* stays
 //! single-sourced with the analytic layers.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use holmes_netsim::algo::CollSchedule;
 use holmes_netsim::{Completion, Fabric, FlowId, FlowSpec, LinkId, NetSim, SimDuration};
@@ -373,7 +373,9 @@ struct Executor<'t> {
     /// Fabric link → owning node and class, for NIC-loss attribution.
     link_owner: HashMap<LinkId, (usize, LinkClass)>,
     /// Currently open non-healthy windows: link → (start, health).
-    open_faults: HashMap<LinkId, (f64, holmes_netsim::LinkHealth)>,
+    /// Ordered map: the iteration-end sweep drains it into the report, and
+    /// that emission order must be deterministic (link-id sorted).
+    open_faults: BTreeMap<LinkId, (f64, holmes_netsim::LinkHealth)>,
     fault_windows: Vec<FaultWindow>,
     conditions: Vec<DegradedCondition>,
     flow_retries: u64,
@@ -482,6 +484,25 @@ fn execute_inner(
                         .cluster
                         .0
                 });
+            // Static artifact check next to the spec validation above:
+            // every generated schedule must satisfy the collective-IR
+            // invariants (byte conservation, coverage, link existence, …)
+            // before the simulator replays a single flow of it.
+            #[cfg(debug_assertions)]
+            {
+                let defects = holmes_analysis::verify_collective(
+                    topo,
+                    c.kind,
+                    &c.devices,
+                    c.bytes / u64::from(channels),
+                    &schedule,
+                );
+                assert!(
+                    defects.is_empty(),
+                    "generated {:?} schedule violates IR invariants: {defects:?}",
+                    c.kind
+                );
+            }
             CollState {
                 kind: c.kind,
                 devices: c.devices,
@@ -540,7 +561,7 @@ fn execute_inner(
         lost_rdma: HashSet::new(),
         straggler_of_rank,
         link_owner,
-        open_faults: HashMap::new(),
+        open_faults: BTreeMap::new(),
         fault_windows: Vec::new(),
         conditions,
         flow_retries: 0,
@@ -771,7 +792,9 @@ impl<'t> Executor<'t> {
             token,
         });
         if arm_timeout {
-            let policy = self.retry.expect("checked above");
+            let policy = self
+                .retry
+                .expect("arm_timeout is only set when a retry policy is configured");
             let est = route.latency.as_secs_f64()
                 + if route.rate_cap.is_finite() && route.rate_cap > 0.0 {
                     bytes as f64 / route.rate_cap

@@ -5,8 +5,13 @@
 //! a collective op on a non-member, an id out of range — is cheaper to
 //! catch before any simulation runs. Schedule generators are tested against
 //! this validator, and `execute` debug-asserts it.
+//!
+//! All bookkeeping uses `BTreeMap`/`BTreeSet`: a multi-defect spec must
+//! report its errors in one deterministic (key-sorted) order, run to run —
+//! iterating a `HashMap` here would leak `RandomState` into the error list
+//! (and trip `holmes-lint`'s hash-iteration rule).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::executor::{CollectiveSpec, ExecutionSpec};
 use crate::ops::{MsgKey, Op};
@@ -74,21 +79,21 @@ impl std::fmt::Display for SpecError {
 /// Validate a spec; returns every defect found (empty = structurally sound).
 pub fn validate_spec(spec: &ExecutionSpec) -> Vec<SpecError> {
     let mut errors = Vec::new();
-    let mut sends: HashMap<MsgKey, u32> = HashMap::new();
-    let mut recvs: HashMap<MsgKey, u32> = HashMap::new();
-    let members: Vec<HashSet<holmes_topology::Rank>> = spec
+    let mut sends: BTreeMap<MsgKey, u32> = BTreeMap::new();
+    let mut recvs: BTreeMap<MsgKey, u32> = BTreeMap::new();
+    let members: Vec<BTreeSet<holmes_topology::Rank>> = spec
         .collectives
         .iter()
         .map(|c: &CollectiveSpec| c.devices.iter().copied().collect())
         .collect();
     // Which devices actually appear in programs (a collective member with
     // no program at all cannot arrive).
-    let mut started: Vec<HashSet<holmes_topology::Rank>> =
-        vec![HashSet::new(); spec.collectives.len()];
+    let mut started: Vec<BTreeSet<holmes_topology::Rank>> =
+        vec![BTreeSet::new(); spec.collectives.len()];
     let mut used: Vec<bool> = vec![false; spec.collectives.len()];
 
     for (device, ops) in &spec.programs {
-        let mut started_here: HashSet<u32> = HashSet::new();
+        let mut started_here: BTreeSet<u32> = BTreeSet::new();
         for op in ops {
             match *op {
                 Op::Send { key, .. } => {
@@ -156,7 +161,7 @@ pub fn validate_spec(spec: &ExecutionSpec) -> Vec<SpecError> {
         }
     }
 
-    let programmed: HashSet<holmes_topology::Rank> =
+    let programmed: BTreeSet<holmes_topology::Rank> =
         spec.programs.iter().map(|(d, _)| *d).collect();
     for (id, m) in members.iter().enumerate() {
         if !used[id] {
@@ -331,6 +336,47 @@ mod tests {
             id: 0,
             device: Rank(0)
         }));
+    }
+
+    #[test]
+    fn multi_defect_errors_are_deterministically_ordered() {
+        // Several defects at once: the list must come out key-sorted and
+        // identical across runs. The old HashMap bookkeeping emitted these
+        // in RandomState order, so a multi-defect spec reported a different
+        // first error every execution.
+        let spec = ExecutionSpec {
+            programs: vec![(
+                Rank(0),
+                vec![
+                    Op::Send {
+                        key: key(0, 3, 2),
+                        bytes: 8,
+                    },
+                    Op::Send {
+                        key: key(0, 1, 0),
+                        bytes: 8,
+                    },
+                    Op::Send {
+                        key: key(0, 2, 1),
+                        bytes: 8,
+                    },
+                ],
+            )],
+            collectives: vec![],
+            transport: Default::default(),
+        };
+        let first = validate_spec(&spec);
+        assert_eq!(
+            first,
+            vec![
+                SpecError::UnmatchedSend(key(0, 1, 0)),
+                SpecError::UnmatchedSend(key(0, 2, 1)),
+                SpecError::UnmatchedSend(key(0, 3, 2)),
+            ]
+        );
+        for _ in 0..8 {
+            assert_eq!(validate_spec(&spec), first);
+        }
     }
 
     #[test]

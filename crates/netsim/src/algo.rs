@@ -100,6 +100,14 @@ pub struct Round {
 }
 
 impl Round {
+    /// Build a round from explicit transfers. The algorithm constructors
+    /// below are the normal producers; this entry point exists for
+    /// verification tooling (`holmes-analysis` mutation tests build
+    /// deliberately corrupted schedules with it).
+    pub fn new(transfers: Vec<Transfer>) -> Self {
+        Round { transfers }
+    }
+
     /// The round's transfers.
     #[inline]
     pub fn transfers(&self) -> &[Transfer] {
@@ -118,6 +126,13 @@ impl CollSchedule {
     /// The empty schedule (degenerate groups: nothing to move).
     pub fn empty() -> Self {
         CollSchedule { rounds: Vec::new() }
+    }
+
+    /// Build a schedule from explicit rounds. Like [`Round::new`] this is
+    /// for verification tooling; production schedules come from the
+    /// algorithm constructors / [`CollKind::schedule`].
+    pub fn from_rounds(rounds: Vec<Round>) -> Self {
+        CollSchedule { rounds }
     }
 
     /// The rounds, in execution order.

@@ -285,7 +285,9 @@ impl NetSim {
         };
         self.settle_progress();
         let (_, slot) = self.active_order.remove(pos);
-        let flow = self.slab[slot as usize].take().expect("live slot");
+        let flow = self.slab[slot as usize]
+            .take()
+            .expect("active-set slot holds a live flow (slab free-list invariant)");
         for l in &flow.path {
             self.link_nflows[l.0 as usize] -= 1;
         }
@@ -307,7 +309,9 @@ impl NetSim {
         self.active_order
             .iter()
             .filter_map(|&(_, slot)| {
-                let flow = self.slab[slot as usize].as_ref().expect("live slot");
+                let flow = self.slab[slot as usize]
+                    .as_ref()
+                    .expect("active-set slot holds a live flow (slab free-list invariant)");
                 (flow.rate <= 0.0).then_some(flow.token)
             })
             .collect()
@@ -476,7 +480,9 @@ impl NetSim {
             link_active.clear();
             link_active.resize(self.links.len(), false);
             for &(_, slot) in &self.active_order {
-                let flow = self.slab[slot as usize].as_mut().expect("live slot");
+                let flow = self.slab[slot as usize]
+                    .as_mut()
+                    .expect("active-set slot holds a live flow (slab free-list invariant)");
                 let moved = (flow.rate * elapsed).min(flow.remaining);
                 flow.remaining -= flow.rate * elapsed;
                 if flow.remaining < 0.0 {
@@ -506,11 +512,13 @@ impl NetSim {
             let (id, slot) = self.active_order[r];
             let finished = self.slab[slot as usize]
                 .as_ref()
-                .expect("live slot")
+                .expect("active-set slot holds a live flow (slab free-list invariant)")
                 .remaining
                 <= DONE_EPS;
             if finished {
-                let flow = self.slab[slot as usize].take().expect("live slot");
+                let flow = self.slab[slot as usize]
+                    .take()
+                    .expect("active-set slot holds a live flow (slab free-list invariant)");
                 for link in &flow.path {
                     self.link_nflows[link.0 as usize] -= 1;
                 }
@@ -569,7 +577,9 @@ impl NetSim {
             let mut w = 0;
             for r in 0..unfixed.len() {
                 let slot = unfixed[r];
-                let flow = slab[slot as usize].as_mut().expect("live slot");
+                let flow = slab[slot as usize]
+                    .as_mut()
+                    .expect("active-set slot holds a live flow (slab free-list invariant)");
                 if flow.path.iter().any(|l| links[l.0 as usize].is_dead()) {
                     flow.rate = 0.0;
                     for l in &flow.path {
@@ -593,8 +603,12 @@ impl NetSim {
             }
             // Tightest flow cap.
             for &slot in unfixed.iter() {
-                bottleneck =
-                    bottleneck.min(slab[slot as usize].as_ref().expect("live slot").rate_cap);
+                bottleneck = bottleneck.min(
+                    slab[slot as usize]
+                        .as_ref()
+                        .expect("active-set slot holds a live flow (slab free-list invariant)")
+                        .rate_cap,
+                );
             }
             if !bottleneck.is_finite() {
                 // Pathless, uncapped flows: complete "instantly" at an
@@ -620,7 +634,9 @@ impl NetSim {
             let mut w = 0;
             for r in 0..unfixed.len() {
                 let slot = unfixed[r];
-                let flow = slab[slot as usize].as_mut().expect("live slot");
+                let flow = slab[slot as usize]
+                    .as_mut()
+                    .expect("active-set slot holds a live flow (slab free-list invariant)");
                 let constrained_by_cap = flow.rate_cap <= threshold;
                 let constrained_by_link = flow.path.iter().any(|l| is_bottleneck[l.0 as usize]);
                 if constrained_by_cap || constrained_by_link {
@@ -640,7 +656,9 @@ impl NetSim {
                 // Numerical corner: nothing matched the constraint. Freeze
                 // everything at the bottleneck rate to guarantee progress.
                 for &slot in unfixed.iter() {
-                    let flow = slab[slot as usize].as_mut().expect("live slot");
+                    let flow = slab[slot as usize]
+                        .as_mut()
+                        .expect("active-set slot holds a live flow (slab free-list invariant)");
                     flow.rate = flow.rate_cap.min(bottleneck);
                 }
                 break;
@@ -654,7 +672,9 @@ impl NetSim {
     fn schedule_rates_check(&mut self) {
         let mut earliest: Option<SimTime> = None;
         for &(_, slot) in &self.active_order {
-            let flow = self.slab[slot as usize].as_ref().expect("live slot");
+            let flow = self.slab[slot as usize]
+                .as_ref()
+                .expect("active-set slot holds a live flow (slab free-list invariant)");
             if flow.rate <= 0.0 {
                 continue;
             }

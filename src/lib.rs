@@ -6,6 +6,7 @@
 
 pub use holmes::*;
 
+pub use holmes_analysis as analysis;
 pub use holmes_engine as engine;
 pub use holmes_model as model;
 pub use holmes_netsim as netsim;

@@ -265,4 +265,109 @@ proptest! {
         prop_assert!(report.forward_seconds_max > 0.0);
         prop_assert!(report.backward_seconds_max >= report.forward_seconds_max);
     }
+
+    /// Verifier-as-oracle over the IR constructors: every schedule built
+    /// by `CollKind::schedule` — all six algorithms, single- and
+    /// two-cluster fabrics, arbitrary buffer sizes — satisfies the full
+    /// static invariant catalogue (byte conservation, rank coverage, DAG
+    /// rounds, link existence) with zero defects.
+    #[test]
+    fn ir_constructors_pass_the_verifier(
+        nic in nic_strategy(),
+        kind_idx in 0usize..6,
+        two_clusters in prop::sample::select(vec![false, true]),
+        mb in 1u64..256,
+    ) {
+        use holmes_repro::analysis::verify_collective;
+        use holmes_repro::engine::CollKind;
+        let kinds = [
+            CollKind::AllReduce,
+            CollKind::TreeAllReduce,
+            CollKind::ReduceScatter,
+            CollKind::AllGather,
+            CollKind::Broadcast,
+            CollKind::HierarchicalAllReduce,
+        ];
+        let kind = kinds[kind_idx];
+        let topo = if two_clusters {
+            presets::same_nic_two_clusters(nic, 1)
+        } else {
+            presets::homogeneous(nic, 2)
+        };
+        let bytes = mb << 20;
+        let devices: Vec<Rank> = (0..topo.device_count()).map(Rank).collect();
+        let cluster_of = |r: Rank| topo.coord(r).unwrap().cluster.0;
+        let schedule = kind.schedule(&devices, bytes, cluster_of);
+        let defects = verify_collective(&topo, kind, &devices, bytes, &schedule);
+        prop_assert!(defects.is_empty(), "{nic} {kind:?}: {defects:?}");
+    }
+
+    /// Verifier-as-oracle over the placement search: the winning
+    /// assignment of `search_cluster_orders`, wrapped into a plan with any
+    /// partition strategy, passes `verify_plan` — including the §3.2 DP
+    /// group NIC-homogeneity checks on heterogeneous fabrics.
+    #[test]
+    fn searched_plans_pass_the_verifier(
+        nodes in 1u32..=3,
+        t in 1u32..=2,
+        alpha in 1.0f64..1.5,
+        mb in 1u64..64,
+    ) {
+        use holmes_repro::analysis::verify_plan;
+        use holmes_repro::parallel::search_cluster_orders;
+        let topo = presets::hybrid_two_cluster(nodes);
+        let n = topo.device_count();
+        prop_assume!(n.is_multiple_of(t * 2));
+        let layout = GroupLayout::new(ParallelDegrees::infer_data(t, 2, n).unwrap());
+        let result = search_cluster_orders(&topo, &layout, mb << 20);
+        let total_layers = 24u32;
+        let speeds = vec![2.0, 1.0];
+        let stage_layers =
+            SelfAdaptingPartition { alpha }.partition(total_layers, &speeds);
+        let plan = ParallelPlan::new(
+            layout,
+            result.assignment,
+            stage_layers,
+            true,
+        );
+        let defects = verify_plan(&topo, &plan, total_layers, Some(&speeds));
+        prop_assert!(defects.is_empty(), "{defects:?}");
+    }
+
+    /// Verifier-as-oracle over the autotuner: every candidate the search
+    /// enumerates carries a plan that passes `verify_plan` — the tuner
+    /// never scores a structurally invalid configuration.
+    #[test]
+    fn autotuned_plans_pass_the_verifier(
+        nic in nic_strategy(),
+        nodes in prop::sample::select(vec![1u32, 2]),
+    ) {
+        use holmes_repro::analysis::verify_plan;
+        use holmes_repro::{autotune, AutotuneRequest, HolmesConfig};
+        let topo = presets::homogeneous(nic, nodes);
+        let job = TrainJob {
+            config: GptConfig::paper_standard(12, 1024, 16),
+            micro_batch: 2,
+            global_batch: 256,
+        };
+        let req = AutotuneRequest {
+            job,
+            max_tensor: 2,
+            max_pipeline: 2,
+            top_k: 2,
+        };
+        let ranked = autotune(&topo, &req, &HolmesConfig::full());
+        prop_assert!(!ranked.is_empty());
+        for c in &ranked {
+            let Some(plan) = c.plan() else { continue };
+            let defects = verify_plan(&topo, plan, job.config.num_layers, None);
+            prop_assert!(
+                defects.is_empty(),
+                "t={} p={} d={}: {defects:?}",
+                c.tensor,
+                c.pipeline,
+                c.data
+            );
+        }
+    }
 }
