@@ -124,10 +124,14 @@ impl LintOutcome {
 }
 
 /// Event-ordered code: anything here feeds the simulator's event queue or
-/// the executor's replay, where iteration order becomes event order.
-const HASH_ITER_SCOPE: &[&str] = &["crates/netsim/src", "crates/engine/src"];
+/// the executor's replay, where iteration order becomes event order. The
+/// obs crate qualifies because its exports promise byte-identity — hash
+/// iteration anywhere in the export path would break the bench gate.
+const HASH_ITER_SCOPE: &[&str] = &["crates/netsim/src", "crates/engine/src", "crates/obs/src"];
 
 /// Simulation logic: all simulated time must come from the event clock.
+/// The obs crate's trace timestamps must likewise be pure functions of
+/// simulated (or synthetic planning) time.
 const WALL_CLOCK_SCOPE: &[&str] = &[
     "crates/netsim/src",
     "crates/engine/src",
@@ -135,6 +139,7 @@ const WALL_CLOCK_SCOPE: &[&str] = &[
     "crates/core/src",
     "crates/topology/src",
     "crates/model/src",
+    "crates/obs/src",
 ];
 
 /// The two files on the per-flow critical path.
@@ -147,6 +152,7 @@ const FLOAT_EQ_SCOPE: &[&str] = &[
     "crates/core/src",
     "crates/topology/src",
     "crates/model/src",
+    "crates/obs/src",
     "src",
 ];
 
@@ -155,6 +161,7 @@ const LOSSY_CAST_SCOPE: &[&str] = &[
     "crates/engine/src",
     "crates/parallel/src",
     "crates/topology/src",
+    "crates/obs/src",
 ];
 
 /// Directories never scanned: vendored shims (external idiom, not ours),

@@ -85,6 +85,25 @@ fn main() {
         sections.len()
     );
 
+    // One fully-observed reference iteration (Holmes, PG1, two-cluster
+    // hybrid): the unified metrics registry for this run is embedded in
+    // the snapshot. Everything in it derives from simulated time, so the
+    // section is deterministic and the bench gate compares it exactly.
+    let mut session = holmes::obs::ObsSession::new();
+    holmes::run_framework_observed(
+        holmes::FrameworkKind::Holmes,
+        &holmes_topology::presets::hybrid_two_cluster(2),
+        1,
+        &mut session,
+    )
+    .expect("observed reference iteration");
+    let obs = session.report();
+    println!(
+        "observed reference iteration: {} spans / {} instants",
+        session.trace.span_count(),
+        session.trace.instant_count()
+    );
+
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"profile\": \"quick\",");
@@ -92,6 +111,9 @@ fn main() {
     let _ = writeln!(out, "  \"netsim_probe_events\": {events},");
     let _ = writeln!(out, "  \"all_experiments_wall_seconds\": {wall:.3},");
     let _ = writeln!(out, "  \"all_experiments_sections\": {},", sections.len());
+    out.push_str("  \"obs\": {\n    \"holmes_pg1_hybrid2\": ");
+    out.push_str(obs.to_json(4).trim_start());
+    out.push_str("\n  },\n");
     out.push_str("  \"suites\": {\n");
     write_suite(&mut out, "netsim", &netsim, false);
     write_suite(&mut out, "collectives", &collectives, false);

@@ -9,7 +9,8 @@
 
 use std::fmt::Write as _;
 
-use holmes::{run_resilient, FaultPreset, ResilienceReport};
+use holmes::{run_resilient_observed, FaultPreset, ResilienceReport};
+use holmes_obs::{ObsReport, ObsSession};
 use holmes_topology::{presets, Topology};
 
 /// Seed shared by every row: the snapshot is a regression artifact, not a
@@ -23,6 +24,9 @@ pub struct ResilienceRow {
     pub env: &'static str,
     /// Scenario outcome.
     pub report: ResilienceReport,
+    /// Unified observability snapshot of the faulted run (one fresh
+    /// session per scenario, so counters are strictly per-iteration).
+    pub obs: ObsReport,
 }
 
 fn environments(quick: bool) -> Vec<(&'static str, Topology, u8)> {
@@ -40,9 +44,14 @@ pub fn run_family(quick: bool) -> Vec<ResilienceRow> {
     let mut rows = Vec::new();
     for (env, topo, pg) in environments(quick) {
         for preset in FaultPreset::ALL {
-            let report = run_resilient(&topo, pg, preset, SEED)
+            let mut session = ObsSession::new();
+            let report = run_resilient_observed(&topo, pg, preset, SEED, &mut session)
                 .unwrap_or_else(|e| panic!("resilience {env}/{}: {e}", preset.name()));
-            rows.push(ResilienceRow { env, report });
+            rows.push(ResilienceRow {
+                env,
+                report,
+                obs: session.report(),
+            });
         }
     }
     rows
@@ -99,6 +108,9 @@ pub fn to_json(rows: &[ResilienceRow], profile: &str) -> String {
                 let _ = writeln!(out, "      \"replan\": null,");
             }
         }
+        out.push_str("      \"obs\": ");
+        out.push_str(row.obs.to_json(6).trim_start());
+        out.push_str(",\n");
         out.push_str("      \"event_log\": [");
         for (j, line) in r.event_log.iter().enumerate() {
             let c = if j + 1 == r.event_log.len() { "" } else { ", " };
@@ -126,6 +138,12 @@ mod tests {
         let json = to_json(&rows, "quick");
         assert!(json.contains("\"preset\": \"dying_nic\""));
         assert!(json.contains("\"replan\": {"));
+        assert!(json.contains("\"obs\": {"));
+        assert!(json.contains("engine.flow_retries"));
         assert!(json.ends_with("}\n"));
+        // The whole snapshot — obs registries included — is byte-stable.
+        assert_eq!(json, to_json(&again, "quick"));
+        // And it parses back as JSON.
+        holmes_obs::json::parse(&json).expect("snapshot is valid JSON");
     }
 }

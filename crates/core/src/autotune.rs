@@ -194,6 +194,56 @@ pub fn autotune_with_mode(
     candidates
 }
 
+/// Record a finished autotune search into an observability session: one
+/// `candidate-scored` planning event per ranked candidate (best first,
+/// matching the returned order) plus summary counters and the winner's
+/// iteration time.
+///
+/// Recording is post-hoc over the ranked list for the same reason the
+/// parallel layer's is ([`holmes_parallel::obs`]): finalist simulation
+/// fans out across threads, so threading a sink through it would make
+/// event order racy.
+pub fn record_autotune(session: &mut holmes_obs::ObsSession, ranked: &[Candidate]) {
+    use holmes_obs::Layer;
+    let reg = &mut session.registry;
+    reg.counter_add("core.autotune_candidates", ranked.len() as u64);
+    reg.counter_add(
+        "core.autotune_simulated",
+        ranked.iter().filter(|c| c.simulated.is_some()).count() as u64,
+    );
+    if let Some(best) = ranked.first() {
+        reg.gauge_set(
+            "core.autotune_best_seconds",
+            best.simulated
+                .map(|m| m.iteration_seconds)
+                .unwrap_or(best.estimated_seconds),
+        );
+    }
+    for (i, c) in ranked.iter().enumerate() {
+        let mut args = vec![
+            ("rank".to_owned(), format!("{i}")),
+            (
+                "estimated_seconds".to_owned(),
+                format!("{:?}", c.estimated_seconds),
+            ),
+            ("fits_memory".to_owned(), format!("{}", c.fits_memory)),
+        ];
+        if let Some(m) = &c.simulated {
+            args.push((
+                "simulated_seconds".to_owned(),
+                format!("{:?}", m.iteration_seconds),
+            ));
+        }
+        session.trace.planning_event(
+            Layer::Core,
+            i as u64,
+            format!("candidate-scored t{} p{} d{}", c.tensor, c.pipeline, c.data),
+            "autotune",
+            args,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +323,24 @@ mod tests {
         for w in ranked.windows(2) {
             assert!(w[0].score() <= w[1].score());
         }
+    }
+
+    #[test]
+    fn autotune_recording_covers_every_candidate() {
+        let topo = presets::homogeneous(holmes_topology::NicType::InfiniBand, 4);
+        let req = AutotuneRequest::new(ParameterGroup::table2(1).job());
+        let ranked = autotune(&topo, &req, &HolmesConfig::full());
+        let mut session = holmes_obs::ObsSession::new();
+        record_autotune(&mut session, &ranked);
+        assert_eq!(
+            session.registry.counter("core.autotune_candidates"),
+            ranked.len() as u64
+        );
+        assert_eq!(session.trace.instant_count(), ranked.len() as u64);
+        assert!(session
+            .registry
+            .gauge("core.autotune_best_seconds")
+            .is_some());
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod resilience;
 mod runner;
 pub mod training;
 
-pub use autotune::{autotune, autotune_with_mode, AutotuneRequest, Candidate};
+pub use autotune::{autotune, autotune_with_mode, record_autotune, AutotuneRequest, Candidate};
 pub use config::HolmesConfig;
 pub use estimate::{estimate_iteration, IterationEstimate};
 pub use framework::FrameworkKind;
@@ -58,13 +58,17 @@ pub use holmes_parallel::EvalMode;
 pub use planner::{plan_for, PlanError, PlanRequest};
 pub use reliability::{CheckpointPlan, GoodputTrace, ReliabilityModel};
 pub use report::TableBuilder;
-pub use resilience::{run_resilient, FaultPreset, ResilienceReport};
-pub use runner::{run_framework, run_holmes_with, run_scenario, RunError, RunResult, Scenario};
+pub use resilience::{run_resilient, run_resilient_observed, FaultPreset, ResilienceReport};
+pub use runner::{
+    run_framework, run_framework_observed, run_holmes_with, run_scenario, run_scenario_observed,
+    RunError, RunResult, Scenario,
+};
 pub use training::{simulate_training_run, TrainingRunConfig, TrainingRunReport};
 
 // Re-export the substrate crates so downstream users need one dependency.
 pub use holmes_engine as engine;
 pub use holmes_model as model;
 pub use holmes_netsim as netsim;
+pub use holmes_obs as obs;
 pub use holmes_parallel as parallel;
 pub use holmes_topology as topology;

@@ -13,11 +13,12 @@
 //! and therefore a byte-identical [`ResilienceReport::event_log`].
 
 use holmes_engine::{
-    simulate_iteration_with_faults, DegradedCondition, DpSyncStrategy, FaultPlan, FaultWindow,
-    TrainingMetrics,
+    simulate_iteration_observed, simulate_iteration_with_faults, DegradedCondition, DpSyncStrategy,
+    FaultPlan, FaultWindow, TrainingMetrics,
 };
 use holmes_model::CommVolumes;
 use holmes_netsim::{LinkHealth, SimDuration, SimTime};
+use holmes_obs::{Layer, ObsSession};
 use holmes_parallel::ReplanOutcome;
 use holmes_topology::Topology;
 use rand::rngs::StdRng;
@@ -161,6 +162,35 @@ pub fn run_resilient(
     preset: FaultPreset,
     seed: u64,
 ) -> Result<ResilienceReport, RunError> {
+    run_resilient_inner(topo, parameter_group, preset, seed, None)
+}
+
+/// [`run_resilient`] with the *faulted* run instrumented into `session`.
+///
+/// The clean baseline stays unobserved so the trace shows exactly one
+/// iteration's worth of spans. On top of the engine/netsim instrumentation
+/// the core layer contributes: `core.*` gauges for the clean/faulted
+/// wall-clocks and slowdown, a [`Layer::Core`] instant per degraded
+/// condition the executor reacted to, and — when a NIC loss triggered the
+/// parallel layer's downgrade pass —
+/// [`holmes_parallel::obs::record_replan`].
+pub fn run_resilient_observed(
+    topo: &Topology,
+    parameter_group: u8,
+    preset: FaultPreset,
+    seed: u64,
+    session: &mut ObsSession,
+) -> Result<ResilienceReport, RunError> {
+    run_resilient_inner(topo, parameter_group, preset, seed, Some(session))
+}
+
+fn run_resilient_inner(
+    topo: &Topology,
+    parameter_group: u8,
+    preset: FaultPreset,
+    seed: u64,
+    mut obs: Option<&mut ObsSession>,
+) -> Result<ResilienceReport, RunError> {
     let cfg = HolmesConfig::full();
     let request = PlanRequest::parameter_group(parameter_group);
     let (plan, engine_cfg) = plan_for(topo, &request, &cfg, DpSyncStrategy::DistributedOptimizer)
@@ -176,9 +206,19 @@ pub fn run_resilient(
             .map_err(RunError::Engine)?;
 
     let fault_plan = preset.build_plan(seed, clean_report.total_seconds, trunk);
-    let (report, metrics) =
-        simulate_iteration_with_faults(topo, &plan, &request.job, &engine_cfg, &fault_plan)
-            .map_err(RunError::Engine)?;
+    let (report, metrics) = match obs.as_deref_mut() {
+        Some(session) => simulate_iteration_observed(
+            topo,
+            &plan,
+            &request.job,
+            &engine_cfg,
+            Some(&fault_plan),
+            session,
+        )
+        .map_err(RunError::Engine)?,
+        None => simulate_iteration_with_faults(topo, &plan, &request.job, &engine_cfg, &fault_plan)
+            .map_err(RunError::Engine)?,
+    };
 
     // NIC actually lost mid-run → run the parallel layer's downgrade
     // pass, pricing the next iteration's DP sync on the shrunken fleet.
@@ -253,6 +293,50 @@ pub fn run_resilient(
         ));
     }
 
+    if let Some(session) = obs {
+        let reg = &mut session.registry;
+        reg.counter_add("core.resilience_runs", 1);
+        reg.gauge_set("core.clean_seconds", clean_report.total_seconds);
+        reg.gauge_set("core.faulted_seconds", report.total_seconds);
+        if clean_report.total_seconds > 0.0 {
+            reg.gauge_set(
+                "core.resilience_slowdown",
+                report.total_seconds / clean_report.total_seconds,
+            );
+        }
+        for c in &report.degraded_conditions {
+            // Stragglers are declared during planning, not at a simulated
+            // time; they land at t=0 on the trace.
+            let (track, name, at) = match c {
+                DegradedCondition::DegradedLink {
+                    link,
+                    fraction,
+                    at_seconds,
+                } => (
+                    u64::from(link.0),
+                    format!("degraded-link#{} {:.2}", link.0, fraction),
+                    *at_seconds,
+                ),
+                DegradedCondition::LostNic { node, at_seconds } => (
+                    u64::from(*node),
+                    format!("lost-nic node{node}"),
+                    *at_seconds,
+                ),
+                DegradedCondition::Straggler { rank, slowdown } => (
+                    u64::from(rank.0),
+                    format!("straggler rank{} {:.2}", rank.0, slowdown),
+                    0.0,
+                ),
+            };
+            session
+                .trace
+                .instant(Layer::Core, track, name, "resilience", at);
+        }
+        if let Some(r) = &replan {
+            holmes_parallel::obs::record_replan(session, r);
+        }
+    }
+
     Ok(ResilienceReport {
         preset,
         seed,
@@ -321,6 +405,30 @@ mod tests {
         let replan = r.replan.as_ref().expect("NIC loss triggers a replan");
         assert!(!replan.downgraded_groups.is_empty());
         assert!(replan.slowdown() >= 1.0);
+    }
+
+    #[test]
+    fn observed_resilience_matches_unobserved_and_records_the_recovery() {
+        let topo = presets::hybrid_two_cluster(2);
+        let plain = run_resilient(&topo, 1, FaultPreset::DyingNic, 7).unwrap();
+        let mut session = holmes_obs::ObsSession::new();
+        let observed =
+            run_resilient_observed(&topo, 1, FaultPreset::DyingNic, 7, &mut session).unwrap();
+        // Observation does not change the run.
+        assert_eq!(plain.log_text(), observed.log_text());
+        // Fault counters flow through the unified registry (satellite 5:
+        // registry-backed, not ad-hoc struct fields).
+        let reg = &session.registry;
+        assert_eq!(reg.counter("engine.flow_retries"), observed.flow_retries);
+        assert_eq!(
+            reg.counter("engine.tcp_fallback_flows"),
+            observed.tcp_fallback_flows
+        );
+        assert_eq!(reg.counter("core.resilience_runs"), 1);
+        assert_eq!(reg.counter("parallel.replans"), 1);
+        assert!(reg.gauge("core.resilience_slowdown").unwrap() > 1.0);
+        // The lost NIC shows up as a core-layer instant on the trace.
+        assert!(session.trace.layers_present().contains(&Layer::Core));
     }
 
     #[test]

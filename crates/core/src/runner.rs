@@ -1,6 +1,10 @@
 //! End-to-end simulation entry points.
 
-use holmes_engine::{simulate_iteration, DpSyncStrategy, IterationReport, TrainingMetrics};
+use holmes_engine::{
+    simulate_iteration, simulate_iteration_observed, DpSyncStrategy, IterationReport,
+    TrainingMetrics,
+};
+use holmes_obs::ObsSession;
 use holmes_parallel::NicSelectionReport;
 use holmes_topology::Topology;
 
@@ -99,6 +103,43 @@ pub fn run_scenario(
     })
 }
 
+/// [`run_scenario`] with the whole stack instrumented into `session`.
+///
+/// Records, in order: the plan's Automatic-NIC-Selection outcome
+/// (planning-clock events under the parallel layer), then the executed
+/// iteration — engine timeline spans, netsim flow/link records and the
+/// unified metrics registry — via
+/// [`holmes_engine::simulate_iteration_observed`]. The returned
+/// [`RunResult`] is identical to the unobserved one: observation never
+/// changes what the simulator does, only what it remembers.
+pub fn run_scenario_observed(
+    scenario: &Scenario,
+    cfg: &HolmesConfig,
+    fallback_dp: DpSyncStrategy,
+    session: &mut ObsSession,
+) -> Result<RunResult, RunError> {
+    let (plan, engine_cfg) =
+        plan_for(&scenario.topo, &scenario.request, cfg, fallback_dp).map_err(RunError::Plan)?;
+    let nic = plan.nic_report(&scenario.topo);
+    holmes_parallel::obs::record_nic_selection(session, &nic);
+    let (report, metrics) = simulate_iteration_observed(
+        &scenario.topo,
+        &plan,
+        &scenario.request.job,
+        &engine_cfg,
+        None,
+        session,
+    )
+    .map_err(RunError::Engine)?;
+    session.registry.counter_add("core.runs", 1);
+    Ok(RunResult {
+        metrics,
+        report,
+        nic,
+        stage_layers: plan.stage_layers.clone(),
+    })
+}
+
 /// Simulate Holmes with an explicit feature configuration (ablations).
 pub fn run_holmes_with(
     cfg: &HolmesConfig,
@@ -133,6 +174,27 @@ pub fn run_framework(
         &Scenario::new(topo.clone(), parameter_group),
         &cfg,
         fallback,
+    )
+}
+
+/// [`run_framework`] with the run instrumented into `session`.
+pub fn run_framework_observed(
+    kind: FrameworkKind,
+    topo: &Topology,
+    parameter_group: u8,
+    session: &mut ObsSession,
+) -> Result<RunResult, RunError> {
+    let cfg = kind.as_holmes_flags();
+    let fallback = if kind.uses_zero1() || kind == FrameworkKind::Holmes {
+        DpSyncStrategy::DistributedOptimizer
+    } else {
+        DpSyncStrategy::AllReduce
+    };
+    run_scenario_observed(
+        &Scenario::new(topo.clone(), parameter_group),
+        &cfg,
+        fallback,
+        session,
     )
 }
 
@@ -209,6 +271,30 @@ mod tests {
         assert_eq!(r.stage_layers.iter().sum::<u32>(), 30);
         let r = run_framework(FrameworkKind::MegatronLm, &topo, 1).unwrap();
         assert!(r.metrics.tflops_per_gpu > 0.0);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_spans_three_layers() {
+        use holmes_obs::{Layer, ObsSession};
+        let topo = presets::hybrid_two_cluster(2);
+        let plain = run_framework(FrameworkKind::Holmes, &topo, 1).unwrap();
+        let mut session = ObsSession::new();
+        let observed =
+            run_framework_observed(FrameworkKind::Holmes, &topo, 1, &mut session).unwrap();
+        // Observation must not perturb the simulation.
+        assert_eq!(
+            plain.metrics.iteration_seconds.to_bits(),
+            observed.metrics.iteration_seconds.to_bits()
+        );
+        assert_eq!(plain.report.events, observed.report.events);
+        // One run populates engine + netsim spans and parallel planning
+        // instants — three layers in a single merged trace.
+        let layers = session.trace.layers_present();
+        assert!(layers.contains(&Layer::Engine), "{layers:?}");
+        assert!(layers.contains(&Layer::Netsim), "{layers:?}");
+        assert!(layers.contains(&Layer::Parallel), "{layers:?}");
+        assert_eq!(session.registry.counter("core.runs"), 1);
+        assert!(session.registry.counter("netsim.flows_finished") > 0);
     }
 
     #[test]

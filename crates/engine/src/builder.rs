@@ -691,6 +691,28 @@ pub fn simulate_iteration_with_faults(
     Ok((report, metrics))
 }
 
+/// Build and execute one iteration with full observability (see
+/// [`crate::executor::execute_observed`]): the session accumulates the
+/// merged engine + netsim trace and the iteration's metrics. `faults`
+/// optionally runs the iteration under a deterministic fault plan.
+pub fn simulate_iteration_observed(
+    topo: &Topology,
+    plan: &ParallelPlan,
+    job: &TrainJob,
+    cfg: &EngineConfig,
+    faults: Option<&crate::fault::FaultPlan>,
+    session: &mut holmes_obs::ObsSession,
+) -> Result<(IterationReport, TrainingMetrics), BuildError> {
+    let spec = build_iteration(topo, plan, job, cfg)?;
+    let report =
+        crate::executor::execute_observed(topo, spec, faults, session).map_err(BuildError::Exec)?;
+    let metrics = TrainingMetrics::from_report(job, plan.degrees().devices(), &report);
+    session
+        .registry
+        .gauge_set("engine.iteration_seconds", metrics.iteration_seconds);
+    Ok((report, metrics))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

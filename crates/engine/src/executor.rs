@@ -378,8 +378,12 @@ struct Executor<'t> {
     open_faults: BTreeMap<LinkId, (f64, holmes_netsim::LinkHealth)>,
     fault_windows: Vec<FaultWindow>,
     conditions: Vec<DegradedCondition>,
-    flow_retries: u64,
-    tcp_fallback_flows: u64,
+    /// Registry-backed fault counters (`engine.flow_retries`,
+    /// `engine.tcp_fallback_flows`). Living in a fresh registry per
+    /// execution pins the per-iteration semantics: counters can never
+    /// leak across `execute*` calls, and observed runs merge this
+    /// registry straight into the session.
+    counters: holmes_obs::Registry,
 }
 
 /// Execute a spec on a topology. See [`IterationReport`].
@@ -388,7 +392,7 @@ struct Executor<'t> {
 /// ([`crate::validate::validate_spec`]); a structurally broken spec
 /// panics with the defect list instead of deadlocking mid-simulation.
 pub fn execute(topo: &Topology, spec: ExecutionSpec) -> Result<IterationReport, ExecError> {
-    execute_inner(topo, spec, None)
+    execute_inner(topo, spec, None, None)
 }
 
 /// Execute a spec under a deterministic [`FaultPlan`].
@@ -406,13 +410,30 @@ pub fn execute_with_faults(
     spec: ExecutionSpec,
     plan: &FaultPlan,
 ) -> Result<IterationReport, ExecError> {
-    execute_inner(topo, spec, Some(plan))
+    execute_inner(topo, spec, Some(plan), None)
+}
+
+/// Execute a spec (optionally under a [`FaultPlan`]) with full
+/// observability: the simulator collects flow-level records, and on
+/// return the session holds the merged engine + netsim trace spans plus
+/// the execution's metrics (fault counters, collective wall-time
+/// histogram, per-flow timings). Failed executions still contribute
+/// their counters and netsim records. The un-observed entry points skip
+/// every collection branch, so their behaviour is unchanged.
+pub fn execute_observed(
+    topo: &Topology,
+    spec: ExecutionSpec,
+    plan: Option<&FaultPlan>,
+    session: &mut holmes_obs::ObsSession,
+) -> Result<IterationReport, ExecError> {
+    execute_inner(topo, spec, plan, Some(session))
 }
 
 fn execute_inner(
     topo: &Topology,
     spec: ExecutionSpec,
     plan: Option<&FaultPlan>,
+    obs: Option<&mut holmes_obs::ObsSession>,
 ) -> Result<IterationReport, ExecError> {
     #[cfg(debug_assertions)]
     {
@@ -432,6 +453,9 @@ fn execute_inner(
         assert!(hard.is_empty(), "structurally invalid spec: {hard:?}");
     }
     let mut sim = NetSim::new();
+    if obs.is_some() {
+        sim.enable_obs();
+    }
     let fabric = match plan.and_then(|p| p.trunk_bytes_per_sec) {
         Some(bw) => Fabric::build_with_trunk(topo, &mut sim, bw),
         None => Fabric::build(topo, &mut sim),
@@ -564,10 +588,14 @@ fn execute_inner(
         open_faults: BTreeMap::new(),
         fault_windows: Vec::new(),
         conditions,
-        flow_retries: 0,
-        tcp_fallback_flows: 0,
+        counters: holmes_obs::Registry::new(),
     };
-    exec.run()
+    let result = exec.run();
+    if let Some(session) = obs {
+        let net = exec.sim.take_obs();
+        crate::obs::record_execution(session, &exec.counters, result.as_ref().ok(), net.as_ref());
+    }
+    result
 }
 
 /// Expand a topology-level fault target into the fabric links it covers.
@@ -696,7 +724,7 @@ impl<'t> Executor<'t> {
             });
         }
         self.attempts[a].retries_left -= 1;
-        self.flow_retries += 1;
+        self.counters.counter_add("engine.flow_retries", 1);
         let old_flow = self.attempts[a].flow;
         self.sim.cancel_flow(old_flow);
         self.attempt_of_flow.remove(&old_flow);
@@ -733,7 +761,7 @@ impl<'t> Executor<'t> {
             || self.lost_rdma.contains(&self.fabric.node_of(from))
             || self.lost_rdma.contains(&self.fabric.node_of(to))
         {
-            self.tcp_fallback_flows += 1;
+            self.counters.counter_add("engine.tcp_fallback_flows", 1);
             self.fabric.route_forced_tcp(self.topo, from, to)
         } else {
             self.fabric.route(self.topo, from, to)
@@ -777,7 +805,7 @@ impl<'t> Executor<'t> {
                 || self.lost_rdma.contains(&self.fabric.node_of(to)));
         let route = match self.transport {
             TransportPolicy::Auto if lost_endpoint => {
-                self.tcp_fallback_flows += 1;
+                self.counters.counter_add("engine.tcp_fallback_flows", 1);
                 self.fabric.route_forced_tcp(self.topo, from, to)
             }
             TransportPolicy::Auto => self.fabric.route(self.topo, from, to),
@@ -1031,8 +1059,8 @@ impl<'t> Executor<'t> {
             node_link_usage: Vec::new(),
             fault_windows: std::mem::take(&mut self.fault_windows),
             degraded_conditions: std::mem::take(&mut self.conditions),
-            flow_retries: self.flow_retries,
-            tcp_fallback_flows: self.tcp_fallback_flows,
+            flow_retries: self.counters.counter("engine.flow_retries"),
+            tcp_fallback_flows: self.counters.counter("engine.tcp_fallback_flows"),
         };
         // Close windows the schedule never restored at the iteration end
         // (leftover retry timers can drain the simulator clock past the

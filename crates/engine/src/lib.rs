@@ -46,20 +46,21 @@ pub mod dp_sync;
 pub mod executor;
 pub mod fault;
 pub mod metrics;
+mod obs;
 pub mod ops;
 pub mod schedule;
 pub mod timeline;
 pub mod validate;
 
 pub use builder::{
-    build_iteration, simulate_iteration, simulate_iteration_with_faults, BuildError, EngineConfig,
-    ScheduleKind,
+    build_iteration, simulate_iteration, simulate_iteration_observed,
+    simulate_iteration_with_faults, BuildError, EngineConfig, ScheduleKind,
 };
 pub use compute::{ComputeModel, StageCost};
 pub use dp_sync::DpSyncStrategy;
 pub use executor::{
-    execute, execute_with_faults, CollKind, CollectiveSpec, ExecError, ExecutionSpec,
-    IterationReport, NodeLinkUsage, TransportPolicy,
+    execute, execute_observed, execute_with_faults, CollKind, CollectiveSpec, ExecError,
+    ExecutionSpec, IterationReport, NodeLinkUsage, TransportPolicy,
 };
 pub use fault::{
     DegradedCondition, FaultPlan, FaultTarget, FaultWindow, LinkFault, RetryPolicy, Straggler,

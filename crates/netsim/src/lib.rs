@@ -43,6 +43,7 @@ mod fabric;
 pub mod fault;
 mod flow;
 mod link;
+pub mod obs;
 mod sim;
 mod time;
 
@@ -51,5 +52,6 @@ pub use fabric::{Fabric, Route};
 pub use fault::{FaultEvent, FaultSchedule};
 pub use flow::{FlowId, FlowSpec};
 pub use link::{LinkCapacity, LinkHealth, LinkId, LinkStats};
+pub use obs::{FlowOutcome, FlowRecord, LinkWindow, NetObsReport, ParkEvent};
 pub use sim::{Completion, NetSim};
 pub use time::{SimDuration, SimTime};

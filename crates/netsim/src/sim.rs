@@ -6,6 +6,7 @@ use std::collections::{BTreeMap, BinaryHeap, HashSet, VecDeque};
 use crate::fault::FaultSchedule;
 use crate::flow::{FlowId, FlowSpec};
 use crate::link::{LinkCapacity, LinkHealth, LinkId, LinkStats};
+use crate::obs::{FlowOutcome, NetObsReport, NetObsState};
 use crate::time::{SimDuration, SimTime};
 
 /// A completion delivered by [`NetSim::next`].
@@ -154,6 +155,9 @@ pub struct NetSim {
     scratch_is_bottleneck: Vec<bool>,
     scratch_link_active: Vec<bool>,
     scratch_unfixed: Vec<u32>,
+    /// Flow-level observation collector; `None` (the default) keeps every
+    /// hot path on the exact historical behaviour.
+    obs: Option<Box<NetObsState>>,
 }
 
 impl NetSim {
@@ -178,6 +182,35 @@ impl NetSim {
     #[inline]
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Enable flow-level observation: per-flow lifetimes, per-link busy
+    /// windows and park/resume instants accumulate until
+    /// [`NetSim::take_obs`]. Idempotent; disabled simulators skip every
+    /// collection branch, so un-observed runs stay byte-identical to the
+    /// historical event timelines.
+    pub fn enable_obs(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(Box::default());
+        }
+    }
+
+    /// True when flow-level observation is collecting.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Take the collected observability report (closing still-open flow
+    /// records and link windows at the current time) and disable
+    /// observation. `None` when observation was never enabled.
+    pub fn take_obs(&mut self) -> Option<NetObsReport> {
+        self.obs.as_ref()?;
+        // Bring byte accounting up to `now` so open windows close with
+        // current totals (same settlement the next event would perform).
+        self.settle_progress();
+        let state = self.obs.take()?;
+        let bytes: Vec<f64> = self.link_stats.iter().map(|s| s.bytes).collect();
+        Some(state.into_report(self.now, &bytes))
     }
 
     /// Register a shared link and get its id.
@@ -289,7 +322,17 @@ impl NetSim {
             .take()
             .expect("active-set slot holds a live flow (slab free-list invariant)");
         for l in &flow.path {
-            self.link_nflows[l.0 as usize] -= 1;
+            let i = l.0 as usize;
+            self.link_nflows[i] -= 1;
+            if self.obs.is_some() && self.link_nflows[i] == 0 {
+                let bytes_so_far = self.link_stats[i].bytes;
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.on_link_window_closed(*l, self.now, bytes_so_far);
+                }
+            }
+        }
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.on_flow_closed(id, self.now, FlowOutcome::Cancelled);
         }
         self.free_slots.push(slot);
         self.recompute_rates();
@@ -448,7 +491,23 @@ impl NetSim {
             f64::INFINITY
         };
         for link in &spec.path {
-            self.link_nflows[link.0 as usize] += 1;
+            let i = link.0 as usize;
+            if self.obs.is_some() && self.link_nflows[i] == 0 {
+                let bytes_so_far = self.link_stats[i].bytes;
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.on_link_window_opened(*link, self.now, bytes_so_far);
+                }
+            }
+            self.link_nflows[i] += 1;
+        }
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.on_flow_activated(
+                id,
+                spec.token,
+                spec.bytes,
+                spec.path.first().copied(),
+                self.now,
+            );
         }
         let flow = ActiveFlow {
             path: spec.path,
@@ -520,7 +579,17 @@ impl NetSim {
                     .take()
                     .expect("active-set slot holds a live flow (slab free-list invariant)");
                 for link in &flow.path {
-                    self.link_nflows[link.0 as usize] -= 1;
+                    let i = link.0 as usize;
+                    self.link_nflows[i] -= 1;
+                    if self.obs.is_some() && self.link_nflows[i] == 0 {
+                        let bytes_so_far = self.link_stats[i].bytes;
+                        if let Some(obs) = self.obs.as_deref_mut() {
+                            obs.on_link_window_closed(*link, self.now, bytes_so_far);
+                        }
+                    }
+                }
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.on_flow_closed(id, self.now, FlowOutcome::Finished);
                 }
                 self.free_slots.push(slot);
                 self.flows_completed += 1;
@@ -664,6 +733,25 @@ impl NetSim {
                 break;
             }
             unfixed.truncate(w);
+        }
+
+        if self.obs.is_some() {
+            self.obs_scan_parked();
+        }
+    }
+
+    /// Observation-only post-pass over freshly assigned rates: record a
+    /// park instant for each flow newly at rate zero and a resume for each
+    /// previously parked flow that regained bandwidth. Flow-id order.
+    fn obs_scan_parked(&mut self) {
+        let Some(obs) = self.obs.as_deref_mut() else {
+            return;
+        };
+        for &(id, slot) in &self.active_order {
+            let flow = self.slab[slot as usize]
+                .as_ref()
+                .expect("active-set slot holds a live flow (slab free-list invariant)");
+            obs.on_flow_rate(id, flow.token, flow.rate, self.now);
         }
     }
 
@@ -1113,6 +1201,80 @@ mod tests {
             rate_cap: f64::INFINITY,
             token: 0,
         });
+    }
+
+    #[test]
+    fn observed_run_collects_flow_and_link_records() {
+        use crate::obs::FlowOutcome;
+        let (mut sim, link) = sim_with_link(1e9);
+        sim.enable_obs();
+        sim.start_flow(flow_on(link, 500_000_000, 1));
+        let cancelled = sim.start_flow(flow_on(link, 1_000_000_000, 2));
+        sim.set_timer(SimDuration::from_secs_f64(0.1), 9);
+        assert_eq!(sim.next(), Some(Completion::Timer { token: 9 }));
+        assert!(sim.cancel_flow(cancelled));
+        sim.drain();
+        let report = sim.take_obs().expect("obs was enabled");
+        assert!(sim.take_obs().is_none(), "take_obs disables observation");
+        assert_eq!(report.flows.len(), 2);
+        assert_eq!(report.flows_with_outcome(FlowOutcome::Finished), 1);
+        assert_eq!(report.flows_with_outcome(FlowOutcome::Cancelled), 1);
+        let done = report
+            .flows
+            .iter()
+            .find(|f| f.outcome == FlowOutcome::Finished)
+            .unwrap();
+        assert_eq!(done.token, 1);
+        assert_eq!(done.first_link, Some(link));
+        assert!(done.end > done.start);
+        // One contiguous busy window (the cancel never idles the link),
+        // accounting for the finished flow plus the cancelled flow's
+        // partial progress.
+        assert_eq!(report.link_windows.len(), 1);
+        let w = report.link_windows[0];
+        assert_eq!(w.link, link);
+        assert!(w.bytes > 500_000_000.0, "bytes = {}", w.bytes);
+        assert!(report.park_events.is_empty());
+    }
+
+    #[test]
+    fn observation_does_not_change_the_event_log() {
+        let run = |observe: bool| {
+            let (mut sim, link) = sim_with_link(3e9);
+            if observe {
+                sim.enable_obs();
+            }
+            for t in 0..8 {
+                let mut f = flow_on(link, 10_000_000 * (t + 1), t);
+                f.latency = SimDuration::from_micros(t * 3);
+                sim.start_flow(f);
+            }
+            let mut log = String::new();
+            while let Some(c) = sim.next() {
+                log.push_str(&format!("{:?} {:?}\n", sim.now(), c));
+            }
+            log
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn park_and_resume_are_observed() {
+        let (mut sim, link) = sim_with_link(1e9);
+        sim.enable_obs();
+        sim.start_flow(flow_on(link, 1_000_000_000, 1));
+        sim.set_timer(SimDuration::from_secs_f64(0.25), 0);
+        assert_eq!(sim.next(), Some(Completion::Timer { token: 0 }));
+        sim.set_link_health(link, LinkHealth::Down);
+        assert_eq!(sim.next(), None);
+        sim.set_link_health(link, LinkHealth::Healthy);
+        sim.drain();
+        let report = sim.take_obs().unwrap();
+        assert_eq!(report.parks(), 1);
+        assert_eq!(report.park_events.len(), 2, "one park, one resume");
+        assert!(report.park_events[0].parked);
+        assert!(!report.park_events[1].parked);
+        assert_eq!(report.park_events[0].at, SimTime(250_000_000));
     }
 
     #[test]

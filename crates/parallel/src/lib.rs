@@ -27,6 +27,7 @@
 mod degrees;
 mod groups;
 mod nic_selection;
+pub mod obs;
 mod partition;
 mod plan;
 mod scheduler;

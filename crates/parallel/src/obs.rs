@@ -1,0 +1,146 @@
+//! Planning-phase observability: post-hoc recording of NIC selection,
+//! placement search and replanning results into an
+//! [`holmes_obs::ObsSession`].
+//!
+//! The planning layer has no simulated clock, so every event lands on
+//! the trace's synthetic planning clock
+//! ([`holmes_obs::TraceSink::planning_event`]) — one deterministic tick
+//! per event, in emission order. Recording is strictly *post-hoc* over
+//! finished result structures: candidate evaluation may fan out across
+//! threads (`EvalMode::Parallel`), and threading a sink through that
+//! fan-out would make event order racy. Recording the ranked results
+//! afterwards keeps parallel and serial evaluation byte-identical.
+
+use holmes_obs::{Layer, ObsSession};
+
+use crate::nic_selection::{NicSelectionReport, ReplanOutcome};
+use crate::search::PlacementSearchResult;
+
+/// Record one plan's Automatic NIC Selection outcome: a `group-formed`
+/// event per data-parallel group (with its algorithm and NIC class) and
+/// a `tcp-fallback-chosen` event per group forced down to Ethernet.
+pub fn record_nic_selection(session: &mut ObsSession, report: &NicSelectionReport) {
+    let reg = &mut session.registry;
+    reg.counter_add("parallel.dp_groups", report.groups.len() as u64);
+    reg.counter_add("parallel.rdma_groups", u64::from(report.rdma_groups));
+    reg.counter_add(
+        "parallel.ethernet_groups",
+        u64::from(report.ethernet_groups),
+    );
+    for g in &report.groups {
+        let nic = match g.rdma_nic {
+            Some(t) => format!("\"{t:?}\""),
+            None => "\"ethernet\"".to_owned(),
+        };
+        session.trace.planning_event(
+            Layer::Parallel,
+            u64::from(g.group),
+            format!("group-formed g{} {:?}", g.group, g.algo),
+            "nic-selection",
+            vec![
+                ("devices".to_owned(), format!("{}", g.devices.len())),
+                ("nic".to_owned(), nic),
+            ],
+        );
+        if g.forced_tcp {
+            reg.counter_add("parallel.forced_tcp_groups", 1);
+            session.trace.planning_event(
+                Layer::Parallel,
+                u64::from(g.group),
+                format!("tcp-fallback-chosen g{}", g.group),
+                "nic-selection",
+                vec![],
+            );
+        }
+    }
+}
+
+/// Record a finished placement search: one `candidate-scored` summary
+/// (the search only surfaces the winner plus the evaluation count) with
+/// the winning order's cost.
+pub fn record_search(session: &mut ObsSession, result: &PlacementSearchResult) {
+    let reg = &mut session.registry;
+    reg.counter_add("parallel.placements_evaluated", u64::from(result.evaluated));
+    reg.gauge_set("parallel.placement_cost_seconds", result.cost_seconds);
+    session.trace.planning_event(
+        Layer::Parallel,
+        0,
+        format!(
+            "placement-selected [{}]",
+            result
+                .cluster_order
+                .iter()
+                .map(|c| c.0.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+        "placement-search",
+        vec![("evaluated".to_owned(), format!("{}", result.evaluated))],
+    );
+}
+
+/// Record a NIC-loss replanning pass: a `replan-triggered` event, one
+/// `tcp-fallback-chosen` per downgraded group, and the analytic
+/// before/after DP-sync costs.
+pub fn record_replan(session: &mut ObsSession, outcome: &ReplanOutcome) {
+    let reg = &mut session.registry;
+    reg.counter_add("parallel.replans", 1);
+    reg.counter_add(
+        "parallel.replan_downgraded_groups",
+        outcome.downgraded_groups.len() as u64,
+    );
+    reg.gauge_set(
+        "parallel.replan_cost_before_seconds",
+        outcome.cost_before_seconds,
+    );
+    reg.gauge_set(
+        "parallel.replan_cost_after_seconds",
+        outcome.cost_after_seconds,
+    );
+    session.trace.planning_event(
+        Layer::Parallel,
+        0,
+        "replan-triggered",
+        "replan",
+        vec![(
+            "downgraded".to_owned(),
+            format!("{}", outcome.downgraded_groups.len()),
+        )],
+    );
+    for &g in &outcome.downgraded_groups {
+        session.trace.planning_event(
+            Layer::Parallel,
+            u64::from(g),
+            format!("tcp-fallback-chosen g{g}"),
+            "replan",
+            vec![],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degrees::ParallelDegrees;
+    use crate::groups::GroupLayout;
+    use crate::scheduler::DeviceAssignment;
+    use holmes_topology::presets;
+
+    #[test]
+    fn nic_selection_recording_is_deterministic() {
+        let topo = presets::hybrid_two_cluster(2);
+        let n = topo.device_count();
+        let layout = GroupLayout::new(ParallelDegrees::new(4, 2, 4, n).unwrap());
+        let assignment = DeviceAssignment::identity(n);
+        let report = NicSelectionReport::analyze(&topo, &layout, &assignment);
+        let render = || {
+            let mut s = ObsSession::new();
+            record_nic_selection(&mut s, &report);
+            (s.registry.to_json(0), s.trace.to_chrome_trace())
+        };
+        assert_eq!(render(), render());
+        let (metrics, trace) = render();
+        assert!(metrics.contains("parallel.dp_groups"));
+        assert!(trace.contains("group-formed"));
+    }
+}

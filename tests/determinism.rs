@@ -97,3 +97,43 @@ fn event_log() -> Vec<u8> {
 fn netsim_event_log_is_byte_identical_across_runs() {
     assert_eq!(event_log(), event_log());
 }
+
+mod registry_export {
+    //! The unified metrics registry must export byte-identically when the
+    //! same operation sequence is replayed — the contract the bench gate
+    //! relies on when it compares `obs` sections exactly.
+    use holmes_repro::obs::{json, Registry};
+    use proptest::prelude::*;
+
+    const NAMES: [&str; 6] = [
+        "engine.flow_retries",
+        "engine.total_seconds",
+        "netsim.flow_seconds",
+        "parallel.dp_groups",
+        "core.runs",
+        "x.y",
+    ];
+
+    proptest! {
+        #[test]
+        fn registry_export_is_byte_identical_across_replays(
+            ops in prop::collection::vec((0u8..3, 0usize..6, 0.0f64..1.0e6), 0..48)
+        ) {
+            let build = || {
+                let mut r = Registry::new();
+                for (op, k, v) in &ops {
+                    match op {
+                        0 => r.counter_add(NAMES[*k], v.to_bits() % 1024),
+                        1 => r.gauge_set(NAMES[*k], *v),
+                        _ => r.observe_default(NAMES[*k], *v),
+                    }
+                }
+                r.to_json(0)
+            };
+            let a = build();
+            prop_assert_eq!(&a, &build());
+            // And every export is parseable JSON.
+            prop_assert!(json::parse(&a).is_ok());
+        }
+    }
+}
