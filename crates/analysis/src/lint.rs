@@ -142,8 +142,15 @@ const WALL_CLOCK_SCOPE: &[&str] = &[
     "crates/obs/src",
 ];
 
-/// The two files on the per-flow critical path.
-const HOT_PATH_SCOPE: &[&str] = &["crates/netsim/src/sim.rs", "crates/engine/src/executor.rs"];
+/// Files on the per-flow critical path: the exact engine, the fast
+/// engine and its timer wheel / slab storage, and the executor replay.
+const HOT_PATH_SCOPE: &[&str] = &[
+    "crates/netsim/src/sim.rs",
+    "crates/netsim/src/sim_fast.rs",
+    "crates/netsim/src/sched.rs",
+    "crates/netsim/src/arena.rs",
+    "crates/engine/src/executor.rs",
+];
 
 const FLOAT_EQ_SCOPE: &[&str] = &[
     "crates/netsim/src",

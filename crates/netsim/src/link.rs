@@ -1,7 +1,7 @@
 //! Shared-capacity links: the contended resources of the fluid-flow model.
 
 /// Identifier of a link registered with a [`crate::NetSim`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct LinkId(pub u32);
 
 /// A link's capacity in bytes per second.

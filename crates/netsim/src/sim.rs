@@ -1,12 +1,33 @@
 //! The discrete-event simulator core.
+//!
+//! Two engines share one state container:
+//!
+//! * **Fast engine** (the default): timer-wheel scheduler, incremental
+//!   per-component rate settlement, lazy `(rate, anchor)` flow progress,
+//!   finish/prediction heaps instead of per-event full scans. See
+//!   `sim_fast.rs`.
+//! * **Exact engine** (enabled together with observation via
+//!   [`NetSim::enable_obs`]): the historical arithmetic — eager global
+//!   settlement and a full water-fill on every event — preserved
+//!   operation-for-operation so observed artifacts (timeline dumps,
+//!   benchmark observability registries) stay byte-identical across the
+//!   rewrite.
+//!
+//! Both engines pull events from the same [`sched::EventQueue`] (ordered
+//! by `(time, seq)` exactly like the old `BinaryHeap`) and store flows in
+//! the same struct-of-arrays [`FlowArena`]. The fast engine's semantics
+//! are pinned by `RefSim` (a naive mirror of the same settlement spec)
+//! under proptest, and against the exact engine on workloads whose
+//! arithmetic is exactly representable.
 
-use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, HashSet, VecDeque};
 
+use crate::arena::{FlowArena, PathVec};
 use crate::fault::FaultSchedule;
 use crate::flow::{FlowId, FlowSpec};
 use crate::link::{LinkCapacity, LinkHealth, LinkId, LinkStats};
 use crate::obs::{FlowOutcome, NetObsReport, NetObsState};
+use crate::sched::EventQueue;
 use crate::time::{SimDuration, SimTime};
 
 /// A completion delivered by [`NetSim::next`].
@@ -36,10 +57,12 @@ pub enum Completion {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Payload {
+pub(crate) enum Payload {
     /// Latency phase of a flow ended; it starts consuming bandwidth.
     FlowStart(FlowId),
-    /// Versioned check for the earliest predicted flow completion.
+    /// Versioned check for the earliest predicted flow completion
+    /// (exact engine only; the fast engine keeps a single check register
+    /// outside the queue).
     RatesCheck(u64),
     /// User timer.
     Timer(u64),
@@ -47,44 +70,47 @@ enum Payload {
     Fault(u32),
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct QueuedEvent {
-    time: SimTime,
-    seq: u64,
-    payload: Payload,
+/// Sub-byte residue below which a flow counts as finished (absorbs float
+/// rounding from rate recomputations).
+pub(crate) const DONE_EPS: f64 = 0.5;
+
+/// Fast-engine finish-heap entry: the predicted instant `remaining`
+/// crosses [`DONE_EPS`], as fractional nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FinishEntry {
+    pub crossing: f64,
+    pub slot: u32,
+    pub epoch: u32,
 }
 
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl PartialEq for FinishEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
     }
 }
-
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+impl Eq for FinishEntry {}
+impl Ord for FinishEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.crossing
+            .total_cmp(&other.crossing)
+            .then_with(|| self.slot.cmp(&other.slot))
+            .then_with(|| self.epoch.cmp(&other.epoch))
+    }
+}
+impl PartialOrd for FinishEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-#[derive(Debug)]
-struct ActiveFlow {
-    path: Vec<LinkId>,
-    /// Bytes left to move.
-    remaining: f64,
-    /// Current max-min rate in bytes per nanosecond.
-    rate: f64,
-    /// Per-flow ceiling in bytes per nanosecond.
-    rate_cap: f64,
-    token: u64,
+/// Fast-engine prediction-heap entry: the whole-nanosecond completion
+/// prediction `anchor + max(1, ceil(remaining / rate))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct PredEntry {
+    pub pred: SimTime,
+    pub slot: u32,
+    pub epoch: u32,
 }
-
-/// Sub-byte residue below which a flow counts as finished (absorbs float
-/// rounding from rate recomputations).
-const DONE_EPS: f64 = 0.5;
 
 /// The fluid-flow network simulator.
 ///
@@ -109,55 +135,97 @@ const DONE_EPS: f64 = 0.5;
 /// ```
 #[derive(Debug, Default)]
 pub struct NetSim {
-    now: SimTime,
+    pub(crate) now: SimTime,
     /// Effective per-link capacity: nominal × health factor. This is what
     /// the water-filling pass shares among flows.
-    links: Vec<LinkCapacity>,
+    pub(crate) links: Vec<LinkCapacity>,
     /// Nominal (fault-free) per-link capacity.
-    nominal: Vec<LinkCapacity>,
+    pub(crate) nominal: Vec<LinkCapacity>,
     /// Per-link health state machine driven by fault events.
-    health: Vec<LinkHealth>,
+    pub(crate) health: Vec<LinkHealth>,
+    /// Cached effective capacity in bytes/ns (`bytes_per_sec * 1e-9`,
+    /// the same product the water-fill computed historically), refreshed
+    /// whenever capacity or health changes.
+    pub(crate) cap_bpns: Vec<f64>,
+    /// Count of links currently at/below the dead floor — gates the
+    /// dead-link parking pre-pass without a scan.
+    pub(crate) dead_links: u32,
     /// Scheduled fault transitions, referenced by `Payload::Fault` index.
-    fault_table: Vec<(LinkId, LinkHealth)>,
+    pub(crate) fault_table: Vec<(LinkId, LinkHealth)>,
     /// Flows cancelled while still in their latency phase: their queued
-    /// `FlowStart` becomes a no-op.
-    cancelled_pending: HashSet<FlowId>,
+    /// `FlowStart` becomes a no-op. The set size is exactly the number of
+    /// tombstoned events still in the queue ([`NetSim::stalled`]).
+    pub(crate) cancelled_pending: HashSet<FlowId>,
     /// Per-link accumulated traffic and busy time.
-    link_stats: Vec<LinkStats>,
-    /// Slab of flows past their latency phase. `None` slots are free and
-    /// recorded in `free_slots`; live slots are indexed by `active_order`.
-    slab: Vec<Option<ActiveFlow>>,
-    /// Recyclable slab indices.
-    free_slots: Vec<u32>,
-    /// `(id, slot)` pairs sorted ascending by id — the canonical iteration
-    /// order over active flows. Keeping id order here preserves the exact
-    /// floating-point summation order of the previous `BTreeMap` layout,
-    /// so event timelines stay bit-identical.
-    active_order: Vec<(FlowId, u32)>,
-    /// Per-link count of active flows crossing it, maintained incrementally
-    /// on activation/completion instead of being rebuilt every
-    /// water-filling pass.
-    link_nflows: Vec<u32>,
+    pub(crate) link_stats: Vec<LinkStats>,
+    /// Per-link count of active flows crossing it.
+    pub(crate) link_nflows: Vec<u32>,
+    /// Per-link busy-window open time (fast engine byte/busy accounting).
+    pub(crate) link_open: Vec<SimTime>,
+    /// Per-link list of active flow slots crossing it (fast engine
+    /// component walks). Positions are mirrored in `FlowArena::link_pos`.
+    pub(crate) link_flows: Vec<Vec<u32>>,
+    /// Struct-of-arrays storage for flows past their latency phase.
+    pub(crate) flows: FlowArena,
+    /// `(id, slot)` sorted ascending by id — the exact engine's canonical
+    /// iteration order (preserves historical float summation order).
+    pub(crate) active_order: Vec<(FlowId, u32)>,
+    /// Flow id → arena slot (fast engine lookup / ordered iteration).
+    pub(crate) id_to_slot: BTreeMap<u64, u32>,
     /// Flows still in their latency phase.
-    pending: BTreeMap<FlowId, FlowSpec>,
-    queue: BinaryHeap<QueuedEvent>,
-    backlog: VecDeque<Completion>,
-    next_flow: u64,
-    next_seq: u64,
-    rates_version: u64,
-    last_settle: SimTime,
-    flows_completed: u64,
-    events_processed: u64,
+    pub(crate) pending: BTreeMap<FlowId, FlowSpec>,
+    pub(crate) queue: EventQueue<Payload>,
+    pub(crate) backlog: VecDeque<Completion>,
+    pub(crate) next_flow: u64,
+    pub(crate) next_seq: u64,
+    pub(crate) rates_version: u64,
+    pub(crate) last_settle: SimTime,
+    pub(crate) flows_completed: u64,
+    pub(crate) events_processed: u64,
+    /// `true` once observation switched the simulator to the exact
+    /// engine. Never cleared: an observed run keeps historical arithmetic
+    /// end-to-end.
+    pub(crate) exact_engine: bool,
+    /// Queued `RatesCheck` events (exact engine) — for live-event
+    /// accounting in [`NetSim::stalled`].
+    pub(crate) checks_in_queue: u64,
+    /// Version of the newest queued `RatesCheck` (exact engine).
+    pub(crate) last_check_version: u64,
+    /// Fast-engine rates-check register: the single earliest predicted
+    /// completion, kept outside the queue so superseded predictions never
+    /// enter it.
+    pub(crate) check: Option<(SimTime, u64)>,
+    /// Fast-engine finish heap: eps-crossing instants, lazily invalidated
+    /// by flow epoch.
+    pub(crate) finish_heap: BinaryHeap<std::cmp::Reverse<FinishEntry>>,
+    /// Fast-engine prediction heap backing the check register.
+    pub(crate) pred_heap: BinaryHeap<std::cmp::Reverse<PredEntry>>,
     // Reusable scratch buffers: contents are meaningless between calls,
     // kept only to avoid per-call heap allocation on the hot path.
-    scratch_cap_left: Vec<f64>,
-    scratch_n_unfixed: Vec<u32>,
-    scratch_is_bottleneck: Vec<bool>,
-    scratch_link_active: Vec<bool>,
-    scratch_unfixed: Vec<u32>,
+    pub(crate) scratch_cap_left: Vec<f64>,
+    pub(crate) scratch_n_unfixed: Vec<u32>,
+    pub(crate) scratch_is_bottleneck: Vec<bool>,
+    pub(crate) scratch_link_active: Vec<bool>,
+    pub(crate) scratch_unfixed: Vec<u32>,
+    // Fast-engine scratch: generation-stamped per-link water-fill state
+    // and component worklists.
+    pub(crate) wf_gen: u32,
+    pub(crate) wf_link_stamp: Vec<u32>,
+    pub(crate) wf_cap: Vec<f64>,
+    pub(crate) wf_n: Vec<u32>,
+    /// Per-link round stamp: equals `wf_round_gen` for links at the
+    /// current round's bottleneck.
+    pub(crate) wf_round: Vec<u64>,
+    pub(crate) wf_round_gen: u64,
+    pub(crate) comp_links: Vec<u32>,
+    pub(crate) comp_flows: Vec<u32>,
+    pub(crate) wf_unfixed: Vec<u32>,
+    pub(crate) dirty_links: Vec<u32>,
+    pub(crate) dirty_flows: Vec<u32>,
+    pub(crate) harvest_slots: Vec<u32>,
     /// Flow-level observation collector; `None` (the default) keeps every
-    /// hot path on the exact historical behaviour.
-    obs: Option<Box<NetObsState>>,
+    /// hot path on the fast engine.
+    pub(crate) obs: Option<Box<NetObsState>>,
 }
 
 impl NetSim {
@@ -186,12 +254,24 @@ impl NetSim {
 
     /// Enable flow-level observation: per-flow lifetimes, per-link busy
     /// windows and park/resume instants accumulate until
-    /// [`NetSim::take_obs`]. Idempotent; disabled simulators skip every
-    /// collection branch, so un-observed runs stay byte-identical to the
-    /// historical event timelines.
+    /// [`NetSim::take_obs`]. Observation switches the simulator to the
+    /// exact (historical-arithmetic) engine so observed timelines are
+    /// byte-identical to the pre-rewrite core; it must therefore be
+    /// enabled before any flow or event activity. Idempotent.
+    ///
+    /// # Panics
+    /// Panics when called after simulation activity began.
     pub fn enable_obs(&mut self) {
         if self.obs.is_none() {
+            assert!(
+                self.active_order.is_empty()
+                    && self.id_to_slot.is_empty()
+                    && self.pending.is_empty()
+                    && self.events_processed == 0,
+                "enable_obs must be called before simulation activity"
+            );
             self.obs = Some(Box::default());
+            self.exact_engine = true;
         }
     }
 
@@ -219,12 +299,23 @@ impl NetSim {
         self.links.push(capacity);
         self.nominal.push(capacity);
         self.health.push(LinkHealth::Healthy);
+        self.cap_bpns.push(capacity.bytes_per_sec * 1e-9);
+        if capacity.is_dead() {
+            self.dead_links += 1;
+        }
         self.link_stats.push(LinkStats::default());
         self.link_nflows.push(0);
+        self.link_open.push(SimTime::ZERO);
+        self.link_flows.push(Vec::new());
         id
     }
 
     /// Accumulated traffic statistics of a link.
+    ///
+    /// Fast-engine note: bytes/busy time are settled at flow rate-change
+    /// granularity, so mid-run reads may lag the current instant; after a
+    /// full drain the totals are final. Observed (exact-engine) runs keep
+    /// the historical per-event settlement.
     pub fn link_stats(&self, id: LinkId) -> Option<LinkStats> {
         self.link_stats.get(id.0 as usize).copied()
     }
@@ -245,6 +336,20 @@ impl NetSim {
         self.health.get(id.0 as usize).copied()
     }
 
+    /// Apply an effective-capacity change at `self.links[i]`, keeping the
+    /// bytes/ns cache and dead-link count in sync.
+    pub(crate) fn set_effective_capacity(&mut self, i: usize, cap: LinkCapacity) {
+        let was_dead = self.links[i].is_dead();
+        self.links[i] = cap;
+        self.cap_bpns[i] = cap.bytes_per_sec * 1e-9;
+        let is_dead = cap.is_dead();
+        if was_dead && !is_dead {
+            self.dead_links -= 1;
+        } else if !was_dead && is_dead {
+            self.dead_links += 1;
+        }
+    }
+
     /// Re-set a link's *nominal* capacity. The link's health factor is
     /// re-applied, and the change takes effect at the next rate
     /// recomputation.
@@ -252,12 +357,20 @@ impl NetSim {
         let i = id.0 as usize;
         if i < self.links.len() {
             self.nominal[i] = capacity;
-            self.links[i] =
-                LinkCapacity::new(capacity.bytes_per_sec * self.health[i].capacity_factor());
+            let eff = LinkCapacity::new(capacity.bytes_per_sec * self.health[i].capacity_factor());
+            self.set_effective_capacity(i, eff);
             // Force re-fair-sharing for flows already in flight.
-            self.settle_progress();
-            self.recompute_rates();
-            self.schedule_rates_check();
+            if self.exact_engine {
+                self.settle_progress();
+                self.recompute_rates();
+                self.schedule_rates_check();
+            } else {
+                self.dirty_links.clear();
+                self.dirty_flows.clear();
+                self.dirty_links.push(id.0);
+                self.fast_recompute();
+                self.fast_update_check();
+            }
         }
     }
 
@@ -269,11 +382,19 @@ impl NetSim {
         let i = id.0 as usize;
         if i < self.links.len() {
             self.health[i] = health;
-            self.links[i] =
-                LinkCapacity::new(self.nominal[i].bytes_per_sec * health.capacity_factor());
-            self.settle_progress();
-            self.recompute_rates();
-            self.schedule_rates_check();
+            let eff = LinkCapacity::new(self.nominal[i].bytes_per_sec * health.capacity_factor());
+            self.set_effective_capacity(i, eff);
+            if self.exact_engine {
+                self.settle_progress();
+                self.recompute_rates();
+                self.schedule_rates_check();
+            } else {
+                self.dirty_links.clear();
+                self.dirty_flows.clear();
+                self.dirty_links.push(id.0);
+                self.fast_recompute();
+                self.fast_update_check();
+            }
         }
     }
 
@@ -313,15 +434,17 @@ impl NetSim {
             self.cancelled_pending.insert(id);
             return true;
         }
+        if !self.exact_engine {
+            return self.fast_cancel_active(id);
+        }
         let Some(pos) = self.active_order.iter().position(|&(fid, _)| fid == id) else {
             return false;
         };
         self.settle_progress();
         let (_, slot) = self.active_order.remove(pos);
-        let flow = self.slab[slot as usize]
-            .take()
-            .expect("active-set slot holds a live flow (slab free-list invariant)");
-        for l in &flow.path {
+        let s = slot as usize;
+        let path = std::mem::take(&mut self.flows.path[s]);
+        for l in path.as_slice() {
             let i = l.0 as usize;
             self.link_nflows[i] -= 1;
             if self.obs.is_some() && self.link_nflows[i] == 0 {
@@ -334,7 +457,7 @@ impl NetSim {
         if let Some(obs) = self.obs.as_deref_mut() {
             obs.on_flow_closed(id, self.now, FlowOutcome::Cancelled);
         }
-        self.free_slots.push(slot);
+        self.flows.remove(slot);
         self.recompute_rates();
         self.schedule_rates_check();
         true
@@ -342,27 +465,63 @@ impl NetSim {
 
     /// True when the simulation can make no further progress on its own
     /// while flows are still unfinished — every remaining flow is parked
-    /// on dead links and no event (timer, fault, flow start) is queued.
+    /// on dead links and no *live* event is queued. Tombstoned
+    /// `FlowStart`s (cancelled pending flows) and superseded rate checks
+    /// still physically sit in the queue but are no-ops, so they are
+    /// excluded from the liveness count.
     pub fn stalled(&self) -> bool {
-        self.queue.is_empty() && self.backlog.is_empty() && !self.active_order.is_empty()
+        if !self.backlog.is_empty() {
+            return false;
+        }
+        let active = if self.exact_engine {
+            !self.active_order.is_empty()
+        } else {
+            !self.id_to_slot.is_empty()
+        };
+        if !active {
+            return false;
+        }
+        if !self.exact_engine && self.check.is_some() {
+            return false;
+        }
+        // Queued stale checks: every queued check except a newest one
+        // whose version still matches.
+        let live_checks =
+            u64::from(self.checks_in_queue > 0 && self.last_check_version == self.rates_version);
+        let stale_checks = self.checks_in_queue - live_checks;
+        let tombstones = self.cancelled_pending.len() as u64;
+        self.queue.len() as u64 == stale_checks + tombstones
     }
 
     /// Tokens of flows currently parked at rate zero (in flow-id order).
     pub fn parked_flow_tokens(&self) -> Vec<u64> {
-        self.active_order
-            .iter()
-            .filter_map(|&(_, slot)| {
-                let flow = self.slab[slot as usize]
-                    .as_ref()
-                    .expect("active-set slot holds a live flow (slab free-list invariant)");
-                (flow.rate <= 0.0).then_some(flow.token)
-            })
-            .collect()
+        if self.exact_engine {
+            self.active_order
+                .iter()
+                .filter_map(|&(_, slot)| {
+                    let s = slot as usize;
+                    (self.flows.rate[s] <= 0.0).then_some(self.flows.tokens[s])
+                })
+                .collect()
+        } else {
+            self.id_to_slot
+                .values()
+                .filter_map(|&slot| {
+                    let s = slot as usize;
+                    (self.flows.rate[s] <= 0.0).then_some(self.flows.tokens[s])
+                })
+                .collect()
+        }
     }
 
     /// Number of currently in-flight flows (latency phase included).
     pub fn inflight_flows(&self) -> usize {
-        self.active_order.len() + self.pending.len()
+        let active = if self.exact_engine {
+            self.active_order.len()
+        } else {
+            self.id_to_slot.len()
+        };
+        active + self.pending.len()
     }
 
     /// Start a flow; completion arrives later via [`NetSim::next`].
@@ -398,13 +557,38 @@ impl NetSim {
     /// interleave `start_flow`/`set_timer` between pulls.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Completion> {
+        if self.exact_engine {
+            self.next_exact()
+        } else {
+            self.next_fast()
+        }
+    }
+
+    /// Run until fully drained, collecting every completion.
+    pub fn drain(&mut self) -> Vec<Completion> {
+        let mut all = Vec::new();
+        while let Some(c) = self.next() {
+            all.push(c);
+        }
+        all
+    }
+
+    pub(crate) fn push_event(&mut self, time: SimTime, payload: Payload) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(time.0, seq, payload);
+    }
+
+    /// Exact-engine event loop: the historical control flow, verbatim.
+    fn next_exact(&mut self) -> Option<Completion> {
         loop {
             if let Some(done) = self.backlog.pop_front() {
                 return Some(done);
             }
             let ev = self.queue.pop()?;
             self.events_processed += 1;
-            if let Payload::RatesCheck(version) = ev.payload {
+            if let Payload::RatesCheck(version) = ev.item {
+                self.checks_in_queue -= 1;
                 if version != self.rates_version {
                     // Superseded prediction: discard without touching the
                     // clock, so a stale check left behind by a parked flow
@@ -412,9 +596,9 @@ impl NetSim {
                     continue;
                 }
             }
-            debug_assert!(ev.time >= self.now, "time must be monotone");
-            self.now = ev.time;
-            match ev.payload {
+            debug_assert!(ev.time >= self.now.0, "time must be monotone");
+            self.now = SimTime(ev.time);
+            match ev.item {
                 Payload::Timer(token) => return Some(Completion::Timer { token }),
                 Payload::FlowStart(id) => {
                     self.settle_progress();
@@ -422,10 +606,10 @@ impl NetSim {
                     // Batch every other flow start at this same instant so
                     // rates are recomputed once, not per flow.
                     while let Some(peek) = self.queue.peek() {
-                        if peek.time != self.now {
+                        if peek.time != self.now.0 {
                             break;
                         }
-                        if let Payload::FlowStart(next_id) = peek.payload {
+                        if let Payload::FlowStart(next_id) = peek.item {
                             self.queue.pop();
                             self.events_processed += 1;
                             self.activate(next_id);
@@ -448,8 +632,9 @@ impl NetSim {
                     self.settle_progress();
                     let i = link.0 as usize;
                     self.health[i] = health;
-                    self.links[i] =
+                    let eff =
                         LinkCapacity::new(self.nominal[i].bytes_per_sec * health.capacity_factor());
+                    self.set_effective_capacity(i, eff);
                     self.harvest_finished();
                     self.recompute_rates();
                     self.schedule_rates_check();
@@ -457,21 +642,6 @@ impl NetSim {
                 }
             }
         }
-    }
-
-    /// Run until fully drained, collecting every completion.
-    pub fn drain(&mut self) -> Vec<Completion> {
-        let mut all = Vec::new();
-        while let Some(c) = self.next() {
-            all.push(c);
-        }
-        all
-    }
-
-    fn push_event(&mut self, time: SimTime, payload: Payload) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.queue.push(QueuedEvent { time, seq, payload });
     }
 
     fn activate(&mut self, id: FlowId) {
@@ -509,45 +679,36 @@ impl NetSim {
                 self.now,
             );
         }
-        let flow = ActiveFlow {
-            path: spec.path,
-            remaining: spec.bytes as f64,
-            rate: 0.0,
-            rate_cap: cap,
-            token: spec.token,
-        };
-        let slot = match self.free_slots.pop() {
-            Some(s) => {
-                self.slab[s as usize] = Some(flow);
-                s
-            }
-            None => {
-                self.slab.push(Some(flow));
-                (self.slab.len() - 1) as u32
-            }
-        };
+        let slot = self.flows.insert(
+            id,
+            spec.token,
+            spec.bytes as f64,
+            cap,
+            PathVec::from_vec(spec.path),
+            self.now,
+        );
         let pos = self.active_order.partition_point(|&(fid, _)| fid < id);
         self.active_order.insert(pos, (id, slot));
     }
 
     /// Advance every active flow's `remaining` to the current time,
     /// attributing the moved bytes to the links each flow traverses.
-    fn settle_progress(&mut self) {
+    /// (Exact engine: this is the historical eager settlement.)
+    pub(crate) fn settle_progress(&mut self) {
         let elapsed = self.now.since(self.last_settle).0 as f64;
         if elapsed > 0.0 {
             let link_active = &mut self.scratch_link_active;
             link_active.clear();
             link_active.resize(self.links.len(), false);
             for &(_, slot) in &self.active_order {
-                let flow = self.slab[slot as usize]
-                    .as_mut()
-                    .expect("active-set slot holds a live flow (slab free-list invariant)");
-                let moved = (flow.rate * elapsed).min(flow.remaining);
-                flow.remaining -= flow.rate * elapsed;
-                if flow.remaining < 0.0 {
-                    flow.remaining = 0.0;
+                let s = slot as usize;
+                let rate = self.flows.rate[s];
+                let moved = (rate * elapsed).min(self.flows.remaining[s]);
+                self.flows.remaining[s] -= rate * elapsed;
+                if self.flows.remaining[s] < 0.0 {
+                    self.flows.remaining[s] = 0.0;
                 }
-                for link in &flow.path {
+                for link in self.flows.path[s].as_slice() {
                     let i = link.0 as usize;
                     self.link_stats[i].bytes += moved;
                     link_active[i] = true;
@@ -569,16 +730,10 @@ impl NetSim {
         let mut w = 0;
         for r in 0..self.active_order.len() {
             let (id, slot) = self.active_order[r];
-            let finished = self.slab[slot as usize]
-                .as_ref()
-                .expect("active-set slot holds a live flow (slab free-list invariant)")
-                .remaining
-                <= DONE_EPS;
-            if finished {
-                let flow = self.slab[slot as usize]
-                    .take()
-                    .expect("active-set slot holds a live flow (slab free-list invariant)");
-                for link in &flow.path {
+            let s = slot as usize;
+            if self.flows.remaining[s] <= DONE_EPS {
+                let path = std::mem::take(&mut self.flows.path[s]);
+                for link in path.as_slice() {
                     let i = link.0 as usize;
                     self.link_nflows[i] -= 1;
                     if self.obs.is_some() && self.link_nflows[i] == 0 {
@@ -591,12 +746,10 @@ impl NetSim {
                 if let Some(obs) = self.obs.as_deref_mut() {
                     obs.on_flow_closed(id, self.now, FlowOutcome::Finished);
                 }
-                self.free_slots.push(slot);
+                let token = self.flows.tokens[s];
+                self.flows.remove(slot);
                 self.flows_completed += 1;
-                self.backlog.push_back(Completion::Flow {
-                    id,
-                    token: flow.token,
-                });
+                self.backlog.push_back(Completion::Flow { id, token });
             } else {
                 self.active_order[w] = (id, slot);
                 w += 1;
@@ -610,15 +763,13 @@ impl NetSim {
     /// Iterative water-filling: repeatedly find the tightest constraint —
     /// either a link's equal share or a flow's own rate cap — freeze the
     /// flows it binds, subtract their consumption, and continue.
+    /// (Exact engine: historical global pass.)
     fn recompute_rates(&mut self) {
         self.rates_version += 1;
         if self.active_order.is_empty() {
             return;
         }
 
-        // Disjoint field borrows: flows mutate through `slab` while the
-        // per-link scratch vectors are updated alongside.
-        let slab = &mut self.slab;
         let cap_left = &mut self.scratch_cap_left;
         let n_unfixed = &mut self.scratch_n_unfixed;
         let is_bottleneck = &mut self.scratch_is_bottleneck;
@@ -641,17 +792,20 @@ impl NetSim {
         // until a health/capacity change revives them. The pre-pass only
         // runs when a dead link exists, so fault-free runs keep the exact
         // historical float behaviour.
-        if self.links.iter().any(|l| l.is_dead()) {
+        if self.dead_links > 0 {
             let links = &self.links;
+            let flows = &mut self.flows;
             let mut w = 0;
             for r in 0..unfixed.len() {
                 let slot = unfixed[r];
-                let flow = slab[slot as usize]
-                    .as_mut()
-                    .expect("active-set slot holds a live flow (slab free-list invariant)");
-                if flow.path.iter().any(|l| links[l.0 as usize].is_dead()) {
-                    flow.rate = 0.0;
-                    for l in &flow.path {
+                let s = slot as usize;
+                if flows.path[s]
+                    .as_slice()
+                    .iter()
+                    .any(|l| links[l.0 as usize].is_dead())
+                {
+                    flows.rate[s] = 0.0;
+                    for l in flows.path[s].as_slice() {
                         n_unfixed[l.0 as usize] -= 1;
                     }
                 } else {
@@ -672,12 +826,7 @@ impl NetSim {
             }
             // Tightest flow cap.
             for &slot in unfixed.iter() {
-                bottleneck = bottleneck.min(
-                    slab[slot as usize]
-                        .as_ref()
-                        .expect("active-set slot holds a live flow (slab free-list invariant)")
-                        .rate_cap,
-                );
+                bottleneck = bottleneck.min(self.flows.rate_cap[slot as usize]);
             }
             if !bottleneck.is_finite() {
                 // Pathless, uncapped flows: complete "instantly" at an
@@ -703,15 +852,16 @@ impl NetSim {
             let mut w = 0;
             for r in 0..unfixed.len() {
                 let slot = unfixed[r];
-                let flow = slab[slot as usize]
-                    .as_mut()
-                    .expect("active-set slot holds a live flow (slab free-list invariant)");
-                let constrained_by_cap = flow.rate_cap <= threshold;
-                let constrained_by_link = flow.path.iter().any(|l| is_bottleneck[l.0 as usize]);
+                let s = slot as usize;
+                let constrained_by_cap = self.flows.rate_cap[s] <= threshold;
+                let constrained_by_link = self.flows.path[s]
+                    .as_slice()
+                    .iter()
+                    .any(|l| is_bottleneck[l.0 as usize]);
                 if constrained_by_cap || constrained_by_link {
-                    let rate = flow.rate_cap.min(bottleneck);
-                    flow.rate = rate;
-                    for l in &flow.path {
+                    let rate = self.flows.rate_cap[s].min(bottleneck);
+                    self.flows.rate[s] = rate;
+                    for l in self.flows.path[s].as_slice() {
                         let i = l.0 as usize;
                         cap_left[i] = (cap_left[i] - rate).max(0.0);
                         n_unfixed[i] -= 1;
@@ -725,10 +875,8 @@ impl NetSim {
                 // Numerical corner: nothing matched the constraint. Freeze
                 // everything at the bottleneck rate to guarantee progress.
                 for &slot in unfixed.iter() {
-                    let flow = slab[slot as usize]
-                        .as_mut()
-                        .expect("active-set slot holds a live flow (slab free-list invariant)");
-                    flow.rate = flow.rate_cap.min(bottleneck);
+                    let s = slot as usize;
+                    self.flows.rate[s] = self.flows.rate_cap[s].min(bottleneck);
                 }
                 break;
             }
@@ -748,25 +896,22 @@ impl NetSim {
             return;
         };
         for &(id, slot) in &self.active_order {
-            let flow = self.slab[slot as usize]
-                .as_ref()
-                .expect("active-set slot holds a live flow (slab free-list invariant)");
-            obs.on_flow_rate(id, flow.token, flow.rate, self.now);
+            let s = slot as usize;
+            obs.on_flow_rate(id, self.flows.tokens[s], self.flows.rate[s], self.now);
         }
     }
 
     /// Predict the earliest completion among active flows and schedule a
-    /// versioned check there.
+    /// versioned check there. (Exact engine.)
     fn schedule_rates_check(&mut self) {
         let mut earliest: Option<SimTime> = None;
         for &(_, slot) in &self.active_order {
-            let flow = self.slab[slot as usize]
-                .as_ref()
-                .expect("active-set slot holds a live flow (slab free-list invariant)");
-            if flow.rate <= 0.0 {
+            let s = slot as usize;
+            let rate = self.flows.rate[s];
+            if rate <= 0.0 {
                 continue;
             }
-            let ns = (flow.remaining / flow.rate).ceil();
+            let ns = (self.flows.remaining[s] / rate).ceil();
             // Clamp to avoid u64 overflow on pathological stalls.
             let ns = ns.min(1e18) as u64;
             let t = self.now + SimDuration::from_nanos(ns.max(1));
@@ -777,6 +922,8 @@ impl NetSim {
         }
         if let Some(t) = earliest {
             let version = self.rates_version;
+            self.checks_in_queue += 1;
+            self.last_check_version = version;
             self.push_event(t, Payload::RatesCheck(version));
         }
     }
@@ -973,8 +1120,9 @@ mod tests {
 
     /// The canonical 8-flow staggered-start workload used by the
     /// determinism tests, rendered as a textual event log.
-    fn staggered_event_log() -> String {
+    fn staggered_event_log(exact: bool) -> String {
         let (mut sim, link) = sim_with_link(3e9);
+        sim.exact_engine = exact;
         for t in 0..8 {
             let mut f = flow_on(link, 10_000_000 * (t + 1), t);
             f.latency = SimDuration::from_micros(t * 3);
@@ -991,27 +1139,36 @@ mod tests {
     fn event_log_is_byte_identical_across_runs() {
         // Two fresh simulators over the same workload must render the
         // exact same bytes: flow-id iteration order (and therefore float
-        // summation order) may not depend on slab slot assignment.
-        assert_eq!(staggered_event_log(), staggered_event_log());
+        // summation order) may not depend on arena slot assignment.
+        assert_eq!(staggered_event_log(false), staggered_event_log(false));
     }
 
     #[test]
-    fn slab_slots_are_recycled_across_waves() {
+    fn fast_and_exact_engines_agree_on_the_staggered_log() {
+        // On this workload every event reassigns every rate, so the fast
+        // engine's anchored settlement performs the exact same float
+        // operations as the historical eager pass — byte-identical logs.
+        assert_eq!(staggered_event_log(false), staggered_event_log(true));
+    }
+
+    #[test]
+    fn arena_slots_are_recycled_across_waves() {
         let (mut sim, link) = sim_with_link(1e9);
         // Wave 1: fill five slots, drain them all.
         for t in 0..5 {
             sim.start_flow(flow_on(link, 1_000_000, t));
         }
         assert_eq!(sim.drain().len(), 5);
-        let slots_after_first_wave = sim.slab.len();
+        let slots_after_first_wave = sim.flows.capacity_slots();
         // Wave 2: same number of flows must reuse freed slots, not grow
-        // the slab.
+        // the arena.
         for t in 5..10 {
             sim.start_flow(flow_on(link, 1_000_000, t));
         }
         assert_eq!(sim.drain().len(), 5);
-        assert_eq!(sim.slab.len(), slots_after_first_wave);
-        assert_eq!(sim.free_slots.len(), slots_after_first_wave);
+        assert_eq!(sim.flows.capacity_slots(), slots_after_first_wave);
+        assert_eq!(sim.flows.free_slots(), slots_after_first_wave);
+        assert!(sim.id_to_slot.is_empty());
         assert!(sim.active_order.is_empty());
     }
 
@@ -1031,6 +1188,7 @@ mod tests {
         }
         sim.drain();
         assert_eq!(sim.link_nflows, vec![0, 0]);
+        assert!(sim.link_flows.iter().all(Vec::is_empty));
     }
 
     #[test]
@@ -1191,6 +1349,75 @@ mod tests {
     }
 
     #[test]
+    fn stalled_sees_through_tombstoned_flow_starts() {
+        // Regression for the `pending_or_parked` edge: a tombstoned
+        // FlowStart still physically in the queue used to make
+        // `stalled()` report false while every real flow was parked.
+        for exact in [false, true] {
+            let (mut sim, link) = sim_with_link(1e9);
+            sim.exact_engine = exact;
+            sim.start_flow(flow_on(link, 1_000_000_000, 1));
+            sim.set_timer(SimDuration::from_secs_f64(0.1), 0);
+            assert_eq!(sim.next(), Some(Completion::Timer { token: 0 }));
+            // A far-future flow start, cancelled: its queued event is a
+            // tombstone.
+            let mut f = flow_on(link, 1_000, 2);
+            f.latency = SimDuration::from_secs_f64(100.0);
+            let ghost = sim.start_flow(f);
+            assert!(sim.cancel_flow(ghost));
+            // Park the only real flow.
+            sim.set_link_health(link, LinkHealth::Down);
+            assert!(
+                sim.stalled(),
+                "tombstoned FlowStart must not count as progress (exact={exact})"
+            );
+            assert_eq!(sim.next(), None);
+            assert!(sim.stalled(), "still stalled after the queue drains");
+            // Revival clears the stall.
+            sim.set_link_health(link, LinkHealth::Healthy);
+            assert!(!sim.stalled());
+            assert!(matches!(
+                sim.next(),
+                Some(Completion::Flow { token: 1, .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn stalled_sees_through_stale_rate_checks() {
+        // Exact engine: a superseded RatesCheck left in the queue by a
+        // park transition must not mask the stall either.
+        let (mut sim, link) = sim_with_link(1e9);
+        sim.exact_engine = true;
+        sim.start_flow(flow_on(link, 1_000_000_000, 1));
+        sim.set_timer(SimDuration::from_secs_f64(0.1), 0);
+        assert_eq!(sim.next(), Some(Completion::Timer { token: 0 }));
+        sim.set_link_health(link, LinkHealth::Down);
+        // The original completion check is still queued but stale.
+        assert!(sim.stalled(), "stale check must not count as progress");
+        assert_eq!(sim.next(), None);
+        assert!(sim.stalled());
+    }
+
+    #[test]
+    fn disjoint_components_settle_independently() {
+        // Two flows on unrelated links: cancelling one must not disturb
+        // the other's completion time (component-local recompute).
+        let mut sim = NetSim::new();
+        let a = sim.add_link(LinkCapacity::new(1e9));
+        let b = sim.add_link(LinkCapacity::new(1e9));
+        let fa = sim.start_flow(flow_on(a, 1_000_000_000, 1));
+        sim.start_flow(flow_on(b, 500_000_000, 2));
+        sim.set_timer(SimDuration::from_secs_f64(0.1), 9);
+        assert_eq!(sim.next(), Some(Completion::Timer { token: 9 }));
+        assert!(sim.cancel_flow(fa));
+        let c = sim.next().unwrap();
+        assert!(matches!(c, Completion::Flow { token: 2, .. }));
+        assert!((sim.now().as_secs_f64() - 0.5).abs() < 1e-6);
+        assert_eq!(sim.next(), None);
+    }
+
+    #[test]
     #[should_panic(expected = "unregistered link")]
     fn unknown_link_panics() {
         let mut sim = NetSim::new();
@@ -1292,5 +1519,53 @@ mod tests {
             }
         );
         assert_eq!(sim.now(), SimTime(7_000));
+    }
+
+    /// Render a full completion log `(now, completion)` per line for an
+    /// arbitrary driver closure, for fast-vs-exact pinning.
+    fn engine_log(exact: bool, drive: impl Fn(&mut NetSim) -> Vec<LinkId>) -> String {
+        let mut sim = NetSim::new();
+        sim.exact_engine = exact;
+        drive(&mut sim);
+        let mut log = String::new();
+        while let Some(c) = sim.next() {
+            log.push_str(&format!("{:?} {:?}\n", sim.now(), c));
+        }
+        log
+    }
+
+    #[test]
+    fn fast_and_exact_agree_on_fault_schedules() {
+        // Engineered so the two engines perform identical float
+        // arithmetic: the two link groups are disjoint components, and
+        // whenever a recompute leaves some flow's rate bitwise-unchanged
+        // (so the fast engine skips a settlement the exact engine
+        // performs), that rate is dyadic and the elapsed nanoseconds are
+        // exact — segmentation cannot change the sums.
+        let drive = |sim: &mut NetSim| {
+            let a = sim.add_link(LinkCapacity::new(1e9));
+            let b = sim.add_link(LinkCapacity::new(2e9));
+            for t in 0..6 {
+                sim.start_flow(FlowSpec {
+                    path: if t < 4 { vec![a] } else { vec![b] },
+                    bytes: 64_000_000 << (t % 3),
+                    latency: SimDuration::from_micros(t * 5),
+                    rate_cap: if t == 3 { 0.25e9 } else { f64::INFINITY },
+                    token: t,
+                });
+            }
+            sim.schedule_fault_at(SimTime(40_000_000), a, LinkHealth::Down);
+            sim.schedule_fault_at(SimTime(90_000_000), a, LinkHealth::Healthy);
+            sim.schedule_fault_at(
+                SimTime(120_000_000),
+                b,
+                LinkHealth::Degraded { fraction: 0.5 },
+            );
+            vec![a, b]
+        };
+        let fast = engine_log(false, drive);
+        let exact = engine_log(true, drive);
+        assert_eq!(fast, exact);
+        assert!(fast.matches("Fault").count() == 3, "{fast}");
     }
 }

@@ -1,0 +1,213 @@
+//! Equivalence proptests: the production fast engine vs `RefSim`, the
+//! naive reference implementation of the same settlement specification.
+//!
+//! Both simulators are driven through identical call sequences — random
+//! flow sets, scheduled fault transitions (including full outages that
+//! park flows), timers and timer-triggered cancellations — and must emit
+//! **byte-identical completion streams**, integer-nanosecond timestamps
+//! included. This pins every moving part the fast engine added: the
+//! timer-wheel ordering, the check register, component-local
+//! water-filling, bitwise-skip rate assignment and the epoch-versioned
+//! finish heap.
+//!
+//! Generator discipline: capacities and rate caps come from
+//! well-separated round sets (powers of two × 1 GB/s, halved by degraded
+//! states) so that distinct water-fill constraint values are never within
+//! the historical `1e-9` tie threshold of each other without being
+//! exactly equal — the one regime where component-local and global
+//! settlement could legitimately group rounds differently.
+
+use proptest::prelude::*;
+
+use holmes_netsim::refsim::RefSim;
+use holmes_netsim::{
+    Completion, FlowId, FlowSpec, LinkCapacity, LinkHealth, LinkId, NetSim, SimDuration, SimTime,
+};
+
+/// Capacities all engines pick from: powers of two in GB/s.
+const CAPS: [f64; 4] = [1e9, 2e9, 4e9, 8e9];
+/// Per-flow rate caps (bytes/s); `INFINITY` means uncapped.
+const RATE_CAPS: [f64; 4] = [f64::INFINITY, 0.5e9, 1e9, 2e9];
+/// Health transitions faults pick from.
+const HEALTHS: [LinkHealth; 4] = [
+    LinkHealth::Down,
+    LinkHealth::Healthy,
+    LinkHealth::Degraded { fraction: 0.5 },
+    LinkHealth::Degraded { fraction: 0.25 },
+];
+
+/// Timer tokens at or above this value encode "cancel flow #(token-BASE)".
+const CANCEL_BASE: u64 = 1_000_000;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    /// Link capacity indices into `CAPS`.
+    links: Vec<usize>,
+    /// (bytes, latency_us, first link, second link or same, cap index,
+    /// pathless die — 0 means no path) per flow.
+    flows: Vec<(u64, u64, usize, usize, usize, usize)>,
+    /// (at_us, link, health index) per scheduled fault.
+    faults: Vec<(u64, usize, usize)>,
+    /// (delay_us, flow index) — a timer that cancels the flow when it
+    /// fires.
+    cancels: Vec<(u64, usize)>,
+}
+
+/// Everything both drivers do, expressed over the common sim surface.
+trait SimLike {
+    fn add_link(&mut self, cap: LinkCapacity) -> LinkId;
+    fn start_flow(&mut self, spec: FlowSpec) -> FlowId;
+    fn set_timer(&mut self, delay: SimDuration, token: u64);
+    fn schedule_fault_at(&mut self, at: SimTime, link: LinkId, health: LinkHealth);
+    fn cancel_flow(&mut self, id: FlowId) -> bool;
+    fn next(&mut self) -> Option<Completion>;
+    fn now(&self) -> SimTime;
+}
+
+impl SimLike for NetSim {
+    fn add_link(&mut self, cap: LinkCapacity) -> LinkId {
+        NetSim::add_link(self, cap)
+    }
+    fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+        NetSim::start_flow(self, spec)
+    }
+    fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        NetSim::set_timer(self, delay, token);
+    }
+    fn schedule_fault_at(&mut self, at: SimTime, link: LinkId, health: LinkHealth) {
+        NetSim::schedule_fault_at(self, at, link, health);
+    }
+    fn cancel_flow(&mut self, id: FlowId) -> bool {
+        NetSim::cancel_flow(self, id)
+    }
+    fn next(&mut self) -> Option<Completion> {
+        NetSim::next(self)
+    }
+    fn now(&self) -> SimTime {
+        NetSim::now(self)
+    }
+}
+
+impl SimLike for RefSim {
+    fn add_link(&mut self, cap: LinkCapacity) -> LinkId {
+        RefSim::add_link(self, cap)
+    }
+    fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+        RefSim::start_flow(self, spec)
+    }
+    fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        RefSim::set_timer(self, delay, token);
+    }
+    fn schedule_fault_at(&mut self, at: SimTime, link: LinkId, health: LinkHealth) {
+        RefSim::schedule_fault_at(self, at, link, health);
+    }
+    fn cancel_flow(&mut self, id: FlowId) -> bool {
+        RefSim::cancel_flow(self, id)
+    }
+    fn next(&mut self) -> Option<Completion> {
+        RefSim::next(self)
+    }
+    fn now(&self) -> SimTime {
+        RefSim::now(self)
+    }
+}
+
+/// Drive one simulator through the scenario, returning the full
+/// completion log stamped with exact integer-nanosecond clocks. Cancel
+/// timers fire *through* the event stream, so both engines observe them
+/// at identical instants.
+fn run_scenario<S: SimLike>(sim: &mut S, sc: &Scenario) -> String {
+    let links: Vec<LinkId> = sc
+        .links
+        .iter()
+        .map(|&c| sim.add_link(LinkCapacity::new(CAPS[c])))
+        .collect();
+    for &(at_us, l, h) in &sc.faults {
+        sim.schedule_fault_at(SimTime(at_us * 1_000), links[l % links.len()], HEALTHS[h]);
+    }
+    let mut ids = Vec::new();
+    for (token, &(bytes, lat_us, a, b, cap, pathless_die)) in sc.flows.iter().enumerate() {
+        let mut path = Vec::new();
+        if pathless_die != 0 {
+            path.push(links[a % links.len()]);
+            let lb = links[b % links.len()];
+            if lb != path[0] {
+                path.push(lb);
+            }
+        }
+        ids.push(sim.start_flow(FlowSpec {
+            path,
+            bytes,
+            latency: SimDuration::from_micros(lat_us),
+            rate_cap: RATE_CAPS[cap],
+            token: token as u64,
+        }));
+    }
+    for (i, &(delay_us, _)) in sc.cancels.iter().enumerate() {
+        sim.set_timer(SimDuration::from_micros(delay_us), CANCEL_BASE + i as u64);
+    }
+    let mut log = String::new();
+    while let Some(c) = sim.next() {
+        if let Completion::Timer { token } = c {
+            if token >= CANCEL_BASE {
+                let (_, flow_idx) = sc.cancels[(token - CANCEL_BASE) as usize];
+                let cancelled = sim.cancel_flow(ids[flow_idx % ids.len()]);
+                log.push_str(&format!("cancel#{token} -> {cancelled}\n"));
+                continue;
+            }
+        }
+        log.push_str(&format!("{:?} @ {}ns\n", c, sim.now().0));
+    }
+    log
+}
+
+proptest! {
+    /// The tentpole pin: fast engine and reference implementation emit
+    /// byte-identical completion streams over random flow/fault/cancel
+    /// schedules, fault parking included.
+    #[test]
+    fn fast_engine_matches_reference(
+        links in prop::collection::vec(0usize..4, 1..4),
+        flows in prop::collection::vec(
+            (
+                1_000u64..50_000_000,
+                0u64..2_000,
+                0usize..4,
+                0usize..4,
+                0usize..4,
+                0usize..10,
+            ),
+            1..24,
+        ),
+        faults in prop::collection::vec((0u64..60_000, 0usize..4, 0usize..4), 0..8),
+        cancels in prop::collection::vec((0u64..40_000, 0usize..24), 0..5),
+    ) {
+        let sc = Scenario { links, flows, faults, cancels };
+        let fast = run_scenario(&mut NetSim::new(), &sc);
+        let reference = run_scenario(&mut RefSim::new(), &sc);
+        prop_assert_eq!(fast.as_bytes(), reference.as_bytes());
+    }
+
+    /// Same pin restricted to fault-heavy schedules: every flow crosses a
+    /// link that goes down at least once, exercising park/revive and the
+    /// dead-link pre-pass on both sides.
+    #[test]
+    fn parking_schedules_match_reference(
+        nflows in 1usize..16,
+        bytes in 1_000_000u64..50_000_000,
+        down_us in 1u64..20_000,
+        up_us in 20_001u64..80_000,
+    ) {
+        let sc = Scenario {
+            links: vec![0, 1],
+            flows: (0..nflows)
+                .map(|i| (bytes + i as u64 * 7_919, (i as u64) * 13, 0, i % 2, 0, 1))
+                .collect(),
+            faults: vec![(down_us, 0, 0), (up_us, 0, 1)],
+            cancels: vec![],
+        };
+        let fast = run_scenario(&mut NetSim::new(), &sc);
+        let reference = run_scenario(&mut RefSim::new(), &sc);
+        prop_assert_eq!(fast.as_bytes(), reference.as_bytes());
+    }
+}
