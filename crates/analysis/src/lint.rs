@@ -150,6 +150,7 @@ const HOT_PATH_SCOPE: &[&str] = &[
     "crates/netsim/src/sched.rs",
     "crates/netsim/src/arena.rs",
     "crates/engine/src/executor.rs",
+    "crates/parallel/src/synth.rs",
 ];
 
 const FLOAT_EQ_SCOPE: &[&str] = &[

@@ -245,6 +245,43 @@ fn check_netsim(gate: &mut Gate, base: &Value, fresh: &Value) {
     }
 }
 
+fn check_plansynth(gate: &mut Gate, base: &Value, fresh: &Value) {
+    let file = "BENCH_plansynth.json";
+    // The search profile — expansion/pruning counters and winning costs —
+    // is a pure function of the topology: exact.
+    match (base.get("search"), fresh.get("search")) {
+        (Some(b), Some(f)) => gate.exact(&format!("{file}:search"), b, f),
+        _ => gate.fail(format!("{file}:search: missing on one side")),
+    }
+    // Wall-clock scalars: relative tolerance, plus the ISSUE-7 acceptance
+    // criterion as an absolute, machine-independent-enough floor — the
+    // 64-cluster fleet plans in well under a millisecond on any machine
+    // that can build the workspace, so 1s of headroom is not a flake risk.
+    let (Some(bwall), Some(fwall)) = (base.get("wall"), fresh.get("wall")) else {
+        gate.fail(format!("{file}:wall: missing on one side"));
+        return;
+    };
+    let fleet64 = num(fwall, "fleet64_plan_seconds", file);
+    gate.checks += 1;
+    if fleet64 >= 1.0 {
+        gate.fail(format!(
+            "{file}:wall.fleet64_plan_seconds: {fleet64:.3}s breaks the <1s acceptance criterion"
+        ));
+    }
+    for (key, higher_is_better) in [
+        ("fleet64_plan_seconds", false),
+        ("fleet12_plan_seconds", false),
+        ("oracle_plans_per_sec", true),
+    ] {
+        gate.within_tolerance(
+            &format!("{file}:wall.{key}"),
+            num(bwall, key, file),
+            num(fwall, key, file),
+            higher_is_better,
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let mut baseline_dir = PathBuf::from(ROOT).join("BENCH_baseline");
     let mut fresh_dir = PathBuf::from(ROOT);
@@ -296,6 +333,11 @@ fn main() -> ExitCode {
         "BENCH_resilience.json",
         &load(&baseline_dir.join("BENCH_resilience.json")),
         &load(&fresh_dir.join("BENCH_resilience.json")),
+    );
+    check_plansynth(
+        &mut gate,
+        &load(&baseline_dir.join("BENCH_plansynth.json")),
+        &load(&fresh_dir.join("BENCH_plansynth.json")),
     );
 
     if gate.violations.is_empty() {

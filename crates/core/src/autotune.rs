@@ -5,7 +5,11 @@
 //! prunes with memory checks and the closed-form
 //! [`crate::estimate::estimate_iteration`], then simulates the `top_k`
 //! survivors for an accurate ranking — the classic estimate-then-measure
-//! search loop.
+//! search loop. Every candidate's placement routes through
+//! [`crate::planner::plan_for`] and therefore through the
+//! [`holmes_parallel::Planner`] trait's guided branch-and-bound synthesis,
+//! so each `(t, p)` cell is scored on its *optimal* cluster order, not
+//! just the fastest-first heuristic.
 
 use holmes_engine::{simulate_iteration, DpSyncStrategy, EngineConfig, TrainingMetrics};
 use holmes_model::{MemoryEstimate, TrainJob};

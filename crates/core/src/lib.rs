@@ -55,7 +55,7 @@ pub use config::HolmesConfig;
 pub use estimate::{estimate_iteration, IterationEstimate};
 pub use framework::FrameworkKind;
 pub use holmes_parallel::EvalMode;
-pub use planner::{plan_for, PlanError, PlanRequest};
+pub use planner::{placement_gradient_bytes, plan_for, plan_for_with, PlanError, PlanRequest};
 pub use reliability::{CheckpointPlan, GoodputTrace, ReliabilityModel};
 pub use report::TableBuilder;
 pub use resilience::{run_resilient, run_resilient_observed, FaultPreset, ResilienceReport};

@@ -1,10 +1,10 @@
 //! The Holmes planner: topology + job + feature flags → parallel plan.
 
 use holmes_engine::{DpSyncStrategy, EngineConfig, ScheduleKind, TransportPolicy};
-use holmes_model::{ParameterGroup, TrainJob};
+use holmes_model::{CommVolumes, ParameterGroup, TrainJob};
 use holmes_parallel::{
-    DegreeError, GroupLayout, HolmesScheduler, ParallelDegrees, ParallelPlan, PartitionStrategy,
-    Scheduler, SelfAdaptingPartition, SequentialScheduler, UniformPartition,
+    DegreeError, GroupLayout, GuidedPlanner, ParallelDegrees, ParallelPlan, PartitionStrategy,
+    Planner, Scheduler, SelfAdaptingPartition, SequentialScheduler, UniformPartition,
 };
 use holmes_topology::Topology;
 
@@ -51,8 +51,23 @@ impl std::fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
+/// Per-rank data-parallel gradient volume used to score candidate
+/// placements: the worst stage's parameter count under a uniform layer
+/// split (the partition is not chosen until after placement), sharded by
+/// the tensor degree. Placement only needs a volume that ranks orders
+/// consistently; the exact per-stage volumes are re-derived by the
+/// estimator once the partition is fixed.
+pub fn placement_gradient_bytes(job: &TrainJob, degrees: ParallelDegrees) -> u64 {
+    let worst_stage_params = u64::from(job.config.num_layers)
+        .div_ceil(u64::from(degrees.pipeline))
+        * holmes_model::layer_params(&job.config)
+        + holmes_model::embedding_params(&job.config);
+    CommVolumes::dp_gradient_bytes(worst_stage_params, degrees.tensor)
+}
+
 /// Build the parallel plan and engine configuration for a request under a
-/// Holmes feature configuration.
+/// Holmes feature configuration, using the default [`GuidedPlanner`] for
+/// cross-cluster placement.
 ///
 /// `fallback_dp` is the gradient-sync strategy used when the overlapped
 /// optimizer flag is off: the Holmes ablation falls back to a blocking
@@ -63,6 +78,24 @@ pub fn plan_for(
     cfg: &HolmesConfig,
     fallback_dp: DpSyncStrategy,
 ) -> Result<(ParallelPlan, EngineConfig), PlanError> {
+    plan_for_with(topo, req, cfg, fallback_dp, &GuidedPlanner)
+}
+
+/// [`plan_for`] with an explicit placement strategy.
+///
+/// All three [`Planner`] strategies agree bit-for-bit wherever their
+/// coverage overlaps, so swapping them never changes a plan's cost model —
+/// only how much of the placement space is searched and certified:
+/// `HeuristicPlanner` scores one order, `GuidedPlanner` (the production
+/// default) proves its winner optimal, `ExhaustivePlanner` is the `M!`
+/// reference oracle for tests.
+pub fn plan_for_with(
+    topo: &Topology,
+    req: &PlanRequest,
+    cfg: &HolmesConfig,
+    fallback_dp: DpSyncStrategy,
+    planner: &dyn Planner,
+) -> Result<(ParallelPlan, EngineConfig), PlanError> {
     let degrees = ParallelDegrees::infer_data(
         req.tensor_parallel,
         req.pipeline_parallel,
@@ -71,9 +104,14 @@ pub fn plan_for(
     .map_err(PlanError::Degrees)?;
     let layout = GroupLayout::new(degrees);
 
-    // 1. Device ordering (Cross-Cluster Pipeline Parallelism).
+    // 1. Device ordering (Cross-Cluster Pipeline Parallelism): synthesize
+    // a placement minimizing the analytic DP sync cost. The baseline
+    // (flag off) keeps the Megatron-style sequential hostfile order.
     let assignment = if cfg.cross_cluster_pp {
-        HolmesScheduler.assign(topo, &layout)
+        let gradient_bytes = placement_gradient_bytes(&req.job, degrees);
+        planner
+            .plan_placement(topo, &layout, gradient_bytes)
+            .assignment
     } else {
         SequentialScheduler.assign(topo, &layout)
     };
@@ -217,6 +255,52 @@ mod tests {
         assert_eq!(plan.total_layers(), 36);
         // Holmes orders IB clusters first: stage 0/1 (IB) ≥ stage 2 (RoCE).
         assert!(plan.stage_layers[0] >= plan.stage_layers[2]);
+    }
+
+    #[test]
+    fn planner_strategies_yield_identical_plans() {
+        use holmes_parallel::{ExhaustivePlanner, HeuristicPlanner};
+        for (topo, pg) in [
+            (presets::hybrid_two_cluster(2), 1u8),
+            (presets::table4_2r_2ib_2ib(), 5),
+        ] {
+            let req = PlanRequest::parameter_group(pg);
+            let cfg = HolmesConfig::full();
+            let (guided, _) =
+                plan_for(&topo, &req, &cfg, DpSyncStrategy::DistributedOptimizer).unwrap();
+            let strategies: [&dyn Planner; 2] = [&HeuristicPlanner, &ExhaustivePlanner::default()];
+            for planner in strategies {
+                let (plan, _) = plan_for_with(
+                    &topo,
+                    &req,
+                    &cfg,
+                    DpSyncStrategy::DistributedOptimizer,
+                    planner,
+                )
+                .unwrap();
+                assert_eq!(plan.assignment, guided.assignment, "{}", planner.name());
+                assert_eq!(plan.stage_layers, guided.stage_layers, "{}", planner.name());
+            }
+        }
+    }
+
+    #[test]
+    fn placement_volume_uses_the_worst_stage() {
+        let req = PlanRequest::parameter_group(1);
+        let degrees = ParallelDegrees::infer_data(1, 2, 16).unwrap();
+        let per_layer = holmes_model::layer_params(&req.job.config);
+        let embed = holmes_model::embedding_params(&req.job.config);
+        let layers = u64::from(req.job.config.num_layers);
+        assert_eq!(
+            placement_gradient_bytes(&req.job, degrees),
+            (layers.div_ceil(2) * per_layer + embed) * 4
+        );
+        // Tensor sharding divides the synced volume.
+        let sharded = ParallelDegrees::infer_data(2, 2, 32).unwrap();
+        assert_eq!(
+            placement_gradient_bytes(&req.job, sharded),
+            placement_gradient_bytes(&req.job, degrees) / 2
+        );
     }
 
     #[test]

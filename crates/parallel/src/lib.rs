@@ -19,7 +19,12 @@
 //!   RDMA) and which are forced down to Ethernet;
 //! * [`PartitionStrategy`] — *Uniform* vs *Self-Adapting* (Eq. 2) pipeline
 //!   layer partitioning;
-//! * [`ParallelPlan`] — the assembled plan consumed by the engine.
+//! * [`ParallelPlan`] — the assembled plan consumed by the engine;
+//! * [`Planner`] — one interface over the three placement strategies:
+//!   the [`HeuristicPlanner`] (fastest-first order, no search), the
+//!   [`ExhaustivePlanner`] (all `M!` orders — the reference oracle), and
+//!   the [`GuidedPlanner`] (branch-and-bound plan synthesis that returns
+//!   the oracle's exact winner and scales to many-cluster fleets).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +37,7 @@ mod partition;
 mod plan;
 mod scheduler;
 mod search;
+mod synth;
 
 pub use degrees::{DegreeError, ParallelDegrees};
 pub use groups::GroupLayout;
@@ -44,4 +50,8 @@ pub use scheduler::{
 pub use search::{
     assignment_for_order, search_cluster_orders, search_cluster_orders_with_mode, EvalMode,
     PlacementSearchResult,
+};
+pub use synth::{
+    speed_rank_of, synthesize_placement, ExhaustivePlanner, GuidedPlanner, HeuristicPlanner,
+    Planner, SynthStats,
 };

@@ -48,48 +48,31 @@ pub struct DpGroupNic {
     pub forced_tcp: bool,
 }
 
-/// Plan-wide Automatic NIC Selection report.
-#[derive(Debug, Clone, PartialEq)]
-pub struct NicSelectionReport {
-    /// Per-group classification.
-    pub groups: Vec<DpGroupNic>,
-    /// Number of groups able to use RDMA.
-    pub rdma_groups: u32,
-    /// Number of groups forced down to Ethernet.
-    pub ethernet_groups: u32,
-}
-
-impl NicSelectionReport {
-    /// Analyze every data-parallel group of a plan.
-    pub fn analyze(topo: &Topology, layout: &GroupLayout, assignment: &DeviceAssignment) -> Self {
-        let mut groups = Vec::with_capacity(layout.dp_group_count() as usize);
-        let mut rdma = 0u32;
-        for i in 0..layout.dp_group_count() {
-            let devices = assignment.map_group(&layout.dp_group(i));
-            let rdma_nic = Self::classify(topo, &devices);
-            if rdma_nic.is_some() {
-                rdma += 1;
-            }
-            let algo = if Self::spans_clusters(topo, &devices) {
-                DpCollectiveAlgo::HierarchicalTwoLevel
-            } else if rdma_nic.is_some() {
-                DpCollectiveAlgo::RingRdma
-            } else {
-                DpCollectiveAlgo::RingEthernet
-            };
-            groups.push(DpGroupNic {
-                group: i,
-                devices,
-                rdma_nic,
-                algo,
-                forced_tcp: false,
-            });
-        }
-        let total = groups.len() as u32;
-        NicSelectionReport {
-            groups,
-            rdma_groups: rdma,
-            ethernet_groups: total - rdma,
+impl DpGroupNic {
+    /// Classify one data-parallel group from its physical member set:
+    /// decide whether it can ride RDMA end-to-end and which collective
+    /// algorithm its gradient sync should run.
+    ///
+    /// This is the *single* classification path: [`NicSelectionReport::analyze`]
+    /// calls it per group, and the guided plan synthesizer
+    /// ([`crate::GuidedPlanner`]) calls it on partially-built plans — both must
+    /// see bit-identical classifications for the search bound to be exact
+    /// at completion.
+    pub fn analyze_group(topo: &Topology, group: u32, devices: Vec<Rank>) -> Self {
+        let rdma_nic = Self::classify(topo, &devices);
+        let algo = if Self::spans_clusters(topo, &devices) {
+            DpCollectiveAlgo::HierarchicalTwoLevel
+        } else if rdma_nic.is_some() {
+            DpCollectiveAlgo::RingRdma
+        } else {
+            DpCollectiveAlgo::RingEthernet
+        };
+        DpGroupNic {
+            group,
+            devices,
+            rdma_nic,
+            algo,
+            forced_tcp: false,
         }
     }
 
@@ -121,6 +104,83 @@ impl NicSelectionReport {
         })
     }
 
+    /// Analytic gradient-sync cost of this one group for `gradient_bytes`
+    /// per rank, in seconds. Singleton groups synchronize nothing and cost
+    /// exactly `0.0`.
+    ///
+    /// [`NicSelectionReport::dp_sync_cost_seconds`] is the max-fold of this
+    /// function over a plan's groups; the guided synthesizer folds the same
+    /// function incrementally as groups become determined, so partial-plan
+    /// bounds and full-plan costs are bit-identical (`f64::max` over
+    /// non-negative finite values is fold-order independent).
+    pub fn sync_cost_seconds(&self, topo: &Topology, gradient_bytes: u64) -> f64 {
+        let n = self.devices.len() as u32;
+        if n <= 1 {
+            return 0.0;
+        }
+        match self.algo {
+            DpCollectiveAlgo::HierarchicalTwoLevel => holmes_netsim::algo::estimate_collective(
+                topo,
+                holmes_netsim::algo::CollKind::HierarchicalAllReduce,
+                &self.devices,
+                gradient_bytes,
+            ),
+            DpCollectiveAlgo::RingRdma | DpCollectiveAlgo::RingEthernet => {
+                // Ring over the group's device order: bottleneck hop
+                // binds — the uniform fold of the ring IR collapsed to
+                // its closed form. Downgraded groups price every hop
+                // over the Ethernet fallback even where the NICs are
+                // still nominally RDMA-compatible.
+                let mut bw = f64::INFINITY;
+                let mut lat: f64 = 0.0;
+                for (i, &a) in self.devices.iter().enumerate() {
+                    let b = self.devices[(i + 1) % self.devices.len()];
+                    let link = if self.forced_tcp {
+                        topo.tcp_link_between(a, b).expect("devices in topology")
+                    } else {
+                        topo.link_between(a, b).expect("devices in topology")
+                    };
+                    bw = bw.min(link.bandwidth_bytes_per_sec);
+                    lat = lat.max(link.latency_ns as f64 * 1e-9);
+                }
+                holmes_netsim::collective::ring_allreduce_seconds(n, gradient_bytes, bw, lat)
+            }
+        }
+    }
+}
+
+/// Plan-wide Automatic NIC Selection report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NicSelectionReport {
+    /// Per-group classification.
+    pub groups: Vec<DpGroupNic>,
+    /// Number of groups able to use RDMA.
+    pub rdma_groups: u32,
+    /// Number of groups forced down to Ethernet.
+    pub ethernet_groups: u32,
+}
+
+impl NicSelectionReport {
+    /// Analyze every data-parallel group of a plan.
+    pub fn analyze(topo: &Topology, layout: &GroupLayout, assignment: &DeviceAssignment) -> Self {
+        let mut groups = Vec::with_capacity(layout.dp_group_count() as usize);
+        let mut rdma = 0u32;
+        for i in 0..layout.dp_group_count() {
+            let devices = assignment.map_group(&layout.dp_group(i));
+            let g = DpGroupNic::analyze_group(topo, i, devices);
+            if g.rdma_nic.is_some() {
+                rdma += 1;
+            }
+            groups.push(g);
+        }
+        let total = groups.len() as u32;
+        NicSelectionReport {
+            groups,
+            rdma_groups: rdma,
+            ethernet_groups: total - rdma,
+        }
+    }
+
     /// Fraction of groups able to use RDMA (1.0 = perfect selection).
     pub fn rdma_fraction(&self) -> f64 {
         let total = self.groups.len();
@@ -138,43 +198,9 @@ impl NicSelectionReport {
     /// straddles clusters. Used by the planner to compare assignments
     /// cheaply.
     pub fn dp_sync_cost_seconds(&self, topo: &Topology, gradient_bytes: u64) -> f64 {
-        let mut worst: f64 = 0.0;
-        for g in &self.groups {
-            let n = g.devices.len() as u32;
-            if n <= 1 {
-                continue;
-            }
-            let cost = match g.algo {
-                DpCollectiveAlgo::HierarchicalTwoLevel => holmes_netsim::algo::estimate_collective(
-                    topo,
-                    holmes_netsim::algo::CollKind::HierarchicalAllReduce,
-                    &g.devices,
-                    gradient_bytes,
-                ),
-                DpCollectiveAlgo::RingRdma | DpCollectiveAlgo::RingEthernet => {
-                    // Ring over the group's device order: bottleneck hop
-                    // binds — the uniform fold of the ring IR collapsed to
-                    // its closed form. Downgraded groups price every hop
-                    // over the Ethernet fallback even where the NICs are
-                    // still nominally RDMA-compatible.
-                    let mut bw = f64::INFINITY;
-                    let mut lat: f64 = 0.0;
-                    for (i, &a) in g.devices.iter().enumerate() {
-                        let b = g.devices[(i + 1) % g.devices.len()];
-                        let link = if g.forced_tcp {
-                            topo.tcp_link_between(a, b).expect("devices in topology")
-                        } else {
-                            topo.link_between(a, b).expect("devices in topology")
-                        };
-                        bw = bw.min(link.bandwidth_bytes_per_sec);
-                        lat = lat.max(link.latency_ns as f64 * 1e-9);
-                    }
-                    holmes_netsim::collective::ring_allreduce_seconds(n, gradient_bytes, bw, lat)
-                }
-            };
-            worst = worst.max(cost);
-        }
-        worst
+        self.groups.iter().fold(0.0f64, |worst, g| {
+            worst.max(g.sync_cost_seconds(topo, gradient_bytes))
+        })
     }
 
     /// Re-plan after NIC loss: re-run NIC selection on the *degraded*

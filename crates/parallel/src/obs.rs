@@ -60,7 +60,7 @@ pub fn record_nic_selection(session: &mut ObsSession, report: &NicSelectionRepor
 /// the winning order's cost.
 pub fn record_search(session: &mut ObsSession, result: &PlacementSearchResult) {
     let reg = &mut session.registry;
-    reg.counter_add("parallel.placements_evaluated", u64::from(result.evaluated));
+    reg.counter_add("parallel.placements_evaluated", result.evaluated);
     reg.gauge_set("parallel.placement_cost_seconds", result.cost_seconds);
     session.trace.planning_event(
         Layer::Parallel,
@@ -76,6 +76,44 @@ pub fn record_search(session: &mut ObsSession, result: &PlacementSearchResult) {
         ),
         "placement-search",
         vec![("evaluated".to_owned(), format!("{}", result.evaluated))],
+    );
+}
+
+/// Record a finished guided synthesis run: the winner (via
+/// [`record_search`]'s counters and `placement-selected` event) plus the
+/// branch-and-bound search profile — expansion and per-rule pruning
+/// counters and a `synthesis-finished` event. All counts are
+/// deterministic per topology, so recorded sessions are byte-identical
+/// across runs.
+pub fn record_synth(
+    session: &mut ObsSession,
+    result: &PlacementSearchResult,
+    stats: &crate::synth::SynthStats,
+) {
+    record_search(session, result);
+    let reg = &mut session.registry;
+    reg.counter_add("parallel.synth_expanded", stats.expanded);
+    reg.counter_add("parallel.synth_pushed", stats.pushed);
+    reg.counter_add("parallel.synth_pruned_bound", stats.pruned_bound);
+    reg.counter_add("parallel.synth_pruned_dominated", stats.pruned_dominated);
+    reg.counter_add("parallel.synth_pruned_symmetry", stats.pruned_symmetry);
+    session.trace.planning_event(
+        Layer::Parallel,
+        0,
+        format!(
+            "synthesis-finished ({})",
+            if stats.heuristic_won {
+                "heuristic-won"
+            } else {
+                "improved"
+            }
+        ),
+        "plan-synthesis",
+        vec![
+            ("expanded".to_owned(), format!("{}", stats.expanded)),
+            ("pushed".to_owned(), format!("{}", stats.pushed)),
+            ("pruned".to_owned(), format!("{}", stats.pruned_total())),
+        ],
     );
 }
 
@@ -142,5 +180,24 @@ mod tests {
         let (metrics, trace) = render();
         assert!(metrics.contains("parallel.dp_groups"));
         assert!(trace.contains("group-formed"));
+    }
+
+    #[test]
+    fn synth_recording_captures_the_search_profile() {
+        let topo = presets::table4_4r_4ib_4ib();
+        let n = topo.device_count();
+        let layout = GroupLayout::new(ParallelDegrees::infer_data(1, 2, n).unwrap());
+        let (result, stats) = crate::synth::synthesize_placement(&topo, &layout, 1 << 32);
+        let render = || {
+            let mut s = ObsSession::new();
+            record_synth(&mut s, &result, &stats);
+            (s.registry.to_json(0), s.trace.to_chrome_trace())
+        };
+        assert_eq!(render(), render());
+        let (metrics, trace) = render();
+        assert!(metrics.contains("parallel.synth_expanded"));
+        assert!(metrics.contains("parallel.placements_evaluated"));
+        assert!(trace.contains("synthesis-finished"));
+        assert!(trace.contains("placement-selected"));
     }
 }

@@ -233,7 +233,14 @@ pub struct HolmesScheduler;
 impl HolmesScheduler {
     /// Cluster visit order: descending effective NIC bandwidth, stable on
     /// ties (preserves topology order).
-    fn cluster_order(topo: &Topology) -> Vec<ClusterId> {
+    ///
+    /// Public because this order doubles as the planning stack's *canonical
+    /// relabeling*: the guided and exhaustive planners ([`crate::GuidedPlanner`],
+    /// [`crate::search_cluster_orders`]) break cost ties toward the order that is
+    /// lexicographically smallest after relabeling clusters by their
+    /// position here, so "fastest-first" wins every tie and the heuristic,
+    /// exhaustive, and guided strategies agree on one canonical winner.
+    pub fn cluster_order(topo: &Topology) -> Vec<ClusterId> {
         let mut order: Vec<(usize, f64)> = topo
             .clusters()
             .iter()

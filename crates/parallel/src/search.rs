@@ -5,12 +5,23 @@
 //! scores each candidate by the analytic data-parallel synchronization
 //! cost ([`NicSelectionReport::dp_sync_cost_seconds`]), providing
 //!
+//! * the **reference oracle** for the guided branch-and-bound planner in
+//!   [`crate::GuidedPlanner`] (the equivalence tests assert the guided search
+//!   returns the bit-identical winner on every small topology);
 //! * an optimality check for the heuristic (the test suite proves the
-//!   heuristic matches the exhaustive optimum on every paper topology);
-//! * a fallback for exotic fleets where fastest-first is not best.
+//!   heuristic matches the exhaustive optimum on every paper topology).
 //!
-//! Cluster counts in practice are tiny (the paper tops out at 3), so the
-//! `M!` search is instantaneous.
+//! The winner is *canonical*: minimal cost (exact `f64` comparison), ties
+//! broken toward the order that is lexicographically smallest after
+//! relabeling clusters by [`crate::HolmesScheduler::cluster_order`]
+//! position — so among equal-cost orders the heuristic's fastest-first
+//! order wins, and every search strategy agrees on one winner.
+//!
+//! Permutations are *streamed*: the serial path mutates one scratch buffer
+//! (Heap's algorithm, one swap per step), the parallel path scores
+//! fixed-size chunks — exhaustive search stays memory-bounded even when
+//! `M!` is astronomically large (though at that scale you want
+//! [`crate::GuidedPlanner`] instead).
 
 use holmes_topology::{ClusterId, Topology};
 use rayon::prelude::*;
@@ -18,6 +29,7 @@ use rayon::prelude::*;
 use crate::groups::GroupLayout;
 use crate::nic_selection::NicSelectionReport;
 use crate::scheduler::DeviceAssignment;
+use crate::synth::speed_rank_of;
 
 /// How a candidate-evaluation fan-out is executed.
 ///
@@ -34,7 +46,7 @@ pub enum EvalMode {
     Serial,
 }
 
-/// Result of an exhaustive placement search.
+/// Result of a placement search (exhaustive or guided).
 #[derive(Debug, Clone)]
 pub struct PlacementSearchResult {
     /// The winning cluster visit order.
@@ -43,8 +55,9 @@ pub struct PlacementSearchResult {
     pub assignment: DeviceAssignment,
     /// Its analytic DP synchronization cost (seconds).
     pub cost_seconds: f64,
-    /// Number of permutations evaluated.
-    pub evaluated: u32,
+    /// Number of complete plans scored (`M!` overflows `u32` at `M = 13`,
+    /// hence `u64`).
+    pub evaluated: u64,
 }
 
 /// Build the assignment that concatenates clusters in `order`.
@@ -56,12 +69,29 @@ pub fn assignment_for_order(topo: &Topology, order: &[ClusterId]) -> DeviceAssig
     DeviceAssignment::from_permutation(device_of)
 }
 
+/// Score one complete cluster order: the plan-wide analytic DP sync cost.
+///
+/// This is the *only* scoring path — the heuristic/exhaustive/guided
+/// planners and the synth incumbent all go through it (or through the
+/// per-group [`crate::DpGroupNic::sync_cost_seconds`] it folds), keeping
+/// costs bit-comparable across strategies.
+pub(crate) fn cost_of_order(
+    topo: &Topology,
+    layout: &GroupLayout,
+    order: &[ClusterId],
+    gradient_bytes: u64,
+) -> f64 {
+    let assignment = assignment_for_order(topo, order);
+    NicSelectionReport::analyze(topo, layout, &assignment).dp_sync_cost_seconds(topo, gradient_bytes)
+}
+
 /// Iterative permutation generator over `0..n` (Heap's algorithm).
 ///
 /// Yields each of the `n!` orderings exactly once, starting from the
-/// identity, mutating a single buffer with one swap per step instead of
-/// the clone-and-insert of a recursive enumeration.
-struct Permutations {
+/// identity, mutating a single scratch buffer with one swap per step.
+/// `next_perm` lends a view of that buffer — no per-step allocation or
+/// clone; callers that need to keep an ordering copy it out themselves.
+pub(crate) struct Permutations {
     items: Vec<usize>,
     counters: Vec<usize>,
     i: usize,
@@ -69,7 +99,7 @@ struct Permutations {
 }
 
 impl Permutations {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Permutations {
             items: (0..n).collect(),
             counters: vec![0; n],
@@ -77,15 +107,13 @@ impl Permutations {
             first: true,
         }
     }
-}
 
-impl Iterator for Permutations {
-    type Item = Vec<usize>;
-
-    fn next(&mut self) -> Option<Vec<usize>> {
+    /// Advance to the next permutation, lending the internal buffer.
+    /// Returns `None` once all `n!` orderings have been yielded.
+    pub(crate) fn next_perm(&mut self) -> Option<&[usize]> {
         if self.first {
             self.first = false;
-            return Some(self.items.clone());
+            return Some(&self.items);
         }
         while self.i < self.items.len() {
             if self.counters[self.i] < self.i {
@@ -96,18 +124,75 @@ impl Iterator for Permutations {
                 }
                 self.counters[self.i] += 1;
                 self.i = 1;
-                return Some(self.items.clone());
+                return Some(&self.items);
             }
             self.counters[self.i] = 0;
             self.i += 1;
         }
         None
     }
+
+    /// Visit every permutation with a callback (the zero-copy serial path).
+    pub(crate) fn for_each(n: usize, mut visit: impl FnMut(&[usize])) {
+        let mut perms = Permutations::new(n);
+        while let Some(p) = perms.next_perm() {
+            visit(p);
+        }
+    }
+}
+
+/// Tracks the canonical winner across streamed candidates: minimal
+/// `(cost, speed-rank-relabeled order)` under exact `f64` comparison and
+/// lexicographic tie-break. Folding is order-independent, so chunked
+/// parallel scoring and the serial scan agree bit-for-bit.
+struct CanonicalBest {
+    rank_of: Vec<u16>,
+    order: Vec<ClusterId>,
+    canon: Vec<u16>,
+    cost: f64,
+}
+
+impl CanonicalBest {
+    fn new(rank_of: Vec<u16>) -> Self {
+        CanonicalBest {
+            rank_of,
+            order: Vec::new(),
+            canon: Vec::new(),
+            cost: f64::INFINITY,
+        }
+    }
+
+    fn canon_of(&self, order: &[ClusterId]) -> Vec<u16> {
+        order
+            .iter()
+            .map(|c| self.rank_of[c.0 as usize])
+            .collect()
+    }
+
+    fn offer(&mut self, order: &[ClusterId], cost: f64) {
+        use std::cmp::Ordering;
+        match cost.total_cmp(&self.cost) {
+            Ordering::Greater => {}
+            Ordering::Less => {
+                self.order = order.to_vec();
+                self.canon = self.canon_of(order);
+                self.cost = cost;
+            }
+            Ordering::Equal => {
+                let canon = self.canon_of(order);
+                if canon < self.canon {
+                    self.order = order.to_vec();
+                    self.canon = canon;
+                    self.cost = cost;
+                }
+            }
+        }
+    }
 }
 
 /// Search every cluster ordering; score by the DP sync cost for
-/// `gradient_bytes` per rank. Ties break toward the first-enumerated
-/// (permutations enumerate stably, keeping results deterministic).
+/// `gradient_bytes` per rank. Returns the canonical winner (minimal cost,
+/// ties toward the fastest-first relabeled lexicographic minimum).
 ///
 /// Permutations are scored in parallel; use
 /// [`search_cluster_orders_with_mode`] to force the serial path.
@@ -126,40 +211,65 @@ pub fn search_cluster_orders_with_mode(
     gradient_bytes: u64,
     mode: EvalMode,
 ) -> PlacementSearchResult {
+    /// Orders scored per parallel batch — bounds live memory at
+    /// `CHUNK · M · size_of::<ClusterId>()` instead of `M!`.
+    const CHUNK: usize = 1024;
+
     let m = topo.cluster_count() as usize;
-    let orders: Vec<Vec<ClusterId>> = Permutations::new(m)
-        .map(|perm| perm.into_iter().map(|i| ClusterId(i as u32)).collect())
-        .collect();
-    // Score each ordering independently (each evaluation builds its own
-    // assignment and report), then pick the winner by a serial scan in
-    // enumeration order so the tie-break is identical in both modes.
-    let score = |order: &Vec<ClusterId>| -> (DeviceAssignment, f64) {
-        let assignment = assignment_for_order(topo, order);
-        let report = NicSelectionReport::analyze(topo, layout, &assignment);
-        let cost = report.dp_sync_cost_seconds(topo, gradient_bytes);
-        (assignment, cost)
-    };
-    let scored: Vec<(DeviceAssignment, f64)> = match mode {
-        EvalMode::Parallel => orders.par_iter().map(score).collect(),
-        EvalMode::Serial => orders.iter().map(score).collect(),
-    };
-    let evaluated = scored.len() as u32;
-    let mut best: Option<PlacementSearchResult> = None;
-    for (order, (assignment, cost)) in orders.into_iter().zip(scored) {
-        let better = match &best {
-            None => true,
-            Some(b) => cost < b.cost_seconds - 1e-12,
-        };
-        if better {
-            best = Some(PlacementSearchResult {
-                cluster_order: order,
-                assignment,
-                cost_seconds: cost,
-                evaluated,
+    let mut best = CanonicalBest::new(speed_rank_of(topo));
+    let mut evaluated: u64 = 0;
+
+    match mode {
+        EvalMode::Serial => {
+            // Zero-copy path: score straight off the generator's scratch
+            // buffer; only a new winner is copied out.
+            let mut order: Vec<ClusterId> = Vec::with_capacity(m);
+            Permutations::for_each(m, |perm| {
+                order.clear();
+                order.extend(perm.iter().map(|&i| ClusterId(i as u32)));
+                let cost = cost_of_order(topo, layout, &order, gradient_bytes);
+                evaluated += 1;
+                best.offer(&order, cost);
             });
         }
+        EvalMode::Parallel => {
+            let mut perms = Permutations::new(m);
+            let mut chunk: Vec<Vec<ClusterId>> = Vec::with_capacity(CHUNK);
+            loop {
+                chunk.clear();
+                while chunk.len() < CHUNK {
+                    match perms.next_perm() {
+                        Some(perm) => {
+                            chunk.push(perm.iter().map(|&i| ClusterId(i as u32)).collect())
+                        }
+                        None => break,
+                    }
+                }
+                if chunk.is_empty() {
+                    break;
+                }
+                let costs: Vec<f64> = chunk
+                    .par_iter()
+                    .map(|order| cost_of_order(topo, layout, order, gradient_bytes))
+                    .collect();
+                for (order, cost) in chunk.iter().zip(costs) {
+                    evaluated += 1;
+                    best.offer(order, cost);
+                }
+                if chunk.len() < CHUNK {
+                    break;
+                }
+            }
+        }
     }
-    best.expect("at least one permutation")
+
+    let assignment = assignment_for_order(topo, &best.order);
+    PlacementSearchResult {
+        cluster_order: best.order,
+        assignment,
+        cost_seconds: best.cost,
+        evaluated,
+    }
 }
 
 #[cfg(test)]
@@ -175,16 +285,25 @@ mod tests {
         GroupLayout::new(ParallelDegrees::infer_data(t, p, topo.device_count()).unwrap())
     }
 
+    fn collect_perms(n: usize) -> Vec<Vec<usize>> {
+        let mut all = Vec::new();
+        Permutations::for_each(n, |p| all.push(p.to_vec()));
+        all
+    }
+
     #[test]
     fn permutations_enumerate_factorially() {
-        assert_eq!(Permutations::new(0).count(), 1);
-        assert_eq!(Permutations::new(1).count(), 1);
-        assert_eq!(Permutations::new(3).count(), 6);
-        assert_eq!(Permutations::new(4).count(), 24);
-        // The first ordering is the identity (the tie-break favourite).
-        assert_eq!(Permutations::new(4).next(), Some(vec![0, 1, 2, 3]));
+        assert_eq!(collect_perms(0).len(), 1);
+        assert_eq!(collect_perms(1).len(), 1);
+        assert_eq!(collect_perms(3).len(), 6);
+        assert_eq!(collect_perms(4).len(), 24);
+        // The first ordering is the identity.
+        assert_eq!(
+            Permutations::new(4).next_perm(),
+            Some(&[0usize, 1, 2, 3][..])
+        );
         // Each is a permutation of 0..n, and all are distinct.
-        let all: Vec<Vec<usize>> = Permutations::new(4).collect();
+        let all = collect_perms(4);
         for p in &all {
             let mut q = p.clone();
             q.sort_unstable();
@@ -232,6 +351,21 @@ mod tests {
                 exhaustive.cost_seconds
             );
         }
+    }
+
+    #[test]
+    fn cost_ties_break_toward_the_fastest_first_order() {
+        // On the aligned three-cluster preset every order costs the same
+        // (each stage block is one cluster), so the canonical winner must
+        // be the heuristic's fastest-first order, not the identity.
+        let topo = presets::table4_2r_2ib_2ib(); // RoCE, IB, IB
+        let layout = layout_for(&topo, 1, 3);
+        let result = search_cluster_orders(&topo, &layout, GRAD);
+        assert_eq!(result.cluster_order, HolmesScheduler::cluster_order(&topo));
+        assert_eq!(
+            result.cluster_order,
+            vec![ClusterId(1), ClusterId(2), ClusterId(0)]
+        );
     }
 
     #[test]

@@ -1,0 +1,715 @@
+//! Guided plan synthesis: best-first branch-and-bound over partial plans.
+//!
+//! [`crate::search_cluster_orders`] enumerates all `M!` cluster orders — fine as a
+//! reference oracle at 2–4 clusters, hopeless at fleet scale. This module
+//! replaces enumeration with an A*-style search over *partial plans*:
+//!
+//! * **State** — a prefix of the cluster visit order. Under the
+//!   order-concatenation assignment ([`assignment_for_order`]) a prefix
+//!   pins the devices of logical ranks `0..n`, which fully determines
+//!   every data-parallel group whose members all fall below `n`. The
+//!   state carries that pinned assignment and the exact cost of each
+//!   determined group (the "NIC assignment so far"); degrees and the
+//!   partition α enter one level up, where [`Planner`] callers fix the
+//!   [`GroupLayout`] per candidate `(t, p)`.
+//! * **Bound** — the plan cost is a max-fold of per-group sync costs
+//!   ([`crate::NicSelectionReport::dp_sync_cost_seconds`]), so the fold
+//!   over the *determined* groups is an admissible lower bound: adding
+//!   groups can only raise a max of non-negative terms, and at a complete
+//!   state the bound *is* the exact cost, bit-for-bit (`f64::max` over
+//!   non-negative finite values is fold-order independent). When every
+//!   cluster size is a multiple of the stage block `t·d`, each cluster
+//!   hosts the same groups wherever it lands, so the fold additionally
+//!   includes each unvisited cluster's own future group costs — the
+//!   alignment floor that lets aligned fleets plan in `O(M²)` expansions.
+//! * **Expansion order** — a min-heap keyed on `(bound, canonical prefix,
+//!   seq)`. The canonical key is the prefix relabeled by
+//!   [`HolmesScheduler::cluster_order`] position; because the bound is
+//!   monotone along a path and a prefix is lexicographically below its
+//!   extensions, keys strictly increase along every path, so the *first
+//!   complete state popped* is the optimum with the canonical tie-break —
+//!   the exact winner [`crate::search_cluster_orders`]'s `CanonicalBest` computes by
+//!   enumeration.
+//! * **Pruning** — three sound rules, all counted in [`SynthStats`]:
+//!   *bound* (a successor whose bound reaches the heuristic incumbent can
+//!   never beat it — the incumbent's canonical key `[0, 1, …]` is the
+//!   global lexicographic minimum, so it also wins every cost tie);
+//!   *dominance* (two states over the same cluster *set* whose boundary
+//!   splits no group share all future costs, so the one with the larger
+//!   bound and larger canonical prefix is never part of the canonical
+//!   winner); *symmetry* (structurally identical clusters are
+//!   interchangeable, and the canonical winner visits the members of each
+//!   such class in ascending canonical rank, so only the lowest-ranked
+//!   unvisited member of each class is ever appended).
+//!
+//! The equivalence tests (and the proptest harness in the workspace
+//! `tests/`) assert the guided winner matches the exhaustive winner —
+//! identical order and bit-equal cost — on every preset small enough to
+//! enumerate.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BTreeMap, BinaryHeap};
+
+use holmes_topology::{Cluster, ClusterId, Rank, Topology};
+
+use crate::groups::GroupLayout;
+use crate::nic_selection::DpGroupNic;
+use crate::scheduler::HolmesScheduler;
+use crate::search::{
+    assignment_for_order, cost_of_order, search_cluster_orders_with_mode, EvalMode,
+    PlacementSearchResult,
+};
+
+/// Position of every cluster in the canonical fastest-first order:
+/// `speed_rank_of(topo)[cluster.0] = position` in
+/// [`HolmesScheduler::cluster_order`]. This relabeling is the planning
+/// stack's shared tie-break alphabet: among equal-cost orders every
+/// strategy prefers the one whose relabeled sequence is lexicographically
+/// smallest, which makes the heuristic's own order (relabeled `[0, 1, …]`)
+/// the canonical winner of any tie it participates in.
+pub fn speed_rank_of(topo: &Topology) -> Vec<u16> {
+    let order = HolmesScheduler::cluster_order(topo);
+    let mut rank_of = vec![0u16; order.len()];
+    for (pos, c) in order.iter().enumerate() {
+        rank_of[c.0 as usize] = pos as u16;
+    }
+    rank_of
+}
+
+/// Search statistics of one guided synthesis run.
+///
+/// Every count is deterministic: expansion order is fixed by the
+/// `(bound, canonical prefix, seq)` heap key and nothing in the search
+/// consults randomness, thread timing, or the wall clock — the
+/// determinism tests pin these counts per topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SynthStats {
+    /// Partial plans popped from the frontier and expanded.
+    pub expanded: u64,
+    /// Successor states pushed onto the frontier.
+    pub pushed: u64,
+    /// Successors discarded because their admissible bound already met or
+    /// exceeded the heuristic incumbent's cost.
+    pub pruned_bound: u64,
+    /// Successors discarded by mask dominance: an already-pushed state
+    /// over the same cluster set was at least as cheap and canonically
+    /// smaller.
+    pub pruned_dominated: u64,
+    /// Successors never generated because a structurally identical
+    /// cluster with a smaller canonical rank was expanded instead.
+    pub pruned_symmetry: u64,
+    /// True when no explored order strictly beat the heuristic incumbent,
+    /// i.e. the fastest-first order is itself the canonical winner.
+    pub heuristic_won: bool,
+}
+
+impl SynthStats {
+    /// Total successors discarded across all three pruning rules.
+    pub fn pruned_total(&self) -> u64 {
+        self.pruned_bound + self.pruned_dominated + self.pruned_symmetry
+    }
+}
+
+/// One data-parallel group's logical members, ordered by the member that
+/// determines it last (its maximum logical rank): the synthesis prices
+/// group `det` the moment the order prefix covers rank `max_member`.
+struct GroupSpec {
+    index: u32,
+    members: Vec<u32>,
+    max_member: u32,
+}
+
+fn group_specs(layout: &GroupLayout) -> Vec<GroupSpec> {
+    let mut specs: Vec<GroupSpec> = (0..layout.dp_group_count())
+        .map(|i| {
+            let members = layout.dp_group(i);
+            let max_member = members.iter().copied().max().unwrap_or(0);
+            GroupSpec {
+                index: i,
+                members,
+                max_member,
+            }
+        })
+        .collect();
+    specs.sort_by_key(|s| (s.max_member, s.index));
+    specs
+}
+
+/// `clean[n]` is true when no DP group has members on both sides of
+/// logical boundary `n` — the precondition for mask dominance: with no
+/// straddling group, two prefixes over the same cluster set split the
+/// plan's groups identically into "already priced" and "priced by any
+/// common completion", so their futures share every cost term.
+fn clean_boundaries(layout: &GroupLayout, specs: &[GroupSpec], n_total: usize) -> Vec<bool> {
+    let mut straddled = vec![0i32; n_total + 2];
+    for spec in specs {
+        let min = spec.members.iter().copied().min().unwrap_or(0) as usize;
+        let max = spec.max_member as usize;
+        // Boundaries in (min, max] split this group.
+        straddled[min + 1] += 1;
+        straddled[max + 1] -= 1;
+    }
+    debug_assert_eq!(layout.degrees().devices(), n_total as u32);
+    let mut clean = vec![true; n_total + 1];
+    let mut depth = 0i32;
+    for (n, flag) in clean.iter_mut().enumerate() {
+        depth += straddled[n];
+        *flag = depth == 0;
+    }
+    clean
+}
+
+/// Exact per-cluster future group costs, available only when every
+/// cluster's device count is a multiple of the stage block `t·d`. Then
+/// every cluster occupies whole stage blocks wherever the order places
+/// it, each of its groups' devices sit at fixed in-block offsets
+/// (`m + j·t`, position-independent), and the max of those group costs is
+/// a *floor* the cluster contributes to any completion — admissible, and
+/// exact once the cluster is visited.
+fn aligned_solo_costs(
+    topo: &Topology,
+    layout: &GroupLayout,
+    gradient_bytes: u64,
+) -> Option<Vec<f64>> {
+    let degrees = layout.degrees();
+    let (t, d) = (degrees.tensor as usize, degrees.data as usize);
+    let block = t * d;
+    if block == 0 {
+        return None;
+    }
+    let aligned = topo
+        .clusters()
+        .iter()
+        .all(|c| (c.gpu_count() as usize).is_multiple_of(block));
+    if !aligned {
+        return None;
+    }
+    let mut solo = Vec::with_capacity(topo.cluster_count() as usize);
+    for ci in 0..topo.cluster_count() {
+        let ranks = topo.cluster_ranks(ClusterId(ci));
+        let mut worst = 0.0f64;
+        for base in (0..ranks.len()).step_by(block) {
+            for m in 0..t {
+                let devices: Vec<Rank> = (0..d).map(|j| ranks[base + m + j * t]).collect();
+                // The group index is metadata only — cost depends on the
+                // device set, never on the index.
+                let cost =
+                    DpGroupNic::analyze_group(topo, 0, devices).sync_cost_seconds(topo, gradient_bytes);
+                worst = worst.max(cost);
+            }
+        }
+        solo.push(worst);
+    }
+    Some(solo)
+}
+
+/// Structurally identical clusters (same nodes, switch, oversubscription)
+/// are interchangeable: swapping them in any order permutes identical
+/// profile numbers, so every group cost — and therefore the plan cost —
+/// is bit-identical. Names are labels, not structure.
+fn clusters_interchangeable(a: &Cluster, b: &Cluster) -> bool {
+    a.nodes == b.nodes
+        && a.has_switch == b.has_switch
+        && a.oversubscription.total_cmp(&b.oversubscription).is_eq()
+}
+
+/// A partial plan on the open list.
+struct PartialPlan {
+    /// Admissible lower bound on any completion's cost.
+    bound: f64,
+    /// Speed-rank-relabeled prefix: the canonical tie-break key.
+    canon: Vec<u16>,
+    /// Insertion sequence number (final, total tie-break).
+    seq: u64,
+    /// Clusters visited so far, in visit order.
+    prefix: Vec<ClusterId>,
+    /// Bitmask of visited clusters (`M ≤ 128`).
+    used: u128,
+    /// Devices pinned to logical ranks `0..devices.len()`.
+    devices: Vec<Rank>,
+    /// Max-fold of the exact sync costs of fully determined DP groups.
+    g: f64,
+    /// Groups (in [`group_specs`] order) already priced into `g`.
+    det: usize,
+}
+
+impl PartialEq for PartialPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other).is_eq()
+    }
+}
+impl Eq for PartialPlan {}
+impl PartialOrd for PartialPlan {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PartialPlan {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound
+            .total_cmp(&other.bound)
+            .then_with(|| self.canon.cmp(&other.canon))
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+fn result_for(
+    topo: &Topology,
+    cluster_order: Vec<ClusterId>,
+    cost_seconds: f64,
+    evaluated: u64,
+) -> PlacementSearchResult {
+    let assignment = assignment_for_order(topo, &cluster_order);
+    PlacementSearchResult {
+        cluster_order,
+        assignment,
+        cost_seconds,
+        evaluated,
+    }
+}
+
+/// Synthesize a placement by guided branch-and-bound.
+///
+/// Returns the canonical winner — the same order, assignment, and
+/// bit-equal cost [`crate::search_cluster_orders`] would find by
+/// enumerating all `M!` orders — plus the search statistics.
+///
+/// Topologies beyond 128 clusters exceed the visited-set mask; the
+/// heuristic order is returned unchanged (a valid plan, not certified
+/// optimal) with `heuristic_won` set.
+pub fn synthesize_placement(
+    topo: &Topology,
+    layout: &GroupLayout,
+    gradient_bytes: u64,
+) -> (PlacementSearchResult, SynthStats) {
+    let m = topo.cluster_count() as usize;
+    let heuristic_order = HolmesScheduler::cluster_order(topo);
+    let heuristic_cost = cost_of_order(topo, layout, &heuristic_order, gradient_bytes);
+    let mut stats = SynthStats::default();
+    let mut evaluated: u64 = 1; // the heuristic incumbent
+
+    if m <= 1 || m > 128 {
+        stats.heuristic_won = true;
+        return (
+            result_for(topo, heuristic_order, heuristic_cost, evaluated),
+            stats,
+        );
+    }
+
+    let rank_of = speed_rank_of(topo);
+    let cluster_ranks: Vec<Vec<Rank>> = (0..m)
+        .map(|c| topo.cluster_ranks(ClusterId(c as u32)))
+        .collect();
+    let specs = group_specs(layout);
+    let clean = clean_boundaries(layout, &specs, topo.device_count() as usize);
+    let solo = aligned_solo_costs(topo, layout, gradient_bytes);
+    let h_of = |used: u128| -> f64 {
+        match &solo {
+            Some(costs) => costs
+                .iter()
+                .enumerate()
+                .filter(|&(c, _)| used & (1u128 << c) == 0)
+                .fold(0.0f64, |worst, (_, &cost)| worst.max(cost)),
+            None => 0.0,
+        }
+    };
+
+    // class_of[c] = smallest cluster index structurally identical to c.
+    let clusters = topo.clusters();
+    let mut class_of: Vec<usize> = (0..m).collect();
+    for i in 0..m {
+        if let Some(j) = (0..i)
+            .filter(|&j| class_of[j] == j)
+            .find(|&j| clusters_interchangeable(&clusters[i], &clusters[j]))
+        {
+            class_of[i] = j;
+        }
+    }
+
+    let mut heap: BinaryHeap<Reverse<PartialPlan>> = BinaryHeap::new();
+    // Per-mask dominance frontiers: the Pareto set over (g, canon). An
+    // entry dominates a candidate with the same mask when it is at least
+    // as cheap *and* canonically smaller — then every completion of the
+    // candidate is matched by a no-worse, canonically smaller one.
+    let mut frontier: BTreeMap<u128, Vec<(f64, Vec<u16>)>> = BTreeMap::new();
+    let mut seq: u64 = 0;
+
+    let root_bound = h_of(0);
+    if root_bound.total_cmp(&heuristic_cost).is_lt() {
+        heap.push(Reverse(PartialPlan {
+            bound: root_bound,
+            canon: Vec::new(),
+            seq,
+            prefix: Vec::new(),
+            used: 0,
+            devices: Vec::new(),
+            g: 0.0,
+            det: 0,
+        }));
+        stats.pushed += 1;
+    } else {
+        stats.pruned_bound += 1;
+    }
+
+    let mut winner: Option<PartialPlan> = None;
+    while let Some(Reverse(state)) = heap.pop() {
+        debug_assert!(state.bound.total_cmp(&heuristic_cost).is_lt());
+        if state.prefix.len() == m {
+            // First complete pop = minimal (cost, canonical order): keys
+            // strictly increase along paths, so no cheaper or canonically
+            // smaller completion can still be hiding behind an open node.
+            evaluated += 1;
+            winner = Some(state);
+            break;
+        }
+        stats.expanded += 1;
+        let mut seen_classes: u128 = 0;
+        for c in 0..m {
+            if state.used & (1u128 << c) != 0 {
+                continue;
+            }
+            let class = class_of[c];
+            if seen_classes & (1u128 << class) != 0 {
+                stats.pruned_symmetry += 1;
+                continue;
+            }
+            seen_classes |= 1u128 << class;
+
+            let mut devices = state.devices.clone();
+            devices.extend_from_slice(&cluster_ranks[c]);
+            let n_new = devices.len();
+            let mut g = state.g;
+            let mut det = state.det;
+            while det < specs.len() && (specs[det].max_member as usize) < n_new {
+                let spec = &specs[det];
+                let members: Vec<Rank> =
+                    spec.members.iter().map(|&l| devices[l as usize]).collect();
+                g = g.max(
+                    DpGroupNic::analyze_group(topo, spec.index, members)
+                        .sync_cost_seconds(topo, gradient_bytes),
+                );
+                det += 1;
+            }
+            let used = state.used | (1u128 << c);
+            let bound = g.max(h_of(used));
+            if bound.total_cmp(&heuristic_cost).is_ge() {
+                stats.pruned_bound += 1;
+                continue;
+            }
+            let mut canon = state.canon.clone();
+            canon.push(rank_of[c]);
+            if clean[n_new] {
+                let entries = frontier.entry(used).or_default();
+                if entries
+                    .iter()
+                    .any(|(g2, c2)| g2.total_cmp(&g).is_le() && *c2 < canon)
+                {
+                    stats.pruned_dominated += 1;
+                    continue;
+                }
+                entries.retain(|(g2, c2)| !(g.total_cmp(g2).is_le() && canon < *c2));
+                entries.push((g, canon.clone()));
+            }
+            let mut prefix = state.prefix.clone();
+            prefix.push(ClusterId(c as u32));
+            seq += 1;
+            stats.pushed += 1;
+            heap.push(Reverse(PartialPlan {
+                bound,
+                canon,
+                seq,
+                prefix,
+                used,
+                devices,
+                g,
+                det,
+            }));
+        }
+    }
+
+    match winner {
+        Some(goal) => (result_for(topo, goal.prefix, goal.g, evaluated), stats),
+        None => {
+            stats.heuristic_won = true;
+            (
+                result_for(topo, heuristic_order, heuristic_cost, evaluated),
+                stats,
+            )
+        }
+    }
+}
+
+/// A placement-planning strategy: topology + layout + per-rank gradient
+/// volume → a complete cluster order, device assignment, and analytic
+/// cost. The three strategies — heuristic, exhaustive, guided — share the
+/// scoring path ([`crate::NicSelectionReport::dp_sync_cost_seconds`]) and
+/// the canonical tie-break, so they agree bit-for-bit wherever their
+/// coverage overlaps; they differ only in how much of the order space
+/// they certify.
+pub trait Planner {
+    /// Produce a placement for `layout` on `topo`, scoring data-parallel
+    /// sync at `gradient_bytes` per rank.
+    fn plan_placement(
+        &self,
+        topo: &Topology,
+        layout: &GroupLayout,
+        gradient_bytes: u64,
+    ) -> PlacementSearchResult;
+
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The fastest-first heuristic as a [`Planner`]: no search, one candidate
+/// — [`HolmesScheduler::cluster_order`] scored by the shared cost path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeuristicPlanner;
+
+impl Planner for HeuristicPlanner {
+    fn plan_placement(
+        &self,
+        topo: &Topology,
+        layout: &GroupLayout,
+        gradient_bytes: u64,
+    ) -> PlacementSearchResult {
+        let order = HolmesScheduler::cluster_order(topo);
+        let cost = cost_of_order(topo, layout, &order, gradient_bytes);
+        result_for(topo, order, cost, 1)
+    }
+
+    fn name(&self) -> &'static str {
+        "heuristic"
+    }
+}
+
+/// Exhaustive enumeration as a [`Planner`] — the reference oracle. Scores
+/// all `M!` orders via [`crate::search_cluster_orders_with_mode`]; only
+/// usable at small `M`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExhaustivePlanner {
+    /// Candidate evaluation mode (parallel by default).
+    pub mode: EvalMode,
+}
+
+impl Planner for ExhaustivePlanner {
+    fn plan_placement(
+        &self,
+        topo: &Topology,
+        layout: &GroupLayout,
+        gradient_bytes: u64,
+    ) -> PlacementSearchResult {
+        search_cluster_orders_with_mode(topo, layout, gradient_bytes, self.mode)
+    }
+
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+}
+
+/// Guided branch-and-bound synthesis as a [`Planner`] — the production
+/// path: returns the exhaustive oracle's exact winner without enumerating
+/// `M!` orders, and scales to fleets where enumeration cannot go.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GuidedPlanner;
+
+impl GuidedPlanner {
+    /// [`Planner::plan_placement`] plus the search statistics
+    /// (expanded/pruned node counts — deterministic per topology).
+    pub fn plan_with_stats(
+        &self,
+        topo: &Topology,
+        layout: &GroupLayout,
+        gradient_bytes: u64,
+    ) -> (PlacementSearchResult, SynthStats) {
+        synthesize_placement(topo, layout, gradient_bytes)
+    }
+}
+
+impl Planner for GuidedPlanner {
+    fn plan_placement(
+        &self,
+        topo: &Topology,
+        layout: &GroupLayout,
+        gradient_bytes: u64,
+    ) -> PlacementSearchResult {
+        synthesize_placement(topo, layout, gradient_bytes).0
+    }
+
+    fn name(&self) -> &'static str {
+        "guided"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degrees::ParallelDegrees;
+    use crate::nic_selection::NicSelectionReport;
+    use crate::scheduler::Scheduler;
+    use holmes_topology::{presets, NicType};
+
+    const GRAD: u64 = 1 << 32; // 4 GiB, PG-scale
+
+    fn layout_for(topo: &Topology, t: u32, p: u32) -> GroupLayout {
+        GroupLayout::new(ParallelDegrees::infer_data(t, p, topo.device_count()).unwrap())
+    }
+
+    fn assert_matches_exhaustive(topo: &Topology, t: u32, p: u32) {
+        let layout = layout_for(topo, t, p);
+        let exhaustive =
+            search_cluster_orders_with_mode(topo, &layout, GRAD, EvalMode::Serial);
+        let (guided, _) = synthesize_placement(topo, &layout, GRAD);
+        assert_eq!(guided.cluster_order, exhaustive.cluster_order, "t={t} p={p}");
+        assert_eq!(
+            guided.cost_seconds.to_bits(),
+            exhaustive.cost_seconds.to_bits(),
+            "t={t} p={p}: guided {} vs exhaustive {}",
+            guided.cost_seconds,
+            exhaustive.cost_seconds
+        );
+        assert_eq!(guided.assignment, exhaustive.assignment);
+    }
+
+    #[test]
+    fn guided_matches_exhaustive_on_every_preset() {
+        for (topo, ps) in [
+            (presets::hybrid_two_cluster(2), vec![1u32, 2]),
+            (presets::hybrid_split(3, 1), vec![1, 2, 4]),
+            (presets::same_nic_two_clusters(NicType::InfiniBand, 2), vec![1, 2]),
+            (presets::table4_2r_2r_2ib(), vec![1, 2, 3]),
+            (presets::table4_2r_2ib_2ib(), vec![1, 2, 3]),
+            (presets::table4_4r_4ib_4ib(), vec![2, 3]),
+        ] {
+            for p in ps {
+                assert_matches_exhaustive(&topo, 1, p);
+            }
+        }
+        // Non-trivial tensor degree too.
+        assert_matches_exhaustive(&presets::table4_2r_2ib_2ib(), 2, 3);
+        assert_matches_exhaustive(&presets::hybrid_two_cluster(2), 4, 2);
+    }
+
+    #[test]
+    fn guided_breaks_ties_toward_the_heuristic_order() {
+        // Aligned three-cluster preset: every order costs the same, so the
+        // guided planner must return the fastest-first canonical order.
+        let topo = presets::table4_2r_2ib_2ib();
+        let layout = layout_for(&topo, 1, 3);
+        let (result, stats) = synthesize_placement(&topo, &layout, GRAD);
+        assert_eq!(result.cluster_order, HolmesScheduler::cluster_order(&topo));
+        assert!(stats.heuristic_won);
+    }
+
+    #[test]
+    fn guided_beats_heuristic_when_heuristic_is_suboptimal() {
+        // If the guided planner reports a strict win, its cost must be
+        // strictly below the heuristic's and must verify against a direct
+        // re-score of the returned order.
+        let topo = presets::table4_2r_2ib_2ib();
+        let layout = layout_for(&topo, 1, 2); // unaligned: stages span clusters
+        let (result, _) = synthesize_placement(&topo, &layout, GRAD);
+        let rescored = cost_of_order(&topo, &layout, &result.cluster_order, GRAD);
+        assert_eq!(result.cost_seconds.to_bits(), rescored.to_bits());
+        let heuristic = HolmesScheduler::cluster_order(&topo);
+        let heuristic_cost = cost_of_order(&topo, &layout, &heuristic, GRAD);
+        assert!(result.cost_seconds.total_cmp(&heuristic_cost).is_le());
+    }
+
+    #[test]
+    fn synthesis_statistics_are_deterministic() {
+        let topo = presets::table4_4r_4ib_4ib();
+        let layout = layout_for(&topo, 1, 2);
+        let (r1, s1) = synthesize_placement(&topo, &layout, GRAD);
+        let (r2, s2) = synthesize_placement(&topo, &layout, GRAD);
+        assert_eq!(s1, s2);
+        assert_eq!(r1.cluster_order, r2.cluster_order);
+        assert_eq!(r1.cost_seconds.to_bits(), r2.cost_seconds.to_bits());
+    }
+
+    #[test]
+    fn planner_strategies_agree_on_small_topologies() {
+        let topo = presets::table4_2r_2r_2ib();
+        let layout = layout_for(&topo, 1, 3);
+        let strategies: [&dyn Planner; 3] =
+            [&HeuristicPlanner, &ExhaustivePlanner::default(), &GuidedPlanner];
+        let results: Vec<PlacementSearchResult> = strategies
+            .iter()
+            .map(|s| s.plan_placement(&topo, &layout, GRAD))
+            .collect();
+        // All three agree here because the heuristic is optimal on the
+        // aligned paper presets; the guided/exhaustive pair must agree
+        // everywhere.
+        for r in &results[1..] {
+            assert_eq!(r.cluster_order, results[0].cluster_order);
+            assert_eq!(r.cost_seconds.to_bits(), results[0].cost_seconds.to_bits());
+        }
+        assert_eq!(strategies.map(|s| s.name()), ["heuristic", "exhaustive", "guided"]);
+    }
+
+    #[test]
+    fn single_cluster_synthesis_is_trivial() {
+        let topo = presets::homogeneous(NicType::InfiniBand, 4);
+        let layout = layout_for(&topo, 1, 2);
+        let (result, stats) = synthesize_placement(&topo, &layout, GRAD);
+        assert_eq!(result.cluster_order, vec![ClusterId(0)]);
+        assert_eq!(stats.expanded, 0);
+        assert!(stats.heuristic_won);
+    }
+
+    #[test]
+    fn speed_rank_is_the_inverse_of_cluster_order() {
+        let topo = presets::table4_2r_2ib_2ib();
+        let order = HolmesScheduler::cluster_order(&topo);
+        let rank = speed_rank_of(&topo);
+        for (pos, c) in order.iter().enumerate() {
+            assert_eq!(rank[c.0 as usize] as usize, pos);
+        }
+    }
+
+    #[test]
+    fn symmetry_pruning_collapses_identical_clusters() {
+        // 4 identical clusters, aligned: the alignment floor makes every
+        // bound equal the (tied) optimum, so the incumbent survives and
+        // the search terminates immediately on the root bound.
+        let topo = presets::three_cluster([
+            (2, NicType::InfiniBand),
+            (2, NicType::InfiniBand),
+            (2, NicType::InfiniBand),
+        ]);
+        let layout = layout_for(&topo, 1, 3);
+        let (result, stats) = synthesize_placement(&topo, &layout, GRAD);
+        assert!(stats.heuristic_won);
+        assert_eq!(result.cluster_order, HolmesScheduler::cluster_order(&topo));
+        assert_eq!(stats.expanded, 0, "{stats:?}");
+        // And the exhaustive oracle agrees on the winner.
+        let exhaustive = search_cluster_orders_with_mode(&topo, &layout, GRAD, EvalMode::Serial);
+        assert_eq!(result.cluster_order, exhaustive.cluster_order);
+        assert_eq!(result.cost_seconds.to_bits(), exhaustive.cost_seconds.to_bits());
+    }
+
+    #[test]
+    fn dp_group_cost_fold_is_order_independent() {
+        // The bound's exactness at completion rests on max-folds over the
+        // same group costs agreeing regardless of fold order.
+        let topo = presets::table4_2r_2ib_2ib();
+        let layout = layout_for(&topo, 1, 2);
+        let order = HolmesScheduler::cluster_order(&topo);
+        let assignment = assignment_for_order(&topo, &order);
+        let report = NicSelectionReport::analyze(&topo, &layout, &assignment);
+        let forward = report
+            .groups
+            .iter()
+            .fold(0.0f64, |w, g| w.max(g.sync_cost_seconds(&topo, GRAD)));
+        let reverse = report
+            .groups
+            .iter()
+            .rev()
+            .fold(0.0f64, |w, g| w.max(g.sync_cost_seconds(&topo, GRAD)));
+        assert_eq!(forward.to_bits(), reverse.to_bits());
+        assert_eq!(
+            forward.to_bits(),
+            report.dp_sync_cost_seconds(&topo, GRAD).to_bits()
+        );
+        let _ = HolmesScheduler.assign(&topo, &layout);
+    }
+}

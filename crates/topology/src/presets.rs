@@ -5,7 +5,7 @@
 //! a 25 Gb/s Ethernet fallback, and reference NIC profiles.
 
 use crate::builder::TopologyBuilder;
-use crate::nic::NicType;
+use crate::nic::{NicProfile, NicType};
 use crate::topology::Topology;
 
 /// *InfiniBand* / *RoCE* / *Ethernet* environments: one cluster of
@@ -89,6 +89,46 @@ pub fn table4_4r_4ib_4ib() -> Topology {
     ])
 }
 
+/// A generated many-cluster fleet for plan-synthesis scale tests: `count`
+/// clusters of `nodes_per_cluster` paper-standard nodes each, cycling
+/// through four NIC speed classes (InfiniBand 200/100 Gb/s and RoCE
+/// 200/100 Gb/s). `synthetic_fleet(64, 2)` is the ISSUE-7 benchmark
+/// fleet: 64 clusters / 128 nodes / 1,024 ranks — far beyond what `M!`
+/// order enumeration can score, and heterogeneous enough (four structural
+/// equivalence classes of 16 clusters each) to exercise the guided
+/// planner's symmetry and dominance pruning rather than collapse to a
+/// single class.
+pub fn synthetic_fleet(count: u32, nodes_per_cluster: u32) -> Topology {
+    let classes: [(&str, NicProfile); 4] = [
+        ("ib200", NicProfile::infiniband_200g()),
+        (
+            "ib100",
+            NicProfile {
+                bandwidth_gbps: 100.0,
+                ..NicProfile::infiniband_200g()
+            },
+        ),
+        ("roce200", NicProfile::roce_200g()),
+        (
+            "roce100",
+            NicProfile {
+                bandwidth_gbps: 100.0,
+                ..NicProfile::roce_200g()
+            },
+        ),
+    ];
+    let mut builder = TopologyBuilder::new();
+    for i in 0..count {
+        let (class, profile) = &classes[(i % 4) as usize];
+        builder = builder.cluster_with_profile(
+            format!("fleet-{class}-{i}"),
+            nodes_per_cluster,
+            *profile,
+        );
+    }
+    builder.build().expect("non-empty synthetic fleet")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +183,20 @@ mod tests {
         assert_eq!(topo.cluster_count(), 2);
         assert_eq!(topo.clusters()[0].nodes.len(), 3);
         assert_eq!(topo.clusters()[1].nodes.len(), 1);
+    }
+
+    #[test]
+    fn synthetic_fleet_hits_issue7_scale() {
+        let topo = synthetic_fleet(64, 2);
+        assert_eq!(topo.cluster_count(), 64);
+        assert_eq!(topo.node_count(), 128);
+        assert_eq!(topo.device_count(), 1024);
+        assert!(!topo.is_homogeneous());
+        // Four NIC speed classes, 16 clusters each, cycling by index.
+        let bw = |i: usize| topo.clusters()[i].nodes[0].nic.bandwidth_gbps;
+        assert_eq!(bw(0), 200.0);
+        assert_eq!(bw(1), 100.0);
+        assert_eq!(bw(4), bw(0));
+        assert_eq!(bw(5), bw(1));
     }
 }

@@ -1,7 +1,9 @@
 //! Plan exploration: exhaustively search parallelism degrees `(t, p)` for
 //! a model on a fixed fleet, simulating each feasible plan and ranking by
 //! throughput — the capacity-planning workflow a Holmes user runs before
-//! committing a multi-week training job.
+//! committing a multi-week training job. Each `(t, p)` cell's placement
+//! comes from the guided branch-and-bound planner, whose search trace
+//! (nodes expanded vs pruned) is printed alongside the plan.
 //!
 //! Run with:
 //! ```sh
@@ -10,8 +12,11 @@
 
 use holmes_repro::engine::DpSyncStrategy;
 use holmes_repro::model::{GptConfig, MemoryEstimate, ParameterGroup, TrainJob};
+use holmes_repro::parallel::{GroupLayout, GuidedPlanner, ParallelDegrees};
 use holmes_repro::topology::presets;
-use holmes_repro::{run_scenario, HolmesConfig, PlanRequest, Scenario};
+use holmes_repro::{
+    placement_gradient_bytes, run_scenario, HolmesConfig, PlanRequest, Scenario,
+};
 
 fn main() {
     // Fleet: 8 nodes split across an InfiniBand and a RoCE cluster.
@@ -30,8 +35,8 @@ fn main() {
         n
     );
     println!(
-        "{:>3} {:>3} {:>4} {:>6} {:>12} {:>14} {:>10}",
-        "t", "p", "d", "m", "TFLOPS/GPU", "samples/sec", "fits?"
+        "{:>3} {:>3} {:>4} {:>6} {:>12} {:>14} {:>10}  {}",
+        "t", "p", "d", "m", "TFLOPS/GPU", "samples/sec", "fits?", "search (expanded/pruned)"
     );
 
     let mut best: Option<(f64, u32, u32)> = None;
@@ -84,15 +89,35 @@ fn main() {
                     continue;
                 }
             };
+            // The guided planner's search trace for this cell: how much
+            // of the cluster-order space branch-and-bound actually
+            // visited to certify the placement it handed `run_scenario`.
+            let degrees = ParallelDegrees::infer_data(t, p, n).expect("degrees divide the fleet");
+            let layout = GroupLayout::new(degrees);
+            let (placement, stats) = GuidedPlanner.plan_with_stats(
+                &topo,
+                &layout,
+                placement_gradient_bytes(&job, degrees),
+            );
             println!(
-                "{:>3} {:>3} {:>4} {:>6} {:>12.1} {:>14.2} {:>10}",
+                "{:>3} {:>3} {:>4} {:>6} {:>12.1} {:>14.2} {:>10}  {:>3} expanded / {:>3} pruned{}",
                 t,
                 p,
                 d,
                 m,
                 result.metrics.tflops_per_gpu,
                 result.metrics.throughput_samples_per_sec,
-                if fits { "yes" } else { "NO (OOM)" }
+                if fits { "yes" } else { "NO (OOM)" },
+                stats.expanded,
+                stats.pruned_total(),
+                if stats.heuristic_won {
+                    String::new()
+                } else {
+                    format!(
+                        ", improved on heuristic: order {:?}",
+                        placement.cluster_order
+                    )
+                }
             );
             if fits {
                 let score = result.metrics.throughput_samples_per_sec;

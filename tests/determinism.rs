@@ -137,3 +137,101 @@ mod registry_export {
         }
     }
 }
+
+/// Guided synthesis is deterministic down to its search profile: the
+/// expansion and per-rule pruning counts are pinned per topology. Any
+/// change to the bound, the tie-break key, or the pruning rules shows up
+/// here as an exact-count diff, not a flaky drift.
+#[test]
+fn guided_synthesis_node_counts_are_pinned() {
+    use holmes_parallel::{synthesize_placement, SynthStats};
+    // (preset, t, p, expected stats, expect heuristic order)
+    let cases: [(&str, holmes::topology::Topology, u32, u32, SynthStats); 4] = [
+        (
+            "table4_4r_4ib_4ib p2",
+            presets::table4_4r_4ib_4ib(),
+            1,
+            2,
+            SynthStats {
+                expanded: 4,
+                pushed: 4,
+                pruned_bound: 3,
+                pruned_dominated: 0,
+                pruned_symmetry: 2,
+                heuristic_won: true,
+            },
+        ),
+        (
+            "table4_2r_2ib_2ib p2",
+            presets::table4_2r_2ib_2ib(),
+            1,
+            2,
+            SynthStats {
+                expanded: 5,
+                pushed: 6,
+                pruned_bound: 2,
+                pruned_dominated: 0,
+                pruned_symmetry: 2,
+                heuristic_won: false,
+            },
+        ),
+        (
+            "fleet64 p64",
+            presets::synthetic_fleet(64, 2),
+            1,
+            64,
+            SynthStats {
+                expanded: 0,
+                pushed: 0,
+                pruned_bound: 1,
+                pruned_dominated: 0,
+                pruned_symmetry: 0,
+                heuristic_won: true,
+            },
+        ),
+        (
+            "fleet12 p6",
+            presets::synthetic_fleet(12, 2),
+            1,
+            6,
+            SynthStats {
+                expanded: 136,
+                pushed: 136,
+                pruned_bound: 176,
+                pruned_dominated: 125,
+                pruned_symmetry: 516,
+                heuristic_won: true,
+            },
+        ),
+    ];
+    for (name, topo, t, p, expected) in cases {
+        let n = topo.device_count();
+        let layout = GroupLayout::new(ParallelDegrees::infer_data(t, p, n).unwrap());
+        let (r1, s1) = synthesize_placement(&topo, &layout, 1 << 32);
+        let (r2, s2) = synthesize_placement(&topo, &layout, 1 << 32);
+        assert_eq!(s1, expected, "{name}: search profile drifted");
+        assert_eq!(s1, s2, "{name}: non-deterministic stats");
+        assert_eq!(r1.cluster_order, r2.cluster_order, "{name}");
+        assert_eq!(
+            r1.cost_seconds.to_bits(),
+            r2.cost_seconds.to_bits(),
+            "{name}"
+        );
+    }
+}
+
+/// The unaligned three-cluster paper preset is a case where guided
+/// synthesis beats the fastest-first heuristic outright: the certified
+/// winner reorders the clusters and strictly lowers the analytic DP-sync
+/// cost. Pinned as a regression anchor for the search's usefulness, not
+/// just its safety.
+#[test]
+fn guided_synthesis_improves_on_the_heuristic_when_stages_straddle() {
+    use holmes_parallel::{synthesize_placement, HolmesScheduler};
+    let topo = presets::table4_2r_2ib_2ib();
+    let n = topo.device_count();
+    let layout = GroupLayout::new(ParallelDegrees::infer_data(1, 2, n).unwrap());
+    let (result, stats) = synthesize_placement(&topo, &layout, 1 << 32);
+    assert!(!stats.heuristic_won);
+    assert_ne!(result.cluster_order, HolmesScheduler::cluster_order(&topo));
+}

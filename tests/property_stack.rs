@@ -334,6 +334,74 @@ proptest! {
         prop_assert!(defects.is_empty(), "{defects:?}");
     }
 
+    /// Guided == exhaustive: on every random topology small enough to
+    /// enumerate, branch-and-bound plan synthesis must return the
+    /// exhaustive oracle's exact winner — identical cluster order,
+    /// identical device assignment, bit-equal cost.
+    #[test]
+    fn guided_synthesis_matches_the_exhaustive_oracle(
+        spec in prop::collection::vec((1u32..=2, nic_strategy()), 2..=4),
+        t in 1u32..=2,
+        p in 1u32..=4,
+        mb in 1u64..64,
+    ) {
+        use holmes_repro::parallel::{
+            search_cluster_orders_with_mode, synthesize_placement, EvalMode,
+        };
+        let mut builder = TopologyBuilder::new();
+        for (i, (nodes, nic)) in spec.iter().enumerate() {
+            builder = builder.cluster(format!("c{i}"), *nodes, *nic);
+        }
+        let topo = builder.build().unwrap();
+        let n = topo.device_count();
+        prop_assume!(n.is_multiple_of(t * p));
+        let layout = GroupLayout::new(ParallelDegrees::infer_data(t, p, n).unwrap());
+        let gradient_bytes = mb << 20;
+        let exhaustive =
+            search_cluster_orders_with_mode(&topo, &layout, gradient_bytes, EvalMode::Serial);
+        let (guided, stats) = synthesize_placement(&topo, &layout, gradient_bytes);
+        prop_assert_eq!(&guided.cluster_order, &exhaustive.cluster_order);
+        prop_assert_eq!(
+            guided.cost_seconds.to_bits(),
+            exhaustive.cost_seconds.to_bits(),
+            "guided {} vs exhaustive {} ({:?})",
+            guided.cost_seconds,
+            exhaustive.cost_seconds,
+            stats
+        );
+        prop_assert_eq!(guided.assignment, exhaustive.assignment);
+    }
+
+    /// Verifier-as-oracle over guided synthesis: every plan the guided
+    /// planner returns — on random heterogeneous topologies and degree
+    /// choices — passes `verify_plan`, including the §3.2 DP-group
+    /// NIC-homogeneity checks.
+    #[test]
+    fn guided_plans_pass_the_verifier(
+        spec in prop::collection::vec((1u32..=2, nic_strategy()), 2..=4),
+        t in 1u32..=2,
+        p in 2u32..=4,
+        mb in 1u64..64,
+    ) {
+        use holmes_repro::analysis::verify_plan;
+        use holmes_repro::parallel::{GuidedPlanner, Planner};
+        let mut builder = TopologyBuilder::new();
+        for (i, (nodes, nic)) in spec.iter().enumerate() {
+            builder = builder.cluster(format!("c{i}"), *nodes, *nic);
+        }
+        let topo = builder.build().unwrap();
+        let n = topo.device_count();
+        prop_assume!(n.is_multiple_of(t * p));
+        let layout = GroupLayout::new(ParallelDegrees::infer_data(t, p, n).unwrap());
+        let result = GuidedPlanner.plan_placement(&topo, &layout, mb << 20);
+        let total_layers = 24u32;
+        let speeds = vec![1.0; p as usize];
+        let stage_layers = UniformPartition.partition(total_layers, &speeds);
+        let plan = ParallelPlan::new(layout, result.assignment, stage_layers, true);
+        let defects = verify_plan(&topo, &plan, total_layers, Some(&speeds));
+        prop_assert!(defects.is_empty(), "{defects:?}");
+    }
+
     /// Verifier-as-oracle over the autotuner: every candidate the search
     /// enumerates carries a plan that passes `verify_plan` — the tuner
     /// never scores a structurally invalid configuration.
