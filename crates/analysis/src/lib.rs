@@ -23,6 +23,6 @@ pub mod verify;
 
 pub use lint::{lint_workspace, Finding, LintOutcome, Rule};
 pub use verify::{
-    expected_totals, verify_collective, verify_dp_groups, verify_partition, verify_plan,
-    verify_schedule_structure, VerifyError,
+    expected_totals, verify_collective, verify_dp_groups, verify_migration, verify_partition,
+    verify_plan, verify_replan, verify_schedule_structure, VerifyError,
 };

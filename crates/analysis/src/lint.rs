@@ -143,14 +143,18 @@ const WALL_CLOCK_SCOPE: &[&str] = &[
 ];
 
 /// Files on the per-flow critical path: the exact engine, the fast
-/// engine and its timer wheel / slab storage, and the executor replay.
+/// engine and its timer wheel / slab storage, the executor replay, and
+/// the elasticity layer (churn events feed the event queue; the delta
+/// re-plan runs inside the resilience loop).
 const HOT_PATH_SCOPE: &[&str] = &[
     "crates/netsim/src/sim.rs",
     "crates/netsim/src/sim_fast.rs",
     "crates/netsim/src/sched.rs",
     "crates/netsim/src/arena.rs",
+    "crates/netsim/src/churn.rs",
     "crates/engine/src/executor.rs",
     "crates/parallel/src/synth.rs",
+    "crates/parallel/src/delta.rs",
 ];
 
 const FLOAT_EQ_SCOPE: &[&str] = &[

@@ -26,11 +26,19 @@
 //! * **shape** — the schedule matches the canonical IR constructor for
 //!   its `CollKind` round by round (order within a round is immaterial:
 //!   transfers of one round move concurrently).
+//!
+//! Elastic re-plans get their own layer ([`verify_replan`] /
+//! [`verify_migration`]): the post-churn placement must still be a
+//! device bijection, its NIC classification must hold on the post-churn
+//! topology, and every migrated shard must ride a real, fabric-priced
+//! transfer path (or an explicitly billed checkpoint restore).
 
 use std::collections::BTreeSet;
 
 use holmes_netsim::algo::{partition_by_cluster, CollKind, CollSchedule, Transfer};
-use holmes_parallel::{DpCollectiveAlgo, DpGroupNic, ParallelPlan};
+use holmes_parallel::{
+    DeltaReplanOutcome, DpCollectiveAlgo, DpGroupNic, MigrationPlan, ParallelPlan,
+};
 use holmes_topology::{Rank, Topology};
 
 /// A structural defect in a generated artifact. Each variant names the
@@ -172,6 +180,43 @@ pub enum VerifyError {
         /// Group index.
         group: u32,
     },
+    /// A migration move endpoint that does not exist in the post-churn
+    /// topology — its shard would be copied from or to a dead rank.
+    MigrationRankUnknown {
+        /// Index into `MigrationPlan::moves`.
+        index: usize,
+        /// The out-of-range rank.
+        rank: Rank,
+    },
+    /// A migration move whose source equals its destination.
+    MigrationSelfMove {
+        /// Index into `MigrationPlan::moves`.
+        index: usize,
+        /// The rank copying state to itself.
+        rank: Rank,
+    },
+    /// Two migration moves writing state onto the same destination rank;
+    /// each post-churn rank needs exactly one shard copy.
+    MigrationDuplicateDestination {
+        /// The doubly-written rank.
+        rank: Rank,
+    },
+    /// Migration moves exist but the fabric-simulated transfer time is
+    /// not positive: the shard copies were never actually priced on the
+    /// post-churn fabric.
+    MigrationUnpriced {
+        /// Number of moves claiming to be free.
+        moves: usize,
+    },
+    /// Checkpoint-restore bookkeeping and pricing disagree: groups are
+    /// flagged for restore with zero billed time, or restore time is
+    /// billed with no group restored.
+    MigrationRestoreMismatch {
+        /// Groups flagged for checkpoint restore.
+        restored: usize,
+        /// The restore seconds billed.
+        seconds: f64,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -265,6 +310,30 @@ impl std::fmt::Display for VerifyError {
                     "DP group {group} spans clusters without hierarchical/TCP flagging (§3.2)"
                 )
             }
+            VerifyError::MigrationRankUnknown { index, rank } => {
+                write!(
+                    f,
+                    "migration move {index}: {rank} is not in the post-churn topology"
+                )
+            }
+            VerifyError::MigrationSelfMove { index, rank } => {
+                write!(f, "migration move {index}: {rank} copies state to itself")
+            }
+            VerifyError::MigrationDuplicateDestination { rank } => {
+                write!(f, "migration writes two shards onto destination {rank}")
+            }
+            VerifyError::MigrationUnpriced { moves } => {
+                write!(
+                    f,
+                    "{moves} migration moves with no positive fabric-priced transfer time"
+                )
+            }
+            VerifyError::MigrationRestoreMismatch { restored, seconds } => {
+                write!(
+                    f,
+                    "{restored} groups flagged for checkpoint restore but {seconds} s billed"
+                )
+            }
         }
     }
 }
@@ -308,6 +377,10 @@ pub fn expected_totals(kind: CollKind, group_sizes: &[u64], bytes: u64) -> (u64,
             let inter = 2 * (k - 1) * s_max * k * (bytes / (s_max * k));
             let rounds = 2 * (s_max as u32 - 1) + 2 * (k as u32 - 1);
             (2 * intra + inter, rounds)
+        }
+        CollKind::PsPush { servers } | CollKind::PsPull { servers } => {
+            let s = u64::from(servers.max(1)).min(n);
+            (s * (n - 1) * (bytes / s), 1)
         }
     }
 }
@@ -440,6 +513,29 @@ pub fn verify_collective(
     schedule: &CollSchedule,
 ) -> Vec<VerifyError> {
     let mut errors = verify_schedule_structure(topo, devices, schedule);
+
+    // Parameter-server emulation is deliberately asymmetric: only the
+    // server prefix receives pushes (mirror for pulls), and a sole server
+    // has no foreign shard to move in its own direction. Coverage defects
+    // matching that expected asymmetry are not defects.
+    if let CollKind::PsPush { servers } | CollKind::PsPull { servers } = kind {
+        let s = (servers.max(1) as usize).min(devices.len());
+        let is_server = |rank: Rank| devices.iter().take(s).any(|&d| d == rank);
+        let sole_server = |rank: Rank| s == 1 && devices.first() == Some(&rank);
+        errors.retain(|e| match (kind, e) {
+            (CollKind::PsPush { .. }, VerifyError::MemberNeverReceives { rank }) => {
+                is_server(*rank)
+            }
+            (CollKind::PsPush { .. }, VerifyError::MemberNeverSends { rank }) => {
+                !sole_server(*rank)
+            }
+            (CollKind::PsPull { .. }, VerifyError::MemberNeverSends { rank }) => is_server(*rank),
+            (CollKind::PsPull { .. }, VerifyError::MemberNeverReceives { rank }) => {
+                !sole_server(*rank)
+            }
+            _ => true,
+        });
+    }
 
     let cluster_of = |r: Rank| topo.coord(r).map(|c| c.cluster.0).unwrap_or(0);
     let group_sizes: Vec<u64> = if kind == CollKind::HierarchicalAllReduce {
@@ -629,5 +725,77 @@ pub fn verify_plan(
     ));
 
     errors.extend(verify_dp_groups(topo, &plan.nic_report(topo).groups));
+    errors
+}
+
+/// Verify a state-migration plan against the post-churn topology it will
+/// run on: every move's endpoints must be live post-churn ranks, no move
+/// may copy a shard onto itself or double-write a destination, a
+/// non-empty move set must carry a positive fabric-priced transfer time
+/// (the "every migrated shard has a priced transfer path" guarantee of
+/// the migration-aware re-plan), and checkpoint-restore bookkeeping must
+/// agree with its billed time in both directions.
+pub fn verify_migration(topo: &Topology, migration: &MigrationPlan) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+    let mut destinations: BTreeSet<Rank> = BTreeSet::new();
+    for (index, m) in migration.moves.iter().enumerate() {
+        for rank in [m.from, m.to] {
+            if topo.coord(rank).is_err() {
+                errors.push(VerifyError::MigrationRankUnknown { index, rank });
+            }
+        }
+        if m.from == m.to {
+            errors.push(VerifyError::MigrationSelfMove {
+                index,
+                rank: m.from,
+            });
+        }
+        if !destinations.insert(m.to) {
+            errors.push(VerifyError::MigrationDuplicateDestination { rank: m.to });
+        }
+    }
+    if !migration.moves.is_empty() && migration.transfer_seconds <= 0.0 {
+        errors.push(VerifyError::MigrationUnpriced {
+            moves: migration.moves.len(),
+        });
+    }
+    let restored = migration.restored_groups.len();
+    if (restored > 0) != (migration.restore_seconds > 0.0) {
+        errors.push(VerifyError::MigrationRestoreMismatch {
+            restored,
+            seconds: migration.restore_seconds,
+        });
+    }
+    errors
+}
+
+/// Verify a migration-aware re-plan ([`DeltaReplanOutcome`]) end to end:
+/// the post-churn placement must cover every surviving device exactly
+/// once (rank coverage is preserved across the re-shard), its
+/// NIC-selection report must satisfy the §3.2 classification invariants
+/// on the post-churn topology ([`verify_dp_groups`]), and the state
+/// migration must pass [`verify_migration`].
+pub fn verify_replan(outcome: &DeltaReplanOutcome) -> Vec<VerifyError> {
+    let topo = &outcome.new_topology;
+    let mut errors = Vec::new();
+
+    let expected = topo.device_count();
+    let actual = outcome.placement.assignment.len();
+    if actual != expected {
+        errors.push(VerifyError::AssignmentSizeMismatch { expected, actual });
+    }
+    let mut seen: BTreeSet<Rank> = BTreeSet::new();
+    for logical in 0..actual {
+        let device = outcome.placement.assignment.device_of(logical);
+        if topo.coord(device).is_err() {
+            errors.push(VerifyError::DeviceOutOfRange { device });
+        }
+        if !seen.insert(device) {
+            errors.push(VerifyError::DuplicateDevice { device });
+        }
+    }
+
+    errors.extend(verify_dp_groups(topo, &outcome.report.groups));
+    errors.extend(verify_migration(topo, &outcome.migration));
     errors
 }

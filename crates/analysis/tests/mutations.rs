@@ -4,13 +4,14 @@
 //! checks are neither vacuous nor cross-wired.
 
 use holmes_analysis::{
-    verify_collective, verify_dp_groups, verify_partition, verify_plan, verify_schedule_structure,
-    VerifyError,
+    verify_collective, verify_dp_groups, verify_migration, verify_partition, verify_plan,
+    verify_replan, verify_schedule_structure, VerifyError,
 };
 use holmes_netsim::algo::{CollKind, CollSchedule, Round, Transfer};
 use holmes_parallel::{
-    DpCollectiveAlgo, DpGroupNic, GroupLayout, HolmesScheduler, ParallelDegrees, ParallelPlan,
-    Scheduler,
+    replan_for_delta, DeltaReplanOutcome, DpCollectiveAlgo, DpGroupNic, GroupLayout,
+    GuidedPlanner, HolmesScheduler, MigrationCosts, ParallelDegrees, ParallelPlan, Scheduler,
+    StateMove, TopologyDelta,
 };
 use holmes_topology::{presets, NicType, Rank, Topology};
 
@@ -387,6 +388,141 @@ fn plan_layer_mutations_detected() {
             expected: 2,
             actual: 3,
         }),
+        "{errs:?}"
+    );
+}
+
+/// A real migration-aware re-plan: drop one node of the hybrid fleet, so
+/// the data degree shrinks and surviving replicas re-shard over the
+/// simulated fabric (non-empty, priced move set).
+fn valid_replan(topo: &Topology) -> DeltaReplanOutcome {
+    let plan = valid_plan(topo);
+    let mut delta = TopologyDelta::new();
+    delta.node_loss(1);
+    replan_for_delta(
+        topo,
+        &plan,
+        &delta,
+        1 << 30,
+        &GuidedPlanner,
+        &MigrationCosts::new(1 << 30, 30.0),
+    )
+    .unwrap()
+}
+
+#[test]
+fn pristine_replan_passes() {
+    let topo = presets::hybrid_two_cluster(2);
+    let outcome = valid_replan(&topo);
+    assert!(!outcome.migration.moves.is_empty());
+    let errs = verify_replan(&outcome);
+    assert!(errs.is_empty(), "{errs:?}");
+}
+
+#[test]
+fn migration_move_mutations_detected() {
+    let topo = presets::hybrid_two_cluster(2);
+    let outcome = valid_replan(&topo);
+
+    // Source rank outside the post-churn topology.
+    let mut bad = outcome.migration.clone();
+    bad.moves[0].from = Rank(9999);
+    let errs = verify_migration(&outcome.new_topology, &bad);
+    assert!(
+        errs.contains(&VerifyError::MigrationRankUnknown {
+            index: 0,
+            rank: Rank(9999),
+        }),
+        "{errs:?}"
+    );
+
+    // A move copying a shard onto itself.
+    let mut bad = outcome.migration.clone();
+    let from = bad.moves[0].from;
+    bad.moves[0].to = from;
+    let errs = verify_migration(&outcome.new_topology, &bad);
+    assert!(
+        errs.contains(&VerifyError::MigrationSelfMove {
+            index: 0,
+            rank: from,
+        }),
+        "{errs:?}"
+    );
+
+    // Two shards landing on the same destination.
+    let mut bad = outcome.migration.clone();
+    let dup = bad.moves[0].to;
+    bad.moves.push(StateMove {
+        from: bad.moves[0].from,
+        to: dup,
+        bytes: 1,
+    });
+    let errs = verify_migration(&outcome.new_topology, &bad);
+    assert!(
+        errs.contains(&VerifyError::MigrationDuplicateDestination { rank: dup }),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn migration_pricing_mutations_detected() {
+    let topo = presets::hybrid_two_cluster(2);
+    let outcome = valid_replan(&topo);
+
+    // Moves claiming to be free: the fabric pricing never ran.
+    let mut bad = outcome.migration.clone();
+    bad.transfer_seconds = 0.0;
+    let errs = verify_migration(&outcome.new_topology, &bad);
+    assert!(
+        errs.contains(&VerifyError::MigrationUnpriced {
+            moves: bad.moves.len(),
+        }),
+        "{errs:?}"
+    );
+
+    // A group flagged for checkpoint restore with no restore billed.
+    let mut bad = outcome.migration.clone();
+    bad.restored_groups.push(0);
+    let errs = verify_migration(&outcome.new_topology, &bad);
+    assert!(
+        errs.contains(&VerifyError::MigrationRestoreMismatch {
+            restored: 1,
+            seconds: 0.0,
+        }),
+        "{errs:?}"
+    );
+
+    // Restore time billed with nothing restored.
+    let mut bad = outcome.migration.clone();
+    bad.restore_seconds = 45.0;
+    let errs = verify_migration(&outcome.new_topology, &bad);
+    assert!(
+        errs.contains(&VerifyError::MigrationRestoreMismatch {
+            restored: 0,
+            seconds: 45.0,
+        }),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn replan_coverage_mutations_detected() {
+    // Verify the whole-outcome wrapper catches a placement that no longer
+    // covers the post-churn device set: shrink the topology under the
+    // outcome so the assignment both overflows and points off the end.
+    let topo = presets::hybrid_two_cluster(2);
+    let mut outcome = valid_replan(&topo);
+    let small = presets::homogeneous(NicType::InfiniBand, 1);
+    outcome.new_topology = small;
+    let errs = verify_replan(&outcome);
+    assert!(
+        errs.iter()
+            .any(|e| matches!(e, VerifyError::AssignmentSizeMismatch { .. })),
+        "{errs:?}"
+    );
+    assert!(
+        errs.iter()
+            .any(|e| matches!(e, VerifyError::DeviceOutOfRange { .. })),
         "{errs:?}"
     );
 }

@@ -178,6 +178,22 @@ pub fn estimate_iteration(
                 // The RS hides under the final backward.
                 (rs - cost.bwd_seconds).max(0.0) + ag
             }
+            DpSyncStrategy::ParameterServer { servers } => {
+                // Push + pull, each a single star-shaped round: score the
+                // same IR schedules the executor will replay (the incast
+                // contention at the servers is the whole point).
+                holmes_netsim::algo::estimate_collective(
+                    topo,
+                    holmes_netsim::algo::CollKind::PsPush { servers },
+                    &devices,
+                    grad_bytes,
+                ) + holmes_netsim::algo::estimate_collective(
+                    topo,
+                    holmes_netsim::algo::CollKind::PsPull { servers },
+                    &devices,
+                    param_bytes,
+                )
+            }
         };
         dp_sync_seconds = dp_sync_seconds.max(sync);
         let shards = cfg.dp_sync.optimizer_shards(d);

@@ -56,9 +56,15 @@ pub use estimate::{estimate_iteration, IterationEstimate};
 pub use framework::FrameworkKind;
 pub use holmes_parallel::EvalMode;
 pub use planner::{placement_gradient_bytes, plan_for, plan_for_with, PlanError, PlanRequest};
-pub use reliability::{CheckpointPlan, GoodputTrace, ReliabilityModel};
+pub use reliability::{
+    CheckpointPlan, ChurnImpact, ElasticAction, ElasticDecision, ElasticPolicy, GoodputTrace,
+    ReliabilityModel,
+};
 pub use report::TableBuilder;
-pub use resilience::{run_resilient, run_resilient_observed, FaultPreset, ResilienceReport};
+pub use resilience::{
+    run_resilient, run_resilient_observed, run_resilient_observed_with_strategy,
+    run_resilient_with_strategy, ChurnRestart, FaultPreset, ResilienceReport,
+};
 pub use runner::{
     run_framework, run_framework_observed, run_holmes_with, run_scenario, run_scenario_observed,
     RunError, RunResult, Scenario,

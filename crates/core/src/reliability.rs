@@ -208,6 +208,173 @@ impl ReliabilityModel {
     }
 }
 
+/// The elastic runtime's response to losing a node mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElasticAction {
+    /// Stall until the preempted node (or a replacement) comes back, then
+    /// resume at full throughput with no state movement.
+    Wait,
+    /// Re-shard in place: migrate optimizer state onto the survivors and
+    /// continue degraded at the surviving fraction of throughput.
+    Reshard,
+    /// Abandon the in-memory state: restore the last checkpoint onto the
+    /// survivors and recompute the lost interval.
+    Restore,
+}
+
+impl ElasticAction {
+    /// Stable name used in logs and BENCH JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            ElasticAction::Wait => "wait",
+            ElasticAction::Reshard => "reshard",
+            ElasticAction::Restore => "restore",
+        }
+    }
+}
+
+/// Throughput consequences of one churn event, fed to
+/// [`ElasticPolicy::decide`]. Both fields come from the migration-aware
+/// re-plan (`holmes_parallel::replan_for_delta`): the surviving fraction
+/// from the post-churn capacity and DP-sync slowdown, the stall from the
+/// simulated optimizer-state migration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnImpact {
+    /// Post-churn throughput as a fraction of pre-churn throughput
+    /// (capacity loss × DP-sync slowdown; > 1 after a scale-up).
+    pub surviving_fraction: f64,
+    /// Stall before the survivors can take the next step when
+    /// re-sharding in place (the simulated state-migration wall-clock).
+    pub reshard_stall_seconds: f64,
+}
+
+/// What [`ElasticPolicy::decide`] chose and the expected goodput of every
+/// candidate over the decision window (so logs can show the margin, not
+/// just the winner).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElasticDecision {
+    /// The argmax action. Ties break toward the operationally simplest
+    /// option: wait over re-shard over restore.
+    pub action: ElasticAction,
+    /// Steady-state goodput the decision amortizes against.
+    pub baseline_goodput: f64,
+    /// Expected goodput over the window if the job waits the node out.
+    pub wait_goodput: f64,
+    /// Expected goodput over the window if the job re-shards in place.
+    pub reshard_goodput: f64,
+    /// Expected goodput over the window if the job restores a checkpoint.
+    pub restore_goodput: f64,
+}
+
+/// Young/Daly-based wait-vs-reshard-vs-restore policy.
+///
+/// Every candidate is scored as expected goodput over a fixed decision
+/// window: the steady-state goodput (trace-measured via
+/// [`ReliabilityModel::simulated_goodput`], or analytic via
+/// [`ReliabilityModel::plan`]) times the surviving throughput fraction,
+/// discounted by the stall the action pays up front. The restore stall is
+/// the classical checkpoint/restart rework: restart overhead + one
+/// checkpoint read-back + half a Young/Daly interval of recompute.
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticPolicy {
+    /// Fleet reliability parameters (also the source of the Young/Daly
+    /// interval and the restore rework).
+    pub model: ReliabilityModel,
+    /// Expected seconds before a preempted node (or its replacement)
+    /// rejoins — the price of [`ElasticAction::Wait`].
+    pub node_return_seconds: f64,
+    /// Window the stalls are amortized over. A short window favours
+    /// waiting (the degraded steady state barely matters); a long one
+    /// favours re-sharding.
+    pub decision_window_seconds: f64,
+    /// Horizon of the goodput trace, in job MTBFs. 200 keeps Poisson
+    /// sampling noise within ±0.02 of the analytic expansion.
+    pub goodput_horizon_mtbfs: f64,
+}
+
+impl Default for ElasticPolicy {
+    fn default() -> Self {
+        ElasticPolicy {
+            model: ReliabilityModel::default(),
+            node_return_seconds: 1800.0,
+            decision_window_seconds: 4.0 * 3600.0,
+            goodput_horizon_mtbfs: 200.0,
+        }
+    }
+}
+
+impl ElasticPolicy {
+    /// Decide wait vs re-shard vs restore, with the steady-state goodput
+    /// *measured* by replaying the seeded checkpoint/restart trace
+    /// ([`ReliabilityModel::simulated_goodput`]). Deterministic in
+    /// `(topo, cfg, impact, seed)`; agrees with [`decide_analytic`]
+    /// within the trace's sampling noise (±0.02 at the default horizon).
+    ///
+    /// [`decide_analytic`]: ElasticPolicy::decide_analytic
+    pub fn decide(
+        &self,
+        topo: &Topology,
+        cfg: &GptConfig,
+        impact: &ChurnImpact,
+        seed: u64,
+    ) -> ElasticDecision {
+        let horizon = self.goodput_horizon_mtbfs * self.model.job_mtbf_seconds(topo);
+        let trace = self.model.simulated_goodput(topo, cfg, seed, horizon);
+        self.decide_with_baseline(topo, cfg, impact, trace.goodput)
+    }
+
+    /// [`decide`](ElasticPolicy::decide) with the first-order analytic
+    /// goodput ([`ReliabilityModel::plan`]) as the baseline — the
+    /// closed-form cross-check for the trace-driven decision.
+    pub fn decide_analytic(
+        &self,
+        topo: &Topology,
+        cfg: &GptConfig,
+        impact: &ChurnImpact,
+    ) -> ElasticDecision {
+        let plan = self.model.plan(topo, cfg);
+        self.decide_with_baseline(topo, cfg, impact, plan.goodput)
+    }
+
+    fn decide_with_baseline(
+        &self,
+        topo: &Topology,
+        cfg: &GptConfig,
+        impact: &ChurnImpact,
+        baseline_goodput: f64,
+    ) -> ElasticDecision {
+        assert!(
+            self.decision_window_seconds > 0.0,
+            "decision window must be positive"
+        );
+        let w = self.decision_window_seconds;
+        let frac = impact.surviving_fraction.max(0.0);
+        let plan = self.model.plan(topo, cfg);
+        // Fraction of the window left after an up-front stall.
+        let after = |stall: f64| (w - stall.max(0.0)).max(0.0) / w;
+        let wait_goodput = baseline_goodput * after(self.node_return_seconds);
+        let reshard_goodput = baseline_goodput * frac * after(impact.reshard_stall_seconds);
+        let restore_stall = self.model.restart_overhead_seconds
+            + plan.checkpoint_seconds
+            + plan.interval_seconds / 2.0;
+        let restore_goodput = baseline_goodput * frac * after(restore_stall);
+        let action = if wait_goodput >= reshard_goodput && wait_goodput >= restore_goodput {
+            ElasticAction::Wait
+        } else if reshard_goodput >= restore_goodput {
+            ElasticAction::Reshard
+        } else {
+            ElasticAction::Restore
+        };
+        ElasticDecision {
+            action,
+            baseline_goodput,
+            wait_goodput,
+            reshard_goodput,
+            restore_goodput,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,6 +499,111 @@ mod tests {
         assert_eq!(trace.failures, 0);
         let duty = plan.interval_seconds / (plan.interval_seconds + plan.checkpoint_seconds);
         assert!((trace.goodput - duty).abs() < 1e-3, "{}", trace.goodput);
+    }
+
+    #[test]
+    fn quick_node_return_favours_waiting() {
+        // The node comes back in 5 minutes; re-sharding would run the
+        // whole 4 h window at 7/8 throughput.
+        let policy = ElasticPolicy {
+            node_return_seconds: 300.0,
+            ..ElasticPolicy::default()
+        };
+        let topo = presets::hybrid_split(4, 4);
+        let cfg = ParameterGroup::table2(3).config;
+        let impact = ChurnImpact {
+            surviving_fraction: 7.0 / 8.0,
+            reshard_stall_seconds: 60.0,
+        };
+        let d = policy.decide(&topo, &cfg, &impact, 5);
+        assert_eq!(d.action, ElasticAction::Wait);
+        assert!(d.wait_goodput > d.reshard_goodput);
+    }
+
+    #[test]
+    fn slow_node_return_favours_resharding() {
+        // The replacement takes 2 h; losing 1/8 of throughput for the
+        // window beats stalling half of it.
+        let policy = ElasticPolicy {
+            node_return_seconds: 2.0 * 3600.0,
+            ..ElasticPolicy::default()
+        };
+        let topo = presets::hybrid_split(4, 4);
+        let cfg = ParameterGroup::table2(3).config;
+        let impact = ChurnImpact {
+            surviving_fraction: 7.0 / 8.0,
+            reshard_stall_seconds: 60.0,
+        };
+        let d = policy.decide(&topo, &cfg, &impact, 5);
+        assert_eq!(d.action, ElasticAction::Reshard);
+        assert!(d.reshard_goodput > d.wait_goodput);
+        assert!(
+            d.reshard_goodput > d.restore_goodput,
+            "a 60 s migration beats replaying half a checkpoint interval"
+        );
+    }
+
+    #[test]
+    fn pathological_migration_falls_back_to_checkpoint_restore() {
+        // The state migration would stall longer than the checkpoint
+        // rework (e.g. huge shards over a flooded trunk): restore wins.
+        let policy = ElasticPolicy {
+            node_return_seconds: 3.0 * 3600.0,
+            ..ElasticPolicy::default()
+        };
+        let topo = presets::hybrid_split(4, 4);
+        let cfg = ParameterGroup::table2(3).config;
+        let impact = ChurnImpact {
+            surviving_fraction: 7.0 / 8.0,
+            reshard_stall_seconds: 3600.0,
+        };
+        let d = policy.decide(&topo, &cfg, &impact, 5);
+        assert_eq!(d.action, ElasticAction::Restore);
+    }
+
+    #[test]
+    fn trace_driven_decision_matches_analytic_young_daly_within_0_02() {
+        // Acceptance criterion: the simulated_goodput-driven decision and
+        // the analytic Young/Daly expansion agree within ±0.02 goodput on
+        // every candidate, and pick the same action away from knife-edge
+        // margins.
+        let topo = presets::hybrid_split(4, 4);
+        let cfg = ParameterGroup::table2(3).config;
+        for (ret, stall) in [(300.0, 60.0), (7200.0, 60.0), (10800.0, 3600.0)] {
+            let policy = ElasticPolicy {
+                node_return_seconds: ret,
+                ..ElasticPolicy::default()
+            };
+            let impact = ChurnImpact {
+                surviving_fraction: 7.0 / 8.0,
+                reshard_stall_seconds: stall,
+            };
+            let traced = policy.decide(&topo, &cfg, &impact, 42);
+            let analytic = policy.decide_analytic(&topo, &cfg, &impact);
+            for (t, a) in [
+                (traced.baseline_goodput, analytic.baseline_goodput),
+                (traced.wait_goodput, analytic.wait_goodput),
+                (traced.reshard_goodput, analytic.reshard_goodput),
+                (traced.restore_goodput, analytic.restore_goodput),
+            ] {
+                assert!((t - a).abs() < 0.02, "traced {t} vs analytic {a}");
+            }
+            assert_eq!(traced.action, analytic.action);
+        }
+    }
+
+    #[test]
+    fn elastic_decision_is_deterministic_in_the_seed() {
+        let topo = presets::hybrid_split(4, 4);
+        let cfg = ParameterGroup::table2(3).config;
+        let policy = ElasticPolicy::default();
+        let impact = ChurnImpact {
+            surviving_fraction: 0.875,
+            reshard_stall_seconds: 120.0,
+        };
+        let a = policy.decide(&topo, &cfg, &impact, 9);
+        let b = policy.decide(&topo, &cfg, &impact, 9);
+        assert_eq!(a, b);
     }
 
     #[test]

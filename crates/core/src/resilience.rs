@@ -14,23 +14,33 @@
 
 use holmes_engine::{
     simulate_iteration_observed, simulate_iteration_with_faults, DegradedCondition, DpSyncStrategy,
-    FaultPlan, FaultWindow, TrainingMetrics,
+    ExecError, FaultPlan, FaultWindow, TrainingMetrics,
 };
 use holmes_model::CommVolumes;
-use holmes_netsim::{LinkHealth, SimDuration, SimTime};
+use holmes_netsim::{ChurnKind, LinkHealth, SimDuration, SimTime};
 use holmes_obs::{Layer, ObsSession};
-use holmes_parallel::ReplanOutcome;
-use holmes_topology::Topology;
+use holmes_parallel::{
+    replan_for_delta, DeltaReplanOutcome, GuidedPlanner, MigrationCosts, ReplanOutcome,
+    TopologyDelta,
+};
+use holmes_topology::{Rank, Topology};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::config::HolmesConfig;
 use crate::planner::{plan_for, PlanRequest};
+use crate::reliability::{ChurnImpact, ElasticDecision, ElasticPolicy, ReliabilityModel};
 use crate::runner::RunError;
 
 /// A named fault scenario, placed relative to the clean iteration length
 /// so the fault always lands mid-iteration regardless of workload.
+///
+/// Marked `#[non_exhaustive]`: the scenario catalogue grows (this PR
+/// alone added three churn presets), so downstream matches must carry a
+/// wildcard arm; iterate [`FaultPreset::ALL`] and key on
+/// [`FaultPreset::name`] instead of matching exhaustively.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FaultPreset {
     /// No faults: the baseline the other presets are measured against.
     Clean,
@@ -43,14 +53,31 @@ pub enum FaultPreset {
     /// DP groups touching the node are downgraded by the re-planning
     /// pass (paper §3.2 fallback, applied at runtime).
     DyingNic,
+    /// Two nodes are preempted mid-iteration (a spot-market reclaim
+    /// wave). Ring-based DP sync cannot complete without them — the run
+    /// aborts and pays a checkpoint restart; the parameter-server
+    /// strategy continues degraded on the survivors. This preset is the
+    /// PS-vs-all-reduce crossover probe.
+    PreemptStorm,
+    /// A fresh node announces itself mid-iteration. The running
+    /// iteration is unaffected (the newcomer holds no state); the
+    /// membership event triggers the migration-aware re-plan that folds
+    /// the node in for the next iteration.
+    ScaleUpMidrun,
+    /// Every GPU on one node runs 2–3× slow (thermal throttling, a bad
+    /// HBM stack). Nothing fails; the collectives simply wait.
+    StragglerNode,
 }
 
 impl FaultPreset {
     /// All presets, in the order the bench reports them.
-    pub const ALL: [FaultPreset; 3] = [
+    pub const ALL: [FaultPreset; 6] = [
         FaultPreset::Clean,
         FaultPreset::FlakyTrunk,
         FaultPreset::DyingNic,
+        FaultPreset::PreemptStorm,
+        FaultPreset::ScaleUpMidrun,
+        FaultPreset::StragglerNode,
     ];
 
     /// Stable name used in logs and BENCH JSON.
@@ -59,6 +86,9 @@ impl FaultPreset {
             FaultPreset::Clean => "clean",
             FaultPreset::FlakyTrunk => "flaky_trunk",
             FaultPreset::DyingNic => "dying_nic",
+            FaultPreset::PreemptStorm => "preempt_storm",
+            FaultPreset::ScaleUpMidrun => "scale_up_midrun",
+            FaultPreset::StragglerNode => "straggler_node",
         }
     }
 
@@ -70,7 +100,13 @@ impl FaultPreset {
 
     /// Build the fault plan, with fault times seeded and placed relative
     /// to the measured clean iteration length.
-    fn build_plan(self, seed: u64, clean_seconds: f64, trunk: Option<f64>) -> FaultPlan {
+    fn build_plan(
+        self,
+        seed: u64,
+        clean_seconds: f64,
+        trunk: Option<f64>,
+        topo: &Topology,
+    ) -> FaultPlan {
         let mut plan = FaultPlan::none();
         plan.trunk_bytes_per_sec = trunk;
         let mut rng = StdRng::seed_from_u64(seed);
@@ -95,9 +131,55 @@ impl FaultPreset {
                 let start = uniform(0.1, 0.4) * clean_seconds;
                 plan.kill_nic(at(start), 0);
             }
+            FaultPreset::PreemptStorm => {
+                // The reclaim wave takes the last node of each cluster,
+                // a beat apart — the job keeps at least one node per
+                // cluster, so the survivors still form a valid fleet.
+                let mut node = 0u32;
+                for (i, cluster) in topo.clusters().iter().enumerate() {
+                    node += cluster.nodes.len() as u32;
+                    if cluster.nodes.len() < 2 {
+                        continue;
+                    }
+                    let start = (0.2 + 0.2 * i as f64) * clean_seconds
+                        + uniform(0.0, 0.1) * clean_seconds;
+                    plan.preempt_node(at(start), node - 1);
+                }
+            }
+            FaultPreset::ScaleUpMidrun => {
+                // The joiner gets the first out-of-fabric node index: a
+                // pure membership signal to the running iteration.
+                let start = uniform(0.3, 0.6) * clean_seconds;
+                plan.join_node(at(start), topo.node_count());
+            }
+            FaultPreset::StragglerNode => {
+                // Node 1 throttles: every one of its ranks slows by the
+                // same seeded factor.
+                let slowdown = uniform(2.0, 3.0);
+                let g = topo.gpus_per_node();
+                for gpu in 0..g {
+                    plan.straggler(Rank(g + gpu), slowdown);
+                }
+            }
         }
         plan
     }
+}
+
+/// A run killed by node churn: ring-based collectives could not continue
+/// without the lost ranks, so the job pays a checkpoint restart and
+/// replays the iteration on the survivors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnRestart {
+    /// The node whose loss killed the run.
+    pub node: u32,
+    /// When the run died, seconds into the faulted iteration.
+    pub at_seconds: f64,
+    /// True when the node announced a drain (vs a hard preempt).
+    pub draining: bool,
+    /// Restart bill: detection/rescheduling overhead plus the checkpoint
+    /// read-back, before the replay starts.
+    pub restart_seconds: f64,
 }
 
 /// Outcome of one resilience scenario: a clean baseline, a faulted run,
@@ -108,6 +190,19 @@ pub struct ResilienceReport {
     pub preset: FaultPreset,
     /// Seed that placed the fault times.
     pub seed: u64,
+    /// Data-parallel sync strategy the run used (the PS-vs-all-reduce
+    /// crossover compares reports differing only here).
+    pub strategy: DpSyncStrategy,
+    /// `Some` when churn killed the run: `faulted_seconds` then covers
+    /// the partial run, the restart bill, and the replay.
+    pub restart: Option<ChurnRestart>,
+    /// The migration-aware re-plan (post-churn placement through the
+    /// guided planner plus the simulated state migration), when the run
+    /// saw membership churn.
+    pub delta_replan: Option<DeltaReplanOutcome>,
+    /// The Young/Daly wait-vs-reshard-vs-restore decision for the churn
+    /// event, when nodes were lost.
+    pub elastic: Option<ElasticDecision>,
     /// Clean-iteration wall-clock (same plan, same fabric, no faults).
     pub clean_seconds: f64,
     /// Faulted-iteration wall-clock.
@@ -162,7 +257,23 @@ pub fn run_resilient(
     preset: FaultPreset,
     seed: u64,
 ) -> Result<ResilienceReport, RunError> {
-    run_resilient_inner(topo, parameter_group, preset, seed, None)
+    run_resilient_inner(topo, parameter_group, preset, seed, None, None)
+}
+
+/// [`run_resilient`] with an explicit data-parallel sync strategy.
+///
+/// This is the PS-vs-all-reduce probe: running the same churn preset and
+/// seed under [`DpSyncStrategy::ParameterServer`] and a ring-based
+/// strategy yields the crossover — the PS run continues degraded where
+/// the ring run aborts into a checkpoint restart.
+pub fn run_resilient_with_strategy(
+    topo: &Topology,
+    parameter_group: u8,
+    preset: FaultPreset,
+    seed: u64,
+    strategy: DpSyncStrategy,
+) -> Result<ResilienceReport, RunError> {
+    run_resilient_inner(topo, parameter_group, preset, seed, Some(strategy), None)
 }
 
 /// [`run_resilient`] with the *faulted* run instrumented into `session`.
@@ -181,7 +292,28 @@ pub fn run_resilient_observed(
     seed: u64,
     session: &mut ObsSession,
 ) -> Result<ResilienceReport, RunError> {
-    run_resilient_inner(topo, parameter_group, preset, seed, Some(session))
+    run_resilient_inner(topo, parameter_group, preset, seed, None, Some(session))
+}
+
+/// [`run_resilient_observed`] with an explicit data-parallel sync
+/// strategy — the instrumented form of the PS-vs-all-reduce probe the
+/// resilience bench family uses for its crossover rows.
+pub fn run_resilient_observed_with_strategy(
+    topo: &Topology,
+    parameter_group: u8,
+    preset: FaultPreset,
+    seed: u64,
+    strategy: DpSyncStrategy,
+    session: &mut ObsSession,
+) -> Result<ResilienceReport, RunError> {
+    run_resilient_inner(
+        topo,
+        parameter_group,
+        preset,
+        seed,
+        Some(strategy),
+        Some(session),
+    )
 }
 
 fn run_resilient_inner(
@@ -189,24 +321,34 @@ fn run_resilient_inner(
     parameter_group: u8,
     preset: FaultPreset,
     seed: u64,
+    strategy: Option<DpSyncStrategy>,
     mut obs: Option<&mut ObsSession>,
 ) -> Result<ResilienceReport, RunError> {
     let cfg = HolmesConfig::full();
     let request = PlanRequest::parameter_group(parameter_group);
-    let (plan, engine_cfg) = plan_for(topo, &request, &cfg, DpSyncStrategy::DistributedOptimizer)
-        .map_err(RunError::Plan)?;
+    // The full Holmes config prescribes the overlapped optimizer; an
+    // explicit strategy (the PS-vs-all-reduce probe) overrides it so the
+    // comparison really exercises the requested sync path.
+    let (plan, mut engine_cfg) =
+        plan_for(topo, &request, &cfg, DpSyncStrategy::DistributedOptimizer)
+            .map_err(RunError::Plan)?;
+    if let Some(s) = strategy {
+        engine_cfg.dp_sync = s;
+    }
+    let strategy = engine_cfg.dp_sync;
+    let reliability = ReliabilityModel::default();
 
     let trunk = preset
         .needs_trunk()
         .then(|| topo.inter_cluster_profile().effective_bytes_per_sec());
     let mut clean_plan = FaultPlan::none();
     clean_plan.trunk_bytes_per_sec = trunk;
-    let (clean_report, _) =
+    let (clean_report, clean_metrics) =
         simulate_iteration_with_faults(topo, &plan, &request.job, &engine_cfg, &clean_plan)
             .map_err(RunError::Engine)?;
 
-    let fault_plan = preset.build_plan(seed, clean_report.total_seconds, trunk);
-    let (report, metrics) = match obs.as_deref_mut() {
+    let fault_plan = preset.build_plan(seed, clean_report.total_seconds, trunk, topo);
+    let sim_result = match obs.as_deref_mut() {
         Some(session) => simulate_iteration_observed(
             topo,
             &plan,
@@ -214,15 +356,77 @@ fn run_resilient_inner(
             &engine_cfg,
             Some(&fault_plan),
             session,
-        )
-        .map_err(RunError::Engine)?,
-        None => simulate_iteration_with_faults(topo, &plan, &request.job, &engine_cfg, &fault_plan)
-            .map_err(RunError::Engine)?,
+        ),
+        None => simulate_iteration_with_faults(topo, &plan, &request.job, &engine_cfg, &fault_plan),
+    };
+    // Churn that ring-based collectives cannot absorb kills the run: the
+    // job pays the restart bill and replays the iteration. Everything
+    // else propagates as a real error.
+    let restart_bill =
+        reliability.restart_overhead_seconds + reliability.checkpoint_seconds(&request.job.config);
+    struct FaultedRun {
+        total_seconds: f64,
+        fault_windows: Vec<FaultWindow>,
+        degraded_conditions: Vec<DegradedCondition>,
+        flow_retries: u64,
+        tcp_fallback_flows: u64,
+    }
+    let (faulted, metrics, restart) = match sim_result {
+        Ok((report, metrics)) => (
+            FaultedRun {
+                total_seconds: report.total_seconds,
+                fault_windows: report.fault_windows,
+                degraded_conditions: report.degraded_conditions,
+                flow_retries: report.flow_retries,
+                tcp_fallback_flows: report.tcp_fallback_flows,
+            },
+            metrics,
+            None,
+        ),
+        Err(holmes_engine::builder::BuildError::Exec(
+            err @ (ExecError::NodeLost { .. } | ExecError::NodeDraining { .. }),
+        )) => {
+            let (node, at_seconds, draining) = match err {
+                ExecError::NodeLost { node, at_seconds } => (node, at_seconds, false),
+                ExecError::NodeDraining { node, at_seconds } => (node, at_seconds, true),
+                _ => unreachable!(),
+            };
+            // The run died mid-iteration: the bill is the partial run,
+            // the restart, and a full replay on the survivors. Churn
+            // events up to the death still happened and are reported.
+            let conditions: Vec<DegradedCondition> = fault_plan
+                .churn
+                .iter()
+                .filter(|c| (c.at - SimTime::ZERO).as_secs_f64() <= at_seconds)
+                .map(|c| DegradedCondition::NodeChurn {
+                    node: c.node,
+                    kind: c.kind,
+                    at_seconds: (c.at - SimTime::ZERO).as_secs_f64(),
+                })
+                .collect();
+            (
+                FaultedRun {
+                    total_seconds: at_seconds + restart_bill + clean_report.total_seconds,
+                    fault_windows: Vec::new(),
+                    degraded_conditions: conditions,
+                    flow_retries: 0,
+                    tcp_fallback_flows: 0,
+                },
+                clean_metrics,
+                Some(ChurnRestart {
+                    node,
+                    at_seconds,
+                    draining,
+                    restart_seconds: restart_bill,
+                }),
+            )
+        }
+        Err(e) => return Err(RunError::Engine(e)),
     };
 
     // NIC actually lost mid-run → run the parallel layer's downgrade
     // pass, pricing the next iteration's DP sync on the shrunken fleet.
-    let mut lost_nodes: Vec<u32> = report
+    let mut lost_nodes: Vec<u32> = faulted
         .degraded_conditions
         .iter()
         .filter_map(|c| match c {
@@ -232,27 +436,93 @@ fn run_resilient_inner(
         .collect();
     lost_nodes.sort_unstable();
     lost_nodes.dedup();
+    let degrees = plan.degrees();
+    let stage_params = request.job.config.parameter_count() / u64::from(degrees.pipeline.max(1));
+    let grad_bytes = CommVolumes::dp_gradient_bytes(stage_params, degrees.tensor);
     let replan = (!lost_nodes.is_empty()).then(|| {
-        let degrees = plan.degrees();
-        let stage_params =
-            request.job.config.parameter_count() / u64::from(degrees.pipeline.max(1));
-        let grad_bytes = CommVolumes::dp_gradient_bytes(stage_params, degrees.tensor);
         plan.nic_report(topo)
             .replan_on_nic_loss(topo, &lost_nodes, grad_bytes)
     });
 
+    // Membership churn (preempt/drain/join, whether the run survived it
+    // or died into a restart) → the migration-aware re-plan: re-run
+    // placement on the post-churn topology through the guided planner
+    // and price the optimizer-state migration on its fabric, then let
+    // the Young/Daly policy judge wait vs re-shard vs restore.
+    let mut churn_lost: Vec<u32> = faulted
+        .degraded_conditions
+        .iter()
+        .filter_map(|c| match c {
+            DegradedCondition::NodeChurn { node, kind, .. }
+                if *kind != ChurnKind::NodeJoin && *node < topo.node_count() =>
+            {
+                Some(*node)
+            }
+            _ => None,
+        })
+        .collect();
+    churn_lost.sort_unstable();
+    churn_lost.dedup();
+    let churn_joins = faulted
+        .degraded_conditions
+        .iter()
+        .filter(|c| {
+            matches!(
+                c,
+                DegradedCondition::NodeChurn {
+                    kind: ChurnKind::NodeJoin,
+                    ..
+                }
+            )
+        })
+        .count();
+    let delta_replan = (!churn_lost.is_empty() || churn_joins > 0)
+        .then(|| {
+            let mut delta = TopologyDelta::new();
+            for &n in &churn_lost {
+                delta.node_loss(n);
+            }
+            for _ in 0..churn_joins {
+                // Joiners carry no placement hint; they land in cluster 0
+                // by convention (the re-plan decides what runs on them).
+                delta.node_join(0);
+            }
+            // Per-rank optimizer shard: the stage's mixed-precision Adam
+            // state split across the tensor degree.
+            let state_bytes_per_rank =
+                (stage_params / u64::from(degrees.tensor.max(1))) * holmes_model::BYTES_PER_PARAM_FULL;
+            let costs = MigrationCosts::new(state_bytes_per_rank, restart_bill);
+            replan_for_delta(topo, &plan, &delta, grad_bytes, &GuidedPlanner, &costs).ok()
+        })
+        .flatten();
+    let elastic = delta_replan.as_ref().filter(|_| !churn_lost.is_empty()).map(|outcome| {
+        let capacity = f64::from(outcome.new_topology.device_count())
+            / f64::from(topo.device_count().max(1));
+        let sync_factor = if outcome.cost_after_seconds > 0.0 {
+            (outcome.cost_before_seconds / outcome.cost_after_seconds).min(1.0)
+        } else {
+            1.0
+        };
+        let impact = ChurnImpact {
+            surviving_fraction: capacity * sync_factor,
+            reshard_stall_seconds: outcome.migration.total_seconds(),
+        };
+        ElasticPolicy::default().decide(topo, &request.job.config, &impact, seed)
+    });
+
     let mut log = Vec::new();
     log.push(format!(
-        "preset={} seed={} pg={}",
+        "preset={} seed={} pg={} strategy={}",
         preset.name(),
         seed,
-        parameter_group
+        parameter_group,
+        strategy.name()
     ));
     log.push(format!(
         "clean_seconds={:?} faulted_seconds={:?}",
-        clean_report.total_seconds, report.total_seconds
+        clean_report.total_seconds, faulted.total_seconds
     ));
-    for w in &report.fault_windows {
+    for w in &faulted.fault_windows {
         log.push(format!(
             "window link={} health={} start={:?} end={:?}",
             w.link.0,
@@ -261,7 +531,7 @@ fn run_resilient_inner(
             w.end_seconds
         ));
     }
-    for c in &report.degraded_conditions {
+    for c in &faulted.degraded_conditions {
         log.push(match c {
             DegradedCondition::DegradedLink {
                 link,
@@ -277,12 +547,23 @@ fn run_resilient_inner(
             DegradedCondition::Straggler { rank, slowdown } => {
                 format!("straggler rank={} slowdown={:?}", rank.0, slowdown)
             }
+            DegradedCondition::NodeChurn {
+                node,
+                kind,
+                at_seconds,
+            } => format!("churn node={node} kind={} at={at_seconds:?}", kind.name()),
         });
     }
     log.push(format!(
         "retries={} tcp_fallback={}",
-        report.flow_retries, report.tcp_fallback_flows
+        faulted.flow_retries, faulted.tcp_fallback_flows
     ));
+    if let Some(r) = &restart {
+        log.push(format!(
+            "restart node={} draining={} at={:?} bill={:?}",
+            r.node, r.draining, r.at_seconds, r.restart_seconds
+        ));
+    }
     if let Some(r) = &replan {
         log.push(format!(
             "replan downgraded={:?} rdma_groups={} ethernet_groups={} slowdown={:?}",
@@ -292,19 +573,50 @@ fn run_resilient_inner(
             r.slowdown()
         ));
     }
+    if let Some(o) = &delta_replan {
+        log.push(format!(
+            "delta_replan devices={} moves={} restored={:?} transfer={:?} restore={:?} cost_before={:?} cost_after={:?}",
+            o.new_topology.device_count(),
+            o.migration.moves.len(),
+            o.migration.restored_groups,
+            o.migration.transfer_seconds,
+            o.migration.restore_seconds,
+            o.cost_before_seconds,
+            o.cost_after_seconds
+        ));
+    }
+    if let Some(e) = &elastic {
+        log.push(format!(
+            "elastic action={} wait={:?} reshard={:?} restore={:?}",
+            e.action.name(),
+            e.wait_goodput,
+            e.reshard_goodput,
+            e.restore_goodput
+        ));
+    }
 
     if let Some(session) = obs {
         let reg = &mut session.registry;
         reg.counter_add("core.resilience_runs", 1);
         reg.gauge_set("core.clean_seconds", clean_report.total_seconds);
-        reg.gauge_set("core.faulted_seconds", report.total_seconds);
+        reg.gauge_set("core.faulted_seconds", faulted.total_seconds);
         if clean_report.total_seconds > 0.0 {
             reg.gauge_set(
                 "core.resilience_slowdown",
-                report.total_seconds / clean_report.total_seconds,
+                faulted.total_seconds / clean_report.total_seconds,
             );
         }
-        for c in &report.degraded_conditions {
+        if restart.is_some() {
+            reg.counter_add("core.churn_restarts", 1);
+        }
+        if let Some(o) = &delta_replan {
+            reg.counter_add("core.churn_replans", 1);
+            reg.gauge_set(
+                "core.migration_seconds",
+                o.migration.total_seconds(),
+            );
+        }
+        for c in &faulted.degraded_conditions {
             // Stragglers are declared during planning, not at a simulated
             // time; they land at t=0 on the trace.
             let (track, name, at) = match c {
@@ -327,6 +639,15 @@ fn run_resilient_inner(
                     format!("straggler rank{} {:.2}", rank.0, slowdown),
                     0.0,
                 ),
+                DegradedCondition::NodeChurn {
+                    node,
+                    kind,
+                    at_seconds,
+                } => (
+                    u64::from(*node),
+                    format!("churn node{node} {}", kind.name()),
+                    *at_seconds,
+                ),
             };
             session
                 .trace
@@ -340,13 +661,17 @@ fn run_resilient_inner(
     Ok(ResilienceReport {
         preset,
         seed,
+        strategy,
+        restart,
+        delta_replan,
+        elastic,
         clean_seconds: clean_report.total_seconds,
-        faulted_seconds: report.total_seconds,
+        faulted_seconds: faulted.total_seconds,
         metrics,
-        fault_windows: report.fault_windows,
-        degraded_conditions: report.degraded_conditions,
-        flow_retries: report.flow_retries,
-        tcp_fallback_flows: report.tcp_fallback_flows,
+        fault_windows: faulted.fault_windows,
+        degraded_conditions: faulted.degraded_conditions,
+        flow_retries: faulted.flow_retries,
+        tcp_fallback_flows: faulted.tcp_fallback_flows,
         replan,
         event_log: log,
     })
@@ -439,5 +764,131 @@ mod tests {
         assert_eq!(a.log_text(), b.log_text());
         let c = run_resilient(&topo, 1, FaultPreset::FlakyTrunk, 100).unwrap();
         assert_ne!(a.log_text(), c.log_text());
+    }
+
+    #[test]
+    fn preempt_storm_aborts_ring_sync_into_a_restart() {
+        let topo = presets::hybrid_two_cluster(2);
+        let r = run_resilient(&topo, 1, FaultPreset::PreemptStorm, 13).unwrap();
+        // Ring-based DP sync cannot continue without the preempted
+        // ranks: the run dies at the first preempt and pays the restart
+        // bill plus a replay.
+        let restart = r.restart.expect("ring sync aborts on preemption");
+        assert!(!restart.draining);
+        assert!(restart.restart_seconds > 0.0);
+        assert!(
+            r.faulted_seconds
+                >= restart.at_seconds + restart.restart_seconds + r.clean_seconds
+        );
+        assert!(r.slowdown() > 2.0, "{}", r.slowdown());
+        // The membership event still drives the migration-aware re-plan
+        // and the Young/Daly decision.
+        assert!(r.delta_replan.is_some());
+        assert!(r.elastic.is_some());
+    }
+
+    #[test]
+    fn preempt_storm_survives_under_parameter_server() {
+        let topo = presets::hybrid_two_cluster(2);
+        let r = run_resilient_with_strategy(
+            &topo,
+            1,
+            FaultPreset::PreemptStorm,
+            13,
+            DpSyncStrategy::ParameterServer { servers: 2 },
+        )
+        .unwrap();
+        // Star-shaped PS rounds only stale the lost contributions: the
+        // survivors finish the iteration without a restart.
+        assert!(r.restart.is_none());
+        assert!(r
+            .degraded_conditions
+            .iter()
+            .any(|c| matches!(c, DegradedCondition::NodeChurn { .. })));
+        let outcome = r.delta_replan.as_ref().expect("preempts trigger a re-plan");
+        assert!(outcome.new_topology.device_count() < topo.device_count());
+        // Every group kept surviving replicas (each stage lost only half
+        // its cluster), so nothing needs the checkpoint store — and when
+        // the new placement keeps survivors in place, the migration may
+        // even be zero-move.
+        assert!(outcome.migration.restored_groups.is_empty());
+        assert_eq!(outcome.migration.restore_seconds, 0.0);
+        let elastic = r.elastic.expect("losses get an elastic decision");
+        assert!(elastic.reshard_goodput > 0.0);
+    }
+
+    #[test]
+    fn ps_vs_allreduce_crossover_under_preemption() {
+        // Clean, the ring strategy beats the parameter server (the star
+        // round pays server incast). Under a preempt storm the ordering
+        // flips: the PS run continues degraded while the ring run eats a
+        // checkpoint restart. This crossover is the reason to keep both.
+        let topo = presets::hybrid_two_cluster(2);
+        let ps = DpSyncStrategy::ParameterServer { servers: 2 };
+        let ar = DpSyncStrategy::DistributedOptimizer;
+        let clean_ar =
+            run_resilient_with_strategy(&topo, 1, FaultPreset::Clean, 13, ar).unwrap();
+        let clean_ps =
+            run_resilient_with_strategy(&topo, 1, FaultPreset::Clean, 13, ps).unwrap();
+        let storm_ar =
+            run_resilient_with_strategy(&topo, 1, FaultPreset::PreemptStorm, 13, ar).unwrap();
+        let storm_ps =
+            run_resilient_with_strategy(&topo, 1, FaultPreset::PreemptStorm, 13, ps).unwrap();
+        assert!(
+            clean_ar.faulted_seconds <= clean_ps.faulted_seconds,
+            "clean: ring {} vs ps {}",
+            clean_ar.faulted_seconds,
+            clean_ps.faulted_seconds
+        );
+        assert!(
+            storm_ps.faulted_seconds < storm_ar.faulted_seconds,
+            "storm: ps {} vs ring {}",
+            storm_ps.faulted_seconds,
+            storm_ar.faulted_seconds
+        );
+        assert!(storm_ar.restart.is_some() && storm_ps.restart.is_none());
+    }
+
+    #[test]
+    fn scale_up_midrun_folds_the_new_node_in() {
+        let topo = presets::hybrid_two_cluster(2);
+        let r = run_resilient(&topo, 1, FaultPreset::ScaleUpMidrun, 21).unwrap();
+        // The running iteration is unaffected by the announcement…
+        assert!(r.restart.is_none());
+        assert!((r.slowdown() - 1.0).abs() < 1e-9, "{}", r.slowdown());
+        // …but the membership event drives the migration-aware re-plan
+        // that seeds the newcomer's optimizer state.
+        let outcome = r.delta_replan.as_ref().expect("join triggers a re-plan");
+        assert_eq!(
+            outcome.new_topology.device_count(),
+            topo.device_count() + topo.gpus_per_node()
+        );
+        assert!(!outcome.migration.moves.is_empty());
+        // A join loses nothing: wait-vs-reshard doesn't apply.
+        assert!(r.elastic.is_none());
+    }
+
+    #[test]
+    fn straggler_node_stretches_the_run_without_faults() {
+        let topo = presets::hybrid_two_cluster(2);
+        let r = run_resilient(&topo, 1, FaultPreset::StragglerNode, 17).unwrap();
+        assert!(r.slowdown() > 1.2, "{}", r.slowdown());
+        assert!(r.restart.is_none());
+        assert_eq!(r.flow_retries, 0);
+        assert!(r
+            .degraded_conditions
+            .iter()
+            .any(|c| matches!(c, DegradedCondition::Straggler { .. })));
+    }
+
+    #[test]
+    fn churn_presets_replay_byte_identically_per_seed() {
+        let topo = presets::hybrid_two_cluster(2);
+        let ps = DpSyncStrategy::ParameterServer { servers: 2 };
+        for preset in [FaultPreset::PreemptStorm, FaultPreset::ScaleUpMidrun] {
+            let a = run_resilient_with_strategy(&topo, 1, preset, 5, ps).unwrap();
+            let b = run_resilient_with_strategy(&topo, 1, preset, 5, ps).unwrap();
+            assert_eq!(a.log_text(), b.log_text(), "{}", preset.name());
+        }
     }
 }

@@ -39,12 +39,38 @@ pub enum DpSyncStrategy {
     /// sharded. Real ZeRO-3 without persistence re-gathers per micro-batch
     /// and is strictly slower than this model.
     Zero3,
+    /// Parameter-server emulation: the first `servers` members of every
+    /// data-parallel group double as colocated parameter servers holding
+    /// `1/servers` of the optimizer state. Gradients *push* to the
+    /// servers after the last backward ([`CollKind::PsPush`]), the
+    /// sharded step runs on the servers, and updated 16-bit parameters
+    /// *pull* back ([`CollKind::PsPull`]). Bandwidth-suboptimal versus
+    /// ring all-reduce — each server eats an `(n−1)`-way incast — but a
+    /// node loss only stales one worker's contribution instead of
+    /// breaking the ring, which is exactly the churn-robustness trade
+    /// the PS-vs-AR crossover experiment measures.
+    ParameterServer {
+        /// Parameter servers per data-parallel group (group prefix).
+        servers: u32,
+    },
 }
 
 impl DpSyncStrategy {
     /// The overlapped strategy with the default bucket count.
     pub fn overlapped() -> Self {
         DpSyncStrategy::OverlappedOptimizer { buckets: 8 }
+    }
+
+    /// The parameter-server emulation with the default server count.
+    pub fn parameter_server() -> Self {
+        DpSyncStrategy::ParameterServer { servers: 2 }
+    }
+
+    /// Whether a data-parallel group under this strategy survives losing
+    /// a member mid-iteration: parameter-server groups continue with the
+    /// lost worker's contribution stale, ring/tree collectives cannot.
+    pub fn survives_member_loss(self) -> bool {
+        matches!(self, DpSyncStrategy::ParameterServer { .. })
     }
 
     /// Pre-optimizer collectives per data-parallel group, as
@@ -60,6 +86,9 @@ impl DpSyncStrategy {
                 (0..b)
                     .map(|_| (CollKind::ReduceScatter, 1.0 / f64::from(b)))
                     .collect()
+            }
+            DpSyncStrategy::ParameterServer { servers } => {
+                vec![(CollKind::PsPush { servers }, 1.0)]
             }
         }
     }
@@ -77,6 +106,9 @@ impl DpSyncStrategy {
                     .map(|_| (CollKind::AllGather, 1.0 / f64::from(b)))
                     .collect()
             }
+            DpSyncStrategy::ParameterServer { servers } => {
+                vec![(CollKind::PsPull { servers }, 1.0)]
+            }
         }
     }
 
@@ -91,6 +123,7 @@ impl DpSyncStrategy {
     pub fn optimizer_shards(self, d: u32) -> u32 {
         match self {
             DpSyncStrategy::AllReduce => 1,
+            DpSyncStrategy::ParameterServer { servers } => servers.max(1).min(d.max(1)),
             _ => d.max(1),
         }
     }
@@ -108,6 +141,7 @@ impl DpSyncStrategy {
             DpSyncStrategy::DistributedOptimizer => "distributed-optimizer",
             DpSyncStrategy::OverlappedOptimizer { .. } => "overlapped-optimizer",
             DpSyncStrategy::Zero3 => "zero-3",
+            DpSyncStrategy::ParameterServer { .. } => "parameter-server",
         }
     }
 }
@@ -172,6 +206,27 @@ mod tests {
         assert!(!s.overlaps_backward());
         assert_eq!(s.optimizer_shards(8), 8);
         assert!(!DpSyncStrategy::DistributedOptimizer.gathers_params_at_start());
+    }
+
+    #[test]
+    fn parameter_server_shape() {
+        let s = DpSyncStrategy::ParameterServer { servers: 2 };
+        assert_eq!(
+            s.pre_optimizer_collectives(),
+            vec![(CollKind::PsPush { servers: 2 }, 1.0)]
+        );
+        assert_eq!(
+            s.post_optimizer_collectives(),
+            vec![(CollKind::PsPull { servers: 2 }, 1.0)]
+        );
+        assert!(!s.overlaps_backward());
+        assert!(s.survives_member_loss());
+        assert!(!DpSyncStrategy::AllReduce.survives_member_loss());
+        // Optimizer shards clamp to the group size and stay positive.
+        assert_eq!(s.optimizer_shards(16), 2);
+        assert_eq!(s.optimizer_shards(1), 1);
+        assert_eq!(DpSyncStrategy::ParameterServer { servers: 0 }.optimizer_shards(8), 1);
+        assert_eq!(DpSyncStrategy::parameter_server().name(), "parameter-server");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use holmes_netsim::algo::CollSchedule;
-use holmes_netsim::{Completion, Fabric, FlowId, FlowSpec, LinkId, NetSim, SimDuration};
+use holmes_netsim::{ChurnKind, Completion, Fabric, FlowId, FlowSpec, LinkId, NetSim, SimDuration};
 use holmes_topology::{Rank, Topology};
 
 use crate::fault::{DegradedCondition, FaultPlan, FaultTarget, FaultWindow, RetryPolicy};
@@ -144,6 +144,40 @@ pub enum ExecError {
         /// Total attempts made (first launch + retries).
         attempts: u32,
     },
+    /// A node was preempted mid-iteration
+    /// ([`holmes_netsim::ChurnKind::NodePreempt`]) and the spec's
+    /// collectives cannot tolerate member loss: ring/tree schedules
+    /// thread the buffer through every member, so the executor fails
+    /// fast and deterministically at the churn event instead of
+    /// deadlocking. Parameter-server specs continue degraded and never
+    /// surface this.
+    ///
+    /// ```
+    /// # use holmes_engine::ExecError;
+    /// let e = ExecError::NodeLost { node: 2, at_seconds: 0.5 };
+    /// assert!(e.to_string().contains("preempted"));
+    /// ```
+    NodeLost {
+        /// Global node index (cluster-major).
+        node: u32,
+        /// When the preemption arrived, in iteration seconds.
+        at_seconds: f64,
+    },
+    /// Like [`ExecError::NodeLost`], but the departure was announced
+    /// ([`holmes_netsim::ChurnKind::NodeDrain`]) — the scheduler gets to
+    /// re-plan instead of restoring from a checkpoint.
+    ///
+    /// ```
+    /// # use holmes_engine::ExecError;
+    /// let e = ExecError::NodeDraining { node: 2, at_seconds: 0.5 };
+    /// assert!(e.to_string().contains("draining"));
+    /// ```
+    NodeDraining {
+        /// Global node index (cluster-major).
+        node: u32,
+        /// When the drain arrived, in iteration seconds.
+        at_seconds: f64,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -172,6 +206,16 @@ impl std::fmt::Display for ExecError {
             ExecError::Unrecoverable { from, to, attempts } => write!(
                 f,
                 "transfer {from} -> {to} abandoned after {attempts} attempts"
+            ),
+            ExecError::NodeLost { node, at_seconds } => write!(
+                f,
+                "node {node} preempted at {at_seconds:.3}s; collectives cannot \
+                 continue without its ranks"
+            ),
+            ExecError::NodeDraining { node, at_seconds } => write!(
+                f,
+                "node {node} draining since {at_seconds:.3}s; collectives cannot \
+                 continue without its ranks"
             ),
         }
     }
@@ -368,6 +412,15 @@ struct Executor<'t> {
     attempt_of_flow: HashMap<FlowId, usize>,
     /// Nodes whose RDMA NIC was declared lost: their traffic routes TCP.
     lost_rdma: HashSet<usize>,
+    /// Nodes preempted or drained mid-run under a member-loss-tolerant
+    /// spec: their devices are retired and transfers touching them are
+    /// delivered instantly as stale.
+    lost_nodes: HashSet<usize>,
+    /// Semantic token → (flow, from, to) for every in-flight transfer.
+    /// Maintained only when the plan carries churn (`track_flows`), so
+    /// churn-free runs stay byte-identical.
+    inflight: HashMap<u64, (FlowId, Rank, Rank)>,
+    track_flows: bool,
     /// Compute-time multiplier per straggling rank.
     straggler_of_rank: HashMap<Rank, f64>,
     /// Fabric link → owning node and class, for NIC-loss attribution.
@@ -465,6 +518,19 @@ fn execute_inner(
             for link in resolve_fault_target(&fabric, f.target) {
                 sim.schedule_fault_at(f.at, link, f.health);
             }
+        }
+        for c in &plan.churn {
+            // A node outside the fabric (a join announcing capacity that
+            // is not wired up yet) carries no links: the event is a pure
+            // membership signal.
+            let links = if (c.node as usize) < fabric.node_count() {
+                let (rdma_up, rdma_down, eth_up, eth_down) =
+                    fabric.node_link_ids(c.node as usize);
+                vec![rdma_up, rdma_down, eth_up, eth_down]
+            } else {
+                Vec::new()
+            };
+            sim.schedule_churn_at(c.at, c.node, c.kind, &links);
         }
     }
     let n = spec.programs.len();
@@ -583,6 +649,9 @@ fn execute_inner(
         attempts: Vec::new(),
         attempt_of_flow: HashMap::new(),
         lost_rdma: HashSet::new(),
+        lost_nodes: HashSet::new(),
+        inflight: HashMap::new(),
+        track_flows: plan.is_some_and(|p| !p.churn.is_empty()),
         straggler_of_rank,
         link_owner,
         open_faults: BTreeMap::new(),
@@ -631,10 +700,14 @@ impl<'t> Executor<'t> {
                             self.attempts[a].done = true;
                         }
                     }
+                    if self.track_flows {
+                        self.inflight.remove(&token);
+                    }
                     self.dispatch(token)?;
                 }
                 Completion::Timer { token } => self.dispatch(token)?,
                 Completion::Fault { link, health } => self.on_fault(link, health),
+                Completion::Churn { node, kind } => self.on_churn(node, kind)?,
             }
         }
         if self.sim.stalled() {
@@ -651,9 +724,13 @@ impl<'t> Executor<'t> {
     fn dispatch(&mut self, token: u64) -> Result<(), ExecError> {
         match self.tokens[token as usize] {
             Token::ComputeDone { dev } => {
-                self.devs[dev].pc += 1;
-                self.devs[dev].status = DevStatus::Runnable;
-                self.advance(dev);
+                // A churn-retired device may still have a compute timer in
+                // flight; its program is over, so the tick is a no-op.
+                if self.devs[dev].status != DevStatus::Done {
+                    self.devs[dev].pc += 1;
+                    self.devs[dev].status = DevStatus::Runnable;
+                    self.advance(dev);
+                }
             }
             Token::MsgArrived { msg } => {
                 self.msg_arrived[msg] = true;
@@ -693,6 +770,125 @@ impl<'t> Executor<'t> {
                 });
             }
         }
+    }
+
+    /// React to a node-membership completion. Joins are pure signals —
+    /// the simulator already restored the node's links. Losses (preempt
+    /// / drain) either retire the node's devices and continue degraded
+    /// (every collective touching them is member-loss tolerant, i.e.
+    /// parameter-server) or fail fast with a deterministic error so the
+    /// reliability layer can re-plan or restore.
+    fn on_churn(&mut self, node: u32, kind: ChurnKind) -> Result<(), ExecError> {
+        let now = self.sim.now().as_secs_f64();
+        self.conditions.push(DegradedCondition::NodeChurn {
+            node,
+            kind,
+            at_seconds: now,
+        });
+        if kind == ChurnKind::NodeJoin {
+            return Ok(());
+        }
+        let node_idx = node as usize;
+        if node_idx >= self.fabric.node_count() || !self.lost_nodes.insert(node_idx) {
+            return Ok(());
+        }
+        // A collective blocks continuation only when it threads *through*
+        // the lost node: PS kinds survive any member loss, untouched
+        // groups don't care, and a group living entirely on lost nodes
+        // has no survivor left to wedge (its retired members auto-arrive
+        // and the stale schedule drains at zero cost).
+        let tolerant = self.colls.iter().all(|c| {
+            let lost = |r: &Rank| self.lost_nodes.contains(&self.fabric.node_of(*r));
+            c.kind.survives_member_loss()
+                || !c.devices.iter().any(|r| lost(r))
+                || c.devices.iter().all(|r| lost(r))
+        });
+        if !tolerant {
+            return Err(match kind {
+                ChurnKind::NodeDrain => ExecError::NodeDraining {
+                    node,
+                    at_seconds: now,
+                },
+                _ => ExecError::NodeLost {
+                    node,
+                    at_seconds: now,
+                },
+            });
+        }
+        // Cancel in-flight transfers touching the node and deliver their
+        // semantic tokens immediately: the data is stale, not lost.
+        // Token-sorted so the run stays deterministic (`inflight` is a
+        // hash map).
+        let mut doomed: Vec<(u64, FlowId)> = self
+            .inflight
+            .iter()
+            .filter(|&(_, &(_, from, to))| {
+                self.fabric.node_of(from) == node_idx || self.fabric.node_of(to) == node_idx
+            })
+            .map(|(&tok, &(flow, _, _))| (tok, flow))
+            .collect();
+        doomed.sort_unstable_by_key(|&(tok, _)| tok);
+        for (tok, flow) in doomed {
+            self.sim.cancel_flow(flow);
+            self.inflight.remove(&tok);
+            if let Some(a) = self.attempt_of_flow.remove(&flow) {
+                self.attempts[a].done = true;
+            }
+            self.dispatch(tok)?;
+        }
+        // Retire the node's devices: deliver each one's unsent pipeline
+        // messages (stale) and arrive at its pending collectives so the
+        // survivors can launch without it.
+        for dev in 0..self.devs.len() {
+            if self.fabric.node_of(self.devs[dev].rank) != node_idx
+                || self.devs[dev].status == DevStatus::Done
+            {
+                continue;
+            }
+            match self.devs[dev].status {
+                DevStatus::WaitingMsg(key) => {
+                    if let Some(&msg) = self.msg_index.get(&key) {
+                        if self.msg_waiter[msg] == Some(dev) {
+                            self.msg_waiter[msg] = None;
+                        }
+                    }
+                }
+                DevStatus::WaitingColl(id) => {
+                    self.colls[id as usize].waiters.retain(|&w| w != dev);
+                }
+                _ => {}
+            }
+            let pc = self.devs[dev].pc;
+            let remaining: Vec<Op> = self.programs[dev][pc..].to_vec();
+            self.devs[dev].pc = self.programs[dev].len();
+            self.devs[dev].status = DevStatus::Done;
+            self.devs[dev].finish = now;
+            for op in remaining {
+                match op {
+                    Op::Send { key, .. } => {
+                        let msg = self.msg_slot(key);
+                        if !self.msg_arrived[msg] {
+                            self.msg_arrived[msg] = true;
+                            if let Some(w) = self.msg_waiter[msg].take() {
+                                self.end_wait_span(w, SpanKind::RecvWait);
+                                self.devs[w].pc += 1;
+                                self.devs[w].status = DevStatus::Runnable;
+                                self.advance(w);
+                            }
+                        }
+                    }
+                    Op::CollStart { id } => {
+                        let id = id as usize;
+                        self.colls[id].arrived += 1;
+                        if self.colls[id].arrived as usize == self.colls[id].devices.len() {
+                            self.launch_collective(id);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
     }
 
     /// React to an armed flow timeout: ignore if the transfer landed,
@@ -777,6 +973,9 @@ impl<'t> Executor<'t> {
         self.attempts[a].path = route.path;
         self.attempts[a].forced_tcp = fallback;
         self.attempt_of_flow.insert(id, a);
+        if self.track_flows {
+            self.inflight.insert(semantic, (id, from, to));
+        }
         let next = self.attempts[a].timeout_seconds;
         let t = self.token(Token::FlowTimeout { attempt: a });
         self.sim.set_timer(SimDuration::from_secs_f64(next), t);
@@ -800,6 +999,17 @@ impl<'t> Executor<'t> {
     }
 
     fn route_flow(&mut self, from: Rank, to: Rank, bytes: u64, token: u64) {
+        if !self.lost_nodes.is_empty()
+            && (self.lost_nodes.contains(&self.fabric.node_of(from))
+                || self.lost_nodes.contains(&self.fabric.node_of(to)))
+        {
+            // One endpoint left the job: the member's contribution is
+            // stale, not pending. Deliver the semantic token through the
+            // event queue (zero-delay timer) so ordering relative to other
+            // completions stays deterministic.
+            self.sim.set_timer(SimDuration::from_secs_f64(0.0), token);
+            return;
+        }
         let lost_endpoint = !self.lost_rdma.is_empty()
             && (self.lost_rdma.contains(&self.fabric.node_of(from))
                 || self.lost_rdma.contains(&self.fabric.node_of(to)));
@@ -819,6 +1029,9 @@ impl<'t> Executor<'t> {
             rate_cap: route.rate_cap,
             token,
         });
+        if self.track_flows {
+            self.inflight.insert(token, (id, from, to));
+        }
         if arm_timeout {
             let policy = self
                 .retry
@@ -1864,5 +2077,51 @@ mod link_usage_tests {
         let report = execute(&topo, spec).unwrap();
         assert_eq!(report.node_link_usage[0].rdma_bytes, 0.0);
         assert!(report.node_link_usage[0].eth_bytes > 9e7);
+    }
+
+    #[test]
+    fn simultaneous_churn_emits_a_deterministically_ordered_error() {
+        use holmes_netsim::{SimDuration, SimTime};
+        // Ring all-reduce over both nodes: member loss is intolerable, so
+        // the first churn event to land surfaces as the error. Two losses
+        // at the *same instant*, inserted high-node-first: the event queue
+        // breaks the time tie by insertion order, so node 1 is the pinned
+        // casualty on every run — the churn variants inherit the same
+        // deterministic-ordering contract the spec validator pins for its
+        // BTreeMap-sorted defect list.
+        let topo = presets::homogeneous(NicType::InfiniBand, 2);
+        let devices: Vec<Rank> = (0..16).map(Rank).collect();
+        let build = || ExecutionSpec {
+            programs: devices
+                .iter()
+                .map(|&d| (d, vec![Op::CollStart { id: 0 }, Op::CollWait { id: 0 }]))
+                .collect(),
+            collectives: vec![CollectiveSpec::new(
+                CollKind::AllReduce,
+                devices.clone(),
+                1 << 28,
+            )],
+            transport: TransportPolicy::Auto,
+        };
+        let at = SimTime::ZERO + SimDuration::from_secs_f64(0.01);
+        let mut plan = FaultPlan::none();
+        plan.preempt_node(at, 1).preempt_node(at, 0);
+        let first = execute_with_faults(&topo, build(), &plan).unwrap_err();
+        assert!(
+            matches!(first, ExecError::NodeLost { node: 1, .. }),
+            "{first:?}"
+        );
+        for _ in 0..4 {
+            assert_eq!(execute_with_faults(&topo, build(), &plan).unwrap_err(), first);
+        }
+        // An announced departure at the head of the queue surfaces as the
+        // drain variant instead, same insertion-order pin.
+        let mut drains = FaultPlan::none();
+        drains.drain_node(at, 1).preempt_node(at, 0);
+        let err = execute_with_faults(&topo, build(), &drains).unwrap_err();
+        assert!(
+            matches!(err, ExecError::NodeDraining { node: 1, .. }),
+            "{err:?}"
+        );
     }
 }

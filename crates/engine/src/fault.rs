@@ -19,7 +19,7 @@
 //! than dead) links stretch the timeline visibly — surfaced as
 //! [`DegradedCondition::DegradedLink`] — without spurious cancellation.
 
-use holmes_netsim::{LinkHealth, LinkId, SimTime};
+use holmes_netsim::{ChurnKind, LinkHealth, LinkId, SimTime};
 use holmes_topology::Rank;
 
 /// A topology-level fault location, resolved to fabric links at
@@ -86,11 +86,27 @@ impl Default for RetryPolicy {
     }
 }
 
+/// One scheduled node-membership event: the node's RDMA *and* Ethernet
+/// uplinks flip atomically at `at` (down for preempt/drain, up for a
+/// join), and the executor receives the event as a first-class
+/// completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeChurn {
+    /// Simulated time at which the event takes effect.
+    pub at: SimTime,
+    /// Global node index (cluster-major, like [`FaultTarget`]).
+    pub node: u32,
+    /// What happens to the node.
+    pub kind: ChurnKind,
+}
+
 /// A deterministic fault scenario for one executed iteration.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     /// Link-health transitions, applied in `(at, order)` order.
     pub link_faults: Vec<LinkFault>,
+    /// Node-membership events, applied in `(at, order)` order.
+    pub churn: Vec<NodeChurn>,
     /// Straggling devices.
     pub stragglers: Vec<Straggler>,
     /// Recovery parameters; timeouts are armed only when `link_faults`
@@ -112,7 +128,7 @@ impl FaultPlan {
 
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.link_faults.is_empty() && self.stragglers.is_empty()
+        self.link_faults.is_empty() && self.churn.is_empty() && self.stragglers.is_empty()
     }
 
     /// Append a health transition on `target` at `at`.
@@ -136,6 +152,27 @@ impl FaultPlan {
     pub fn straggler(&mut self, rank: Rank, slowdown: f64) -> &mut Self {
         self.stragglers.push(Straggler { rank, slowdown });
         self
+    }
+
+    /// Append a membership event on `node` at `at`.
+    pub fn churn_event(&mut self, at: SimTime, node: u32, kind: ChurnKind) -> &mut Self {
+        self.churn.push(NodeChurn { at, node, kind });
+        self
+    }
+
+    /// Preempt `node` at `at`: all of its uplinks drop atomically.
+    pub fn preempt_node(&mut self, at: SimTime, node: u32) -> &mut Self {
+        self.churn_event(at, node, ChurnKind::NodePreempt)
+    }
+
+    /// Drain `node` at `at` (announced departure).
+    pub fn drain_node(&mut self, at: SimTime, node: u32) -> &mut Self {
+        self.churn_event(at, node, ChurnKind::NodeDrain)
+    }
+
+    /// `node` (re-)joins at `at`: its uplinks come back up.
+    pub fn join_node(&mut self, at: SimTime, node: u32) -> &mut Self {
+        self.churn_event(at, node, ChurnKind::NodeJoin)
     }
 }
 
@@ -168,6 +205,18 @@ pub enum DegradedCondition {
         rank: Rank,
         /// Compute-time multiplier.
         slowdown: f64,
+    },
+    /// A node-membership event arrived mid-iteration (preempt / drain /
+    /// join). For losses the executor either fails fast (all-reduce
+    /// strategies, surfacing [`crate::ExecError::NodeLost`]) or continues
+    /// degraded (parameter-server emulation); joins always continue.
+    NodeChurn {
+        /// Global node index.
+        node: u32,
+        /// What happened to the node.
+        kind: ChurnKind,
+        /// When the event arrived, in iteration seconds.
+        at_seconds: f64,
     },
 }
 

@@ -38,6 +38,8 @@ impl SpanKind {
             SpanKind::CollWait(CollKind::AllGather) => "all-gather-wait".to_owned(),
             SpanKind::CollWait(CollKind::Broadcast) => "broadcast-wait".to_owned(),
             SpanKind::CollWait(CollKind::HierarchicalAllReduce) => "hier-allreduce-wait".to_owned(),
+            SpanKind::CollWait(CollKind::PsPush { .. }) => "ps-push-wait".to_owned(),
+            SpanKind::CollWait(CollKind::PsPull { .. }) => "ps-pull-wait".to_owned(),
         }
     }
 

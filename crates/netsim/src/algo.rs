@@ -48,9 +48,25 @@ pub enum CollKind {
     /// Two-level all-reduce for groups spanning clusters: per-cluster ring
     /// reduce-scatter, slot-ring exchange across clusters, per-cluster
     /// ring all-gather. Keeps the bulk of the traffic on intra-cluster
-    /// RDMA and spreads the cross-cluster residue over every node's
+    /// RDMA and spreads the bulk of the cross-cluster residue over every node's
     /// Ethernet uplink instead of serializing it through one flat ring.
     HierarchicalAllReduce,
+    /// Parameter-server gradient push: the buffer is sharded across the
+    /// group's first `servers` members (colocated parameter servers) and
+    /// every member pushes each foreign shard to its server concurrently.
+    /// One round of `(n−1)·s` transfers of `V/s` — the server-side incast
+    /// is the PS bottleneck under contention.
+    PsPush {
+        /// Number of members (group prefix) acting as parameter servers.
+        servers: u32,
+    },
+    /// Parameter-server parameter pull: mirror of [`CollKind::PsPush`] —
+    /// each server broadcasts its `V/s` shard to every other member in
+    /// one round of `s·(n−1)` transfers.
+    PsPull {
+        /// Number of members (group prefix) acting as parameter servers.
+        servers: u32,
+    },
 }
 
 impl CollKind {
@@ -77,7 +93,18 @@ impl CollKind {
                 let groups = partition_by_cluster(devices, cluster_of);
                 hierarchical_all_reduce(&groups, bytes)
             }
+            CollKind::PsPush { servers } => ps_push(devices, bytes, servers),
+            CollKind::PsPull { servers } => ps_pull(devices, bytes, servers),
         }
+    }
+
+    /// Whether the schedule tolerates losing a member mid-flight: the
+    /// parameter-server kinds are star-shaped (every transfer touches a
+    /// server), so a lost member only stales its own contribution. Ring
+    /// and tree schedules thread the buffer *through* every member and
+    /// cannot complete without all of them.
+    pub fn survives_member_loss(self) -> bool {
+        matches!(self, CollKind::PsPush { .. } | CollKind::PsPull { .. })
     }
 }
 
@@ -389,6 +416,67 @@ pub fn hierarchical_all_reduce(groups: &[Vec<Rank>], bytes: u64) -> CollSchedule
 
     intra_pass(&mut rounds);
     CollSchedule { rounds }
+}
+
+/// Effective server count for a PS group: at least one, at most the
+/// group size.
+fn ps_server_count(n: usize, servers: u32) -> usize {
+    (servers.max(1) as usize).min(n)
+}
+
+/// Parameter-server gradient push: the group's first `servers` members
+/// host `V/s` parameter shards; every member pushes each shard it does
+/// not host to that shard's server. All pushes move concurrently (one
+/// round) — the analytic fold and the executor's replay both see the
+/// `(n−1)` -way incast on each server's downlink, which is exactly the
+/// bottleneck that makes PS lose to all-reduce at scale.
+pub fn ps_push(devices: &[Rank], bytes: u64, servers: u32) -> CollSchedule {
+    let n = devices.len();
+    if n <= 1 {
+        return CollSchedule::empty();
+    }
+    let s = ps_server_count(n, servers);
+    let chunk = bytes / s as u64;
+    let transfers: Vec<Transfer> = (0..s)
+        .flat_map(|j| {
+            devices.iter().enumerate().filter_map(move |(i, &from)| {
+                (i != j).then_some(Transfer {
+                    from,
+                    to: devices[j],
+                    bytes: chunk,
+                })
+            })
+        })
+        .collect();
+    CollSchedule {
+        rounds: vec![Round { transfers }],
+    }
+}
+
+/// Parameter-server parameter pull: mirror of [`ps_push`] — each server
+/// fans its `V/s` shard out to every other member concurrently, so the
+/// bottleneck is each server's `(n−1)`-way outcast.
+pub fn ps_pull(devices: &[Rank], bytes: u64, servers: u32) -> CollSchedule {
+    let n = devices.len();
+    if n <= 1 {
+        return CollSchedule::empty();
+    }
+    let s = ps_server_count(n, servers);
+    let chunk = bytes / s as u64;
+    let transfers: Vec<Transfer> = (0..s)
+        .flat_map(|j| {
+            devices.iter().enumerate().filter_map(move |(i, &to)| {
+                (i != j).then_some(Transfer {
+                    from: devices[j],
+                    to,
+                    bytes: chunk,
+                })
+            })
+        })
+        .collect();
+    CollSchedule {
+        rounds: vec![Round { transfers }],
+    }
 }
 
 /// Evaluate a schedule against a concrete [`Topology`]'s per-link cost

@@ -38,6 +38,7 @@
 
 pub mod algo;
 mod arena;
+pub mod churn;
 pub mod collective;
 mod communicator;
 mod fabric;
@@ -51,6 +52,7 @@ mod sim;
 mod sim_fast;
 mod time;
 
+pub use churn::{ChurnEvent, ChurnKind, ChurnSchedule};
 pub use communicator::Communicator;
 pub use fabric::{Fabric, Route};
 pub use fault::{FaultEvent, FaultSchedule};

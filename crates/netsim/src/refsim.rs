@@ -31,6 +31,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashSet, VecDeque};
 
+use crate::churn::ChurnKind;
 use crate::flow::{FlowId, FlowSpec};
 use crate::link::{LinkCapacity, LinkHealth, LinkId};
 use crate::sim::Completion;
@@ -45,6 +46,7 @@ enum RefPayload {
     FlowStart(u64),
     Timer(u64),
     Fault(u32),
+    Churn(u32),
 }
 
 #[derive(Debug)]
@@ -73,6 +75,7 @@ pub struct RefSim {
     nominal: Vec<LinkCapacity>,
     health: Vec<LinkHealth>,
     fault_table: Vec<(LinkId, LinkHealth)>,
+    churn_table: Vec<(u32, ChurnKind, Vec<LinkId>)>,
     flows: BTreeMap<u64, RefFlow>,
     pending: BTreeMap<u64, FlowSpec>,
     cancelled_pending: HashSet<u64>,
@@ -133,6 +136,18 @@ impl RefSim {
         self.fault_table.push((link, health));
         let at = at.max(self.now);
         self.push_event(at, RefPayload::Fault(idx));
+    }
+
+    /// Schedule a node-membership transition; same contract as
+    /// [`crate::NetSim::schedule_churn_at`].
+    pub fn schedule_churn_at(&mut self, at: SimTime, node: u32, kind: ChurnKind, links: &[LinkId]) {
+        for link in links {
+            assert!((link.0 as usize) < self.links.len());
+        }
+        let idx = self.churn_table.len() as u32;
+        self.churn_table.push((node, kind, links.to_vec()));
+        let at = at.max(self.now);
+        self.push_event(at, RefPayload::Churn(idx));
     }
 
     /// Immediate health transition; same contract as
@@ -228,6 +243,25 @@ impl RefSim {
                     self.recompute();
                     self.update_check();
                     return Some(Completion::Fault { link, health });
+                }
+                RefPayload::Churn(idx) => {
+                    let (node, kind) = {
+                        let (node, kind, _) = &self.churn_table[idx as usize];
+                        (*node, *kind)
+                    };
+                    let health = kind.target_health();
+                    for k in 0..self.churn_table[idx as usize].2.len() {
+                        let link = self.churn_table[idx as usize].2[k];
+                        let i = link.0 as usize;
+                        self.health[i] = health;
+                        self.links[i] = LinkCapacity::new(
+                            self.nominal[i].bytes_per_sec * health.capacity_factor(),
+                        );
+                    }
+                    self.harvest();
+                    self.recompute();
+                    self.update_check();
+                    return Some(Completion::Churn { node, kind });
                 }
             }
         }

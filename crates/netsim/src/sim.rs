@@ -25,6 +25,7 @@ use std::collections::{BTreeMap, BinaryHeap, HashSet, VecDeque};
 use crate::arena::{FlowArena, PathVec};
 use crate::fault::FaultSchedule;
 use crate::flow::{FlowId, FlowSpec};
+use crate::churn::ChurnKind;
 use crate::link::{LinkCapacity, LinkHealth, LinkId, LinkStats};
 use crate::obs::{FlowOutcome, NetObsReport, NetObsState};
 use crate::sched::EventQueue;
@@ -54,6 +55,16 @@ pub enum Completion {
         /// Health state the link just entered.
         health: LinkHealth,
     },
+    /// A scheduled membership event ([`NetSim::schedule_churn_at`]) took
+    /// effect: every link of the node changed health *atomically* at this
+    /// instant. The new health is already applied when the completion is
+    /// delivered.
+    Churn {
+        /// Affected node (caller's node index; opaque to the simulator).
+        node: u32,
+        /// What happened to the node.
+        kind: ChurnKind,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +79,8 @@ pub(crate) enum Payload {
     Timer(u64),
     /// Scheduled link-health transition (index into the fault table).
     Fault(u32),
+    /// Scheduled node-membership transition (index into the churn table).
+    Churn(u32),
 }
 
 /// Sub-byte residue below which a flow counts as finished (absorbs float
@@ -152,6 +165,9 @@ pub struct NetSim {
     pub(crate) dead_links: u32,
     /// Scheduled fault transitions, referenced by `Payload::Fault` index.
     pub(crate) fault_table: Vec<(LinkId, LinkHealth)>,
+    /// Scheduled churn transitions, referenced by `Payload::Churn` index:
+    /// `(node, kind, links flipped atomically)`.
+    pub(crate) churn_table: Vec<(u32, ChurnKind, Vec<LinkId>)>,
     /// Flows cancelled while still in their latency phase: their queued
     /// `FlowStart` becomes a no-op. The set size is exactly the number of
     /// tombstoned events still in the queue ([`NetSim::stalled`]).
@@ -424,6 +440,29 @@ impl NetSim {
         }
     }
 
+    /// Schedule a node-membership transition at absolute time `at`
+    /// (clamped to now): every link in `links` flips to
+    /// [`ChurnKind::target_health`] *atomically* — one settle, one rate
+    /// recomputation — and the event is delivered through the normal
+    /// stream as a [`Completion::Churn`], after being applied. The node
+    /// index is opaque to the simulator (callers map it to fabric links);
+    /// an empty `links` makes the event a pure membership signal.
+    ///
+    /// # Panics
+    /// Panics if any link is unregistered.
+    pub fn schedule_churn_at(&mut self, at: SimTime, node: u32, kind: ChurnKind, links: &[LinkId]) {
+        for link in links {
+            assert!(
+                (link.0 as usize) < self.links.len(),
+                "churn references unregistered link {link:?}"
+            );
+        }
+        let idx = self.churn_table.len() as u32;
+        self.churn_table.push((node, kind, links.to_vec()));
+        let at = at.max(self.now);
+        self.push_event(at, Payload::Churn(idx));
+    }
+
     /// Cancel an in-flight flow (either still in its latency phase or
     /// actively transferring). Returns `false` when the flow already
     /// completed or never existed. Bytes moved before cancellation stay
@@ -639,6 +678,29 @@ impl NetSim {
                     self.recompute_rates();
                     self.schedule_rates_check();
                     return Some(Completion::Fault { link, health });
+                }
+                Payload::Churn(idx) => {
+                    let (node, kind) = {
+                        let (node, kind, _) = &self.churn_table[idx as usize];
+                        (*node, *kind)
+                    };
+                    let health = kind.target_health();
+                    self.settle_progress();
+                    // All of the node's links flip at this one instant:
+                    // one settlement, one recompute, one completion.
+                    for k in 0..self.churn_table[idx as usize].2.len() {
+                        let link = self.churn_table[idx as usize].2[k];
+                        let i = link.0 as usize;
+                        self.health[i] = health;
+                        let eff = LinkCapacity::new(
+                            self.nominal[i].bytes_per_sec * health.capacity_factor(),
+                        );
+                        self.set_effective_capacity(i, eff);
+                    }
+                    self.harvest_finished();
+                    self.recompute_rates();
+                    self.schedule_rates_check();
+                    return Some(Completion::Churn { node, kind });
                 }
             }
         }

@@ -116,6 +116,31 @@ impl NetSim {
                     self.fast_update_check();
                     return Some(Completion::Fault { link, health });
                 }
+                Payload::Churn(idx) => {
+                    let (node, kind) = {
+                        let (node, kind, _) = &self.churn_table[idx as usize];
+                        (*node, *kind)
+                    };
+                    let health = kind.target_health();
+                    self.dirty_links.clear();
+                    self.dirty_flows.clear();
+                    // All of the node's links flip at this one instant;
+                    // the dirtied set seeds a single component recompute.
+                    for k in 0..self.churn_table[idx as usize].2.len() {
+                        let link = self.churn_table[idx as usize].2[k];
+                        let i = link.0 as usize;
+                        self.health[i] = health;
+                        let eff = LinkCapacity::new(
+                            self.nominal[i].bytes_per_sec * health.capacity_factor(),
+                        );
+                        self.set_effective_capacity(i, eff);
+                        self.dirty_links.push(link.0);
+                    }
+                    self.fast_harvest();
+                    self.fast_recompute();
+                    self.fast_update_check();
+                    return Some(Completion::Churn { node, kind });
+                }
             }
         }
     }

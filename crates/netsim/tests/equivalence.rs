@@ -21,7 +21,8 @@ use proptest::prelude::*;
 
 use holmes_netsim::refsim::RefSim;
 use holmes_netsim::{
-    Completion, FlowId, FlowSpec, LinkCapacity, LinkHealth, LinkId, NetSim, SimDuration, SimTime,
+    ChurnKind, ChurnSchedule, Completion, FlowId, FlowSpec, LinkCapacity, LinkHealth, LinkId,
+    NetSim, SimDuration, SimTime,
 };
 
 /// Capacities all engines pick from: powers of two in GB/s.
@@ -39,6 +40,13 @@ const HEALTHS: [LinkHealth; 4] = [
 /// Timer tokens at or above this value encode "cancel flow #(token-BASE)".
 const CANCEL_BASE: u64 = 1_000_000;
 
+/// Membership transitions churn events pick from.
+const CHURN_KINDS: [ChurnKind; 3] = [
+    ChurnKind::NodePreempt,
+    ChurnKind::NodeJoin,
+    ChurnKind::NodeDrain,
+];
+
 #[derive(Debug, Clone)]
 struct Scenario {
     /// Link capacity indices into `CAPS`.
@@ -51,6 +59,10 @@ struct Scenario {
     /// (delay_us, flow index) — a timer that cancels the flow when it
     /// fires.
     cancels: Vec<(u64, usize)>,
+    /// (at_us, node, kind index) per membership event; node `n` owns the
+    /// scenario's links `2n` and `2n+1` (mod link count), flipped
+    /// atomically by the event.
+    churn: Vec<(u64, usize, usize)>,
 }
 
 /// Everything both drivers do, expressed over the common sim surface.
@@ -59,6 +71,7 @@ trait SimLike {
     fn start_flow(&mut self, spec: FlowSpec) -> FlowId;
     fn set_timer(&mut self, delay: SimDuration, token: u64);
     fn schedule_fault_at(&mut self, at: SimTime, link: LinkId, health: LinkHealth);
+    fn schedule_churn_at(&mut self, at: SimTime, node: u32, kind: ChurnKind, links: &[LinkId]);
     fn cancel_flow(&mut self, id: FlowId) -> bool;
     fn next(&mut self) -> Option<Completion>;
     fn now(&self) -> SimTime;
@@ -76,6 +89,9 @@ impl SimLike for NetSim {
     }
     fn schedule_fault_at(&mut self, at: SimTime, link: LinkId, health: LinkHealth) {
         NetSim::schedule_fault_at(self, at, link, health);
+    }
+    fn schedule_churn_at(&mut self, at: SimTime, node: u32, kind: ChurnKind, links: &[LinkId]) {
+        NetSim::schedule_churn_at(self, at, node, kind, links);
     }
     fn cancel_flow(&mut self, id: FlowId) -> bool {
         NetSim::cancel_flow(self, id)
@@ -101,6 +117,9 @@ impl SimLike for RefSim {
     fn schedule_fault_at(&mut self, at: SimTime, link: LinkId, health: LinkHealth) {
         RefSim::schedule_fault_at(self, at, link, health);
     }
+    fn schedule_churn_at(&mut self, at: SimTime, node: u32, kind: ChurnKind, links: &[LinkId]) {
+        RefSim::schedule_churn_at(self, at, node, kind, links);
+    }
     fn cancel_flow(&mut self, id: FlowId) -> bool {
         RefSim::cancel_flow(self, id)
     }
@@ -124,6 +143,19 @@ fn run_scenario<S: SimLike>(sim: &mut S, sc: &Scenario) -> String {
         .collect();
     for &(at_us, l, h) in &sc.faults {
         sim.schedule_fault_at(SimTime(at_us * 1_000), links[l % links.len()], HEALTHS[h]);
+    }
+    for &(at_us, node, kind) in &sc.churn {
+        let mut owned: Vec<LinkId> = [2 * node, 2 * node + 1]
+            .iter()
+            .map(|&i| links[i % links.len()])
+            .collect();
+        owned.dedup();
+        sim.schedule_churn_at(
+            SimTime(at_us * 1_000),
+            node as u32,
+            CHURN_KINDS[kind % CHURN_KINDS.len()],
+            &owned,
+        );
     }
     let mut ids = Vec::new();
     for (token, &(bytes, lat_us, a, b, cap, pathless_die)) in sc.flows.iter().enumerate() {
@@ -182,7 +214,7 @@ proptest! {
         faults in prop::collection::vec((0u64..60_000, 0usize..4, 0usize..4), 0..8),
         cancels in prop::collection::vec((0u64..40_000, 0usize..24), 0..5),
     ) {
-        let sc = Scenario { links, flows, faults, cancels };
+        let sc = Scenario { links, flows, faults, cancels, churn: vec![] };
         let fast = run_scenario(&mut NetSim::new(), &sc);
         let reference = run_scenario(&mut RefSim::new(), &sc);
         prop_assert_eq!(fast.as_bytes(), reference.as_bytes());
@@ -205,9 +237,81 @@ proptest! {
                 .collect(),
             faults: vec![(down_us, 0, 0), (up_us, 0, 1)],
             cancels: vec![],
+            churn: vec![],
         };
         let fast = run_scenario(&mut NetSim::new(), &sc);
         let reference = run_scenario(&mut RefSim::new(), &sc);
+        prop_assert_eq!(fast.as_bytes(), reference.as_bytes());
+    }
+
+    /// The elastic pin: membership events (preempt / drain / rejoin)
+    /// interleaved with flows, faults and cancels replay byte-identically
+    /// on both engines. Churn events park and revive a node's links
+    /// atomically and surface as first-class completions, so the log pins
+    /// both the link effect and the event ordering.
+    #[test]
+    fn churn_schedules_match_reference(
+        links in prop::collection::vec(0usize..4, 1..4),
+        flows in prop::collection::vec(
+            (
+                1_000u64..50_000_000,
+                0u64..2_000,
+                0usize..4,
+                0usize..4,
+                0usize..4,
+                0usize..10,
+            ),
+            1..16,
+        ),
+        faults in prop::collection::vec((0u64..60_000, 0usize..4, 0usize..4), 0..4),
+        cancels in prop::collection::vec((0u64..40_000, 0usize..16), 0..3),
+        churn in prop::collection::vec((0u64..60_000, 0usize..4, 0usize..3), 1..8),
+    ) {
+        let sc = Scenario { links, flows, faults, cancels, churn };
+        let fast = run_scenario(&mut NetSim::new(), &sc);
+        let reference = run_scenario(&mut RefSim::new(), &sc);
+        prop_assert_eq!(fast.as_bytes(), reference.as_bytes());
+    }
+
+    /// Seeded churn timelines ([`ChurnSchedule::poisson`]) replay
+    /// byte-identically per seed on both engines: same seed → same log on
+    /// either engine, across engines, and the events arrive as scheduled.
+    #[test]
+    fn seeded_churn_replays_byte_identically_per_seed(
+        seed in 0u64..1_000,
+        nflows in 1usize..8,
+        bytes in 1_000_000u64..20_000_000,
+    ) {
+        // Two "nodes" of two links each; every flow crosses one link of
+        // each node, so preemptions park real traffic.
+        let schedule = ChurnSchedule::poisson(seed, &[0, 1], 0.05, 0.01, 0.005);
+        let drive = |sim: &mut dyn SimLike| {
+            let links: Vec<LinkId> = (0..4)
+                .map(|i| sim.add_link(LinkCapacity::new(CAPS[i % CAPS.len()])))
+                .collect();
+            for ev in schedule.events() {
+                let owned = &links[(ev.node as usize * 2)..(ev.node as usize * 2 + 2)];
+                sim.schedule_churn_at(ev.at, ev.node, ev.kind, owned);
+            }
+            for i in 0..nflows {
+                sim.start_flow(FlowSpec {
+                    path: vec![links[i % 2], links[2 + i % 2]],
+                    bytes: bytes + i as u64 * 7_919,
+                    latency: SimDuration::from_micros(i as u64 * 17),
+                    rate_cap: f64::INFINITY,
+                    token: i as u64,
+                });
+            }
+            let mut log = String::new();
+            while let Some(c) = sim.next() {
+                log.push_str(&format!("{:?} @ {}ns\n", c, sim.now().0));
+            }
+            log
+        };
+        let fast = drive(&mut NetSim::new());
+        let fast_again = drive(&mut NetSim::new());
+        let reference = drive(&mut RefSim::new());
+        prop_assert_eq!(fast.as_bytes(), fast_again.as_bytes());
         prop_assert_eq!(fast.as_bytes(), reference.as_bytes());
     }
 }

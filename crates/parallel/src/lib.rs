@@ -24,12 +24,18 @@
 //!   the [`HeuristicPlanner`] (fastest-first order, no search), the
 //!   [`ExhaustivePlanner`] (all `M!` orders — the reference oracle), and
 //!   the [`GuidedPlanner`] (branch-and-bound plan synthesis that returns
-//!   the oracle's exact winner and scales to many-cluster fleets).
+//!   the oracle's exact winner and scales to many-cluster fleets);
+//! * [`TopologyDelta`] + [`replan_for_delta`] — typed membership churn
+//!   (NIC loss, node loss, node join) and the migration-aware re-plan:
+//!   the post-churn placement is re-synthesized through a [`Planner`] and
+//!   the optimizer-state migration is priced by simulating the shard
+//!   copies on the post-churn fabric.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod degrees;
+pub mod delta;
 mod groups;
 mod nic_selection;
 pub mod obs;
@@ -40,6 +46,10 @@ mod search;
 mod synth;
 
 pub use degrees::{DegreeError, ParallelDegrees};
+pub use delta::{
+    replan_for_delta, DeltaError, DeltaEvent, DeltaReplanOutcome, MigrationCosts, MigrationPlan,
+    StateMove, TopologyDelta,
+};
 pub use groups::GroupLayout;
 pub use nic_selection::{DpCollectiveAlgo, DpGroupNic, NicSelectionReport, ReplanOutcome};
 pub use partition::{PartitionStrategy, SelfAdaptingPartition, UniformPartition};

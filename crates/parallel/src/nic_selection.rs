@@ -211,15 +211,40 @@ impl NicSelectionReport {
     ///
     /// Untouched groups keep their original classification (and cost)
     /// bit-for-bit; an empty `lost_nodes` returns the report unchanged.
+    ///
+    /// Thin wrapper over [`NicSelectionReport::replan`] with a delta of
+    /// pure NIC losses.
     pub fn replan_on_nic_loss(
         &self,
         topo: &Topology,
         lost_nodes: &[u32],
         gradient_bytes: u64,
     ) -> ReplanOutcome {
+        self.replan(topo, &crate::delta::TopologyDelta::nic_losses(lost_nodes), gradient_bytes)
+    }
+
+    /// Re-plan *in place* under a typed [`crate::delta::TopologyDelta`]:
+    /// every node the delta affects (NIC losses *and* node losses — a
+    /// departing node's NIC is certainly unreachable) is treated as
+    /// RDMA-incapable, and every data-parallel group touching one is
+    /// downgraded to the TCP fallback (paper §3.2).
+    ///
+    /// This is the cheap degraded-mode path: membership (and hence the
+    /// placement) is kept fixed, only transports change. When the delta
+    /// contains node losses or joins the plan's device set is stale, and
+    /// the migration-aware [`crate::delta::replan_for_delta`] is the
+    /// right tool; this in-place pass still prices the transport hit of
+    /// continuing on the old placement until the migration lands.
+    pub fn replan(
+        &self,
+        topo: &Topology,
+        delta: &crate::delta::TopologyDelta,
+        gradient_bytes: u64,
+    ) -> ReplanOutcome {
         let gpus_per_node = topo.gpus_per_node().max(1);
         let node_of = |r: Rank| r.0 / gpus_per_node;
-        let lost: std::collections::HashSet<u32> = lost_nodes.iter().copied().collect();
+        let lost: std::collections::HashSet<u32> =
+            delta.affected_nodes().into_iter().collect();
         let cost_before_seconds = self.dp_sync_cost_seconds(topo, gradient_bytes);
         let mut groups = Vec::with_capacity(self.groups.len());
         let mut downgraded_groups = Vec::new();
