@@ -47,15 +47,20 @@ fn main() -> ExitCode {
         }
     };
     for f in &outcome.findings {
-        println!("{f}");
+        println!("deny: {f}");
+    }
+    for w in &outcome.warnings {
+        println!("warn: {w}");
     }
     for p in &outcome.allowlist_problems {
         println!("{p}");
     }
     println!(
-        "holmes-lint: {} file(s) scanned, {} finding(s), {} suppressed by allowlist, {} allowlist problem(s)",
+        "holmes-lint: {} file(s) scanned, {} finding(s), {} warning(s), {} allowed, {} suppressed by allowlist, {} allowlist problem(s)",
         outcome.files_scanned,
         outcome.findings.len(),
+        outcome.warnings.len(),
+        outcome.allowed,
         outcome.suppressed,
         outcome.allowlist_problems.len()
     );

@@ -8,6 +8,11 @@
 //!   topology they target. The engine executor debug-asserts these next
 //!   to its spec validator; the workspace property suite uses them as an
 //!   oracle; the mutation tests prove every error variant is reachable.
+//! * [`progress`] — the **symbolic progress checker**: a small-scope
+//!   model checker that abstractly executes every schedule against an
+//!   enumerated fault/churn event space and proves deadlock-freedom,
+//!   bounded-retry termination, member-loss soundness, and replan
+//!   reachability, with typed counterexample traces on violation.
 //! * [`lint`] — the **determinism lint** behind the `holmes-lint` binary:
 //!   a line/token source scanner enforcing repo-specific rules clippy
 //!   cannot (no unordered-map iteration in event-ordered paths, no
@@ -19,9 +24,18 @@
 #![warn(missing_docs)]
 
 pub mod lint;
+pub mod progress;
 pub mod verify;
 
-pub use lint::{lint_workspace, Finding, LintOutcome, Rule};
+pub use lint::{
+    lint_workspace, lint_workspace_with, Finding, LintOutcome, Rule, Severity, SeverityConfig,
+};
+pub use progress::{
+    check_progress, check_progress_with_scenarios, check_scenario, derive_member_loss_tolerance,
+    enumerate_events, enumerate_scenarios, verify_moves_executable, verify_replan_progress,
+    AbstractLink, Counterexample, EventSpace, FailKind, ProgressCollective, ProgressEvent,
+    ProgressReport, ProgressSpec, ProgressVerdict, RetryModel, ScenarioEvent, WaitNode,
+};
 pub use verify::{
     expected_totals, verify_collective, verify_dp_groups, verify_migration, verify_partition,
     verify_plan, verify_replan, verify_schedule_structure, VerifyError,

@@ -12,10 +12,17 @@
 //! (the build environment is offline — same constraint that produced the
 //! vendored shims). The preprocessor strips comments and string contents
 //! while preserving byte offsets, and skips `#[cfg(test)]` blocks, so the
-//! token rules see only non-test code. Findings can be suppressed through
-//! an audited allowlist (`lint.allow` at the workspace root) in which
-//! every entry must carry a justification comment; stale or unjustified
-//! entries fail the lint just like findings do.
+//! token rules see only non-test code.
+//!
+//! The sweep is tree-wide: every rule scans every non-vendored `.rs`
+//! file, and a per-crate [`SeverityConfig`] decides what each hit means —
+//! [`Severity::Deny`] fails the lint, [`Severity::Warn`] is reported but
+//! non-fatal, [`Severity::Allow`] is dropped (integration tests, and the
+//! bench crate's wall-clock reads, which are its purpose). Deny findings
+//! can be suppressed through an audited allowlist (`lint.allow` at the
+//! workspace root) in which every entry must carry a justification
+//! comment; stale or unjustified entries fail the lint just like findings
+//! do.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -72,10 +79,129 @@ impl Rule {
     }
 }
 
+impl Rule {
+    /// Every rule, in report order.
+    pub const ALL: [Rule; 5] = [
+        Rule::HashIter,
+        Rule::WallClock,
+        Rule::HotPathPanic,
+        Rule::FloatEq,
+        Rule::LossyCast,
+    ];
+}
+
 impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// What a rule hit means in a given crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The hit fails the lint (subject to the audited allowlist).
+    Deny,
+    /// The hit is reported but does not fail the lint.
+    Warn,
+    /// The hit is dropped: the rule does not apply to this crate.
+    Allow,
+}
+
+/// Per-crate severity assignment for every rule.
+///
+/// Keys are crate directory names (`netsim`, `engine`, …), plus two
+/// synthetic ones: `workspace` for the root `src/` tree and `tests` for
+/// integration-test / bench directories anywhere in the workspace.
+/// Unlisted (crate, rule) pairs default to [`Severity::Warn`], so a new
+/// crate is visible in lint output from its first commit without
+/// blocking the tree.
+#[derive(Debug, Clone)]
+pub struct SeverityConfig {
+    overrides: Vec<(String, Rule, Severity)>,
+}
+
+impl SeverityConfig {
+    /// A config with no overrides: everything warns.
+    pub fn warn_all() -> Self {
+        SeverityConfig {
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Set the severity of `rule` for `crate_key`; the last call wins.
+    pub fn set(mut self, crate_key: &str, rule: Rule, severity: Severity) -> Self {
+        self.overrides.push((crate_key.to_string(), rule, severity));
+        self
+    }
+
+    /// The severity of `rule` for the file at workspace-relative `rel`.
+    pub fn severity(&self, rel: &str, rule: Rule) -> Severity {
+        let key = crate_key(rel);
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(k, r, _)| k == key && *r == rule)
+            .map(|&(_, _, s)| s)
+            .unwrap_or(Severity::Warn)
+    }
+}
+
+impl Default for SeverityConfig {
+    /// The repo's policy. Deny everywhere determinism is load-bearing:
+    ///
+    /// * `netsim`/`engine`/`obs` — the event-ordered core; every rule
+    ///   denies (this is the old per-file hot-path list promoted to the
+    ///   whole crate).
+    /// * `parallel` — planner/synthesis feed the replay; everything but
+    ///   hash iteration denies (plans are built from `BTree` state
+    ///   already; hash iteration off the event path only warns).
+    /// * `core`/`topology`/`model`/`workspace` — wall-clock and float
+    ///   equality deny (they leak into reported metrics), plus lossy
+    ///   casts for `topology`, whose quantities parameterize the fabric.
+    /// * `bench` — wall-clock timing is its purpose: allowed; the rest
+    ///   warns.
+    /// * `tests` — integration tests assert on exact values and unwrap
+    ///   freely by design: all rules allowed.
+    fn default() -> Self {
+        use Rule::*;
+        use Severity::*;
+        let mut config = SeverityConfig::warn_all();
+        for key in ["netsim", "engine", "obs"] {
+            for rule in Rule::ALL {
+                config = config.set(key, rule, Deny);
+            }
+        }
+        for rule in [WallClock, HotPathPanic, FloatEq, LossyCast] {
+            config = config.set("parallel", rule, Deny);
+        }
+        for key in ["core", "model", "workspace"] {
+            config = config.set(key, WallClock, Deny).set(key, FloatEq, Deny);
+        }
+        config = config
+            .set("topology", WallClock, Deny)
+            .set("topology", FloatEq, Deny)
+            .set("topology", LossyCast, Deny)
+            .set("bench", WallClock, Allow);
+        for rule in Rule::ALL {
+            config = config.set("tests", rule, Allow);
+        }
+        config
+    }
+}
+
+/// The severity key for a workspace-relative path: integration-test and
+/// bench directories map to `tests`, `crates/<name>/…` to `<name>`, and
+/// everything else (the root `src/` tree) to `workspace`.
+fn crate_key(rel: &str) -> &str {
+    if rel.starts_with("tests/") || rel.contains("/tests/") || rel.contains("/benches/") {
+        return "tests";
+    }
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some(end) = rest.find('/') {
+            return &rest[..end];
+        }
+    }
+    "workspace"
 }
 
 /// One rule violation at one source line.
@@ -104,8 +230,13 @@ impl fmt::Display for Finding {
 /// The result of linting a workspace.
 #[derive(Debug, Clone, Default)]
 pub struct LintOutcome {
-    /// Violations not covered by the allowlist, sorted by (file, line).
+    /// Deny-severity violations not covered by the allowlist, sorted by
+    /// (file, line).
     pub findings: Vec<Finding>,
+    /// Warn-severity hits: reported, never fatal.
+    pub warnings: Vec<Finding>,
+    /// Allow-severity hits dropped by the config.
+    pub allowed: usize,
     /// Allowlist hygiene problems: entries without a justification
     /// comment, with an unknown rule name, or matching no finding
     /// (stale).
@@ -123,63 +254,11 @@ impl LintOutcome {
     }
 }
 
-/// Event-ordered code: anything here feeds the simulator's event queue or
-/// the executor's replay, where iteration order becomes event order. The
-/// obs crate qualifies because its exports promise byte-identity — hash
-/// iteration anywhere in the export path would break the bench gate.
-const HASH_ITER_SCOPE: &[&str] = &["crates/netsim/src", "crates/engine/src", "crates/obs/src"];
-
-/// Simulation logic: all simulated time must come from the event clock.
-/// The obs crate's trace timestamps must likewise be pure functions of
-/// simulated (or synthetic planning) time.
-const WALL_CLOCK_SCOPE: &[&str] = &[
-    "crates/netsim/src",
-    "crates/engine/src",
-    "crates/parallel/src",
-    "crates/core/src",
-    "crates/topology/src",
-    "crates/model/src",
-    "crates/obs/src",
-];
-
-/// Files on the per-flow critical path: the exact engine, the fast
-/// engine and its timer wheel / slab storage, the executor replay, and
-/// the elasticity layer (churn events feed the event queue; the delta
-/// re-plan runs inside the resilience loop).
-const HOT_PATH_SCOPE: &[&str] = &[
-    "crates/netsim/src/sim.rs",
-    "crates/netsim/src/sim_fast.rs",
-    "crates/netsim/src/sched.rs",
-    "crates/netsim/src/arena.rs",
-    "crates/netsim/src/churn.rs",
-    "crates/engine/src/executor.rs",
-    "crates/parallel/src/synth.rs",
-    "crates/parallel/src/delta.rs",
-];
-
-const FLOAT_EQ_SCOPE: &[&str] = &[
-    "crates/netsim/src",
-    "crates/engine/src",
-    "crates/parallel/src",
-    "crates/core/src",
-    "crates/topology/src",
-    "crates/model/src",
-    "crates/obs/src",
-    "src",
-];
-
-const LOSSY_CAST_SCOPE: &[&str] = &[
-    "crates/netsim/src",
-    "crates/engine/src",
-    "crates/parallel/src",
-    "crates/topology/src",
-    "crates/obs/src",
-];
-
-/// Directories never scanned: vendored shims (external idiom, not ours),
-/// the bench crate (wall-clock timing is its purpose), and this crate
-/// (the scanner's own rule tables would trip every rule).
-const EXCLUDED: &[&str] = &["vendor", "target", "crates/bench", "crates/analysis"];
+/// Directories never scanned: vendored shims (external idiom, not ours)
+/// and build output. Everything else — including the bench and analysis
+/// crates — is swept tree-wide, with the [`SeverityConfig`] deciding per
+/// crate whether a hit denies, warns, or is allowed.
+const EXCLUDED: &[&str] = &["vendor", "target"];
 
 /// Narrow target types for the lossy-cast rule.
 const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
@@ -195,9 +274,15 @@ const QUANTITY_MARKS: &[&str] = &[
     "bandwidth",
 ];
 
-/// Lint every in-scope `.rs` file under `root` (the workspace root) and
-/// apply the `lint.allow` allowlist if present.
+/// Lint every `.rs` file under `root` (the workspace root) with the
+/// default [`SeverityConfig`] and apply the `lint.allow` allowlist if
+/// present.
 pub fn lint_workspace(root: &Path) -> io::Result<LintOutcome> {
+    lint_workspace_with(root, &SeverityConfig::default())
+}
+
+/// [`lint_workspace`] under an explicit severity config.
+pub fn lint_workspace_with(root: &Path, config: &SeverityConfig) -> io::Result<LintOutcome> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
@@ -207,13 +292,19 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintOutcome> {
     for rel in &files {
         let source = fs::read_to_string(root.join(rel))?;
         let rel = rel.to_string_lossy().replace('\\', "/");
-        if !in_any_scope(&rel) {
-            continue;
-        }
         outcome.files_scanned += 1;
         lint_file(&rel, &source, &mut all);
     }
     all.sort();
+
+    let mut deny = Vec::new();
+    for f in all {
+        match config.severity(&f.file, f.rule) {
+            Severity::Deny => deny.push(f),
+            Severity::Warn => outcome.warnings.push(f),
+            Severity::Allow => outcome.allowed += 1,
+        }
+    }
 
     let allow_path = root.join("lint.allow");
     let allowlist = if allow_path.exists() {
@@ -221,26 +312,8 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintOutcome> {
     } else {
         Vec::new()
     };
-    apply_allowlist(all, allowlist, &mut outcome);
+    apply_allowlist(deny, allowlist, &mut outcome);
     Ok(outcome)
-}
-
-fn in_any_scope(rel: &str) -> bool {
-    [
-        HASH_ITER_SCOPE,
-        WALL_CLOCK_SCOPE,
-        HOT_PATH_SCOPE,
-        FLOAT_EQ_SCOPE,
-        LOSSY_CAST_SCOPE,
-    ]
-    .iter()
-    .any(|scope| in_scope(rel, scope))
-}
-
-fn in_scope(rel: &str, scope: &[&str]) -> bool {
-    scope
-        .iter()
-        .any(|p| rel == *p || rel.starts_with(&format!("{p}/")))
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -270,29 +343,21 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Resu
     Ok(())
 }
 
-/// Run all applicable rules over one file.
+/// Run every rule over one file; severity filtering happens later.
 fn lint_file(rel: &str, source: &str, out: &mut Vec<Finding>) {
     let raw: Vec<&str> = source.lines().collect();
     let code = strip_comments_and_strings(source);
     let code: Vec<&str> = code.lines().collect();
     let in_test = mark_test_blocks(&code);
 
-    let hash_iter = in_scope(rel, HASH_ITER_SCOPE);
-    let wall_clock = in_scope(rel, WALL_CLOCK_SCOPE);
-    let hot_path = in_scope(rel, HOT_PATH_SCOPE);
-    let float_eq = in_scope(rel, FLOAT_EQ_SCOPE);
-    let lossy_cast = in_scope(rel, LOSSY_CAST_SCOPE);
-
     // Pass 1: which identifiers in this file are declared as unordered
     // maps/sets (fields, lets, params)?
     let mut hash_names: BTreeSet<String> = BTreeSet::new();
-    if hash_iter {
-        for (i, line) in code.iter().enumerate() {
-            if in_test[i] {
-                continue;
-            }
-            collect_hash_decls(line, &mut hash_names);
+    for (i, line) in code.iter().enumerate() {
+        if in_test[i] {
+            continue;
         }
+        collect_hash_decls(line, &mut hash_names);
     }
 
     // Pass 2: token rules.
@@ -308,26 +373,27 @@ fn lint_file(rel: &str, source: &str, out: &mut Vec<Finding>) {
                 excerpt: raw[i].trim().to_string(),
             });
         };
-        if hash_iter && line_iterates_hash(line, &hash_names) {
+        if line_iterates_hash(line, &hash_names) {
             hit(Rule::HashIter);
         }
-        if wall_clock && line_reads_wall_clock(line) {
+        if line_reads_wall_clock(line) {
             hit(Rule::WallClock);
         }
-        if hot_path {
-            if find_word(line, 0, "unwrap").is_some_and(|p| follows_dot_call(line, p, "unwrap")) {
+        if find_word(line, 0, "unwrap").is_some_and(|p| follows_dot_call(line, p, "unwrap")) {
+            hit(Rule::HotPathPanic);
+        }
+        if let Some(p) = line.find(".expect(") {
+            // `self.expect(…)` is a custom method on the receiver (e.g.
+            // the obs JSON parser's token matcher), not `Option::expect`.
+            let receiver_is_self = trailing_ident(line[..p].trim_end()) == "self";
+            if !receiver_is_self && expect_message(&raw, i, p).is_none_or(|m| m.len() < 20) {
                 hit(Rule::HotPathPanic);
             }
-            if let Some(p) = line.find(".expect(") {
-                if expect_message(&raw, i, p).is_none_or(|m| m.len() < 20) {
-                    hit(Rule::HotPathPanic);
-                }
-            }
         }
-        if float_eq && line_has_float_eq(line) {
+        if line_has_float_eq(line) {
             hit(Rule::FloatEq);
         }
-        if lossy_cast && line_has_lossy_cast(line) {
+        if line_has_lossy_cast(line) {
             hit(Rule::LossyCast);
         }
     }
@@ -876,12 +942,56 @@ mod tests {
     const SIM: &str = "crates/netsim/src/sim.rs";
 
     #[test]
-    fn hash_iteration_is_flagged_in_scope() {
+    fn hash_iteration_is_flagged_everywhere_severity_decides() {
         let src = "fn f() {\n    let mut m: HashMap<u32, u32> = HashMap::new();\n    for (k, v) in &m { use_it(k, v); }\n}\n";
+        // The sweep is tree-wide: the hit fires in any crate…
         let f = lint_source(SIM, src);
         assert!(f.iter().any(|f| f.rule == Rule::HashIter), "{f:?}");
-        // Same code outside the event-ordered scope: clean.
-        assert!(lint_source("crates/model/src/lib.rs", src).is_empty());
+        let f = lint_source("crates/model/src/lib.rs", src);
+        assert!(f.iter().any(|f| f.rule == Rule::HashIter), "{f:?}");
+        // …and the per-crate config grades it: deny on the event-ordered
+        // core, warn off it, allow in integration tests.
+        let config = SeverityConfig::default();
+        assert_eq!(config.severity(SIM, Rule::HashIter), Severity::Deny);
+        assert_eq!(
+            config.severity("crates/model/src/lib.rs", Rule::HashIter),
+            Severity::Warn
+        );
+        assert_eq!(
+            config.severity("crates/netsim/tests/properties.rs", Rule::HashIter),
+            Severity::Allow
+        );
+    }
+
+    #[test]
+    fn severity_config_keys_crates_tests_and_workspace() {
+        let config = SeverityConfig::default();
+        // The old per-file hot-path list is promoted to whole crates.
+        assert_eq!(
+            config.severity("crates/netsim/src/algo.rs", Rule::HotPathPanic),
+            Severity::Deny
+        );
+        assert_eq!(
+            config.severity("crates/engine/src/builder.rs", Rule::HotPathPanic),
+            Severity::Deny
+        );
+        // Bench reads the wall clock on purpose; the root src tree denies
+        // float equality; unknown crates warn by default.
+        assert_eq!(
+            config.severity("crates/bench/src/timing.rs", Rule::WallClock),
+            Severity::Allow
+        );
+        assert_eq!(config.severity("src/lib.rs", Rule::FloatEq), Severity::Deny);
+        assert_eq!(
+            config.severity("crates/new_crate/src/lib.rs", Rule::FloatEq),
+            Severity::Warn
+        );
+        // Overrides compose, last call wins.
+        let custom = SeverityConfig::warn_all()
+            .set("netsim", Rule::FloatEq, Severity::Allow)
+            .set("netsim", Rule::FloatEq, Severity::Deny);
+        assert_eq!(custom.severity(SIM, Rule::FloatEq), Severity::Deny);
+        assert_eq!(custom.severity(SIM, Rule::WallClock), Severity::Warn);
     }
 
     #[test]

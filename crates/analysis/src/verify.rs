@@ -217,6 +217,59 @@ pub enum VerifyError {
         /// The restore seconds billed.
         seconds: f64,
     },
+    /// The wait-for graph over round barriers (plus any injected wait
+    /// edges) has a cycle: the executor would deadlock.
+    ProgressWaitCycle {
+        /// Collective index within the checked spec.
+        collective: usize,
+        /// A round on the detected cycle.
+        round: usize,
+    },
+    /// A flow retries forever against a route with no live alternative:
+    /// the retry loop has no fuel bound, so the executor livelocks.
+    ProgressUnboundedRetry {
+        /// Collective index within the checked spec.
+        collective: usize,
+        /// Round of the undeliverable transfer.
+        round: usize,
+        /// Sender of the undeliverable transfer.
+        from: Rank,
+        /// Receiver of the undeliverable transfer.
+        to: Rank,
+    },
+    /// A `CollKind` claims to survive member loss but the symbolic
+    /// contribution-set run refutes it (or vice versa, when checked
+    /// bidirectionally): the claim the executor's churn gate trusts is
+    /// unsound.
+    MemberLossClaimMismatch {
+        /// Collective index within the checked spec.
+        collective: usize,
+        /// The `survives_member_loss` claim.
+        claimed: bool,
+        /// The tolerance derived from the symbolic run.
+        derived: bool,
+    },
+    /// A migration `StateMove` whose endpoints have no usable route on
+    /// the post-churn fabric (no link, or a link with no finite positive
+    /// bandwidth): the shard copy could never execute.
+    StateMoveUnroutable {
+        /// Index into `MigrationPlan::moves`.
+        index: usize,
+        /// Source rank of the unexecutable move.
+        from: Rank,
+        /// Destination rank of the unexecutable move.
+        to: Rank,
+    },
+    /// Flows parked on a dead link with no retry policy armed: the
+    /// round barrier hangs forever instead of failing fast.
+    ProgressStall {
+        /// Collective index within the checked spec.
+        collective: usize,
+        /// Round whose barrier hangs.
+        round: usize,
+        /// Number of parked transfers.
+        parked: usize,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -332,6 +385,49 @@ impl std::fmt::Display for VerifyError {
                 write!(
                     f,
                     "{restored} groups flagged for checkpoint restore but {seconds} s billed"
+                )
+            }
+            VerifyError::ProgressWaitCycle { collective, round } => {
+                write!(
+                    f,
+                    "collective {collective}: wait-for cycle through round {round}"
+                )
+            }
+            VerifyError::ProgressUnboundedRetry {
+                collective,
+                round,
+                from,
+                to,
+            } => {
+                write!(
+                    f,
+                    "collective {collective} round {round}: {from} -> {to} retries with no fuel bound"
+                )
+            }
+            VerifyError::MemberLossClaimMismatch {
+                collective,
+                claimed,
+                derived,
+            } => {
+                write!(
+                    f,
+                    "collective {collective}: claims survives_member_loss={claimed} but symbolic run derives {derived}"
+                )
+            }
+            VerifyError::StateMoveUnroutable { index, from, to } => {
+                write!(
+                    f,
+                    "state move {index}: no usable route {from} -> {to} on the post-churn fabric"
+                )
+            }
+            VerifyError::ProgressStall {
+                collective,
+                round,
+                parked,
+            } => {
+                write!(
+                    f,
+                    "collective {collective} round {round}: {parked} transfers parked with no retry policy"
                 )
             }
         }

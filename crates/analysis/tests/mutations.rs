@@ -3,17 +3,21 @@
 //! corruption with the *specific* [`VerifyError`] variant — proving the
 //! checks are neither vacuous nor cross-wired.
 
+use holmes_analysis::progress::{
+    check_progress_with_scenarios, check_scenario, AbstractLink, FailKind, ProgressCollective,
+    ProgressEvent, ProgressSpec, ProgressVerdict, RetryModel, ScenarioEvent, WaitNode,
+};
 use holmes_analysis::{
-    verify_collective, verify_dp_groups, verify_migration, verify_partition, verify_plan,
-    verify_replan, verify_schedule_structure, VerifyError,
+    verify_collective, verify_dp_groups, verify_migration, verify_moves_executable,
+    verify_partition, verify_plan, verify_replan, verify_schedule_structure, VerifyError,
 };
 use holmes_netsim::algo::{CollKind, CollSchedule, Round, Transfer};
 use holmes_parallel::{
-    replan_for_delta, DeltaReplanOutcome, DpCollectiveAlgo, DpGroupNic, GroupLayout,
-    GuidedPlanner, HolmesScheduler, MigrationCosts, ParallelDegrees, ParallelPlan, Scheduler,
-    StateMove, TopologyDelta,
+    replan_for_delta, DeltaReplanOutcome, DpCollectiveAlgo, DpGroupNic, GroupLayout, GuidedPlanner,
+    HolmesScheduler, MigrationCosts, ParallelDegrees, ParallelPlan, Scheduler, StateMove,
+    TopologyDelta,
 };
-use holmes_topology::{presets, NicType, Rank, Topology};
+use holmes_topology::{presets, NicProfile, NicType, Rank, Topology};
 
 const V: u64 = 1 << 20;
 
@@ -539,5 +543,166 @@ fn plan_assignment_mutations_detected() {
         errs.iter()
             .any(|e| matches!(e, VerifyError::DeviceOutOfRange { .. })),
         "{errs:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Progress-checker mutations: one deliberate corruption per property the
+// symbolic checker proves, each yielding its *specific* typed
+// counterexample.
+// ---------------------------------------------------------------------------
+
+/// A well-formed single-collective progress spec over the homogeneous
+/// 2-node preset, with the default (bounded) retry model armed.
+fn progress_spec(kind: CollKind) -> ProgressSpec {
+    let topo = topo();
+    let devs = devices(topo.device_count());
+    ProgressSpec {
+        collectives: vec![ProgressCollective::from_kind(&topo, kind, devs, V)],
+        retry: Some(RetryModel::default()),
+        has_trunk: false,
+        extra_wait_edges: Vec::new(),
+    }
+}
+
+#[test]
+fn injected_wait_cycle_detected() {
+    let topo = topo();
+    let mut spec = progress_spec(CollKind::AllReduce);
+    // Round 1 naturally waits on round 0; injecting the reverse edge
+    // closes a cycle in the wait-for graph.
+    spec.extra_wait_edges.push((
+        WaitNode::Round { coll: 0, round: 0 },
+        WaitNode::Round { coll: 0, round: 1 },
+    ));
+    let report = check_progress_with_scenarios(&topo, &spec, &[]);
+    assert!(
+        report.counterexamples.iter().any(|ce| matches!(
+            ce.error,
+            VerifyError::ProgressWaitCycle { collective: 0, .. }
+        )),
+        "{:?}",
+        report.counterexamples
+    );
+}
+
+#[test]
+fn unbounded_retry_detected_as_livelock() {
+    let topo = topo();
+    let mut spec = progress_spec(CollKind::AllReduce);
+    // Corruption: fuel bound removed. With both of node 0's NICs dead
+    // there is no live route, so the retry loop never terminates.
+    spec.retry = Some(RetryModel {
+        max_retries: None,
+        ..RetryModel::default()
+    });
+    let scenario = [
+        ScenarioEvent {
+            boundary: 0,
+            event: ProgressEvent::LinkDown {
+                link: AbstractLink::NodeRdma(0),
+            },
+        },
+        ScenarioEvent {
+            boundary: 0,
+            event: ProgressEvent::LinkDown {
+                link: AbstractLink::NodeEth(0),
+            },
+        },
+    ];
+    let (verdict, counterexamples) = check_scenario(&topo, &spec, &scenario);
+    assert_eq!(verdict, ProgressVerdict::FailsFast(FailKind::Livelock));
+    assert!(
+        counterexamples.iter().any(|ce| matches!(
+            ce.error,
+            VerifyError::ProgressUnboundedRetry { collective: 0, .. }
+        )),
+        "{counterexamples:?}"
+    );
+}
+
+#[test]
+fn false_member_loss_claim_detected() {
+    let topo = topo();
+    let mut spec = progress_spec(CollKind::AllReduce);
+    // Corruption: a ring all-reduce claiming to survive member loss. The
+    // symbolic contribution-set run refutes the claim: a lost member's
+    // shard never reaches the survivors.
+    spec.collectives[0].claims_member_loss_tolerance = true;
+    let report = check_progress_with_scenarios(&topo, &spec, &[]);
+    assert!(
+        report.counterexamples.iter().any(|ce| matches!(
+            ce.error,
+            VerifyError::MemberLossClaimMismatch {
+                collective: 0,
+                claimed: true,
+                derived: false,
+            }
+        )),
+        "{:?}",
+        report.counterexamples
+    );
+}
+
+#[test]
+fn unexecutable_state_move_detected() {
+    // A two-cluster fabric whose inter-cluster Ethernet has zero
+    // bandwidth: any cross-cluster shard copy can never execute.
+    let dead_eth = NicProfile {
+        nic_type: NicType::Ethernet,
+        bandwidth_gbps: 0.0,
+        latency_us: 10.0,
+        efficiency: 1.0,
+        ports_per_node: 1,
+        compute_interference: 1.0,
+    };
+    let topo = holmes_topology::TopologyBuilder::new()
+        .cluster("a", 1, NicType::InfiniBand)
+        .cluster("b", 1, NicType::InfiniBand)
+        .inter_cluster_ethernet(dead_eth)
+        .build()
+        .expect("two-cluster build");
+    let to = topo.cluster_ranks(holmes_topology::ClusterId(1))[0];
+    let migration = holmes_parallel::MigrationPlan {
+        moves: vec![StateMove {
+            from: Rank(0),
+            to,
+            bytes: 1 << 20,
+        }],
+        restored_groups: Vec::new(),
+        transfer_seconds: 1.0,
+        restore_seconds: 0.0,
+    };
+    let errs = verify_moves_executable(&topo, &migration);
+    assert_eq!(
+        errs,
+        vec![VerifyError::StateMoveUnroutable {
+            index: 0,
+            from: Rank(0),
+            to,
+        }]
+    );
+}
+
+#[test]
+fn parked_flows_without_retry_detected_as_stall() {
+    let topo = topo();
+    let mut spec = progress_spec(CollKind::AllReduce);
+    // Corruption: retry machinery disarmed entirely. A dead RDMA link
+    // parks its flows forever — the round barrier hangs.
+    spec.retry = None;
+    let scenario = [ScenarioEvent {
+        boundary: 0,
+        event: ProgressEvent::LinkDown {
+            link: AbstractLink::NodeRdma(0),
+        },
+    }];
+    let (verdict, counterexamples) = check_scenario(&topo, &spec, &scenario);
+    assert_eq!(verdict, ProgressVerdict::FailsFast(FailKind::Stalled));
+    assert!(
+        counterexamples
+            .iter()
+            .any(|ce| matches!(ce.error, VerifyError::ProgressStall { collective: 0, .. })),
+        "{counterexamples:?}"
     );
 }

@@ -1,0 +1,267 @@
+//! VerifyError catalogue regression tests.
+//!
+//! Two guarantees for downstream tooling (CI log scrapers, the
+//! counterexample-trace artifact, the mutation suite's assertions):
+//!
+//! 1. **Exhaustiveness** — every variant is constructed here and matched
+//!    *without a wildcard arm*, so adding a variant without extending
+//!    this test is a compile error, and removing one breaks the build
+//!    rather than silently shrinking the catalogue.
+//! 2. **Stable Display** — each variant's rendering is pinned byte for
+//!    byte. Error text is part of the tool-facing contract; changing it
+//!    must be a deliberate, reviewed act.
+
+use holmes_analysis::VerifyError;
+use holmes_topology::Rank;
+
+/// One instance of every variant, paired with its pinned rendering.
+fn catalogue() -> Vec<(VerifyError, &'static str)> {
+    vec![
+        (
+            VerifyError::EmptyRound { round: 3 },
+            "round 3 has no transfers",
+        ),
+        (
+            VerifyError::SelfTransfer {
+                round: 1,
+                rank: Rank(2),
+            },
+            "round 1: r2 transfers to itself",
+        ),
+        (
+            VerifyError::UnknownRank {
+                round: 0,
+                rank: Rank(9),
+            },
+            "round 0: r9 is not in the topology",
+        ),
+        (
+            VerifyError::MissingLink {
+                round: 2,
+                from: Rank(0),
+                to: Rank(5),
+            },
+            "round 2: no topology link r0 -> r5",
+        ),
+        (
+            VerifyError::ForeignRank {
+                round: 4,
+                rank: Rank(7),
+            },
+            "round 4: r7 is not a group member",
+        ),
+        (
+            VerifyError::DuplicateMember { rank: Rank(3) },
+            "r3 appears twice in the member set",
+        ),
+        (
+            VerifyError::MemberNeverSends { rank: Rank(6) },
+            "member r6 never sends — its shard cannot circulate",
+        ),
+        (
+            VerifyError::MemberNeverReceives { rank: Rank(1) },
+            "member r1 never receives — it cannot obtain the result",
+        ),
+        (
+            VerifyError::ByteCountMismatch {
+                expected: 4096,
+                actual: 2048,
+            },
+            "schedule moves 2048 bytes, closed form says 4096",
+        ),
+        (
+            VerifyError::RoundCountMismatch {
+                expected: 6,
+                actual: 5,
+            },
+            "schedule has 5 rounds, closed form says 6",
+        ),
+        (
+            VerifyError::CyclicDependency,
+            "transfer dependency order is not a DAG",
+        ),
+        (
+            VerifyError::ShapeMismatch { round: 2 },
+            "round 2 diverges from the canonical IR constructor",
+        ),
+        (
+            VerifyError::DuplicateDevice { device: Rank(4) },
+            "device r4 assigned to more than one logical rank",
+        ),
+        (
+            VerifyError::DeviceOutOfRange { device: Rank(16) },
+            "device r16 is outside the topology",
+        ),
+        (
+            VerifyError::AssignmentSizeMismatch {
+                expected: 8,
+                actual: 6,
+            },
+            "assignment covers 6 devices, degrees demand 8",
+        ),
+        (
+            VerifyError::StageCountMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            "partition has 3 stages, pipeline degree is 4",
+        ),
+        (
+            VerifyError::LayerSumMismatch {
+                expected: 32,
+                actual: 30,
+            },
+            "stage layers sum to 30, model has 32",
+        ),
+        (
+            VerifyError::EmptyStage { stage: 2 },
+            "stage 2 received zero layers",
+        ),
+        (
+            VerifyError::NonMonotoneStages { fast: 0, slow: 1 },
+            "stage 0 is faster than stage 1 but got fewer layers (Eq. 2)",
+        ),
+        (
+            VerifyError::DpGroupNotHomogeneous { group: 1 },
+            "DP group 1 claims RDMA but is not NIC-homogeneous (§3.2)",
+        ),
+        (
+            VerifyError::DpGroupSpansClustersUnflagged { group: 0 },
+            "DP group 0 spans clusters without hierarchical/TCP flagging (§3.2)",
+        ),
+        (
+            VerifyError::MigrationRankUnknown {
+                index: 2,
+                rank: Rank(11),
+            },
+            "migration move 2: r11 is not in the post-churn topology",
+        ),
+        (
+            VerifyError::MigrationSelfMove {
+                index: 0,
+                rank: Rank(5),
+            },
+            "migration move 0: r5 copies state to itself",
+        ),
+        (
+            VerifyError::MigrationDuplicateDestination { rank: Rank(7) },
+            "migration writes two shards onto destination r7",
+        ),
+        (
+            VerifyError::MigrationUnpriced { moves: 3 },
+            "3 migration moves with no positive fabric-priced transfer time",
+        ),
+        (
+            VerifyError::MigrationRestoreMismatch {
+                restored: 2,
+                seconds: 0.0,
+            },
+            "2 groups flagged for checkpoint restore but 0 s billed",
+        ),
+        (
+            VerifyError::ProgressWaitCycle {
+                collective: 0,
+                round: 1,
+            },
+            "collective 0: wait-for cycle through round 1",
+        ),
+        (
+            VerifyError::ProgressUnboundedRetry {
+                collective: 1,
+                round: 2,
+                from: Rank(0),
+                to: Rank(3),
+            },
+            "collective 1 round 2: r0 -> r3 retries with no fuel bound",
+        ),
+        (
+            VerifyError::MemberLossClaimMismatch {
+                collective: 0,
+                claimed: true,
+                derived: false,
+            },
+            "collective 0: claims survives_member_loss=true but symbolic run derives false",
+        ),
+        (
+            VerifyError::StateMoveUnroutable {
+                index: 1,
+                from: Rank(2),
+                to: Rank(6),
+            },
+            "state move 1: no usable route r2 -> r6 on the post-churn fabric",
+        ),
+        (
+            VerifyError::ProgressStall {
+                collective: 0,
+                round: 3,
+                parked: 2,
+            },
+            "collective 0 round 3: 2 transfers parked with no retry policy",
+        ),
+    ]
+}
+
+/// Stable name per variant — matched WITHOUT a wildcard arm, so the
+/// compiler forces this test to grow with the enum.
+fn variant_name(e: &VerifyError) -> &'static str {
+    match e {
+        VerifyError::EmptyRound { .. } => "EmptyRound",
+        VerifyError::SelfTransfer { .. } => "SelfTransfer",
+        VerifyError::UnknownRank { .. } => "UnknownRank",
+        VerifyError::MissingLink { .. } => "MissingLink",
+        VerifyError::ForeignRank { .. } => "ForeignRank",
+        VerifyError::DuplicateMember { .. } => "DuplicateMember",
+        VerifyError::MemberNeverSends { .. } => "MemberNeverSends",
+        VerifyError::MemberNeverReceives { .. } => "MemberNeverReceives",
+        VerifyError::ByteCountMismatch { .. } => "ByteCountMismatch",
+        VerifyError::RoundCountMismatch { .. } => "RoundCountMismatch",
+        VerifyError::CyclicDependency => "CyclicDependency",
+        VerifyError::ShapeMismatch { .. } => "ShapeMismatch",
+        VerifyError::DuplicateDevice { .. } => "DuplicateDevice",
+        VerifyError::DeviceOutOfRange { .. } => "DeviceOutOfRange",
+        VerifyError::AssignmentSizeMismatch { .. } => "AssignmentSizeMismatch",
+        VerifyError::StageCountMismatch { .. } => "StageCountMismatch",
+        VerifyError::LayerSumMismatch { .. } => "LayerSumMismatch",
+        VerifyError::EmptyStage { .. } => "EmptyStage",
+        VerifyError::NonMonotoneStages { .. } => "NonMonotoneStages",
+        VerifyError::DpGroupNotHomogeneous { .. } => "DpGroupNotHomogeneous",
+        VerifyError::DpGroupSpansClustersUnflagged { .. } => "DpGroupSpansClustersUnflagged",
+        VerifyError::MigrationRankUnknown { .. } => "MigrationRankUnknown",
+        VerifyError::MigrationSelfMove { .. } => "MigrationSelfMove",
+        VerifyError::MigrationDuplicateDestination { .. } => "MigrationDuplicateDestination",
+        VerifyError::MigrationUnpriced { .. } => "MigrationUnpriced",
+        VerifyError::MigrationRestoreMismatch { .. } => "MigrationRestoreMismatch",
+        VerifyError::ProgressWaitCycle { .. } => "ProgressWaitCycle",
+        VerifyError::ProgressUnboundedRetry { .. } => "ProgressUnboundedRetry",
+        VerifyError::MemberLossClaimMismatch { .. } => "MemberLossClaimMismatch",
+        VerifyError::StateMoveUnroutable { .. } => "StateMoveUnroutable",
+        VerifyError::ProgressStall { .. } => "ProgressStall",
+    }
+}
+
+#[test]
+fn catalogue_covers_every_variant_exactly_once() {
+    let entries = catalogue();
+    assert_eq!(entries.len(), 31, "catalogue entry count");
+    let mut names: Vec<&str> = entries.iter().map(|(e, _)| variant_name(e)).collect();
+    let total = names.len();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(
+        names.len(),
+        total,
+        "a variant appears twice in the catalogue"
+    );
+}
+
+#[test]
+fn display_is_pinned_byte_for_byte() {
+    for (error, expected) in catalogue() {
+        assert_eq!(
+            error.to_string(),
+            *expected,
+            "Display drifted for {}",
+            variant_name(&error)
+        );
+    }
+}

@@ -253,6 +253,22 @@ fn check_plansynth(gate: &mut Gate, base: &Value, fresh: &Value) {
         (Some(b), Some(f)) => gate.exact(&format!("{file}:search"), b, f),
         _ => gate.fail(format!("{file}:search: missing on one side")),
     }
+    // The symbolic progress sweep is deterministic in (topology, preset,
+    // seed, event-space bounds): verdict totals are exact, and the
+    // counterexample count must be zero regardless of the baseline.
+    match (base.get("progress"), fresh.get("progress")) {
+        (Some(b), Some(f)) => {
+            gate.exact(&format!("{file}:progress"), b, f);
+            gate.checks += 1;
+            let fresh_cx = num(f, "counterexamples", file);
+            if fresh_cx != 0.0 {
+                gate.fail(format!(
+                    "{file}:progress.counterexamples: {fresh_cx} violation(s) — shipped presets must be progress-clean"
+                ));
+            }
+        }
+        _ => gate.fail(format!("{file}:progress: missing on one side")),
+    }
     // Wall-clock scalars: relative tolerance, plus the ISSUE-7 acceptance
     // criterion as an absolute, machine-independent-enough floor — the
     // 64-cluster fleet plans in well under a millisecond on any machine
@@ -272,6 +288,7 @@ fn check_plansynth(gate: &mut Gate, base: &Value, fresh: &Value) {
         ("fleet64_plan_seconds", false),
         ("fleet12_plan_seconds", false),
         ("oracle_plans_per_sec", true),
+        ("progress_sweep_seconds", false),
     ] {
         gate.within_tolerance(
             &format!("{file}:wall.{key}"),

@@ -9,16 +9,24 @@
 //!   64-cluster aligned fleet, the 12-cluster unaligned fleet, and the
 //!   three-cluster paper presets where the guided winner is re-checked
 //!   against the exhaustive oracle on every run.
+//! * **`progress`** (deterministic, gated exactly) — the symbolic
+//!   progress checker swept over every fault preset on the resilience
+//!   environment: scenario and verdict counts, and the invariant that
+//!   the sweep stays counterexample-free.
 //! * **`wall`** (machine-dependent, gated by tolerance) — single-plan
-//!   wall-clock on both fleets and guided plans/sec over the paper
-//!   presets. The 64-cluster fleet must additionally plan in under a
-//!   second — the acceptance criterion — which `bench_diff` enforces as
-//!   an absolute floor, not a relative one.
+//!   wall-clock on both fleets, guided plans/sec over the paper
+//!   presets, and the progress-checker sweep time (so `bench_diff`
+//!   catches a checker blowup the same way it catches a planner one).
+//!   The 64-cluster fleet must additionally plan in under a second —
+//!   the acceptance criterion — which `bench_diff` enforces as an
+//!   absolute floor, not a relative one.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use holmes::topology::{presets, Topology};
+use holmes::{verify_preset_progress, FaultPreset};
+use holmes_analysis::EventSpace;
 use holmes_parallel::{
     search_cluster_orders_with_mode, synthesize_placement, EvalMode, GroupLayout, ParallelDegrees,
     SynthStats,
@@ -104,6 +112,67 @@ fn oracle_sweep(repeats: u32) -> f64 {
     f64::from(plans) / elapsed
 }
 
+/// Deterministic verdict totals of one full preset sweep, plus the
+/// best-of wall time of the sweep.
+struct ProgressSweep {
+    preset_cells: usize,
+    scenarios: usize,
+    skipped: usize,
+    completes: usize,
+    completes_degraded: usize,
+    fails_fast: usize,
+    counterexamples: usize,
+    wall_seconds: f64,
+}
+
+/// Run the symbolic progress checker over every fault preset on the
+/// resilience CI environment — same topology, parameter group, and seed
+/// as `BENCH_resilience.json`, same bounded event space as the engine's
+/// debug gate. Verdict totals are a pure function of the inputs and are
+/// gated exactly; the sweep wall time rides the tolerance gate so a
+/// checker slowdown trips CI like a planner one would.
+fn progress_sweep(repeats: u32) -> ProgressSweep {
+    let topo = presets::hybrid_two_cluster(2);
+    let run = || {
+        let mut sweep = ProgressSweep {
+            preset_cells: 0,
+            scenarios: 0,
+            skipped: 0,
+            completes: 0,
+            completes_degraded: 0,
+            fails_fast: 0,
+            counterexamples: 0,
+            wall_seconds: 0.0,
+        };
+        for preset in FaultPreset::ALL {
+            let r = verify_preset_progress(&topo, 1, preset, 11, EventSpace::quick())
+                .unwrap_or_else(|e| panic!("progress sweep {}: {e}", preset.name()));
+            sweep.preset_cells += 1;
+            sweep.scenarios += r.scenarios;
+            sweep.skipped += r.skipped;
+            sweep.completes += r.completes;
+            sweep.completes_degraded += r.completes_degraded;
+            sweep.fails_fast += r.fails_fast;
+            sweep.counterexamples += r.counterexamples.len();
+        }
+        sweep
+    };
+    let mut best = run();
+    // Best-of timed passes, asserting the verdict totals never drift.
+    let timed = repeats.clamp(1, 5);
+    best.wall_seconds = f64::INFINITY;
+    for _ in 0..timed {
+        let start = Instant::now();
+        let s = run();
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(s.scenarios, best.scenarios, "non-deterministic sweep size");
+        assert_eq!(s.completes, best.completes, "non-deterministic verdicts");
+        assert_eq!(s.fails_fast, best.fails_fast, "non-deterministic verdicts");
+        best.wall_seconds = best.wall_seconds.min(wall);
+    }
+    best
+}
+
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let profile = if full { "full" } else { "quick" };
@@ -123,6 +192,7 @@ fn main() {
         repeats,
     );
     let plans_per_sec = oracle_sweep(repeats);
+    let progress = progress_sweep(repeats);
 
     for s in [&fleet64, &fleet12] {
         println!(
@@ -144,6 +214,22 @@ fn main() {
         );
     }
     println!("oracle sweep: guided == exhaustive, {plans_per_sec:.0} plans/sec");
+    println!(
+        "progress sweep: {} preset cells, {} scenarios (+{} skipped), \
+         {} complete / {} degraded / {} fail-fast, {} counterexample(s), {:.3}ms",
+        progress.preset_cells,
+        progress.scenarios,
+        progress.skipped,
+        progress.completes,
+        progress.completes_degraded,
+        progress.fails_fast,
+        progress.counterexamples,
+        progress.wall_seconds * 1e3,
+    );
+    assert_eq!(
+        progress.counterexamples, 0,
+        "shipped presets must be progress-clean"
+    );
     assert!(
         fleet64.wall_seconds < 1.0,
         "64-cluster fleet must plan in under a second, took {:.3}s",
@@ -177,6 +263,19 @@ fn main() {
         let _ = writeln!(out, "    }}{}", if i == 0 { "," } else { "" });
     }
     out.push_str("  },\n");
+    out.push_str("  \"progress\": {\n");
+    let _ = writeln!(out, "    \"preset_cells\": {},", progress.preset_cells);
+    let _ = writeln!(out, "    \"scenarios\": {},", progress.scenarios);
+    let _ = writeln!(out, "    \"skipped\": {},", progress.skipped);
+    let _ = writeln!(out, "    \"completes\": {},", progress.completes);
+    let _ = writeln!(
+        out,
+        "    \"completes_degraded\": {},",
+        progress.completes_degraded
+    );
+    let _ = writeln!(out, "    \"fails_fast\": {},", progress.fails_fast);
+    let _ = writeln!(out, "    \"counterexamples\": {}", progress.counterexamples);
+    out.push_str("  },\n");
     out.push_str("  \"wall\": {\n");
     let _ = writeln!(
         out,
@@ -188,7 +287,12 @@ fn main() {
         "    \"fleet12_plan_seconds\": {:?},",
         fleet12.wall_seconds
     );
-    let _ = writeln!(out, "    \"oracle_plans_per_sec\": {plans_per_sec:?}");
+    let _ = writeln!(out, "    \"oracle_plans_per_sec\": {plans_per_sec:?},");
+    let _ = writeln!(
+        out,
+        "    \"progress_sweep_seconds\": {:?}",
+        progress.wall_seconds
+    );
     out.push_str("  }\n");
     out.push_str("}\n");
     std::fs::write(OUT_PATH, &out).expect("write BENCH_plansynth.json");

@@ -1,0 +1,104 @@
+//! `progress_check` — symbolic progress sweep over every shipped fault
+//! preset, run before anything executes.
+//!
+//! For each (environment × preset) cell this plans the workload exactly
+//! as the resilience family would, then model-checks the planned
+//! iteration's collectives against (1) the preset's own seeded fault
+//! events under the executor's retry-arming rule and (2) the bounded
+//! generic event space with retries armed. A clean sweep is a proof —
+//! within the small-scope event bounds — that no shipped schedule can
+//! stall, livelock, cycle its wait-for graph, or overstate member-loss
+//! tolerance.
+//!
+//! Counterexample traces (typed error, reaching scenario, step-by-step
+//! abstract execution) land in `PROGRESS_counterexamples.txt` at the
+//! workspace root; CI uploads the file as an artifact so a red gate
+//! ships its own repro. Pass `--exhaustive` for the uncapped
+//! single+pairwise sweep (CI runs the quick profile).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use holmes::{verify_preset_progress, FaultPreset};
+use holmes_analysis::EventSpace;
+use holmes_topology::{presets, Topology};
+
+/// Where the counterexample-trace artifact lands: the workspace root,
+/// independent of the directory `cargo run` was invoked from.
+const OUT_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../PROGRESS_counterexamples.txt"
+);
+
+/// Same seed the resilience snapshot family uses, so the preset event
+/// times this sweep verifies are the ones the bench actually replays.
+const SEED: u64 = 11;
+
+/// Environments swept: the resilience-family CI environment plus the
+/// paper-table hybrid, each with the parameter group the planner is
+/// asked for elsewhere in the bench.
+fn environments() -> Vec<(&'static str, Topology, u8)> {
+    vec![
+        ("hybrid_two_cluster_2", presets::hybrid_two_cluster(2), 1),
+        ("table4_2r_2ib_2ib", presets::table4_2r_2ib_2ib(), 1),
+    ]
+}
+
+fn main() -> ExitCode {
+    let exhaustive = std::env::args().any(|a| a == "--exhaustive");
+    let (space, profile) = if exhaustive {
+        (EventSpace::exhaustive(), "exhaustive")
+    } else {
+        (EventSpace::quick(), "quick")
+    };
+    println!("== symbolic progress check ({profile}) ==");
+
+    let mut traces = String::new();
+    let mut violations = 0usize;
+    let mut cells = 0usize;
+    for (env, topo, pg) in environments() {
+        for preset in FaultPreset::ALL {
+            let report = verify_preset_progress(&topo, pg, preset, SEED, space)
+                .unwrap_or_else(|e| panic!("progress {env}/{}: {e}", preset.name()));
+            cells += 1;
+            println!(
+                "{env:<22} {:<12} scenarios {:>4} (+{} skipped)  \
+                 completes {:>4}  degraded {:>3}  fails_fast {:>3}  violations {}",
+                preset.name(),
+                report.scenarios,
+                report.skipped,
+                report.completes,
+                report.completes_degraded,
+                report.fails_fast,
+                report.counterexamples.len(),
+            );
+            for cx in &report.counterexamples {
+                violations += 1;
+                let _ = writeln!(traces, "== {env}/{}: {} ==", preset.name(), cx.error);
+                let _ = writeln!(traces, "scenario: {:?}", cx.scenario);
+                for line in &cx.trace {
+                    let _ = writeln!(traces, "  {line}");
+                }
+                let _ = writeln!(traces);
+            }
+        }
+    }
+
+    // Always write the artifact — a clean run ships an explicit receipt,
+    // and `if-no-files-found: error` in CI stays honest.
+    let body = if violations == 0 {
+        format!("progress check ({profile}): clean across {cells} preset cells\n")
+    } else {
+        format!("progress check ({profile}): {violations} violation(s)\n\n{traces}")
+    };
+    std::fs::write(OUT_PATH, &body).expect("write PROGRESS_counterexamples.txt");
+    println!("wrote {OUT_PATH}");
+
+    if violations == 0 {
+        println!("progress check: OK ({cells} preset cells clean)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("progress check: {violations} violation(s) — see PROGRESS_counterexamples.txt");
+        ExitCode::FAILURE
+    }
+}

@@ -74,15 +74,9 @@ pub fn run_family(quick: bool) -> Vec<ResilienceRow> {
             if churns(preset) {
                 let ps = DpSyncStrategy::ParameterServer { servers: 2 };
                 let mut session = ObsSession::new();
-                let report = run_resilient_observed_with_strategy(
-                    &topo,
-                    pg,
-                    preset,
-                    SEED,
-                    ps,
-                    &mut session,
-                )
-                .unwrap_or_else(|e| panic!("resilience {env}/{}/ps: {e}", preset.name()));
+                let report =
+                    run_resilient_observed_with_strategy(&topo, pg, preset, SEED, ps, &mut session)
+                        .unwrap_or_else(|e| panic!("resilience {env}/{}/ps: {e}", preset.name()));
                 rows.push(ResilienceRow {
                     env,
                     report,
@@ -215,20 +209,14 @@ pub fn to_json(rows: &[ResilienceRow], profile: &str) -> String {
         .iter()
         .filter(|row| {
             churns(row.report.preset)
-                && !matches!(
-                    row.report.strategy,
-                    DpSyncStrategy::ParameterServer { .. }
-                )
+                && !matches!(row.report.strategy, DpSyncStrategy::ParameterServer { .. })
         })
         .filter_map(|ar| {
             rows.iter()
                 .find(|ps| {
                     ps.env == ar.env
                         && ps.report.preset == ar.report.preset
-                        && matches!(
-                            ps.report.strategy,
-                            DpSyncStrategy::ParameterServer { .. }
-                        )
+                        && matches!(ps.report.strategy, DpSyncStrategy::ParameterServer { .. })
                 })
                 .map(|ps| (ar, ps))
         })

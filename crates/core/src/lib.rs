@@ -63,7 +63,8 @@ pub use reliability::{
 pub use report::TableBuilder;
 pub use resilience::{
     run_resilient, run_resilient_observed, run_resilient_observed_with_strategy,
-    run_resilient_with_strategy, ChurnRestart, FaultPreset, ResilienceReport,
+    run_resilient_with_strategy, verify_preset_progress, ChurnRestart, FaultPreset,
+    ResilienceReport,
 };
 pub use runner::{
     run_framework, run_framework_observed, run_holmes_with, run_scenario, run_scenario_observed,

@@ -58,8 +58,7 @@ impl std::error::Error for PlanError {}
 /// consistently; the exact per-stage volumes are re-derived by the
 /// estimator once the partition is fixed.
 pub fn placement_gradient_bytes(job: &TrainJob, degrees: ParallelDegrees) -> u64 {
-    let worst_stage_params = u64::from(job.config.num_layers)
-        .div_ceil(u64::from(degrees.pipeline))
+    let worst_stage_params = u64::from(job.config.num_layers).div_ceil(u64::from(degrees.pipeline))
         * holmes_model::layer_params(&job.config)
         + holmes_model::embedding_params(&job.config);
     CommVolumes::dp_gradient_bytes(worst_stage_params, degrees.tensor)

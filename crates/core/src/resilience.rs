@@ -141,8 +141,8 @@ impl FaultPreset {
                     if cluster.nodes.len() < 2 {
                         continue;
                     }
-                    let start = (0.2 + 0.2 * i as f64) * clean_seconds
-                        + uniform(0.0, 0.1) * clean_seconds;
+                    let start =
+                        (0.2 + 0.2 * i as f64) * clean_seconds + uniform(0.0, 0.1) * clean_seconds;
                     plan.preempt_node(at(start), node - 1);
                 }
             }
@@ -489,26 +489,42 @@ fn run_resilient_inner(
             }
             // Per-rank optimizer shard: the stage's mixed-precision Adam
             // state split across the tensor degree.
-            let state_bytes_per_rank =
-                (stage_params / u64::from(degrees.tensor.max(1))) * holmes_model::BYTES_PER_PARAM_FULL;
+            let state_bytes_per_rank = (stage_params / u64::from(degrees.tensor.max(1)))
+                * holmes_model::BYTES_PER_PARAM_FULL;
             let costs = MigrationCosts::new(state_bytes_per_rank, restart_bill);
-            replan_for_delta(topo, &plan, &delta, grad_bytes, &GuidedPlanner, &costs).ok()
+            let outcome =
+                replan_for_delta(topo, &plan, &delta, grad_bytes, &GuidedPlanner, &costs).ok();
+            // Replan reachability gate: the churn re-plan must itself
+            // verify, and every state move must be executable on the
+            // post-churn fabric, before anything acts on it.
+            #[cfg(debug_assertions)]
+            if let Some(o) = &outcome {
+                let defects = holmes_analysis::verify_replan_progress(o);
+                assert!(
+                    defects.is_empty(),
+                    "churn re-plan fails the progress verifier: {defects:?}"
+                );
+            }
+            outcome
         })
         .flatten();
-    let elastic = delta_replan.as_ref().filter(|_| !churn_lost.is_empty()).map(|outcome| {
-        let capacity = f64::from(outcome.new_topology.device_count())
-            / f64::from(topo.device_count().max(1));
-        let sync_factor = if outcome.cost_after_seconds > 0.0 {
-            (outcome.cost_before_seconds / outcome.cost_after_seconds).min(1.0)
-        } else {
-            1.0
-        };
-        let impact = ChurnImpact {
-            surviving_fraction: capacity * sync_factor,
-            reshard_stall_seconds: outcome.migration.total_seconds(),
-        };
-        ElasticPolicy::default().decide(topo, &request.job.config, &impact, seed)
-    });
+    let elastic = delta_replan
+        .as_ref()
+        .filter(|_| !churn_lost.is_empty())
+        .map(|outcome| {
+            let capacity = f64::from(outcome.new_topology.device_count())
+                / f64::from(topo.device_count().max(1));
+            let sync_factor = if outcome.cost_after_seconds > 0.0 {
+                (outcome.cost_before_seconds / outcome.cost_after_seconds).min(1.0)
+            } else {
+                1.0
+            };
+            let impact = ChurnImpact {
+                surviving_fraction: capacity * sync_factor,
+                reshard_stall_seconds: outcome.migration.total_seconds(),
+            };
+            ElasticPolicy::default().decide(topo, &request.job.config, &impact, seed)
+        });
 
     let mut log = Vec::new();
     log.push(format!(
@@ -611,10 +627,7 @@ fn run_resilient_inner(
         }
         if let Some(o) = &delta_replan {
             reg.counter_add("core.churn_replans", 1);
-            reg.gauge_set(
-                "core.migration_seconds",
-                o.migration.total_seconds(),
-            );
+            reg.gauge_set("core.migration_seconds", o.migration.total_seconds());
         }
         for c in &faulted.degraded_conditions {
             // Stragglers are declared during planning, not at a simulated
@@ -683,6 +696,62 @@ fn health_label(h: LinkHealth) -> String {
         LinkHealth::Degraded { fraction } => format!("degraded({fraction:?})"),
         LinkHealth::Down => "down".to_string(),
     }
+}
+
+/// Symbolically verify a fault preset before (or without) ever running
+/// it: plan the workload exactly as [`run_resilient`] would, build the
+/// iteration's execution spec, and model-check its collectives twice —
+///
+/// 1. against exactly the events the preset's seeded [`FaultPlan`] can
+///    produce, under the executor's own retry-arming rule; and
+/// 2. against the full enumerated event space bounded by `space`, with
+///    the default retry model armed (the machinery exists whether or not
+///    this particular plan triggers it — the sweep asks whether *any*
+///    in-scope fault could stall or livelock the schedule).
+///
+/// Returns the merged [`holmes_analysis::ProgressReport`]; a clean
+/// report is a proof (within the small-scope event bounds) that every
+/// collective of the planned iteration makes progress under the preset.
+pub fn verify_preset_progress(
+    topo: &Topology,
+    parameter_group: u8,
+    preset: FaultPreset,
+    seed: u64,
+    space: holmes_analysis::EventSpace,
+) -> Result<holmes_analysis::ProgressReport, RunError> {
+    let cfg = HolmesConfig::full();
+    let request = PlanRequest::parameter_group(parameter_group);
+    let (plan, engine_cfg) = plan_for(topo, &request, &cfg, DpSyncStrategy::DistributedOptimizer)
+        .map_err(RunError::Plan)?;
+
+    let trunk = preset
+        .needs_trunk()
+        .then(|| topo.inter_cluster_profile().effective_bytes_per_sec());
+    let mut clean_plan = FaultPlan::none();
+    clean_plan.trunk_bytes_per_sec = trunk;
+    let (clean_report, _) =
+        simulate_iteration_with_faults(topo, &plan, &request.job, &engine_cfg, &clean_plan)
+            .map_err(RunError::Engine)?;
+    let fault_plan = preset.build_plan(seed, clean_report.total_seconds, trunk, topo);
+
+    let spec = holmes_engine::build_iteration(topo, &plan, &request.job, &engine_cfg)
+        .map_err(RunError::Engine)?;
+
+    // Pass 1: the preset's own events, executor-faithful retry arming.
+    let mut report = holmes_engine::progress::check_execution(topo, &spec, Some(&fault_plan));
+
+    // Pass 2: the generic event space with retry machinery armed.
+    let mut pspec = holmes_engine::progress::progress_spec(topo, &spec, Some(&fault_plan));
+    pspec.retry = Some(holmes_analysis::RetryModel::default());
+    let sweep = holmes_analysis::check_progress(topo, &pspec, space);
+
+    report.scenarios += sweep.scenarios;
+    report.skipped += sweep.skipped;
+    report.completes += sweep.completes;
+    report.completes_degraded += sweep.completes_degraded;
+    report.fails_fast += sweep.fails_fast;
+    report.counterexamples.extend(sweep.counterexamples);
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -777,8 +846,7 @@ mod tests {
         assert!(!restart.draining);
         assert!(restart.restart_seconds > 0.0);
         assert!(
-            r.faulted_seconds
-                >= restart.at_seconds + restart.restart_seconds + r.clean_seconds
+            r.faulted_seconds >= restart.at_seconds + restart.restart_seconds + r.clean_seconds
         );
         assert!(r.slowdown() > 2.0, "{}", r.slowdown());
         // The membership event still drives the migration-aware re-plan
@@ -826,10 +894,8 @@ mod tests {
         let topo = presets::hybrid_two_cluster(2);
         let ps = DpSyncStrategy::ParameterServer { servers: 2 };
         let ar = DpSyncStrategy::DistributedOptimizer;
-        let clean_ar =
-            run_resilient_with_strategy(&topo, 1, FaultPreset::Clean, 13, ar).unwrap();
-        let clean_ps =
-            run_resilient_with_strategy(&topo, 1, FaultPreset::Clean, 13, ps).unwrap();
+        let clean_ar = run_resilient_with_strategy(&topo, 1, FaultPreset::Clean, 13, ar).unwrap();
+        let clean_ps = run_resilient_with_strategy(&topo, 1, FaultPreset::Clean, 13, ps).unwrap();
         let storm_ar =
             run_resilient_with_strategy(&topo, 1, FaultPreset::PreemptStorm, 13, ar).unwrap();
         let storm_ps =

@@ -225,8 +225,14 @@ mod tests {
         // Optimizer shards clamp to the group size and stay positive.
         assert_eq!(s.optimizer_shards(16), 2);
         assert_eq!(s.optimizer_shards(1), 1);
-        assert_eq!(DpSyncStrategy::ParameterServer { servers: 0 }.optimizer_shards(8), 1);
-        assert_eq!(DpSyncStrategy::parameter_server().name(), "parameter-server");
+        assert_eq!(
+            DpSyncStrategy::ParameterServer { servers: 0 }.optimizer_shards(8),
+            1
+        );
+        assert_eq!(
+            DpSyncStrategy::parameter_server().name(),
+            "parameter-server"
+        );
     }
 
     #[test]

@@ -504,6 +504,13 @@ fn execute_inner(
             })
             .collect();
         assert!(hard.is_empty(), "structurally invalid spec: {hard:?}");
+        // Symbolic progress gate beside the structural one: when a fault
+        // plan is armed, model-check the collectives against exactly the
+        // events that plan can produce (stalls, livelocks, unsound
+        // member-loss claims) before replaying a single flow.
+        if plan.is_some_and(|p| !p.is_empty()) {
+            crate::progress::debug_check(topo, &spec, plan);
+        }
     }
     let mut sim = NetSim::new();
     if obs.is_some() {
@@ -524,8 +531,7 @@ fn execute_inner(
             // is not wired up yet) carries no links: the event is a pure
             // membership signal.
             let links = if (c.node as usize) < fabric.node_count() {
-                let (rdma_up, rdma_down, eth_up, eth_down) =
-                    fabric.node_link_ids(c.node as usize);
+                let (rdma_up, rdma_down, eth_up, eth_down) = fabric.node_link_ids(c.node as usize);
                 vec![rdma_up, rdma_down, eth_up, eth_down]
             } else {
                 Vec::new()
@@ -800,8 +806,8 @@ impl<'t> Executor<'t> {
         let tolerant = self.colls.iter().all(|c| {
             let lost = |r: &Rank| self.lost_nodes.contains(&self.fabric.node_of(*r));
             c.kind.survives_member_loss()
-                || !c.devices.iter().any(|r| lost(r))
-                || c.devices.iter().all(|r| lost(r))
+                || !c.devices.iter().any(&lost)
+                || c.devices.iter().all(lost)
         });
         if !tolerant {
             return Err(match kind {
@@ -2112,7 +2118,10 @@ mod link_usage_tests {
             "{first:?}"
         );
         for _ in 0..4 {
-            assert_eq!(execute_with_faults(&topo, build(), &plan).unwrap_err(), first);
+            assert_eq!(
+                execute_with_faults(&topo, build(), &plan).unwrap_err(),
+                first
+            );
         }
         // An announced departure at the head of the queue surfaces as the
         // drain variant instead, same insertion-order pin.

@@ -35,6 +35,10 @@
 //!   upgrades flat all-reduces to [`CollKind::HierarchicalAllReduce`] for
 //!   data-parallel groups that straddle clusters (see
 //!   [`EngineConfig::hierarchical_cross_cluster`]).
+//! * [`progress`] — the abstract-step bridge into the
+//!   `holmes-analysis` symbolic progress checker: builds the abstract
+//!   spec exactly as the executor arms retries and schedules, and gates
+//!   every faulted execution behind the model check in debug builds.
 //! * [`metrics`] — TFLOPS (Eq. 6) and samples/second from a report.
 
 #![forbid(unsafe_code)]
@@ -48,6 +52,7 @@ pub mod fault;
 pub mod metrics;
 mod obs;
 pub mod ops;
+pub mod progress;
 pub mod schedule;
 pub mod timeline;
 pub mod validate;

@@ -1,0 +1,200 @@
+//! Abstract-step view of the executor for the symbolic progress checker.
+//!
+//! `holmes-analysis::progress` model-checks collective schedules against
+//! an abstract fault/churn event space; this module is the bridge from
+//! the executor's concrete world — [`ExecutionSpec`], [`FaultPlan`],
+//! retry arming rules — into that abstract domain, so the checker's
+//! model provably mirrors what `execute_inner` actually does:
+//!
+//! * the per-collective schedule is regenerated exactly as the executor
+//!   does (bytes split across channels, cluster-major grouping);
+//! * the retry model is armed under the executor's own rule (retry only
+//!   when the plan schedules link faults) with the plan's fuel bound;
+//! * each concrete fault/churn event maps to its abstract counterpart,
+//!   and — since concrete events fire at wall-clock times the abstract
+//!   domain cannot see — every event is swept across a sample of round
+//!   boundaries, over-approximating the arrival times.
+//!
+//! The executor calls [`debug_check`] next to its PR 4 structural
+//! verifier: any counterexample (stall, livelock, wait cycle, unsound
+//! member-loss claim) panics in debug builds before a single simulated
+//! flow launches.
+
+use holmes_analysis::progress::{
+    check_progress_with_scenarios, AbstractLink, ProgressCollective, ProgressEvent, ProgressReport,
+    ProgressSpec, RetryModel, ScenarioEvent,
+};
+use holmes_netsim::{ChurnKind, LinkHealth};
+use holmes_topology::Topology;
+
+use crate::executor::ExecutionSpec;
+use crate::fault::{FaultPlan, FaultTarget};
+
+/// Build the abstract progress spec for an execution: one
+/// [`ProgressCollective`] per collective (schedule regenerated with the
+/// executor's own per-channel byte split), the retry model armed under
+/// the executor's arming rule, and trunk presence taken from the
+/// topology.
+pub fn progress_spec(
+    topo: &Topology,
+    spec: &ExecutionSpec,
+    plan: Option<&FaultPlan>,
+) -> ProgressSpec {
+    let collectives = spec
+        .collectives
+        .iter()
+        .map(|c| {
+            let channels = c.channels.max(1);
+            ProgressCollective::from_kind(
+                topo,
+                c.kind,
+                c.devices.clone(),
+                c.bytes / u64::from(channels),
+            )
+        })
+        .collect();
+    // Mirror of the executor: retry machinery is armed only when the
+    // plan schedules link faults; churn-only plans run without it.
+    let retry = plan.and_then(|p| {
+        (!p.link_faults.is_empty()).then_some(RetryModel {
+            max_retries: Some(p.retry.max_retries),
+            backoff_multiplier: p.retry.backoff_multiplier,
+            tcp_fallback: true,
+        })
+    });
+    ProgressSpec {
+        collectives,
+        retry,
+        has_trunk: topo.cluster_count() > 1,
+        extra_wait_edges: Vec::new(),
+    }
+}
+
+/// Map one concrete fault target into the abstract link domain.
+pub fn abstract_link(target: FaultTarget) -> AbstractLink {
+    match target {
+        FaultTarget::NodeRdma(n) => AbstractLink::NodeRdma(n),
+        FaultTarget::NodeEth(n) => AbstractLink::NodeEth(n),
+        FaultTarget::Trunk => AbstractLink::Trunk,
+    }
+}
+
+/// The abstract events a fault plan can produce, in schedule order.
+/// Stragglers are pure slowdowns — they cannot block progress — so they
+/// have no abstract counterpart.
+pub fn plan_events(plan: &FaultPlan) -> Vec<ProgressEvent> {
+    let mut events = Vec::new();
+    for f in &plan.link_faults {
+        let link = abstract_link(f.target);
+        events.push(match f.health {
+            LinkHealth::Healthy => ProgressEvent::LinkUp { link },
+            LinkHealth::Degraded { .. } => ProgressEvent::LinkDegraded { link },
+            LinkHealth::Down => ProgressEvent::LinkDown { link },
+        });
+    }
+    for c in &plan.churn {
+        events.push(match c.kind {
+            ChurnKind::NodeJoin => ProgressEvent::NodeJoin { node: c.node },
+            ChurnKind::NodePreempt => ProgressEvent::NodePreempt { node: c.node },
+            ChurnKind::NodeDrain => ProgressEvent::NodeDrain { node: c.node },
+        });
+    }
+    events
+}
+
+/// Single-event scenarios for a fault plan, each event swept across a
+/// sample of round boundaries (first, quartiles, last): concrete events
+/// fire at wall-clock times, so the abstract check must cover every
+/// phase of the schedule they could land in.
+pub fn plan_scenarios(spec: &ProgressSpec, plan: &FaultPlan) -> Vec<Vec<ScenarioEvent>> {
+    let rounds = spec
+        .collectives
+        .iter()
+        .map(|c| c.schedule.round_count())
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let mut boundaries = vec![0, rounds / 4, rounds / 2, 3 * rounds / 4, rounds - 1];
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    let mut scenarios = Vec::new();
+    for event in plan_events(plan) {
+        for &boundary in &boundaries {
+            scenarios.push(vec![ScenarioEvent { boundary, event }]);
+        }
+    }
+    scenarios
+}
+
+/// Check an execution against exactly the events its fault plan can
+/// produce (plus the static wait-for and member-loss-claim properties).
+pub fn check_execution(
+    topo: &Topology,
+    spec: &ExecutionSpec,
+    plan: Option<&FaultPlan>,
+) -> ProgressReport {
+    let pspec = progress_spec(topo, spec, plan);
+    let scenarios = plan.map(|p| plan_scenarios(&pspec, p)).unwrap_or_default();
+    check_progress_with_scenarios(topo, &pspec, &scenarios)
+}
+
+/// Debug-build gate wired into `execute_inner` beside the structural
+/// verifier: panic with the counterexample traces if the symbolic
+/// checker finds a progress violation in the spec the executor is about
+/// to run.
+pub fn debug_check(topo: &Topology, spec: &ExecutionSpec, plan: Option<&FaultPlan>) {
+    let report = check_execution(topo, spec, plan);
+    assert!(
+        report.is_clean(),
+        "symbolic progress checker found violations: {:#?}",
+        report.counterexamples
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::CollectiveSpec;
+    use crate::executor::TransportPolicy;
+    use holmes_netsim::algo::CollKind;
+    use holmes_netsim::SimTime;
+    use holmes_topology::{presets, Rank};
+
+    fn spec_for(topo: &Topology) -> ExecutionSpec {
+        let devices: Vec<Rank> = (0..topo.device_count()).map(Rank).collect();
+        ExecutionSpec {
+            programs: Vec::new(),
+            collectives: vec![CollectiveSpec {
+                kind: CollKind::AllReduce,
+                devices,
+                bytes: 1 << 22,
+                channels: 1,
+            }],
+            transport: TransportPolicy::default(),
+        }
+    }
+
+    #[test]
+    fn faulted_plan_checks_clean() {
+        let topo = presets::hybrid_two_cluster(2);
+        let spec = spec_for(&topo);
+        let mut plan = FaultPlan::default();
+        plan.kill_nic(SimTime(100_000_000), 0);
+        let report = check_execution(&topo, &spec, Some(&plan));
+        assert!(report.is_clean(), "{:?}", report.counterexamples);
+        assert!(report.scenarios > 0);
+    }
+
+    #[test]
+    fn churn_only_plan_checks_clean_without_retry() {
+        let topo = presets::hybrid_two_cluster(2);
+        let spec = spec_for(&topo);
+        let mut plan = FaultPlan::default();
+        plan.preempt_node(SimTime(100_000_000), 1);
+        let report = check_execution(&topo, &spec, Some(&plan));
+        // The preempt fails fast (intolerant ring) — a legitimate
+        // outcome, never a stall, even though no retry is armed.
+        assert!(report.is_clean(), "{:?}", report.counterexamples);
+        assert!(report.fails_fast > 0);
+    }
+}

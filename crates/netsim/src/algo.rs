@@ -368,7 +368,11 @@ pub fn hierarchical_all_reduce(groups: &[Vec<Rank>], bytes: u64) -> CollSchedule
         return ring_all_reduce(groups[0], bytes);
     }
     let k = groups.len();
-    let s_max = groups.iter().map(|g| g.len()).max().expect("k >= 2 groups");
+    let s_max = groups
+        .iter()
+        .map(|g| g.len())
+        .max()
+        .expect("hierarchical schedule requires at least two cluster groups");
     let mut rounds = Vec::new();
 
     // Phase 1/3 skeleton: one lockstep intra-cluster ring pass; cluster c
@@ -513,7 +517,11 @@ pub fn estimate_on_topology(topo: &Topology, schedule: &CollSchedule) -> f64 {
             *src.entry((node_of(t.from), rdma)).or_insert(0) += 1;
             *dst.entry((node_of(t.to), rdma)).or_insert(0) += 1;
             if rdma {
-                let cluster = topo.coord(t.from).expect("rank in range").cluster.0;
+                let cluster = topo
+                    .coord(t.from)
+                    .expect("schedule transfers reference ranks inside the topology")
+                    .cluster
+                    .0;
                 *switch_flows.entry(cluster).or_insert(0) += 1;
             }
         }
@@ -528,8 +536,12 @@ pub fn estimate_on_topology(topo: &Topology, schedule: &CollSchedule) -> f64 {
             let mut bw = profile.bandwidth_bytes_per_sec;
             if !profile.kind.is_intra_node() {
                 let rdma = profile.kind.is_rdma();
-                let ca = topo.coord(t.from).expect("rank in range");
-                let cb = topo.coord(t.to).expect("rank in range");
+                let ca = topo
+                    .coord(t.from)
+                    .expect("schedule transfers reference ranks inside the topology");
+                let cb = topo
+                    .coord(t.to)
+                    .expect("schedule transfers reference ranks inside the topology");
                 let na = &topo.clusters()[ca.cluster.0 as usize].nodes[ca.node.0 as usize];
                 let nb = &topo.clusters()[cb.cluster.0 as usize].nodes[cb.node.0 as usize];
                 let (up, down) = if rdma {

@@ -200,7 +200,9 @@ mod tests {
     #[test]
     fn builder_orders_by_insertion() {
         let mut s = ChurnSchedule::new();
-        s.preempt(SimTime(5), 1).join(SimTime(9), 1).drain(SimTime(2), 0);
+        s.preempt(SimTime(5), 1)
+            .join(SimTime(9), 1)
+            .drain(SimTime(2), 0);
         assert_eq!(s.events().len(), 3);
         assert_eq!(s.events()[0].at, SimTime(5));
         assert_eq!(s.events()[2].kind, ChurnKind::NodeDrain);
@@ -224,7 +226,10 @@ mod tests {
         assert_eq!(a, b);
         let c = ChurnSchedule::poisson(8, &nodes, 100.0, 10.0, 1.0);
         assert_ne!(a, c);
-        assert!(!a.is_empty(), "100 s horizon at 10 s mean up-time must churn");
+        assert!(
+            !a.is_empty(),
+            "100 s horizon at 10 s mean up-time must churn"
+        );
     }
 
     #[test]

@@ -147,15 +147,25 @@ impl Fabric {
             let src = self.node_links[self.node_of(a)];
             let dst = self.node_links[self.node_of(b)];
             let (ca, cb) = (
-                topo.coord(a).expect("rank in range").cluster,
-                topo.coord(b).expect("rank in range").cluster,
+                topo.coord(a)
+                    .expect("fabric routes are built only for ranks inside the topology")
+                    .cluster,
+                topo.coord(b)
+                    .expect("fabric routes are built only for ranks inside the topology")
+                    .cluster,
             );
             let eth = if ca == cb {
                 // Within one cluster: the slower endpoint's Ethernet NIC.
-                let na = &topo.clusters()[ca.0 as usize].nodes
-                    [topo.coord(a).expect("rank in range").node.0 as usize];
-                let nb = &topo.clusters()[cb.0 as usize].nodes
-                    [topo.coord(b).expect("rank in range").node.0 as usize];
+                let na = &topo.clusters()[ca.0 as usize].nodes[topo
+                    .coord(a)
+                    .expect("fabric routes are built only for ranks inside the topology")
+                    .node
+                    .0 as usize];
+                let nb = &topo.clusters()[cb.0 as usize].nodes[topo
+                    .coord(b)
+                    .expect("fabric routes are built only for ranks inside the topology")
+                    .node
+                    .0 as usize];
                 if na.ethernet.effective_bytes_per_sec() <= nb.ethernet.effective_bytes_per_sec() {
                     na.ethernet
                 } else {
@@ -189,7 +199,10 @@ impl Fabric {
                 let mut path = vec![src.rdma_up, dst.rdma_down];
                 // Oversubscribed fabrics bottleneck inter-node RDMA at the
                 // cluster switch's bisection.
-                let cluster = topo.coord(a).expect("rank in range").cluster;
+                let cluster = topo
+                    .coord(a)
+                    .expect("fabric routes are built only for ranks inside the topology")
+                    .cluster;
                 if let Some(switch) = self.cluster_switches[cluster.0 as usize] {
                     path.push(switch);
                 }
@@ -204,8 +217,14 @@ impl Fabric {
                 let dst = self.node_links[self.node_of(b)];
                 let mut path = vec![src.eth_up, dst.eth_down];
                 let cross_cluster = {
-                    let ca = topo.coord(a).expect("rank in range").cluster;
-                    let cb = topo.coord(b).expect("rank in range").cluster;
+                    let ca = topo
+                        .coord(a)
+                        .expect("fabric routes are built only for ranks inside the topology")
+                        .cluster;
+                    let cb = topo
+                        .coord(b)
+                        .expect("fabric routes are built only for ranks inside the topology")
+                        .cluster;
                     ca != cb
                 };
                 if cross_cluster {

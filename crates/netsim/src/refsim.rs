@@ -212,7 +212,10 @@ impl RefSim {
                 self.update_check();
                 continue;
             }
-            let Reverse((time, _, payload)) = self.queue.pop().expect("queue checked above");
+            let Reverse((time, _, payload)) = self
+                .queue
+                .pop()
+                .expect("pop follows a non-empty check on the same queue");
             self.now = SimTime(time);
             match payload {
                 RefPayload::Timer(token) => return Some(Completion::Timer { token }),
@@ -341,7 +344,10 @@ impl RefSim {
             .map(|(&id, _)| id)
             .collect();
         for id in ripe {
-            let mut f = self.flows.remove(&id).expect("ripe flow exists");
+            let mut f = self
+                .flows
+                .remove(&id)
+                .expect("settlement ids come from the live flow table");
             Self::settle(&mut f, self.now);
             self.backlog.push_back(Completion::Flow {
                 id: FlowId(id),
@@ -371,7 +377,10 @@ impl RefSim {
             let links = &self.links;
             let now = self.now;
             unfixed.retain(|id| {
-                let f = self.flows.get_mut(id).expect("unfixed flow exists");
+                let f = self
+                    .flows
+                    .get_mut(id)
+                    .expect("rate-fixing ids come from the live flow table");
                 if f.path.iter().any(|l| links[l.0 as usize].is_dead()) {
                     Self::assign_rate(f, now, 0.0);
                     for l in &f.path {
@@ -407,7 +416,10 @@ impl RefSim {
             let now = self.now;
             let mut progressed = false;
             unfixed.retain(|id| {
-                let f = self.flows.get_mut(id).expect("unfixed flow exists");
+                let f = self
+                    .flows
+                    .get_mut(id)
+                    .expect("rate-fixing ids come from the live flow table");
                 let by_cap = f.rate_cap <= threshold;
                 let by_link = f.path.iter().any(|l| is_bottleneck[l.0 as usize]);
                 if by_cap || by_link {
@@ -427,7 +439,10 @@ impl RefSim {
             debug_assert!(progressed || unfixed.len() == before);
             if !progressed {
                 for id in &unfixed {
-                    let f = self.flows.get_mut(id).expect("unfixed flow exists");
+                    let f = self
+                        .flows
+                        .get_mut(id)
+                        .expect("rate-fixing ids come from the live flow table");
                     let rate = f.rate_cap.min(bottleneck);
                     Self::assign_rate(f, now, rate);
                 }

@@ -23,9 +23,9 @@
 use std::collections::{BTreeMap, BinaryHeap, HashSet, VecDeque};
 
 use crate::arena::{FlowArena, PathVec};
+use crate::churn::ChurnKind;
 use crate::fault::FaultSchedule;
 use crate::flow::{FlowId, FlowSpec};
-use crate::churn::ChurnKind;
 use crate::link::{LinkCapacity, LinkHealth, LinkId, LinkStats};
 use crate::obs::{FlowOutcome, NetObsReport, NetObsState};
 use crate::sched::EventQueue;

@@ -275,7 +275,10 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 character (may span several bytes).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("non-empty by peek");
+                    let c = rest
+                        .chars()
+                        .next()
+                        .expect("peek guarantees at least one remaining character");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

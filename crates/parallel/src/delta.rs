@@ -238,12 +238,15 @@ impl TopologyDelta {
     /// removed, joins appended at each cluster's end).
     pub fn node_map(&self, topo: &Topology) -> Result<Vec<Option<u32>>, DeltaError> {
         let node_count = topo.node_count();
-        let lost: HashSet<u32> = self.lost_nodes().into_iter().collect();
-        for &n in &lost {
+        let lost_list = self.lost_nodes();
+        // Validate in declaration order (not hash order) so the reported
+        // node is stable across runs.
+        for &n in &lost_list {
             if n >= node_count {
                 return Err(DeltaError::UnknownNode(n));
             }
         }
+        let lost: HashSet<u32> = lost_list.into_iter().collect();
         let mut joins_per_cluster = vec![0u32; topo.clusters().len()];
         for e in &self.events {
             if let DeltaEvent::NodeJoin { cluster } = e {
@@ -382,12 +385,9 @@ pub fn replan_for_delta(
 ) -> Result<DeltaReplanOutcome, DeltaError> {
     let new_topo = delta.apply(topo)?;
     let degrees = plan.degrees();
-    let new_degrees = ParallelDegrees::infer_data(
-        degrees.tensor,
-        degrees.pipeline,
-        new_topo.device_count(),
-    )
-    .map_err(DeltaError::Degrees)?;
+    let new_degrees =
+        ParallelDegrees::infer_data(degrees.tensor, degrees.pipeline, new_topo.device_count())
+            .map_err(DeltaError::Degrees)?;
     let layout = GroupLayout::new(new_degrees);
     let placement = planner.plan_placement(&new_topo, &layout, gradient_bytes);
     let report = NicSelectionReport::analyze(&new_topo, &layout, &placement.assignment);
@@ -550,10 +550,7 @@ mod tests {
         let mut delta = TopologyDelta::new();
         delta.nic_loss(0);
         let applied = delta.apply(&topo).unwrap();
-        assert_eq!(
-            applied.clusters()[0].nodes[0].nic_type(),
-            NicType::Ethernet
-        );
+        assert_eq!(applied.clusters()[0].nodes[0].nic_type(), NicType::Ethernet);
         assert_eq!(applied.device_count(), topo.device_count());
     }
 
@@ -590,9 +587,8 @@ mod tests {
         // The migration-aware path must converge to the same placement a
         // from-scratch plan of the post-churn topology picks.
         let fresh_topo = delta.apply(&topo).unwrap();
-        let fresh_layout = GroupLayout::new(
-            ParallelDegrees::infer_data(1, 2, fresh_topo.device_count()).unwrap(),
-        );
+        let fresh_layout =
+            GroupLayout::new(ParallelDegrees::infer_data(1, 2, fresh_topo.device_count()).unwrap());
         let fresh = planner.plan_placement(&fresh_topo, &fresh_layout, GRAD);
         assert_eq!(outcome.placement.assignment, fresh.assignment);
         assert_eq!(outcome.placement.cluster_order, fresh.cluster_order);
@@ -647,11 +643,7 @@ mod tests {
         let topo = presets::homogeneous(NicType::InfiniBand, 4);
         let plan = plan_on(&topo, 1, 2);
         let g = topo.gpus_per_node();
-        let stage0_nodes: HashSet<u32> = plan
-            .stage_devices(0)
-            .iter()
-            .map(|r| r.0 / g)
-            .collect();
+        let stage0_nodes: HashSet<u32> = plan.stage_devices(0).iter().map(|r| r.0 / g).collect();
         assert_eq!(stage0_nodes.len(), 2);
         let mut delta = TopologyDelta::new();
         for n in &stage0_nodes {

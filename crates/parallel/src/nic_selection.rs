@@ -136,9 +136,11 @@ impl DpGroupNic {
                 for (i, &a) in self.devices.iter().enumerate() {
                     let b = self.devices[(i + 1) % self.devices.len()];
                     let link = if self.forced_tcp {
-                        topo.tcp_link_between(a, b).expect("devices in topology")
+                        topo.tcp_link_between(a, b)
+                            .expect("candidate group members are ranks inside the topology")
                     } else {
-                        topo.link_between(a, b).expect("devices in topology")
+                        topo.link_between(a, b)
+                            .expect("candidate group members are ranks inside the topology")
                     };
                     bw = bw.min(link.bandwidth_bytes_per_sec);
                     lat = lat.max(link.latency_ns as f64 * 1e-9);
@@ -220,7 +222,11 @@ impl NicSelectionReport {
         lost_nodes: &[u32],
         gradient_bytes: u64,
     ) -> ReplanOutcome {
-        self.replan(topo, &crate::delta::TopologyDelta::nic_losses(lost_nodes), gradient_bytes)
+        self.replan(
+            topo,
+            &crate::delta::TopologyDelta::nic_losses(lost_nodes),
+            gradient_bytes,
+        )
     }
 
     /// Re-plan *in place* under a typed [`crate::delta::TopologyDelta`]:
@@ -243,8 +249,7 @@ impl NicSelectionReport {
     ) -> ReplanOutcome {
         let gpus_per_node = topo.gpus_per_node().max(1);
         let node_of = |r: Rank| r.0 / gpus_per_node;
-        let lost: std::collections::HashSet<u32> =
-            delta.affected_nodes().into_iter().collect();
+        let lost: std::collections::HashSet<u32> = delta.affected_nodes().into_iter().collect();
         let cost_before_seconds = self.dp_sync_cost_seconds(topo, gradient_bytes);
         let mut groups = Vec::with_capacity(self.groups.len());
         let mut downgraded_groups = Vec::new();

@@ -82,7 +82,8 @@ pub(crate) fn cost_of_order(
     gradient_bytes: u64,
 ) -> f64 {
     let assignment = assignment_for_order(topo, order);
-    NicSelectionReport::analyze(topo, layout, &assignment).dp_sync_cost_seconds(topo, gradient_bytes)
+    NicSelectionReport::analyze(topo, layout, &assignment)
+        .dp_sync_cost_seconds(topo, gradient_bytes)
 }
 
 /// Iterative permutation generator over `0..n` (Heap's algorithm).
@@ -163,10 +164,7 @@ impl CanonicalBest {
     }
 
     fn canon_of(&self, order: &[ClusterId]) -> Vec<u16> {
-        order
-            .iter()
-            .map(|c| self.rank_of[c.0 as usize])
-            .collect()
+        order.iter().map(|c| self.rank_of[c.0 as usize]).collect()
     }
 
     fn offer(&mut self, order: &[ClusterId], cost: f64) {

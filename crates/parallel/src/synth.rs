@@ -193,8 +193,8 @@ fn aligned_solo_costs(
                 let devices: Vec<Rank> = (0..d).map(|j| ranks[base + m + j * t]).collect();
                 // The group index is metadata only — cost depends on the
                 // device set, never on the index.
-                let cost =
-                    DpGroupNic::analyze_group(topo, 0, devices).sync_cost_seconds(topo, gradient_bytes);
+                let cost = DpGroupNic::analyze_group(topo, 0, devices)
+                    .sync_cost_seconds(topo, gradient_bytes);
                 worst = worst.max(cost);
             }
         }
@@ -556,10 +556,12 @@ mod tests {
 
     fn assert_matches_exhaustive(topo: &Topology, t: u32, p: u32) {
         let layout = layout_for(topo, t, p);
-        let exhaustive =
-            search_cluster_orders_with_mode(topo, &layout, GRAD, EvalMode::Serial);
+        let exhaustive = search_cluster_orders_with_mode(topo, &layout, GRAD, EvalMode::Serial);
         let (guided, _) = synthesize_placement(topo, &layout, GRAD);
-        assert_eq!(guided.cluster_order, exhaustive.cluster_order, "t={t} p={p}");
+        assert_eq!(
+            guided.cluster_order, exhaustive.cluster_order,
+            "t={t} p={p}"
+        );
         assert_eq!(
             guided.cost_seconds.to_bits(),
             exhaustive.cost_seconds.to_bits(),
@@ -575,7 +577,10 @@ mod tests {
         for (topo, ps) in [
             (presets::hybrid_two_cluster(2), vec![1u32, 2]),
             (presets::hybrid_split(3, 1), vec![1, 2, 4]),
-            (presets::same_nic_two_clusters(NicType::InfiniBand, 2), vec![1, 2]),
+            (
+                presets::same_nic_two_clusters(NicType::InfiniBand, 2),
+                vec![1, 2],
+            ),
             (presets::table4_2r_2r_2ib(), vec![1, 2, 3]),
             (presets::table4_2r_2ib_2ib(), vec![1, 2, 3]),
             (presets::table4_4r_4ib_4ib(), vec![2, 3]),
@@ -630,8 +635,11 @@ mod tests {
     fn planner_strategies_agree_on_small_topologies() {
         let topo = presets::table4_2r_2r_2ib();
         let layout = layout_for(&topo, 1, 3);
-        let strategies: [&dyn Planner; 3] =
-            [&HeuristicPlanner, &ExhaustivePlanner::default(), &GuidedPlanner];
+        let strategies: [&dyn Planner; 3] = [
+            &HeuristicPlanner,
+            &ExhaustivePlanner::default(),
+            &GuidedPlanner,
+        ];
         let results: Vec<PlacementSearchResult> = strategies
             .iter()
             .map(|s| s.plan_placement(&topo, &layout, GRAD))
@@ -643,7 +651,10 @@ mod tests {
             assert_eq!(r.cluster_order, results[0].cluster_order);
             assert_eq!(r.cost_seconds.to_bits(), results[0].cost_seconds.to_bits());
         }
-        assert_eq!(strategies.map(|s| s.name()), ["heuristic", "exhaustive", "guided"]);
+        assert_eq!(
+            strategies.map(|s| s.name()),
+            ["heuristic", "exhaustive", "guided"]
+        );
     }
 
     #[test]
@@ -684,7 +695,10 @@ mod tests {
         // And the exhaustive oracle agrees on the winner.
         let exhaustive = search_cluster_orders_with_mode(&topo, &layout, GRAD, EvalMode::Serial);
         assert_eq!(result.cluster_order, exhaustive.cluster_order);
-        assert_eq!(result.cost_seconds.to_bits(), exhaustive.cost_seconds.to_bits());
+        assert_eq!(
+            result.cost_seconds.to_bits(),
+            exhaustive.cost_seconds.to_bits()
+        );
     }
 
     #[test]

@@ -120,11 +120,8 @@ pub fn synthetic_fleet(count: u32, nodes_per_cluster: u32) -> Topology {
     let mut builder = TopologyBuilder::new();
     for i in 0..count {
         let (class, profile) = &classes[(i % 4) as usize];
-        builder = builder.cluster_with_profile(
-            format!("fleet-{class}-{i}"),
-            nodes_per_cluster,
-            *profile,
-        );
+        builder =
+            builder.cluster_with_profile(format!("fleet-{class}-{i}"), nodes_per_cluster, *profile);
     }
     builder.build().expect("non-empty synthetic fleet")
 }

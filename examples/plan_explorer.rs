@@ -14,9 +14,7 @@ use holmes_repro::engine::DpSyncStrategy;
 use holmes_repro::model::{GptConfig, MemoryEstimate, ParameterGroup, TrainJob};
 use holmes_repro::parallel::{GroupLayout, GuidedPlanner, ParallelDegrees};
 use holmes_repro::topology::presets;
-use holmes_repro::{
-    placement_gradient_bytes, run_scenario, HolmesConfig, PlanRequest, Scenario,
-};
+use holmes_repro::{placement_gradient_bytes, run_scenario, HolmesConfig, PlanRequest, Scenario};
 
 fn main() {
     // Fleet: 8 nodes split across an InfiniBand and a RoCE cluster.

@@ -1,0 +1,71 @@
+//! Shipped-preset progress gate: the symbolic checker must pass —
+//! no stall, livelock, wait-cycle, or unsound member-loss claim — on
+//! every fault/churn preset over the paper-table and resilience
+//! topologies, and on a bounded sweep of the synthetic fleet.
+
+use holmes::{verify_preset_progress, FaultPreset};
+use holmes_analysis::EventSpace;
+use holmes_topology::presets;
+
+#[test]
+fn every_fault_preset_is_progress_clean_on_resilience_topologies() {
+    let topologies = [
+        ("hybrid_two_cluster", presets::hybrid_two_cluster(2)),
+        ("table4_2r_2ib_2ib", presets::table4_2r_2ib_2ib()),
+    ];
+    for (name, topo) in &topologies {
+        for preset in FaultPreset::ALL {
+            let report = verify_preset_progress(topo, 1, preset, 7, EventSpace::quick())
+                .expect("preset verification plans and simulates");
+            assert!(
+                report.is_clean(),
+                "{name}/{} has progress violations: {:?}",
+                preset.name(),
+                report.counterexamples
+            );
+            assert!(
+                report.scenarios > 0,
+                "{name}/{} swept nothing",
+                preset.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_table_topologies_are_progress_clean() {
+    let topologies = [
+        ("table4_2r_2r_2ib", presets::table4_2r_2r_2ib()),
+        ("table4_4r_4ib_4ib", presets::table4_4r_4ib_4ib()),
+    ];
+    for (name, topo) in &topologies {
+        for preset in [FaultPreset::Clean, FaultPreset::DyingNic] {
+            let report = verify_preset_progress(topo, 1, preset, 11, EventSpace::quick())
+                .expect("preset verification plans and simulates");
+            assert!(
+                report.is_clean(),
+                "{name}/{} has progress violations: {:?}",
+                preset.name(),
+                report.counterexamples
+            );
+        }
+    }
+}
+
+#[test]
+fn synthetic_fleet_is_progress_clean_under_bounded_sweep() {
+    let topo = presets::synthetic_fleet(6, 2);
+    let space = EventSpace {
+        pairwise: false,
+        max_scenarios: Some(96),
+    };
+    let report = verify_preset_progress(&topo, 1, FaultPreset::PreemptStorm, 3, space)
+        .expect("fleet verification plans and simulates");
+    assert!(
+        report.is_clean(),
+        "fleet has progress violations: {:?}",
+        report.counterexamples
+    );
+    // The cap must be visible, never silent.
+    assert!(report.scenarios > 0);
+}

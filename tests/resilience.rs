@@ -14,9 +14,7 @@
 use holmes_repro::engine::DpSyncStrategy;
 use holmes_repro::parallel::{GroupLayout, GuidedPlanner, ParallelDegrees, Planner};
 use holmes_repro::topology::presets;
-use holmes_repro::{
-    run_resilient, run_resilient_with_strategy, FaultPreset, ReliabilityModel,
-};
+use holmes_repro::{run_resilient, run_resilient_with_strategy, FaultPreset, ReliabilityModel};
 
 /// Tolerance between simulated and analytic goodput, absolute.
 ///
@@ -140,8 +138,7 @@ fn preemption_re_shard_is_deterministic_and_converges_to_a_fresh_plan() {
     // degree is re-inferred from the surviving device count, and the
     // gradient volume is the per-stage share resilience planning uses.
     let cfg = holmes_repro::model::ParameterGroup::table2(1).config;
-    let degrees =
-        ParallelDegrees::infer_data(1, 2, replan.new_topology.device_count()).unwrap();
+    let degrees = ParallelDegrees::infer_data(1, 2, replan.new_topology.device_count()).unwrap();
     let layout = GroupLayout::new(degrees);
     let grad = holmes_repro::model::CommVolumes::dp_gradient_bytes(
         cfg.parameter_count() / u64::from(degrees.pipeline),
