@@ -37,6 +37,7 @@ pub use progress::{
     ProgressReport, ProgressSpec, ProgressVerdict, RetryModel, ScenarioEvent, WaitNode,
 };
 pub use verify::{
-    expected_totals, verify_collective, verify_dp_groups, verify_migration, verify_partition,
-    verify_plan, verify_replan, verify_schedule_structure, VerifyError,
+    expected_totals, verify_collective, verify_dp_groups, verify_hetero_partition,
+    verify_migration, verify_partition, verify_plan, verify_replan, verify_schedule_structure,
+    verify_stage_memory, VerifyError,
 };

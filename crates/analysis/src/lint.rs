@@ -152,9 +152,13 @@ impl Default for SeverityConfig {
     /// * `netsim`/`engine`/`obs` — the event-ordered core; every rule
     ///   denies (this is the old per-file hot-path list promoted to the
     ///   whole crate).
-    /// * `parallel` — planner/synthesis feed the replay; everything but
-    ///   hash iteration denies (plans are built from `BTree` state
-    ///   already; hash iteration off the event path only warns).
+    /// * `parallel` — planner/synthesis feed the replay; every rule
+    ///   denies. Hash iteration was promoted from warn when the
+    ///   straggler-aware partition landed: `skew`/`straggler` pricing and
+    ///   `delta` re-pricing order plans and costs that snapshots pin byte
+    ///   for byte, so iteration order is load-bearing crate-wide (plans
+    ///   are built from `BTree` state; hash sets appear only behind
+    ///   membership tests).
     /// * `core`/`topology`/`model`/`workspace` — wall-clock and float
     ///   equality deny (they leak into reported metrics), plus lossy
     ///   casts for `topology`, whose quantities parameterize the fabric.
@@ -171,7 +175,7 @@ impl Default for SeverityConfig {
                 config = config.set(key, rule, Deny);
             }
         }
-        for rule in [WallClock, HotPathPanic, FloatEq, LossyCast] {
+        for rule in Rule::ALL {
             config = config.set("parallel", rule, Deny);
         }
         for key in ["core", "model", "workspace"] {

@@ -37,7 +37,7 @@ use std::collections::BTreeSet;
 
 use holmes_netsim::algo::{partition_by_cluster, CollKind, CollSchedule, Transfer};
 use holmes_parallel::{
-    DeltaReplanOutcome, DpCollectiveAlgo, DpGroupNic, MigrationPlan, ParallelPlan,
+    DeltaReplanOutcome, DpCollectiveAlgo, DpGroupNic, MigrationPlan, ParallelPlan, StageProfile,
 };
 use holmes_topology::{Rank, Topology};
 
@@ -270,6 +270,37 @@ pub enum VerifyError {
         /// Number of parked transfers.
         parked: usize,
     },
+    /// A straggler-aware partition over non-uniform per-stage rates whose
+    /// layer counts do not sum to the model's total — layers were dropped
+    /// or invented while balancing heterogeneous stage speeds.
+    HeteroPartitionSumMismatch {
+        /// Model layer count.
+        expected: u32,
+        /// Sum over stages.
+        actual: u32,
+    },
+    /// A stage assigned more state than its *smallest* member can hold:
+    /// on a mixed-generation stage the weakest device binds, and the
+    /// partition placed layers past its capacity.
+    StageOverMemberCapacity {
+        /// Stage index.
+        stage: u32,
+        /// Bytes the stage's assignment needs.
+        needed_bytes: u64,
+        /// The stage's smallest member capacity.
+        capacity_bytes: u64,
+    },
+    /// Skew-monotonicity violated: the partition's unique bottleneck
+    /// stage could shed one layer to a stage whose post-move finish time
+    /// stays strictly below the bottleneck — the partition is not locally
+    /// optimal under the heterogeneous completion-time objective.
+    BottleneckReducible {
+        /// The unique bottleneck stage (≥ 2 layers).
+        stage: u32,
+        /// A stage that could absorb one of its layers strictly under
+        /// the bottleneck.
+        better: u32,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -428,6 +459,28 @@ impl std::fmt::Display for VerifyError {
                 write!(
                     f,
                     "collective {collective} round {round}: {parked} transfers parked with no retry policy"
+                )
+            }
+            VerifyError::HeteroPartitionSumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "hetero partition sums to {actual} layers, model has {expected}"
+                )
+            }
+            VerifyError::StageOverMemberCapacity {
+                stage,
+                needed_bytes,
+                capacity_bytes,
+            } => {
+                write!(
+                    f,
+                    "stage {stage} needs {needed_bytes} bytes but its smallest member holds {capacity_bytes}"
+                )
+            }
+            VerifyError::BottleneckReducible { stage, better } => {
+                write!(
+                    f,
+                    "bottleneck stage {stage} could shed a layer to stage {better} and still finish sooner"
                 )
             }
         }
@@ -717,6 +770,97 @@ pub fn verify_partition(
         }
     }
     errors
+}
+
+/// Verify a straggler-aware partition over heterogeneous stage profiles:
+///
+/// * **conservation under non-uniform rates** — the layer counts must sum
+///   to `total_layers` ([`VerifyError::HeteroPartitionSumMismatch`]);
+/// * **skew-monotone stage times** — when the partition has a *unique*
+///   bottleneck stage carrying ≥ 2 layers, no other stage may be able to
+///   absorb one of its layers and still finish strictly below the
+///   bottleneck ([`VerifyError::BottleneckReducible`]). A partition that
+///   trips this is not locally optimal under the completion-time
+///   objective `f_i = comm_i + n_i · sec_per_layer_i`, which the greedy
+///   straggler-aware partition guarantees by construction.
+///
+/// With a tied (non-unique) bottleneck or a single-layer bottleneck the
+/// local-move check is vacuous: shedding the layer either empties the
+/// stage or leaves the tied co-bottleneck standing.
+pub fn verify_hetero_partition(
+    total_layers: u32,
+    stages: &[StageProfile],
+    stage_layers: &[u32],
+) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+    if stages.len() != stage_layers.len() {
+        errors.push(VerifyError::StageCountMismatch {
+            expected: stages.len() as u32,
+            actual: stage_layers.len() as u32,
+        });
+        return errors;
+    }
+    let sum: u32 = stage_layers.iter().sum();
+    if sum != total_layers {
+        errors.push(VerifyError::HeteroPartitionSumMismatch {
+            expected: total_layers,
+            actual: sum,
+        });
+    }
+
+    let finish: Vec<f64> = stages
+        .iter()
+        .zip(stage_layers)
+        .map(|(s, &n)| s.comm_seconds + f64::from(n) * s.sec_per_layer)
+        .collect();
+    let Some(bottleneck) = (0..finish.len()).max_by(|&a, &b| {
+        finish[a]
+            .total_cmp(&finish[b])
+            // Ties resolve to the *lowest* index so uniqueness below is
+            // checked against a deterministic representative.
+            .then(b.cmp(&a))
+    }) else {
+        return errors;
+    };
+    let unique = finish
+        .iter()
+        .enumerate()
+        .all(|(i, t)| i == bottleneck || t.total_cmp(&finish[bottleneck]).is_lt());
+    if unique && stage_layers[bottleneck] >= 2 {
+        for (j, s) in stages.iter().enumerate() {
+            if j == bottleneck {
+                continue;
+            }
+            let absorbed = s.comm_seconds + f64::from(stage_layers[j] + 1) * s.sec_per_layer;
+            if absorbed.total_cmp(&finish[bottleneck]).is_lt() {
+                errors.push(VerifyError::BottleneckReducible {
+                    stage: bottleneck as u32,
+                    better: j as u32,
+                });
+            }
+        }
+    }
+    errors
+}
+
+/// Verify per-stage memory fit on a heterogeneous fleet: each entry pairs
+/// a stage's `(needed_bytes, capacity_bytes)` where the capacity is that
+/// stage's *smallest member* — on a mixed-generation stage the weakest
+/// device binds. Any stage whose assignment needs more than its smallest
+/// member holds yields [`VerifyError::StageOverMemberCapacity`].
+pub fn verify_stage_memory(stage_fit: &[(u64, u64)]) -> Vec<VerifyError> {
+    stage_fit
+        .iter()
+        .enumerate()
+        .filter(|&(_, &(needed, capacity))| needed > capacity)
+        .map(
+            |(stage, &(needed_bytes, capacity_bytes))| VerifyError::StageOverMemberCapacity {
+                stage: stage as u32,
+                needed_bytes,
+                capacity_bytes,
+            },
+        )
+        .collect()
 }
 
 /// Verify Automatic NIC Selection classifications (paper §3.2): a group

@@ -8,14 +8,15 @@ use holmes_analysis::progress::{
     ProgressEvent, ProgressSpec, ProgressVerdict, RetryModel, ScenarioEvent, WaitNode,
 };
 use holmes_analysis::{
-    verify_collective, verify_dp_groups, verify_migration, verify_moves_executable,
-    verify_partition, verify_plan, verify_replan, verify_schedule_structure, VerifyError,
+    verify_collective, verify_dp_groups, verify_hetero_partition, verify_migration,
+    verify_moves_executable, verify_partition, verify_plan, verify_replan,
+    verify_schedule_structure, verify_stage_memory, VerifyError,
 };
 use holmes_netsim::algo::{CollKind, CollSchedule, Round, Transfer};
 use holmes_parallel::{
     replan_for_delta, DeltaReplanOutcome, DpCollectiveAlgo, DpGroupNic, GroupLayout, GuidedPlanner,
-    HolmesScheduler, MigrationCosts, ParallelDegrees, ParallelPlan, Scheduler, StateMove,
-    TopologyDelta,
+    HolmesScheduler, MigrationCosts, ParallelDegrees, ParallelPlan, Scheduler, StageProfile,
+    StateMove, StragglerAwarePartition, TopologyDelta,
 };
 use holmes_topology::{presets, NicProfile, NicType, Rank, Topology};
 
@@ -352,6 +353,86 @@ fn partition_mutations_detected() {
     assert_eq!(
         verify_partition(30, Some(&[2.0, 1.0]), &[10, 20]),
         vec![VerifyError::NonMonotoneStages { fast: 0, slow: 1 }]
+    );
+}
+
+#[test]
+fn hetero_partition_mutations_detected() {
+    // Three generations with distinct per-layer rates and DP comm terms —
+    // the straggler-aware greedy path, not the Eq. 2 delegation.
+    let stages = [
+        StageProfile {
+            speed_tflops: 989.0,
+            sec_per_layer: 2.0e-4,
+            comm_seconds: 1e-2,
+        },
+        StageProfile {
+            speed_tflops: 312.0,
+            sec_per_layer: 6.5e-4,
+            comm_seconds: 3e-2,
+        },
+        StageProfile {
+            speed_tflops: 125.0,
+            sec_per_layer: 1.6e-3,
+            comm_seconds: 5e-3,
+        },
+    ];
+    // Pristine greedy output: conserved and skew-locally-optimal.
+    let good = StragglerAwarePartition::default().partition_stages(36, &stages);
+    assert!(verify_hetero_partition(36, &stages, &good).is_empty());
+
+    // Lost a layer under non-uniform rates.
+    let mut bad = good.clone();
+    bad[0] -= 1;
+    let errs = verify_hetero_partition(36, &stages, &bad);
+    assert!(
+        errs.contains(&VerifyError::HeteroPartitionSumMismatch {
+            expected: 36,
+            actual: 35,
+        }),
+        "{errs:?}"
+    );
+
+    // Pile the layers onto the slowest stage: a unique bottleneck either
+    // faster stage could relieve — skew-monotonicity broken both ways.
+    let errs = verify_hetero_partition(36, &stages, &[1, 1, 34]);
+    assert!(
+        errs.contains(&VerifyError::BottleneckReducible {
+            stage: 2,
+            better: 0
+        }),
+        "{errs:?}"
+    );
+    assert!(
+        errs.contains(&VerifyError::BottleneckReducible {
+            stage: 2,
+            better: 1
+        }),
+        "{errs:?}"
+    );
+
+    // Profile/assignment arity mismatch short-circuits.
+    assert_eq!(
+        verify_hetero_partition(36, &stages, &[18, 18]),
+        vec![VerifyError::StageCountMismatch {
+            expected: 3,
+            actual: 2,
+        }]
+    );
+}
+
+#[test]
+fn stage_memory_mutations_detected() {
+    // Fits (equality allowed): no errors.
+    assert!(verify_stage_memory(&[(10, 20), (5, 5)]).is_empty());
+    // One stage needs more than its smallest member holds.
+    assert_eq!(
+        verify_stage_memory(&[(10, 20), (6, 5)]),
+        vec![VerifyError::StageOverMemberCapacity {
+            stage: 1,
+            needed_bytes: 6,
+            capacity_bytes: 5,
+        }]
     );
 }
 

@@ -198,6 +198,28 @@ fn catalogue() -> Vec<(VerifyError, &'static str)> {
             },
             "collective 0 round 3: 2 transfers parked with no retry policy",
         ),
+        (
+            VerifyError::HeteroPartitionSumMismatch {
+                expected: 36,
+                actual: 35,
+            },
+            "hetero partition sums to 35 layers, model has 36",
+        ),
+        (
+            VerifyError::StageOverMemberCapacity {
+                stage: 1,
+                needed_bytes: 40_000_000_000,
+                capacity_bytes: 34_359_738_368,
+            },
+            "stage 1 needs 40000000000 bytes but its smallest member holds 34359738368",
+        ),
+        (
+            VerifyError::BottleneckReducible {
+                stage: 2,
+                better: 0,
+            },
+            "bottleneck stage 2 could shed a layer to stage 0 and still finish sooner",
+        ),
     ]
 }
 
@@ -236,13 +258,16 @@ fn variant_name(e: &VerifyError) -> &'static str {
         VerifyError::MemberLossClaimMismatch { .. } => "MemberLossClaimMismatch",
         VerifyError::StateMoveUnroutable { .. } => "StateMoveUnroutable",
         VerifyError::ProgressStall { .. } => "ProgressStall",
+        VerifyError::HeteroPartitionSumMismatch { .. } => "HeteroPartitionSumMismatch",
+        VerifyError::StageOverMemberCapacity { .. } => "StageOverMemberCapacity",
+        VerifyError::BottleneckReducible { .. } => "BottleneckReducible",
     }
 }
 
 #[test]
 fn catalogue_covers_every_variant_exactly_once() {
     let entries = catalogue();
-    assert_eq!(entries.len(), 31, "catalogue entry count");
+    assert_eq!(entries.len(), 34, "catalogue entry count");
     let mut names: Vec<&str> = entries.iter().map(|(e, _)| variant_name(e)).collect();
     let total = names.len();
     names.sort_unstable();

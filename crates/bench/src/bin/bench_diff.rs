@@ -5,8 +5,9 @@
 //!
 //! * **Deterministic sections** must match *exactly* — the resilience
 //!   snapshot in full (it is a pure function of `(topology, preset,
-//!   seed)`), and `BENCH_netsim.json`'s `obs` registry, probe event count
-//!   and section count. Any drift here is a behavior change, not noise.
+//!   seed)`), `BENCH_netsim.json`'s `obs` registry, probe event count
+//!   and section count, and `BENCH_hetero.json`'s partition splits and
+//!   variants. Any drift here is a behavior change, not noise.
 //! * **Wall-clock numbers** (suite `mean_ns`, `netsim_events_per_sec`,
 //!   `all_experiments_wall_seconds`) are machine-dependent; they gate only
 //!   on a relative slowdown beyond `HOLMES_BENCH_TOLERANCE` (default
@@ -299,6 +300,46 @@ fn check_plansynth(gate: &mut Gate, base: &Value, fresh: &Value) {
     }
 }
 
+fn check_hetero(gate: &mut Gate, base: &Value, fresh: &Value) {
+    let file = "BENCH_hetero.json";
+    // Partition splits, simulated iteration times, and every variant are
+    // pure functions of (preset, parameter group, seed): exact.
+    for key in ["partition", "variants"] {
+        match (base.get(key), fresh.get(key)) {
+            (Some(b), Some(f)) => gate.exact(&format!("{file}:{key}"), b, f),
+            _ => gate.fail(format!("{file}:{key}: missing on one side")),
+        }
+    }
+    // The tentpole acceptance criterion, re-checked against the fresh run
+    // regardless of what the baseline says: on every shipped hetero preset
+    // the straggler-aware partition must strictly beat the uniform Eq. 2
+    // split on simulated iteration time.
+    match fresh.get("partition").and_then(Value::as_object) {
+        Some(rows) => {
+            for (preset, row) in rows {
+                gate.checks += 1;
+                let speedup = num(row, "speedup", file);
+                if speedup <= 1.0 {
+                    gate.fail(format!(
+                        "{file}:partition.{preset}.speedup: {speedup} — straggler-aware \
+                         partition must strictly beat uniform Eq. 2"
+                    ));
+                }
+            }
+        }
+        None => gate.fail(format!("{file}:partition: not an object")),
+    }
+    match (base.get("wall"), fresh.get("wall")) {
+        (Some(b), Some(f)) => gate.within_tolerance(
+            &format!("{file}:wall.hetero_bench_seconds"),
+            num(b, "hetero_bench_seconds", file),
+            num(f, "hetero_bench_seconds", file),
+            false,
+        ),
+        _ => gate.fail(format!("{file}:wall: missing on one side")),
+    }
+}
+
 fn main() -> ExitCode {
     let mut baseline_dir = PathBuf::from(ROOT).join("BENCH_baseline");
     let mut fresh_dir = PathBuf::from(ROOT);
@@ -355,6 +396,11 @@ fn main() -> ExitCode {
         &mut gate,
         &load(&baseline_dir.join("BENCH_plansynth.json")),
         &load(&fresh_dir.join("BENCH_plansynth.json")),
+    );
+    check_hetero(
+        &mut gate,
+        &load(&baseline_dir.join("BENCH_hetero.json")),
+        &load(&fresh_dir.join("BENCH_hetero.json")),
     );
 
     if gate.violations.is_empty() {

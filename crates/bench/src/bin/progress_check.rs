@@ -34,13 +34,18 @@ const OUT_PATH: &str = concat!(
 /// times this sweep verifies are the ones the bench actually replays.
 const SEED: u64 = 11;
 
-/// Environments swept: the resilience-family CI environment plus the
-/// paper-table hybrid, each with the parameter group the planner is
-/// asked for elsewhere in the bench.
+/// Environments swept: the resilience-family CI environment, the
+/// paper-table hybrid, and the heterogeneous-compute fleets — each with
+/// the parameter group the planner is asked for elsewhere in the bench.
+/// The hetero cells prove the straggler-aware partition's DP groups stay
+/// deadlock-free under the same single+pairwise event space as the
+/// uniform-rate environments.
 fn environments() -> Vec<(&'static str, Topology, u8)> {
     vec![
         ("hybrid_two_cluster_2", presets::hybrid_two_cluster(2), 1),
         ("table4_2r_2ib_2ib", presets::table4_2r_2ib_2ib(), 1),
+        ("gen_mix_3c", presets::gen_mix_3c(), 5),
+        ("gen_split_2c", presets::gen_split_2c(), 1),
     ]
 }
 

@@ -137,15 +137,22 @@ pub fn autotune_with_mode(
             };
             // Memory feasibility on the heaviest stage.
             let cfg_model = req.job.config;
-            let max_layers = *plan.stage_layers.iter().max().expect("p >= 1");
+            let (heaviest_stage, &max_layers) = plan
+                .stage_layers
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &layers)| layers)
+                .expect("p >= 1");
             let stage_params = u64::from(max_layers) * holmes_model::layer_params(&cfg_model)
                 + holmes_model::embedding_params(&cfg_model);
-            let device0 = plan.stage_devices(0)[0];
-            let capacity = topo
-                .device(device0)
-                .expect("device exists")
-                .gpu
-                .memory_bytes();
+            // The heaviest stage must fit its *smallest* member: on a
+            // mixed-generation fleet the stage's weakest device binds.
+            let capacity = plan
+                .stage_devices(heaviest_stage as u32)
+                .iter()
+                .map(|&r| topo.device(r).expect("device exists").gpu.memory_bytes())
+                .min()
+                .expect("stage has at least one device");
             let mem = MemoryEstimate::for_rank(
                 &cfg_model,
                 stage_params,

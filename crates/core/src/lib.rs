@@ -55,7 +55,10 @@ pub use config::HolmesConfig;
 pub use estimate::{estimate_iteration, IterationEstimate};
 pub use framework::FrameworkKind;
 pub use holmes_parallel::EvalMode;
-pub use planner::{placement_gradient_bytes, plan_for, plan_for_with, PlanError, PlanRequest};
+pub use planner::{
+    placement_gradient_bytes, placement_layer_flops, placement_stage_flops, plan_for,
+    plan_for_with, PlanError, PlanRequest,
+};
 pub use reliability::{
     CheckpointPlan, ChurnImpact, ElasticAction, ElasticDecision, ElasticPolicy, GoodputTrace,
     ReliabilityModel,

@@ -3,8 +3,9 @@
 use holmes_engine::{DpSyncStrategy, EngineConfig, ScheduleKind, TransportPolicy};
 use holmes_model::{CommVolumes, ParameterGroup, TrainJob};
 use holmes_parallel::{
-    DegreeError, GroupLayout, GuidedPlanner, ParallelDegrees, ParallelPlan, PartitionStrategy,
-    Planner, Scheduler, SelfAdaptingPartition, SequentialScheduler, UniformPartition,
+    DegreeError, GroupLayout, GuidedPlanner, NicSelectionReport, ParallelDegrees, ParallelPlan,
+    PartitionStrategy, PlacementWorkload, Planner, Scheduler, SelfAdaptingPartition,
+    SequentialScheduler, StageProfile, StragglerAwarePartition, UniformPartition,
 };
 use holmes_topology::Topology;
 
@@ -64,6 +65,25 @@ pub fn placement_gradient_bytes(job: &TrainJob, degrees: ParallelDegrees) -> u64
     CommVolumes::dp_gradient_bytes(worst_stage_params, degrees.tensor)
 }
 
+/// Per-device training FLOPs of *one transformer layer* of per-iteration
+/// work — the local batch (`B/d`) through the layer, fwd+bwd, sharded by
+/// the tensor degree. The straggler-aware partition prices each stage's
+/// slowest member at this kernel size per layer.
+pub fn placement_layer_flops(job: &TrainJob, degrees: ParallelDegrees) -> f64 {
+    holmes_model::layer_train_flops_per_sample(&job.config)
+        * (f64::from(job.global_batch) / f64::from(degrees.data))
+        / f64::from(degrees.tensor)
+}
+
+/// Per-device FLOPs of the *worst stage's* per-iteration work (uniform
+/// layer split, mirroring [`placement_gradient_bytes`]'s worst-stage
+/// rule): the compute axis of the [`PlacementWorkload`] candidate
+/// placements are priced against on mixed-generation fleets.
+pub fn placement_stage_flops(job: &TrainJob, degrees: ParallelDegrees) -> f64 {
+    placement_layer_flops(job, degrees)
+        * f64::from(job.config.num_layers.div_ceil(degrees.pipeline))
+}
+
 /// Build the parallel plan and engine configuration for a request under a
 /// Holmes feature configuration, using the default [`GuidedPlanner`] for
 /// cross-cluster placement.
@@ -102,15 +122,24 @@ pub fn plan_for_with(
     )
     .map_err(PlanError::Degrees)?;
     let layout = GroupLayout::new(degrees);
+    let gradient_bytes = placement_gradient_bytes(&req.job, degrees);
+    // Compute-uniform fleets plan against the historical gradient-only
+    // workload (bit-identical costs and search statistics); only a fleet
+    // mixing device generations turns the compute-skew axis on.
+    let uniform_compute = topo.uniform_compute();
+    let workload = if uniform_compute {
+        PlacementWorkload::gradient_only(gradient_bytes)
+    } else {
+        PlacementWorkload::new(gradient_bytes, placement_stage_flops(&req.job, degrees))
+    };
 
     // 1. Device ordering (Cross-Cluster Pipeline Parallelism): synthesize
-    // a placement minimizing the analytic DP sync cost. The baseline
-    // (flag off) keeps the Megatron-style sequential hostfile order.
+    // a placement minimizing the analytic DP sync cost — plus, on
+    // mixed-generation fleets, the worst DP group's straggler skew. The
+    // baseline (flag off) keeps the Megatron-style sequential hostfile
+    // order.
     let assignment = if cfg.cross_cluster_pp {
-        let gradient_bytes = placement_gradient_bytes(&req.job, degrees);
-        planner
-            .plan_placement(topo, &layout, gradient_bytes)
-            .assignment
+        planner.plan_workload(topo, &layout, workload).assignment
     } else {
         SequentialScheduler.assign(topo, &layout)
     };
@@ -133,10 +162,47 @@ pub fn plan_for_with(
         })
         .collect();
 
-    // 3. Layer partition (Self-Adapting vs Uniform).
+    // 3. Layer partition. Compute-uniform fleets keep the exact Eq. 2
+    // Self-Adapting split over the calibrated stage speeds; a fleet
+    // mixing device generations upgrades to the straggler-aware
+    // generalization, balancing per-stage completion times — the slowest
+    // member's compute per layer plus the stage's worst NIC-priced DP
+    // sync (the straggler-aware profile also delegates back to Eq. 2
+    // bit-for-bit whenever per-layer times come out equal).
     let stage_layers = if cfg.self_adapting_partition {
-        SelfAdaptingPartition { alpha: cfg.alpha }
-            .partition(req.job.config.num_layers, &stage_speeds)
+        if uniform_compute {
+            SelfAdaptingPartition { alpha: cfg.alpha }
+                .partition(req.job.config.num_layers, &stage_speeds)
+        } else {
+            let layer_flops = placement_layer_flops(&req.job, degrees);
+            let report = NicSelectionReport::analyze(topo, &layout, &assignment);
+            let profiles: Vec<StageProfile> = (0..degrees.pipeline)
+                .map(|stage| {
+                    let sec_per_layer = layout
+                        .stage_ranks(stage)
+                        .iter()
+                        .map(|&l| {
+                            let dev = topo
+                                .device(assignment.device_of(l))
+                                .expect("device in topology");
+                            dev.gpu.compute_seconds(layer_flops)
+                        })
+                        .fold(0.0f64, f64::max);
+                    // DP group g serves stage g / t (Eq. 4): the stage's
+                    // fixed communication is its worst group's sync.
+                    let comm_seconds = (stage * degrees.tensor..(stage + 1) * degrees.tensor)
+                        .map(|g| report.groups[g as usize].sync_cost_seconds(topo, gradient_bytes))
+                        .fold(0.0f64, f64::max);
+                    StageProfile {
+                        speed_tflops: stage_speeds[stage as usize],
+                        sec_per_layer,
+                        comm_seconds,
+                    }
+                })
+                .collect();
+            StragglerAwarePartition { alpha: cfg.alpha }
+                .partition_stages(req.job.config.num_layers, &profiles)
+        }
     } else {
         UniformPartition.partition(req.job.config.num_layers, &stage_speeds)
     };
@@ -254,6 +320,40 @@ mod tests {
         assert_eq!(plan.total_layers(), 36);
         // Holmes orders IB clusters first: stage 0/1 (IB) ≥ stage 2 (RoCE).
         assert!(plan.stage_layers[0] >= plan.stage_layers[2]);
+    }
+
+    #[test]
+    fn hetero_plan_skews_layers_toward_fast_generations() {
+        // gen_mix_3c: three 16-GPU clusters of distinct generations, so
+        // with p=3 each stage is one generation. The straggler-aware
+        // partition must give the H100 stage strictly more layers than
+        // the V100 stage while conserving the total.
+        let topo = presets::gen_mix_3c();
+        let (plan, _) = plan_for(
+            &topo,
+            &PlanRequest::parameter_group(5),
+            &HolmesConfig::full(),
+            DpSyncStrategy::DistributedOptimizer,
+        )
+        .unwrap();
+        assert_eq!(plan.total_layers(), 36);
+        assert!(plan.stage_layers.iter().all(|&n| n >= 1));
+        let layers_of = |needle: &str| -> u32 {
+            (0..plan.stage_layers.len() as u32)
+                .find(|&stage| {
+                    let dev = topo
+                        .device(plan.stage_devices(stage)[0])
+                        .expect("device exists");
+                    dev.gpu.name.contains(needle)
+                })
+                .map(|stage| plan.stage_layers[stage as usize])
+                .expect("generation hosts a stage")
+        };
+        assert!(
+            layers_of("H100") > layers_of("V100"),
+            "H100 stage must out-carry the V100 stage: {:?}",
+            plan.stage_layers
+        );
     }
 
     #[test]

@@ -20,8 +20,8 @@ use holmes_model::CommVolumes;
 use holmes_netsim::{ChurnKind, LinkHealth, SimDuration, SimTime};
 use holmes_obs::{Layer, ObsSession};
 use holmes_parallel::{
-    replan_for_delta, DeltaReplanOutcome, GuidedPlanner, MigrationCosts, ReplanOutcome,
-    TopologyDelta,
+    replan_for_delta_with, DeltaReplanOutcome, GuidedPlanner, MigrationCosts, PlacementWorkload,
+    ReplanOutcome, TopologyDelta,
 };
 use holmes_topology::{Rank, Topology};
 use rand::rngs::StdRng;
@@ -492,8 +492,20 @@ fn run_resilient_inner(
             let state_bytes_per_rank = (stage_params / u64::from(degrees.tensor.max(1)))
                 * holmes_model::BYTES_PER_PARAM_FULL;
             let costs = MigrationCosts::new(state_bytes_per_rank, restart_bill);
+            // Mixed-generation fleets re-plan against the two-axis
+            // workload so churn migrations avoid generation-straddling
+            // DP groups; uniform fleets keep the historical
+            // gradient-only pricing bit-for-bit.
+            let workload = if topo.uniform_compute() {
+                PlacementWorkload::gradient_only(grad_bytes)
+            } else {
+                PlacementWorkload::new(
+                    grad_bytes,
+                    crate::planner::placement_stage_flops(&request.job, degrees),
+                )
+            };
             let outcome =
-                replan_for_delta(topo, &plan, &delta, grad_bytes, &GuidedPlanner, &costs).ok();
+                replan_for_delta_with(topo, &plan, &delta, workload, &GuidedPlanner, &costs).ok();
             // Replan reachability gate: the churn re-plan must itself
             // verify, and every state move must be executable on the
             // post-churn fabric, before anything acts on it.

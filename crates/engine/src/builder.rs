@@ -189,24 +189,52 @@ pub fn build_iteration(
         });
     }
 
-    // Per-stage compute costs and parameter shards.
+    // Per-stage compute costs and parameter shards. On compute-uniform
+    // fleets the stage's first device prices the whole stage (the
+    // historical rule, kept bit-identical); when the fleet mixes device
+    // generations every pipeline send waits for the stage's slowest
+    // member, so the stage is priced at the *max* over its members'
+    // compute costs (first member retained on exact ties).
+    let uniform_compute = topo.uniform_compute();
     let mut stage_costs = Vec::with_capacity(p as usize);
     let mut stage_params = Vec::with_capacity(p as usize);
     for stage in 0..p {
-        let device0 = plan.stage_devices(stage)[0];
-        let dev = topo.device(device0).expect("plan devices in topology");
-        let coord = dev.coord;
-        let node = &topo.clusters()[coord.cluster.0 as usize].nodes[coord.node.0 as usize];
-        let model = ComputeModel::with_interference(
-            job.config,
-            node.gpu.clone(),
-            node.intra_link,
-            t,
-            job.micro_batch,
-            node.nic.compute_interference,
-        );
+        let stage_devices = plan.stage_devices(stage);
+        let price_members = if uniform_compute {
+            &stage_devices[..1]
+        } else {
+            &stage_devices[..]
+        };
         let has_logit = stage == p - 1;
-        let mut cost = model.stage_cost(plan.stage_layers[stage as usize], has_logit);
+        let mut priced = None;
+        for &rank in price_members {
+            let dev = topo.device(rank).expect("plan devices in topology");
+            let coord = dev.coord;
+            let node = &topo.clusters()[coord.cluster.0 as usize].nodes[coord.node.0 as usize];
+            let model = ComputeModel::with_interference(
+                job.config,
+                node.gpu.clone(),
+                node.intra_link,
+                t,
+                job.micro_batch,
+                node.nic.compute_interference,
+            );
+            let cost = model.stage_cost(plan.stage_layers[stage as usize], has_logit);
+            let total = cost.fwd_seconds + cost.bwd_seconds;
+            let slower = match &priced {
+                None => true,
+                Some((best, _)) => {
+                    let best: &crate::compute::StageCost = best;
+                    total
+                        .total_cmp(&(best.fwd_seconds + best.bwd_seconds))
+                        .is_gt()
+                }
+            };
+            if slower {
+                priced = Some((cost, model));
+            }
+        }
+        let (mut cost, model) = priced.expect("stage has at least one device");
         if cfg.recompute_activations {
             // Recompute replays the forward before each backward.
             cost.bwd_seconds += cost.fwd_seconds;
@@ -233,7 +261,19 @@ pub fn build_iteration(
                 cfg.dp_sync.optimizer_shards(d),
                 cfg.recompute_activations,
             );
-            let capacity = node.gpu.memory_bytes();
+            // The binding capacity is the *smallest* member's: on a
+            // mixed-generation stage the V100's 32 GiB must hold the
+            // shard, not the H100's 80 GiB.
+            let capacity = stage_devices
+                .iter()
+                .map(|&r| {
+                    topo.device(r)
+                        .expect("plan devices in topology")
+                        .gpu
+                        .memory_bytes()
+                })
+                .min()
+                .expect("stage has at least one device");
             if !estimate.fits_in(capacity) {
                 return Err(BuildError::OutOfMemory {
                     stage,

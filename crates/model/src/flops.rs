@@ -26,6 +26,15 @@ pub fn layer_fwd_flops_per_sample(cfg: &GptConfig) -> f64 {
     (96.0 * s * h * h + 16.0 * s * s * h) / 3.0
 }
 
+/// Training (forward + backward) FLOPs of one transformer layer for one
+/// sample: `3 ×` the forward count under the standard
+/// `backward = 2 × forward` convention. This is the per-layer unit the
+/// compute-skew pricing charges each device: stage FLOPs =
+/// `layer_train_flops_per_sample · local batch · layers / t`.
+pub fn layer_train_flops_per_sample(cfg: &GptConfig) -> f64 {
+    3.0 * layer_fwd_flops_per_sample(cfg)
+}
+
 /// Forward FLOPs of the logit projection for one sample: `2·s·h·V`
 /// (one third of the `6·s·h·V` fwd+bwd total).
 pub fn logit_fwd_flops_per_sample(cfg: &GptConfig) -> f64 {

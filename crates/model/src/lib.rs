@@ -31,6 +31,9 @@ mod params;
 pub use blocks::{model_blocks, BlockKind, LayerBlock};
 pub use comm::CommVolumes;
 pub use config::{GptConfig, ParameterGroup, TrainJob};
-pub use flops::{flops_per_iteration, layer_fwd_flops_per_sample, logit_fwd_flops_per_sample};
+pub use flops::{
+    flops_per_iteration, layer_fwd_flops_per_sample, layer_train_flops_per_sample,
+    logit_fwd_flops_per_sample,
+};
 pub use memory::{MemoryEstimate, BYTES_PER_PARAM_FULL, BYTES_PER_PARAM_OPTIM};
 pub use params::{embedding_params, layer_params, parameter_count};

@@ -33,6 +33,7 @@ use crate::groups::GroupLayout;
 use crate::nic_selection::NicSelectionReport;
 use crate::plan::ParallelPlan;
 use crate::search::PlacementSearchResult;
+use crate::skew::PlacementWorkload;
 use crate::synth::Planner;
 
 /// One node-level membership event, expressed against the *pre-churn*
@@ -383,18 +384,43 @@ pub fn replan_for_delta(
     planner: &dyn Planner,
     costs: &MigrationCosts,
 ) -> Result<DeltaReplanOutcome, DeltaError> {
+    replan_for_delta_with(
+        topo,
+        plan,
+        delta,
+        PlacementWorkload::gradient_only(gradient_bytes),
+        planner,
+        costs,
+    )
+}
+
+/// [`replan_for_delta`] priced against a two-axis
+/// [`PlacementWorkload`]: the post-churn placement search and the
+/// before/after costs all charge DP groups their compute-straggler skew
+/// in addition to gradient sync — so churn on a mixed-generation fleet
+/// re-plans away from generation-straddling groups, not just NIC
+/// downgrades. With [`PlacementWorkload::gradient_only`] this is
+/// bit-identical to [`replan_for_delta`].
+pub fn replan_for_delta_with(
+    topo: &Topology,
+    plan: &ParallelPlan,
+    delta: &TopologyDelta,
+    workload: PlacementWorkload,
+    planner: &dyn Planner,
+    costs: &MigrationCosts,
+) -> Result<DeltaReplanOutcome, DeltaError> {
     let new_topo = delta.apply(topo)?;
     let degrees = plan.degrees();
     let new_degrees =
         ParallelDegrees::infer_data(degrees.tensor, degrees.pipeline, new_topo.device_count())
             .map_err(DeltaError::Degrees)?;
     let layout = GroupLayout::new(new_degrees);
-    let placement = planner.plan_placement(&new_topo, &layout, gradient_bytes);
+    let placement = planner.plan_workload(&new_topo, &layout, workload);
     let report = NicSelectionReport::analyze(&new_topo, &layout, &placement.assignment);
     let cost_before_seconds = plan
         .nic_report(topo)
-        .dp_sync_cost_seconds(topo, gradient_bytes);
-    let cost_after_seconds = report.dp_sync_cost_seconds(&new_topo, gradient_bytes);
+        .dp_workload_cost_seconds(topo, workload);
+    let cost_after_seconds = report.dp_workload_cost_seconds(&new_topo, workload);
 
     // Old physical rank → post-churn physical rank (None when its node
     // left). GPU slot within a node is stable across the re-index.

@@ -18,7 +18,11 @@
 //!   analysis: which data-parallel groups are NIC-homogeneous (and may use
 //!   RDMA) and which are forced down to Ethernet;
 //! * [`PartitionStrategy`] — *Uniform* vs *Self-Adapting* (Eq. 2) pipeline
-//!   layer partitioning;
+//!   layer partitioning, plus the [`StragglerAwarePartition`] that
+//!   generalizes Eq. 2 to per-stage heterogeneous device speeds;
+//! * [`PlacementWorkload`] — the two-axis pricing signal (gradient bytes +
+//!   per-device stage FLOPs) that lets every planner charge DP groups a
+//!   compute-straggler tax on mixed-generation fleets (see [`skew`]);
 //! * [`ParallelPlan`] — the assembled plan consumed by the engine;
 //! * [`Planner`] — one interface over the three placement strategies:
 //!   the [`HeuristicPlanner`] (fastest-first order, no search), the
@@ -43,12 +47,14 @@ mod partition;
 mod plan;
 mod scheduler;
 mod search;
+pub mod skew;
+mod straggler;
 mod synth;
 
 pub use degrees::{DegreeError, ParallelDegrees};
 pub use delta::{
-    replan_for_delta, DeltaError, DeltaEvent, DeltaReplanOutcome, MigrationCosts, MigrationPlan,
-    StateMove, TopologyDelta,
+    replan_for_delta, replan_for_delta_with, DeltaError, DeltaEvent, DeltaReplanOutcome,
+    MigrationCosts, MigrationPlan, StateMove, TopologyDelta,
 };
 pub use groups::GroupLayout;
 pub use nic_selection::{DpCollectiveAlgo, DpGroupNic, NicSelectionReport, ReplanOutcome};
@@ -58,10 +64,13 @@ pub use scheduler::{
     DeviceAssignment, HolmesScheduler, InterleavedScheduler, Scheduler, SequentialScheduler,
 };
 pub use search::{
-    assignment_for_order, search_cluster_orders, search_cluster_orders_with_mode, EvalMode,
+    assignment_for_order, search_cluster_orders, search_cluster_orders_with_mode,
+    search_cluster_orders_workload, search_cluster_orders_workload_with_mode, EvalMode,
     PlacementSearchResult,
 };
+pub use skew::PlacementWorkload;
+pub use straggler::{StageProfile, StragglerAwarePartition};
 pub use synth::{
-    speed_rank_of, synthesize_placement, ExhaustivePlanner, GuidedPlanner, HeuristicPlanner,
-    Planner, SynthStats,
+    speed_rank_of, synthesize_placement, synthesize_placement_workload, ExhaustivePlanner,
+    GuidedPlanner, HeuristicPlanner, Planner, SynthStats,
 };

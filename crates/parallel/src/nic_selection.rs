@@ -149,6 +149,45 @@ impl DpGroupNic {
             }
         }
     }
+
+    /// Straggler tax of this group at `stage_flops` of per-device stage
+    /// work: the gap between the slowest and fastest members' compute
+    /// times. Every collective the group runs waits for its slowest
+    /// member, so a generation-straddling group stretches each step by
+    /// exactly this gap. Compute-uniform groups (identical profiles) and
+    /// `stage_flops == 0.0` both yield exactly `+0.0`, keeping historical
+    /// costs bit-identical.
+    pub fn straggler_skew_seconds(&self, topo: &Topology, stage_flops: f64) -> f64 {
+        if self.devices.len() <= 1 || stage_flops <= 0.0 {
+            return 0.0;
+        }
+        let mut slowest = 0.0f64;
+        let mut fastest = f64::INFINITY;
+        for &r in &self.devices {
+            let t = topo
+                .device(r)
+                .expect("group members are ranks inside the topology")
+                .gpu
+                .compute_seconds(stage_flops);
+            slowest = slowest.max(t);
+            fastest = fastest.min(t);
+        }
+        slowest - fastest
+    }
+
+    /// Priced cost of this group under a [`crate::PlacementWorkload`]:
+    /// NIC-priced gradient sync plus the compute-skew straggler tax.
+    /// With [`crate::PlacementWorkload::gradient_only`] (or on any
+    /// compute-uniform member set) the skew term is exactly `+0.0`, so
+    /// the sum is bit-identical to [`DpGroupNic::sync_cost_seconds`].
+    pub fn workload_cost_seconds(
+        &self,
+        topo: &Topology,
+        workload: crate::skew::PlacementWorkload,
+    ) -> f64 {
+        self.sync_cost_seconds(topo, workload.gradient_bytes)
+            + self.straggler_skew_seconds(topo, workload.stage_flops)
+    }
 }
 
 /// Plan-wide Automatic NIC Selection report.
@@ -202,6 +241,20 @@ impl NicSelectionReport {
     pub fn dp_sync_cost_seconds(&self, topo: &Topology, gradient_bytes: u64) -> f64 {
         self.groups.iter().fold(0.0f64, |worst, g| {
             worst.max(g.sync_cost_seconds(topo, gradient_bytes))
+        })
+    }
+
+    /// [`NicSelectionReport::dp_sync_cost_seconds`] generalized to a
+    /// [`crate::PlacementWorkload`]: the max over groups of sync cost plus
+    /// straggler skew. Gradient-only workloads and compute-uniform fleets
+    /// reproduce the historical fold bit-for-bit.
+    pub fn dp_workload_cost_seconds(
+        &self,
+        topo: &Topology,
+        workload: crate::skew::PlacementWorkload,
+    ) -> f64 {
+        self.groups.iter().fold(0.0f64, |worst, g| {
+            worst.max(g.workload_cost_seconds(topo, workload))
         })
     }
 

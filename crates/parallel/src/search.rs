@@ -29,6 +29,7 @@ use rayon::prelude::*;
 use crate::groups::GroupLayout;
 use crate::nic_selection::NicSelectionReport;
 use crate::scheduler::DeviceAssignment;
+use crate::skew::PlacementWorkload;
 use crate::synth::speed_rank_of;
 
 /// How a candidate-evaluation fan-out is executed.
@@ -74,16 +75,37 @@ pub fn assignment_for_order(topo: &Topology, order: &[ClusterId]) -> DeviceAssig
 /// This is the *only* scoring path — the heuristic/exhaustive/guided
 /// planners and the synth incumbent all go through it (or through the
 /// per-group [`crate::DpGroupNic::sync_cost_seconds`] it folds), keeping
-/// costs bit-comparable across strategies.
+/// costs bit-comparable across strategies. Production callers route
+/// through [`cost_of_order_workload`]; this gradient-only form remains as
+/// the test suite's reference spelling.
+#[cfg(test)]
 pub(crate) fn cost_of_order(
     topo: &Topology,
     layout: &GroupLayout,
     order: &[ClusterId],
     gradient_bytes: u64,
 ) -> f64 {
+    cost_of_order_workload(
+        topo,
+        layout,
+        order,
+        PlacementWorkload::gradient_only(gradient_bytes),
+    )
+}
+
+/// [`cost_of_order`] priced against a two-axis [`PlacementWorkload`]:
+/// each DP group pays its gradient-sync cost *plus* its compute-straggler
+/// skew at the workload's stage FLOPs. With
+/// [`PlacementWorkload::gradient_only`] this is bit-identical to
+/// [`cost_of_order`].
+pub(crate) fn cost_of_order_workload(
+    topo: &Topology,
+    layout: &GroupLayout,
+    order: &[ClusterId],
+    workload: PlacementWorkload,
+) -> f64 {
     let assignment = assignment_for_order(topo, order);
-    NicSelectionReport::analyze(topo, layout, &assignment)
-        .dp_sync_cost_seconds(topo, gradient_bytes)
+    NicSelectionReport::analyze(topo, layout, &assignment).dp_workload_cost_seconds(topo, workload)
 }
 
 /// Iterative permutation generator over `0..n` (Heap's algorithm).
@@ -209,6 +231,34 @@ pub fn search_cluster_orders_with_mode(
     gradient_bytes: u64,
     mode: EvalMode,
 ) -> PlacementSearchResult {
+    search_cluster_orders_workload_with_mode(
+        topo,
+        layout,
+        PlacementWorkload::gradient_only(gradient_bytes),
+        mode,
+    )
+}
+
+/// [`search_cluster_orders`] priced against a two-axis
+/// [`PlacementWorkload`] — candidates additionally pay the
+/// compute-straggler skew of their worst DP group. With
+/// [`PlacementWorkload::gradient_only`] the winner, cost bits and
+/// evaluation count are identical to the gradient-only search.
+pub fn search_cluster_orders_workload(
+    topo: &Topology,
+    layout: &GroupLayout,
+    workload: PlacementWorkload,
+) -> PlacementSearchResult {
+    search_cluster_orders_workload_with_mode(topo, layout, workload, EvalMode::Parallel)
+}
+
+/// [`search_cluster_orders_workload`] with an explicit evaluation mode.
+pub fn search_cluster_orders_workload_with_mode(
+    topo: &Topology,
+    layout: &GroupLayout,
+    workload: PlacementWorkload,
+    mode: EvalMode,
+) -> PlacementSearchResult {
     /// Orders scored per parallel batch — bounds live memory at
     /// `CHUNK · M · size_of::<ClusterId>()` instead of `M!`.
     const CHUNK: usize = 1024;
@@ -225,7 +275,7 @@ pub fn search_cluster_orders_with_mode(
             Permutations::for_each(m, |perm| {
                 order.clear();
                 order.extend(perm.iter().map(|&i| ClusterId(i as u32)));
-                let cost = cost_of_order(topo, layout, &order, gradient_bytes);
+                let cost = cost_of_order_workload(topo, layout, &order, workload);
                 evaluated += 1;
                 best.offer(&order, cost);
             });
@@ -248,7 +298,7 @@ pub fn search_cluster_orders_with_mode(
                 }
                 let costs: Vec<f64> = chunk
                     .par_iter()
-                    .map(|order| cost_of_order(topo, layout, order, gradient_bytes))
+                    .map(|order| cost_of_order_workload(topo, layout, order, workload))
                     .collect();
                 for (order, cost) in chunk.iter().zip(costs) {
                     evaluated += 1;

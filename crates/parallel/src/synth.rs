@@ -56,9 +56,10 @@ use crate::groups::GroupLayout;
 use crate::nic_selection::DpGroupNic;
 use crate::scheduler::HolmesScheduler;
 use crate::search::{
-    assignment_for_order, cost_of_order, search_cluster_orders_with_mode, EvalMode,
-    PlacementSearchResult,
+    assignment_for_order, cost_of_order_workload, search_cluster_orders_workload_with_mode,
+    EvalMode, PlacementSearchResult,
 };
+use crate::skew::PlacementWorkload;
 
 /// Position of every cluster in the canonical fastest-first order:
 /// `speed_rank_of(topo)[cluster.0] = position` in
@@ -166,10 +167,13 @@ fn clean_boundaries(layout: &GroupLayout, specs: &[GroupSpec], n_total: usize) -
 /// (`m + j·t`, position-independent), and the max of those group costs is
 /// a *floor* the cluster contributes to any completion — admissible, and
 /// exact once the cluster is visited.
+/// The skew term is included too: a group's straggler tax depends only on
+/// its device *set*, which at aligned offsets is position-independent, so
+/// the workload-priced floor stays admissible and exact.
 fn aligned_solo_costs(
     topo: &Topology,
     layout: &GroupLayout,
-    gradient_bytes: u64,
+    workload: PlacementWorkload,
 ) -> Option<Vec<f64>> {
     let degrees = layout.degrees();
     let (t, d) = (degrees.tensor as usize, degrees.data as usize);
@@ -194,7 +198,7 @@ fn aligned_solo_costs(
                 // The group index is metadata only — cost depends on the
                 // device set, never on the index.
                 let cost = DpGroupNic::analyze_group(topo, 0, devices)
-                    .sync_cost_seconds(topo, gradient_bytes);
+                    .workload_cost_seconds(topo, workload);
                 worst = worst.max(cost);
             }
         }
@@ -282,9 +286,29 @@ pub fn synthesize_placement(
     layout: &GroupLayout,
     gradient_bytes: u64,
 ) -> (PlacementSearchResult, SynthStats) {
+    synthesize_placement_workload(
+        topo,
+        layout,
+        PlacementWorkload::gradient_only(gradient_bytes),
+    )
+}
+
+/// [`synthesize_placement`] priced against a two-axis
+/// [`PlacementWorkload`]: the incremental group fold and the alignment
+/// floor both charge each DP group its gradient-sync cost *plus* its
+/// compute-straggler skew at the workload's stage FLOPs. The skew term is
+/// non-negative and a function of the group's device set alone, so the
+/// bound stays admissible and exact at completion; with
+/// [`PlacementWorkload::gradient_only`] every cost, pruning decision, and
+/// statistic is bit-identical to [`synthesize_placement`].
+pub fn synthesize_placement_workload(
+    topo: &Topology,
+    layout: &GroupLayout,
+    workload: PlacementWorkload,
+) -> (PlacementSearchResult, SynthStats) {
     let m = topo.cluster_count() as usize;
     let heuristic_order = HolmesScheduler::cluster_order(topo);
-    let heuristic_cost = cost_of_order(topo, layout, &heuristic_order, gradient_bytes);
+    let heuristic_cost = cost_of_order_workload(topo, layout, &heuristic_order, workload);
     let mut stats = SynthStats::default();
     let mut evaluated: u64 = 1; // the heuristic incumbent
 
@@ -302,7 +326,7 @@ pub fn synthesize_placement(
         .collect();
     let specs = group_specs(layout);
     let clean = clean_boundaries(layout, &specs, topo.device_count() as usize);
-    let solo = aligned_solo_costs(topo, layout, gradient_bytes);
+    let solo = aligned_solo_costs(topo, layout, workload);
     let h_of = |used: u128| -> f64 {
         match &solo {
             Some(costs) => costs
@@ -386,7 +410,7 @@ pub fn synthesize_placement(
                     spec.members.iter().map(|&l| devices[l as usize]).collect();
                 g = g.max(
                     DpGroupNic::analyze_group(topo, spec.index, members)
-                        .sync_cost_seconds(topo, gradient_bytes),
+                        .workload_cost_seconds(topo, workload),
                 );
                 det += 1;
             }
@@ -456,6 +480,20 @@ pub trait Planner {
         gradient_bytes: u64,
     ) -> PlacementSearchResult;
 
+    /// Produce a placement priced against a two-axis
+    /// [`PlacementWorkload`] — gradient sync plus compute-straggler skew.
+    /// The default ignores the compute axis (exactly the historical
+    /// behavior); each shipped planner overrides it to thread the
+    /// workload through its own scoring path.
+    fn plan_workload(
+        &self,
+        topo: &Topology,
+        layout: &GroupLayout,
+        workload: PlacementWorkload,
+    ) -> PlacementSearchResult {
+        self.plan_placement(topo, layout, workload.gradient_bytes)
+    }
+
     /// Strategy name for reports.
     fn name(&self) -> &'static str;
 }
@@ -472,8 +510,21 @@ impl Planner for HeuristicPlanner {
         layout: &GroupLayout,
         gradient_bytes: u64,
     ) -> PlacementSearchResult {
+        self.plan_workload(
+            topo,
+            layout,
+            PlacementWorkload::gradient_only(gradient_bytes),
+        )
+    }
+
+    fn plan_workload(
+        &self,
+        topo: &Topology,
+        layout: &GroupLayout,
+        workload: PlacementWorkload,
+    ) -> PlacementSearchResult {
         let order = HolmesScheduler::cluster_order(topo);
-        let cost = cost_of_order(topo, layout, &order, gradient_bytes);
+        let cost = cost_of_order_workload(topo, layout, &order, workload);
         result_for(topo, order, cost, 1)
     }
 
@@ -498,7 +549,20 @@ impl Planner for ExhaustivePlanner {
         layout: &GroupLayout,
         gradient_bytes: u64,
     ) -> PlacementSearchResult {
-        search_cluster_orders_with_mode(topo, layout, gradient_bytes, self.mode)
+        self.plan_workload(
+            topo,
+            layout,
+            PlacementWorkload::gradient_only(gradient_bytes),
+        )
+    }
+
+    fn plan_workload(
+        &self,
+        topo: &Topology,
+        layout: &GroupLayout,
+        workload: PlacementWorkload,
+    ) -> PlacementSearchResult {
+        search_cluster_orders_workload_with_mode(topo, layout, workload, self.mode)
     }
 
     fn name(&self) -> &'static str {
@@ -523,6 +587,16 @@ impl GuidedPlanner {
     ) -> (PlacementSearchResult, SynthStats) {
         synthesize_placement(topo, layout, gradient_bytes)
     }
+
+    /// [`Planner::plan_workload`] plus the search statistics.
+    pub fn plan_workload_with_stats(
+        &self,
+        topo: &Topology,
+        layout: &GroupLayout,
+        workload: PlacementWorkload,
+    ) -> (PlacementSearchResult, SynthStats) {
+        synthesize_placement_workload(topo, layout, workload)
+    }
 }
 
 impl Planner for GuidedPlanner {
@@ -533,6 +607,15 @@ impl Planner for GuidedPlanner {
         gradient_bytes: u64,
     ) -> PlacementSearchResult {
         synthesize_placement(topo, layout, gradient_bytes).0
+    }
+
+    fn plan_workload(
+        &self,
+        topo: &Topology,
+        layout: &GroupLayout,
+        workload: PlacementWorkload,
+    ) -> PlacementSearchResult {
+        synthesize_placement_workload(topo, layout, workload).0
     }
 
     fn name(&self) -> &'static str {
@@ -546,6 +629,7 @@ mod tests {
     use crate::degrees::ParallelDegrees;
     use crate::nic_selection::NicSelectionReport;
     use crate::scheduler::Scheduler;
+    use crate::search::{cost_of_order, search_cluster_orders_with_mode};
     use holmes_topology::{presets, NicType};
 
     const GRAD: u64 = 1 << 32; // 4 GiB, PG-scale
@@ -665,6 +749,91 @@ mod tests {
         assert_eq!(result.cluster_order, vec![ClusterId(0)]);
         assert_eq!(stats.expanded, 0);
         assert!(stats.heuristic_won);
+    }
+
+    #[test]
+    fn gradient_only_workload_is_bit_identical_to_legacy_synthesis() {
+        for (topo, p) in [
+            (presets::hybrid_two_cluster(2), 2u32),
+            (presets::table4_2r_2ib_2ib(), 2),
+            (presets::gen_mix_3c(), 3),
+        ] {
+            let layout = layout_for(&topo, 1, p);
+            let (legacy, legacy_stats) = synthesize_placement(&topo, &layout, GRAD);
+            let (workload, workload_stats) = synthesize_placement_workload(
+                &topo,
+                &layout,
+                PlacementWorkload::gradient_only(GRAD),
+            );
+            assert_eq!(legacy.cluster_order, workload.cluster_order);
+            assert_eq!(
+                legacy.cost_seconds.to_bits(),
+                workload.cost_seconds.to_bits()
+            );
+            assert_eq!(legacy_stats, workload_stats);
+        }
+    }
+
+    #[test]
+    fn guided_matches_exhaustive_under_compute_skew() {
+        // The bound must stay admissible when every group cost carries a
+        // straggler-skew term: the guided winner must still be the
+        // exhaustive oracle's exact winner on mixed-generation fleets.
+        let workload = PlacementWorkload::new(GRAD, 2.5e13);
+        for (topo, ps) in [
+            (presets::gen_mix_3c(), vec![1u32, 2, 3]),
+            (presets::gen_split_2c(), vec![1, 2]),
+            (presets::table4_2r_2ib_2ib(), vec![2, 3]),
+        ] {
+            for p in ps {
+                let layout = layout_for(&topo, 1, p);
+                let exhaustive = search_cluster_orders_workload_with_mode(
+                    &topo,
+                    &layout,
+                    workload,
+                    EvalMode::Serial,
+                );
+                let (guided, _) = synthesize_placement_workload(&topo, &layout, workload);
+                assert_eq!(guided.cluster_order, exhaustive.cluster_order, "p={p}");
+                assert_eq!(
+                    guided.cost_seconds.to_bits(),
+                    exhaustive.cost_seconds.to_bits(),
+                    "p={p}: guided {} vs exhaustive {}",
+                    guided.cost_seconds,
+                    exhaustive.cost_seconds
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skew_pricing_prefers_generation_pure_dp_groups() {
+        // Two NIC-identical clusters of different generations: gradient-only
+        // pricing sees a tie, but once stage FLOPs enter, any order whose
+        // DP groups straddle generations pays the straggler tax. The
+        // aligned p=2 layout keeps each group inside one cluster, so its
+        // workload cost must stay equal to its sync-only cost.
+        let topo = presets::gen_split_2c();
+        let layout = layout_for(&topo, 1, 2);
+        let workload = PlacementWorkload::new(GRAD, 2.5e13);
+        let priced = synthesize_placement_workload(&topo, &layout, workload).0;
+        let sync_only = synthesize_placement(&topo, &layout, GRAD).0;
+        assert_eq!(
+            priced.cost_seconds.to_bits(),
+            sync_only.cost_seconds.to_bits(),
+            "generation-pure groups must pay zero skew"
+        );
+        // An unaligned layout (p=1: one stage spans both generations)
+        // must price a strictly positive skew term.
+        let unaligned = layout_for(&topo, 1, 1);
+        let priced = synthesize_placement_workload(&topo, &unaligned, workload).0;
+        let sync_only = synthesize_placement(&topo, &unaligned, GRAD).0;
+        assert!(
+            priced.cost_seconds > sync_only.cost_seconds,
+            "generation-straddling groups must pay the straggler tax: {} vs {}",
+            priced.cost_seconds,
+            sync_only.cost_seconds
+        );
     }
 
     #[test]

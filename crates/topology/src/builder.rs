@@ -60,6 +60,24 @@ impl TopologyBuilder {
         self
     }
 
+    /// Append a homogeneous cluster whose nodes carry a non-default GPU
+    /// generation (hyper-heterogeneous fleets mix accelerator generations
+    /// across clusters while each cluster stays internally uniform).
+    pub fn cluster_with_gpu(
+        mut self,
+        name: impl Into<String>,
+        node_count: u32,
+        nic_type: NicType,
+        gpu: GpuProfile,
+    ) -> Self {
+        let mut cluster = Cluster::homogeneous(name, node_count, nic_type);
+        for node in &mut cluster.nodes {
+            node.gpu = gpu.clone();
+        }
+        self.clusters.push(cluster);
+        self
+    }
+
     /// Set the switch oversubscription ratio on the most recently added
     /// cluster (≥ 1.0; see [`Cluster::oversubscription`]).
     ///

@@ -35,6 +35,33 @@ impl GpuProfile {
         }
     }
 
+    /// NVIDIA V100-SXM2-32GB: the previous accelerator generation. Peak is
+    /// 125 TFLOP/s at 16-bit precision with a lower achievable fraction
+    /// (first-generation tensor cores) and a smaller half-saturation point
+    /// (smaller GEMMs already fill the part).
+    pub fn v100_32g() -> Self {
+        GpuProfile {
+            name: "NVIDIA V100-32GB".to_owned(),
+            peak_tflops: 125.0,
+            memory_gib: 32.0,
+            max_efficiency: 0.62,
+            half_saturation_mflops: 1_200.0,
+        }
+    }
+
+    /// NVIDIA H100-SXM5-80GB: the next accelerator generation. Peak is
+    /// 989 TFLOP/s at 16-bit precision; large kernels reach a higher
+    /// fraction of peak, but the part needs much bigger GEMMs to saturate.
+    pub fn h100_80g() -> Self {
+        GpuProfile {
+            name: "NVIDIA H100-80GB".to_owned(),
+            peak_tflops: 989.0,
+            memory_gib: 80.0,
+            max_efficiency: 0.75,
+            half_saturation_mflops: 6_000.0,
+        }
+    }
+
     /// Achieved fraction of peak for a kernel of `flops` floating-point
     /// operations (Michaelis–Menten saturation curve).
     #[inline]
@@ -109,5 +136,22 @@ mod tests {
     fn memory_bytes_conversion() {
         let gpu = GpuProfile::a100_80g();
         assert_eq!(gpu.memory_bytes(), 80 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn generations_order_by_peak_and_capacity() {
+        let v100 = GpuProfile::v100_32g();
+        let a100 = GpuProfile::a100_80g();
+        let h100 = GpuProfile::h100_80g();
+        assert!(v100.peak_tflops < a100.peak_tflops);
+        assert!(a100.peak_tflops < h100.peak_tflops);
+        assert!(v100.memory_bytes() < a100.memory_bytes());
+        assert_eq!(h100.memory_bytes(), a100.memory_bytes());
+        // A large stage-scale kernel must still run strictly faster on each
+        // newer generation despite the efficiency-curve differences.
+        for flops in [1e12, 1e13, 1e14] {
+            assert!(v100.compute_seconds(flops) > a100.compute_seconds(flops));
+            assert!(a100.compute_seconds(flops) > h100.compute_seconds(flops));
+        }
     }
 }

@@ -5,6 +5,7 @@
 //! a 25 Gb/s Ethernet fallback, and reference NIC profiles.
 
 use crate::builder::TopologyBuilder;
+use crate::gpu::GpuProfile;
 use crate::nic::{NicProfile, NicType};
 use crate::topology::Topology;
 
@@ -126,6 +127,83 @@ pub fn synthetic_fleet(count: u32, nodes_per_cluster: u32) -> Topology {
     builder.build().expect("non-empty synthetic fleet")
 }
 
+/// Hyper-heterogeneous three-cluster preset mixing accelerator
+/// *generations* and NIC technologies: 2 H100 nodes behind InfiniBand,
+/// 2 A100 nodes behind RoCE, and 2 V100 nodes behind InfiniBand
+/// (6 nodes / 48 GPUs). Compute skew and NIC skew pull the partition in
+/// different directions, which is exactly the case the straggler-aware
+/// Eq. 2 generalization must balance.
+pub fn gen_mix_3c() -> Topology {
+    TopologyBuilder::new()
+        .cluster_with_gpu("h100-ib", 2, NicType::InfiniBand, GpuProfile::h100_80g())
+        .cluster_with_gpu("a100-roce", 2, NicType::RoCE, GpuProfile::a100_80g())
+        .cluster_with_gpu("v100-ib", 2, NicType::InfiniBand, GpuProfile::v100_32g())
+        .build()
+        .expect("non-empty gen-mix topology")
+}
+
+/// Two clusters with the *same* NIC technology but different accelerator
+/// generations (2 H100 nodes + 2 A100 nodes, both InfiniBand, 32 GPUs):
+/// the NIC environment is symmetric, so any partition difference against
+/// the uniform Eq. 2 baseline is attributable purely to compute skew.
+pub fn gen_split_2c() -> Topology {
+    TopologyBuilder::new()
+        .cluster_with_gpu("h100-ib", 2, NicType::InfiniBand, GpuProfile::h100_80g())
+        .cluster_with_gpu("a100-ib", 2, NicType::InfiniBand, GpuProfile::a100_80g())
+        .build()
+        .expect("non-empty gen-split topology")
+}
+
+/// An H2-style hyper-heterogeneous fleet: `count` clusters of
+/// `nodes_per_cluster` nodes, cycling three accelerator generations
+/// (H100 / A100 / V100) against the four NIC speed classes of
+/// [`synthetic_fleet`]. With `count ≥ 12` all twelve generation × NIC
+/// structural classes appear, exercising the guided planner's symmetry
+/// pruning under compute skew.
+pub fn fleet_hetero(count: u32, nodes_per_cluster: u32) -> Topology {
+    let gens: [(&str, GpuProfile); 3] = [
+        ("h100", GpuProfile::h100_80g()),
+        ("a100", GpuProfile::a100_80g()),
+        ("v100", GpuProfile::v100_32g()),
+    ];
+    let nics: [(&str, NicProfile); 4] = [
+        ("ib200", NicProfile::infiniband_200g()),
+        (
+            "ib100",
+            NicProfile {
+                bandwidth_gbps: 100.0,
+                ..NicProfile::infiniband_200g()
+            },
+        ),
+        ("roce200", NicProfile::roce_200g()),
+        (
+            "roce100",
+            NicProfile {
+                bandwidth_gbps: 100.0,
+                ..NicProfile::roce_200g()
+            },
+        ),
+    ];
+    let mut builder = TopologyBuilder::new();
+    for i in 0..count {
+        let (gen_name, gpu) = &gens[(i % 3) as usize];
+        let (nic_name, profile) = &nics[(i % 4) as usize];
+        let mut cluster = crate::cluster::Cluster {
+            name: format!("fleet-{gen_name}-{nic_name}-{i}"),
+            nodes: (0..nodes_per_cluster)
+                .map(|_| crate::cluster::Node::standard(*profile))
+                .collect(),
+            has_switch: true,
+            oversubscription: 1.0,
+        };
+        for node in &mut cluster.nodes {
+            node.gpu = gpu.clone();
+        }
+        builder = builder.custom_cluster(cluster);
+    }
+    builder.build().expect("non-empty hetero fleet")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +258,60 @@ mod tests {
         assert_eq!(topo.cluster_count(), 2);
         assert_eq!(topo.clusters()[0].nodes.len(), 3);
         assert_eq!(topo.clusters()[1].nodes.len(), 1);
+    }
+
+    #[test]
+    fn gen_mix_3c_mixes_generations_and_nics() {
+        let topo = gen_mix_3c();
+        assert_eq!(topo.cluster_count(), 3);
+        assert_eq!(topo.device_count(), 48);
+        assert!(!topo.uniform_compute());
+        assert_eq!(
+            topo.gpu_generations(),
+            vec!["NVIDIA H100-80GB", "NVIDIA A100-80GB", "NVIDIA V100-32GB"]
+        );
+        assert_eq!(
+            topo.nic_types_present(),
+            vec![NicType::InfiniBand, NicType::RoCE]
+        );
+    }
+
+    #[test]
+    fn gen_split_2c_isolates_compute_skew() {
+        let topo = gen_split_2c();
+        assert_eq!(topo.cluster_count(), 2);
+        assert_eq!(topo.device_count(), 32);
+        assert!(!topo.uniform_compute());
+        // Same NIC class everywhere: only the accelerator generation skews.
+        assert_eq!(topo.nic_types_present(), vec![NicType::InfiniBand]);
+        assert_eq!(topo.gpu_generations().len(), 2);
+    }
+
+    #[test]
+    fn fleet_hetero_cycles_three_generations() {
+        let topo = fleet_hetero(12, 2);
+        assert_eq!(topo.cluster_count(), 12);
+        assert_eq!(topo.device_count(), 192);
+        assert!(!topo.uniform_compute());
+        assert_eq!(topo.gpu_generations().len(), 3);
+        // Generation cycles mod 3, NIC class mod 4.
+        let gen = |i: usize| topo.clusters()[i].nodes[0].gpu.peak_tflops;
+        let bw = |i: usize| topo.clusters()[i].nodes[0].nic.bandwidth_gbps;
+        assert_eq!(gen(0), 989.0);
+        assert_eq!(gen(1), 312.0);
+        assert_eq!(gen(2), 125.0);
+        assert_eq!(gen(3), gen(0));
+        assert_eq!(bw(0), 200.0);
+        assert_eq!(bw(1), 100.0);
+        assert_eq!(bw(4), bw(0));
+    }
+
+    #[test]
+    fn existing_presets_stay_compute_uniform() {
+        assert!(homogeneous(NicType::InfiniBand, 4).uniform_compute());
+        assert!(hybrid_two_cluster(2).uniform_compute());
+        assert!(table4_2r_2ib_2ib().uniform_compute());
+        assert!(synthetic_fleet(8, 2).uniform_compute());
     }
 
     #[test]

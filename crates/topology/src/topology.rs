@@ -323,6 +323,33 @@ impl Topology {
         self.clusters[0].uniform_nic_type().is_some()
     }
 
+    /// True when every node carries the same [`GpuProfile`] — the fleet is
+    /// compute-uniform and per-device rate modelling degenerates to a single
+    /// FLOPs rate. Heterogeneous-*compute* planning (straggler-aware
+    /// partitioning, skew-priced DP groups) only activates when this is
+    /// false, so compute-uniform topologies keep their historical plans
+    /// bit-for-bit.
+    pub fn uniform_compute(&self) -> bool {
+        let mut nodes = self.clusters.iter().flat_map(|c| &c.nodes);
+        match nodes.next() {
+            Some(first) => nodes.all(|n| n.gpu == first.gpu),
+            None => true,
+        }
+    }
+
+    /// The set of distinct GPU profile names present, ordered by first
+    /// appearance in rank order (deduplicated). One entry ⇔
+    /// [`Topology::uniform_compute`].
+    pub fn gpu_generations(&self) -> Vec<&str> {
+        let mut seen: Vec<&str> = Vec::new();
+        for node in self.clusters.iter().flat_map(|c| &c.nodes) {
+            if !seen.contains(&node.gpu.name.as_str()) {
+                seen.push(&node.gpu.name);
+            }
+        }
+        seen
+    }
+
     /// The set of distinct NIC technologies present, in `NicType::ALL` order.
     pub fn nic_types_present(&self) -> Vec<NicType> {
         NicType::ALL

@@ -438,4 +438,93 @@ proptest! {
             );
         }
     }
+
+    /// Straggler-aware partition degenerates **bit-for-bit** to the
+    /// uniform-rate Eq. 2 split whenever every stage's per-layer compute
+    /// time is identical — arbitrary calibrated speeds, α, layer counts,
+    /// and per-stage communication terms included. This is the
+    /// byte-identity guarantee the hetero generalization rides on: with
+    /// no compute skew, nothing downstream of the partition can move.
+    #[test]
+    fn straggler_partition_degenerates_to_eq2_bitwise(
+        layers in 1u32..=128,
+        speeds in prop::collection::vec(1.0f64..500.0, 1..=6),
+        comms in prop::collection::vec(0.0f64..2.0, 6),
+        sec_per_layer in 1e-4f64..1e-1,
+        alpha in 1.0f64..1.5,
+    ) {
+        use holmes_repro::parallel::{StageProfile, StragglerAwarePartition};
+        let stages: Vec<StageProfile> = speeds
+            .iter()
+            .zip(&comms)
+            .map(|(&speed_tflops, &comm_seconds)| StageProfile {
+                speed_tflops,
+                sec_per_layer,
+                comm_seconds,
+            })
+            .collect();
+        let straggler =
+            StragglerAwarePartition { alpha }.partition_stages(layers, &stages);
+        let eq2 = SelfAdaptingPartition { alpha }.partition(layers, &speeds);
+        prop_assert_eq!(straggler, eq2);
+    }
+
+    /// Guided == exhaustive under compute skew: on every random
+    /// ≤4-cluster topology mixing NIC technologies *and* device
+    /// generations, branch-and-bound synthesis priced with a non-zero
+    /// per-stage FLOPs workload must return the exhaustive oracle's
+    /// exact winner — identical cluster order, identical assignment,
+    /// bit-equal cost. Proves the admissible bound stays exact when the
+    /// straggler-skew term joins the objective.
+    #[test]
+    fn guided_synthesis_matches_exhaustive_under_compute_skew(
+        spec in prop::collection::vec((1u32..=2, nic_strategy(), 0usize..3), 2..=4),
+        t in 1u32..=2,
+        p in 1u32..=4,
+        mb in 1u64..64,
+        gflops in 1.0f64..500.0,
+    ) {
+        use holmes_repro::parallel::{
+            search_cluster_orders_workload_with_mode, synthesize_placement_workload,
+            EvalMode, PlacementWorkload,
+        };
+        use holmes_repro::topology::GpuProfile;
+        let gens = [
+            GpuProfile::v100_32g(),
+            GpuProfile::a100_80g(),
+            GpuProfile::h100_80g(),
+        ];
+        let mut builder = TopologyBuilder::new();
+        for (i, (nodes, nic, gen)) in spec.iter().enumerate() {
+            builder = builder.cluster_with_gpu(
+                format!("c{i}"),
+                *nodes,
+                *nic,
+                gens[*gen].clone(),
+            );
+        }
+        let topo = builder.build().unwrap();
+        let n = topo.device_count();
+        prop_assume!(n.is_multiple_of(t * p));
+        let layout = GroupLayout::new(ParallelDegrees::infer_data(t, p, n).unwrap());
+        let workload = PlacementWorkload::new(mb << 20, gflops * 1e9);
+        let exhaustive = search_cluster_orders_workload_with_mode(
+            &topo,
+            &layout,
+            workload,
+            EvalMode::Serial,
+        );
+        let (guided, stats) =
+            synthesize_placement_workload(&topo, &layout, workload);
+        prop_assert_eq!(&guided.cluster_order, &exhaustive.cluster_order);
+        prop_assert_eq!(
+            guided.cost_seconds.to_bits(),
+            exhaustive.cost_seconds.to_bits(),
+            "guided {} vs exhaustive {} ({:?})",
+            guided.cost_seconds,
+            exhaustive.cost_seconds,
+            stats
+        );
+        prop_assert_eq!(guided.assignment, exhaustive.assignment);
+    }
 }
